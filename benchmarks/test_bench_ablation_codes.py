@@ -1,0 +1,25 @@
+"""Ablation bench: ECiM with stronger (BCH) codes.
+
+The paper's Fig. 8 argues ECiM extends to multi-error correction by
+maintaining more parity bits; this ablation quantifies the corresponding
+energy-overhead growth on two representative benchmarks.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_ablation_codes
+
+
+def test_ablation_stronger_codes(benchmark):
+    result = benchmark.pedantic(
+        experiment_ablation_codes,
+        kwargs={"benchmarks": ("mm16", "fft16"), "t_values": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for name, overheads in result["results"].items():
+        # Overhead grows with the number of correctable errors, roughly in
+        # proportion to the maintained parity bits (8 -> 16 -> 24).
+        assert overheads[1] < overheads[2] < overheads[3]
+        assert overheads[3] < 5.0 * overheads[1]

@@ -1,0 +1,16 @@
+"""Ablation bench: check granularity (gate / logic level / circuit) vs SEP.
+
+Quantifies the design-space argument of Table II operationally: deferring
+checks to circuit granularity loses the single-error-protection guarantee.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_ablation_granularity
+
+
+def test_ablation_check_granularity(benchmark):
+    result = benchmark.pedantic(experiment_ablation_granularity, rounds=1, iterations=1)
+    emit(result)
+    assert result["logic_level_protected"] == result["logic_level_sites"]
+    assert result["circuit_granularity_escapes"] is True

@@ -1,0 +1,29 @@
+"""Ablation bench: parity-block pipeline depth (Fig. 5 design choice).
+
+Sweeps the number of parity blocks per side and reports the pipeline drain:
+with too few blocks the parity updates cannot keep up with one computation
+NOR per step, and the drain grows with the level size.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_ablation_partitions
+
+
+def test_ablation_parity_block_pipelining(benchmark):
+    result = benchmark.pedantic(
+        experiment_ablation_partitions,
+        kwargs={"block_counts": (1, 2, 3, 4), "updates_per_gate": 4, "level_gates": 64},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    rows = result["rows"]
+    drains = [row[2] for row in rows]
+    sustained = [row[3] for row in rows]
+
+    # More blocks monotonically reduce the drain...
+    assert drains == sorted(drains, reverse=True)
+    # ...and with enough blocks the pipeline sustains full computation rate.
+    assert sustained[-1] is True
+    assert sustained[0] is False

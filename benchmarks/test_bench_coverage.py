@@ -1,0 +1,32 @@
+"""Extension bench: multi-error coverage vs gate error rate.
+
+Not a single paper figure, but the quantitative form of two of its
+discussions: gate error rates should approach memory-class rates for
+practical deployment (Section IV-A), and stronger BCH codes extend the
+per-level correction budget when they do not (Fig. 8 / Section IV-E).
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_coverage
+
+
+def test_coverage_extension(benchmark):
+    result = benchmark.pedantic(
+        experiment_coverage,
+        kwargs={"benchmark": "mm8", "gate_error_rates": (1e-6, 1e-5, 1e-4, 1e-3)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    rows = result["rows"]
+
+    for row in rows:
+        # Stronger codes never hurt, and always form a monotone ladder.
+        assert row["survival_t1"] <= row["survival_t2"] <= row["survival_t3"] <= 1.0
+
+    # At memory-class error rates, single error correction already suffices.
+    assert rows[0]["survival_t1"] > 0.999999
+    # At aggressive error rates, upgrading to BCH buys back coverage.
+    worst = rows[-1]
+    assert worst["survival_t3"] > worst["survival_t1"]

@@ -1,0 +1,39 @@
+"""Benchmark E-F7: regenerate Fig. 7 (time overhead vs unprotected baseline).
+
+Shape requirements from the paper:
+
+* both ECiM and TRiM land in the tens-of-percent band (the paper's y-axis
+  tops out around 45 %),
+* TRiM beats ECiM for the small matmul benchmarks,
+* the ordering flips at the largest FFT (paper: fft64 ECiM 29 % < TRiM 42 %),
+* ECiM's overhead does not grow with matmul problem size (the logarithmic
+  parity maintenance amortises).
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_fig7
+from repro.workloads import PAPER_BENCHMARKS
+
+
+def test_fig7_time_overhead(benchmark):
+    result = benchmark.pedantic(
+        experiment_fig7, kwargs={"benchmarks": PAPER_BENCHMARKS}, rounds=1, iterations=1
+    )
+    emit(result)
+    benchmarks = result["benchmarks"]
+    ecim = dict(zip(benchmarks, result["time_overhead_percent"]["ecim"]))
+    trim = dict(zip(benchmarks, result["time_overhead_percent"]["trim"]))
+
+    # Overheads stay within the paper's band.
+    for series in (ecim, trim):
+        for value in series.values():
+            assert 0.0 <= value <= 60.0
+
+    # TRiM is the better design for the small matmul sizes...
+    assert trim["mm8"] < ecim["mm8"]
+    # ...and the ordering flips for the largest FFT.
+    assert ecim["fft64"] < trim["fft64"]
+
+    # ECiM's overhead amortises with matmul problem size.
+    assert ecim["mm64"] <= ecim["mm8"]

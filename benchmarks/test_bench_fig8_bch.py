@@ -1,0 +1,24 @@
+"""Benchmark E-F8: regenerate Fig. 8 (BCH-255 parity bits vs correctable errors).
+
+This figure is exact: the parity-bit counts are determined by the sizes of
+the cyclotomic-coset unions, so the series matches the paper's plot point by
+point (8, 16, 24, ... with the slope flattening below m = 8 at large t).
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_fig8
+
+
+def test_fig8_bch_parity_bits(benchmark):
+    result = benchmark(experiment_fig8)
+    emit(result)
+    series = [row["parity_bits"] for row in result["rows"]]
+
+    # Exact BCH-255 parity-bit counts for t = 1..10.
+    assert series == [8, 16, 24, 32, 40, 48, 56, 64, 68, 76]
+    # Hamming(255,247) coincides with the t = 1 point.
+    assert result["hamming_parity_bits"] == series[0] == 8
+    # Sub-linear growth: the increments eventually drop below m = 8.
+    increments = [b - a for a, b in zip(series, series[1:])]
+    assert min(increments) < 8

@@ -1,0 +1,31 @@
+"""Benchmark E-F9: regenerate Fig. 9 (multi-output gate noise margins and
+bias voltages, Appendix electrical characterisation)."""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_fig9
+from repro.pim.electrical import MINIMUM_NOISE_MARGIN_PERCENT
+
+
+def test_fig9_noise_margins_and_bias_voltages(benchmark):
+    result = benchmark(experiment_fig9)
+    emit(result)
+    margins = result["noise_margins"]
+    voltages = result["bias_voltages"]
+
+    parallel = [p.noise_margin_percent for p in margins if p.topology == "parallel"]
+    series = [p.noise_margin_percent for p in margins if p.topology == "series"]
+
+    # Fig. 9(a): parallel margins grow with the output count, series margins
+    # shrink and eventually drop below the 5 % feasibility line.
+    assert parallel == sorted(parallel)
+    assert series == sorted(series, reverse=True)
+    assert parallel[-1] > 40.0
+    assert series[-1] < MINIMUM_NOISE_MARGIN_PERCENT
+
+    # Fig. 9(b): all four voltage series increase with the output count and
+    # stay in the sub-2 V range of the paper's plot.
+    for key in ("v_low_parallel", "v_high_parallel", "v_low_series", "v_high_series"):
+        values = voltages[key]
+        assert values == sorted(values)
+        assert 0.1 < values[0] and values[-1] < 2.5

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the underlying substrates.
+
+Not a paper artefact — these measure the building blocks the table/figure
+benches are made of (in-array gate execution, Hamming/BCH decode, protected
+executor throughput, workload synthesis), so performance regressions in the
+library itself are visible separately from the experiment-level numbers.
+"""
+
+import numpy as np
+
+from repro.core.executor import EcimExecutor, UnprotectedExecutor
+from repro.compiler.synthesis import CircuitBuilder
+from repro.ecc.bch import BchCode
+from repro.ecc.hamming import HAMMING_255_247
+from repro.pim.array import PimArray
+from repro.workloads.matmul import mac_block_netlist, accumulator_bits
+
+
+def _adder_netlist(width=4):
+    builder = CircuitBuilder()
+    a = builder.input_word(width, "a")
+    b = builder.input_word(width, "b")
+    total, carry = builder.ripple_adder(a, b)
+    builder.mark_output_word(total)
+    builder.mark_output_bit(carry)
+    return builder.netlist
+
+
+def test_array_gate_throughput(benchmark):
+    array = PimArray(rows=4, cols=64)
+    array.load_row(0, [0, 1] * 16)
+
+    def fire_row_of_gates():
+        for column in range(0, 60, 3):
+            array.execute_gate("nor", 0, [column, column + 1], [column + 2])
+
+    benchmark(fire_row_of_gates)
+    assert array.operation_index > 0
+
+
+def test_hamming_255_247_decode(benchmark):
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2, size=247).astype(np.uint8)
+    word = HAMMING_255_247.encode(data)
+    corrupted = word.copy()
+    corrupted[123] ^= 1
+
+    result = benchmark(HAMMING_255_247.decode, corrupted)
+    assert np.array_equal(result.corrected, word)
+
+
+def test_bch_255_t3_decode(benchmark):
+    code = BchCode(255, 3)
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2, size=code.k).astype(np.uint8)
+    word = code.encode(data)
+    corrupted = word.copy()
+    for position in (3, 99, 201):
+        corrupted[position] ^= 1
+
+    result = benchmark(code.decode, corrupted)
+    assert np.array_equal(result.corrected, word)
+
+
+def test_unprotected_executor_adder(benchmark):
+    netlist = _adder_netlist()
+    inputs = {signal: (index % 2) for index, signal in enumerate(netlist.inputs)}
+
+    def run():
+        return UnprotectedExecutor(_adder_netlist()).run(dict(inputs))
+
+    report = benchmark(run)
+    assert report.outputs_correct
+
+
+def test_ecim_executor_adder(benchmark):
+    netlist = _adder_netlist()
+    inputs = {signal: (index % 2) for index, signal in enumerate(netlist.inputs)}
+
+    def run():
+        return EcimExecutor(_adder_netlist()).run(dict(inputs))
+
+    report = benchmark(run)
+    assert report.outputs_correct
+
+
+def test_mac_block_synthesis(benchmark):
+    width = accumulator_bits(8, 8)
+    netlist = benchmark(mac_block_netlist, 8, width)
+    assert netlist.stats().n_gates > 100

@@ -1,0 +1,14 @@
+"""Benchmark E-T1: regenerate Table I (the 3-step in-array XOR decomposition)."""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_table1
+
+
+def test_table1_xor_decomposition(benchmark):
+    result = benchmark(experiment_table1)
+    emit(result)
+    assert [row["out"] for row in result["rows"]] == [0, 1, 1, 0]
+    assert [row["s1"] for row in result["rows"]] == [1, 0, 0, 0]
+    # The 2-step NOR22 + THR variant computes the same function.
+    assert [row["out"] for row in result["two_step_rows"]] == [0, 1, 1, 0]

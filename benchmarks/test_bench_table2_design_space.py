@@ -1,0 +1,26 @@
+"""Benchmark E-T2: regenerate Table II (SEP design-space asymptotics)."""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_table2
+
+
+def test_table2_design_space(benchmark):
+    result = benchmark(experiment_table2, n_outputs=256)
+    emit(result)
+    points = {(p.scheme, p.check_granularity): p for p in result["points"]}
+
+    trim_gate = points[("TRiM", "gate")]
+    trim_level = points[("TRiM", "logic-level")]
+    ecim_level = points[("ECiM", "logic-level")]
+
+    # Classic TMR: 3N time and energy, 2N checker metadata.
+    assert trim_gate.time_cost == 3 * 256
+    assert trim_gate.checker_metadata_bits == 2 * 256
+    # Logic-level checking can fully mask TRiM's 3x time.
+    assert trim_level.time_cost == 256
+    # ECiM at logic-level granularity: N(1 + logN) with N logN metadata.
+    assert ecim_level.time_cost == 256 * (1 + 8)
+    assert ecim_level.checker_metadata_bits == 256 * 8
+    # Every retained design point guarantees SEP.
+    assert all(p.sep_guarantee for p in result["points"])

@@ -1,0 +1,17 @@
+"""Benchmark E-T3: regenerate Table III (technology parameters)."""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_table3
+
+
+def test_table3_technology_parameters(benchmark):
+    result = benchmark(experiment_table3)
+    emit(result)
+    rows = {row["technology"]: row for row in result["rows"]}
+    assert rows["stt"]["NOR energy (fJ)"] == 10.5
+    assert rows["stt"]["Write energy (fJ)"] == 1.03
+    assert rows["sot"]["R_SHE (kOhm)"] == 64.0
+    assert rows["sot"]["I_C (uA)"] == 3.0
+    assert rows["reram"]["R_high (kOhm)"] == 1000.0
+    assert rows["reram"]["Write energy (fJ)"] == 23.8

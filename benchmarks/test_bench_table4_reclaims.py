@@ -1,0 +1,42 @@
+"""Benchmark E-T4: regenerate Table IV (number of area reclaims).
+
+Paper shape being reproduced (absolute counts depend on the substituted
+allocator constants, see EXPERIMENTS.md):
+
+* TRiM needs roughly 3-4x the reclaims of ECiM for every benchmark,
+* reclaim counts grow with problem size within each benchmark family,
+* the MLP (mnist*) benchmarks dominate the counts.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments import experiment_table4
+from repro.workloads import PAPER_BENCHMARKS
+
+
+def test_table4_area_reclaims(benchmark):
+    result = benchmark.pedantic(
+        experiment_table4, kwargs={"benchmarks": PAPER_BENCHMARKS}, rounds=1, iterations=1
+    )
+    emit(result)
+    reclaims = result["reclaims"]
+
+    # All twelve paper benchmarks are present.
+    assert set(reclaims) == set(PAPER_BENCHMARKS)
+
+    for name in PAPER_BENCHMARKS:
+        counts = reclaims[name]
+        # ECiM's small parity footprint costs at most a few extra reclaims;
+        # TRiM's 2x redundant columns cost far more (Table IV shape).
+        assert counts["ecim"] >= counts["unprotected"]
+        assert counts["trim"] >= 2.5 * counts["ecim"]
+
+    # Growth with problem size within each family.
+    for family, sizes in (("mm", (8, 16, 32, 64)), ("mnist", (1, 2, 3, 4)), ("fft", (8, 16, 32, 64))):
+        series = [reclaims[f"{family}{size}"]["ecim"] for size in sizes]
+        assert series == sorted(series)
+        assert series[-1] > series[0]
+
+    # The MLP rows run 784-term dot products: largest reclaim counts overall.
+    assert reclaims["mnist4"]["ecim"] == max(reclaims[name]["ecim"] for name in PAPER_BENCHMARKS)
+    assert reclaims["mnist4"]["trim"] == max(reclaims[name]["trim"] for name in PAPER_BENCHMARKS)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Fault-injection study: silent-data-corruption rate vs gate error rate.
+
+The motivating scenario of the paper: a PiM accelerator performs bulk bitwise
+computation whose gate operations occasionally misfire (the "direct" logic
+errors of Section II-C).  Conventional memory ECC never sees those errors.
+This study sweeps the gate error rate and measures, for a fixed-point
+multiply-accumulate kernel, how often each design produces a wrong result:
+
+* unprotected execution,
+* ECiM (in-memory Hamming parity, logic-level syndrome checks),
+* TRiM (in-memory triple redundancy, logic-level majority votes).
+
+Run with::
+
+    python examples/fault_injection_study.py [--trials 40]
+"""
+
+import argparse
+import random
+
+from repro.compiler import CircuitBuilder
+from repro.core import EcimExecutor, TrimExecutor, UnprotectedExecutor
+from repro.eval import format_table
+from repro.pim import FaultModel, StochasticFaultInjector
+
+
+def build_mac_kernel(operand_bits=3, accumulator_bits=8):
+    """acc + a*b on a carry-save accumulator — one MAC step of a dot product."""
+    builder = CircuitBuilder()
+    acc = builder.input_word(accumulator_bits, "acc")
+    a = builder.input_word(operand_bits, "a")
+    b = builder.input_word(operand_bits, "b")
+    product = builder.multiply_wallace(a, b)
+    total, _ = builder.ripple_adder(acc, builder.fit_width(product, accumulator_bits))
+    builder.mark_output_word(total, "acc_out")
+    return builder.netlist
+
+
+def random_inputs(netlist, rng):
+    return {signal: rng.randint(0, 1) for signal in netlist.inputs}
+
+
+def run_study(error_rates, trials, seed=2024):
+    rng = random.Random(seed)
+    reference_netlist = build_mac_kernel()
+    n_gates = reference_netlist.stats().n_gates
+    print(
+        f"Kernel: multiply-accumulate, {n_gates} in-array gates over "
+        f"{reference_netlist.stats().n_levels} logic levels; {trials} trials per point.\n"
+    )
+
+    designs = (
+        ("unprotected", UnprotectedExecutor, {}),
+        ("ecim", EcimExecutor, {}),
+        ("trim", TrimExecutor, {}),
+    )
+
+    rows = []
+    for rate in error_rates:
+        row = [f"{rate:.0e}"]
+        for name, executor_cls, kwargs in designs:
+            wrong = 0
+            detected = 0
+            for trial in range(trials):
+                inputs = random_inputs(reference_netlist, rng)
+                injector = StochasticFaultInjector(
+                    FaultModel(gate_error_rate=rate), seed=seed * 1000 + trial
+                )
+                executor = executor_cls(
+                    build_mac_kernel(), fault_injector=injector, **kwargs
+                )
+                report = executor.run(inputs)
+                if not report.outputs_correct:
+                    wrong += 1
+                if report.checks and any(c.error_detected for c in report.checks):
+                    detected += 1
+            row.append(f"{wrong}/{trials}")
+            if name != "unprotected":
+                row.append(detected)
+        rows.append(row)
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=30, help="trials per error rate")
+    args = parser.parse_args()
+
+    print("=" * 72)
+    print("Silent-data-corruption study: unprotected vs ECiM vs TRiM")
+    print("=" * 72 + "\n")
+
+    error_rates = (2e-4, 2e-3, 1e-2)
+    rows = run_study(error_rates, trials=args.trials)
+    print(
+        format_table(
+            [
+                "gate error rate",
+                "unprotected wrong",
+                "ecim wrong",
+                "ecim runs w/ detection",
+                "trim wrong",
+                "trim runs w/ detection",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nAt realistic (low) error rates the protected designs absorb every\n"
+        "fault: at most one error lands per logic level, which is exactly the\n"
+        "coverage ECiM/TRiM guarantee.  At aggressively high error rates,\n"
+        "multiple errors can hit a single logic level and exceed the single\n"
+        "error correction budget — the motivation for the stronger BCH-based\n"
+        "configurations of Fig. 8."
+    )
+
+
+if __name__ == "__main__":
+    main()

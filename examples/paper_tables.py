@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the full experiment registry (Tables I-V, Figures 6-9, plus the three
+ablations called out in DESIGN.md) and prints each artefact in the same
+row/series layout the paper reports.  This is the script behind
+EXPERIMENTS.md.
+
+Run with::
+
+    python examples/paper_tables.py              # everything
+    python examples/paper_tables.py fig7 table4  # a subset
+"""
+
+import sys
+import time
+
+from repro.eval import available_experiments, run_experiment
+
+
+def main(argv):
+    requested = [name.lower() for name in argv] or available_experiments()
+    unknown = [name for name in requested if name not in available_experiments()]
+    if unknown:
+        print(f"unknown experiments: {unknown}")
+        print(f"available: {available_experiments()}")
+        return 1
+
+    # Keep the paper's presentation order when running everything.
+    order = [
+        "table1", "table2", "table3", "table4", "table5",
+        "fig6", "fig7", "fig8", "fig9",
+        "ablation_granularity", "ablation_partitions", "ablation_codes",
+    ]
+    requested.sort(key=lambda name: order.index(name) if name in order else len(order))
+
+    for name in requested:
+        started = time.perf_counter()
+        result = run_experiment(name)
+        elapsed = time.perf_counter() - started
+        print("=" * 78)
+        print(f"Experiment {name}  (regenerated in {elapsed:.2f} s)")
+        print("=" * 78)
+        print(result["rendered"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the available experiments (paper tables/figures + ablations).
+``run EXPERIMENT [EXPERIMENT ...]``
+    Regenerate and print one or more experiments.
+``workloads``
+    Show the registered benchmarks and their per-row statistics.
+``technologies``
+    Print the Table III technology parameter sets.
+``sep``
+    Run the exhaustive single-fault SEP analysis of Fig. 6 and print the
+    per-category outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval.experiments import available_experiments, run_experiment
+from repro.eval.report import format_table
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in available_experiments():
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    unknown = [name for name in args.experiments if name.lower() not in available_experiments()]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        print(f"available: {available_experiments()}", file=sys.stderr)
+        return 1
+    for name in args.experiments:
+        result = run_experiment(name)
+        print(result["rendered"])
+        print()
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.workloads import PAPER_BENCHMARKS, get_workload
+
+    rows = []
+    for name in PAPER_BENCHMARKS:
+        spec = get_workload(name)
+        rows.append(
+            [
+                spec.name,
+                spec.family,
+                spec.total_gates,
+                spec.n_levels,
+                round(spec.average_level_width, 1),
+                spec.row_footprint.rows_used,
+                spec.operand_bits,
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "family", "gates/row", "logic levels", "avg level width", "rows used", "operand bits"],
+            rows,
+            title="Registered paper benchmarks",
+        )
+    )
+    return 0
+
+
+def _cmd_technologies(_args: argparse.Namespace) -> int:
+    result = run_experiment("table3")
+    print(result["rendered"])
+    return 0
+
+
+def _cmd_sep(_args: argparse.Namespace) -> int:
+    result = run_experiment("fig6")
+    print(result["rendered"])
+    print()
+    verdict = "holds" if result["ecim_sep"] and result["trim_sep"] else "VIOLATED"
+    print(f"Single error protection: {verdict} "
+          f"(ECiM {result['ecim_protected']}/{result['ecim_sites']} sites, "
+          f"TRiM {result['trim_protected']}/{result['trim_sites']} sites).")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'On Error Correction for Nonvolatile Processing-In-Memory' (ISCA 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="regenerate one or more experiments")
+    run_parser.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
+    run_parser.set_defaults(func=_cmd_run)
+
+    subparsers.add_parser("workloads", help="show the registered benchmarks").set_defaults(
+        func=_cmd_workloads
+    )
+    subparsers.add_parser("technologies", help="print the Table III parameters").set_defaults(
+        func=_cmd_technologies
+    )
+    subparsers.add_parser("sep", help="run the Fig. 6 SEP analysis").set_defaults(func=_cmd_sep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 0
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

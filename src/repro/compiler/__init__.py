@@ -1,0 +1,28 @@
+"""PiM compiler: netlists, NOR-based synthesis, scratch allocation, scheduling
+and binary instruction translation (the three-step flow of Section II-B)."""
+
+from repro.compiler.allocator import AllocationResult, GreedyAllocator, reclaim_count_for_demand
+from repro.compiler.frontend import Expression, PimProgram
+from repro.compiler.isa import InstructionEncoder, PimInstruction
+from repro.compiler.netlist import GateNode, LevelStats, Netlist, NetlistStats
+from repro.compiler.scheduler import RowSchedule, RowScheduler, ScheduledStep
+from repro.compiler.synthesis import CircuitBuilder, Word
+
+__all__ = [
+    "PimProgram",
+    "Expression",
+    "Netlist",
+    "GateNode",
+    "NetlistStats",
+    "LevelStats",
+    "CircuitBuilder",
+    "Word",
+    "GreedyAllocator",
+    "AllocationResult",
+    "reclaim_count_for_demand",
+    "RowScheduler",
+    "RowSchedule",
+    "ScheduledStep",
+    "InstructionEncoder",
+    "PimInstruction",
+]

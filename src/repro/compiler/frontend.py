@@ -1,0 +1,275 @@
+"""Expression-level compiler frontend (the flow's "intermediate code generation").
+
+Step 1 of the paper's compiler flow (Section II-B) identifies multi-bit PiM
+operations and their data layout before gate-level synthesis.  This module
+provides that front end: a tiny fixed-point expression IR that is lowered
+onto :class:`~repro.compiler.synthesis.CircuitBuilder`, so users can write
+
+.. code-block:: python
+
+    program = PimProgram()
+    a = program.input("a", bits=8)
+    b = program.input("b", bits=8)
+    c = program.input("c", bits=8)
+    program.output("y", (a * b + c) >> 1)
+    netlist = program.compile()
+
+and obtain a levelised NOR/THR netlist ready for the allocator, the
+scheduler, the instruction encoder and the protected executors — the same
+path the paper describes for mapping arbitrary software through transpilers
+onto PiM gate schedules.
+
+Supported operators: ``+``, ``-``, ``*`` (unsigned, wrap-around at the
+declared result width), constant multiply, logical ``&``, ``|``, ``^``,
+``~``, constant shifts, and comparisons (``==``, ``>=``) producing 1-bit
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.netlist import Netlist
+from repro.compiler.synthesis import CircuitBuilder, Word
+from repro.errors import SynthesisError
+
+__all__ = ["Expression", "PimProgram"]
+
+
+@dataclass(frozen=True)
+class Expression:
+    """A node of the fixed-point expression IR.
+
+    Expressions are immutable and build a DAG via operator overloading; the
+    owning :class:`PimProgram` lowers the DAG once, caching shared
+    sub-expressions so common sub-terms are synthesised a single time.
+    """
+
+    program: "PimProgram"
+    op: str
+    bits: int
+    operands: Tuple["Expression", ...] = ()
+    name: Optional[str] = None
+    constant: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Operator overloading
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other: Union["Expression", int]) -> "Expression":
+        if isinstance(other, Expression):
+            if other.program is not self.program:
+                raise SynthesisError("cannot mix expressions from different programs")
+            return other
+        if isinstance(other, int):
+            return self.program.literal(other, bits=max(self.bits, max(1, other.bit_length())))
+        raise SynthesisError(f"cannot use {other!r} in a PiM expression")
+
+    def _binary(self, op: str, other: Union["Expression", int], bits: Optional[int] = None) -> "Expression":
+        rhs = self._coerce(other)
+        width = bits if bits is not None else max(self.bits, rhs.bits)
+        return Expression(self.program, op, width, (self, rhs))
+
+    def __add__(self, other):
+        rhs = self._coerce(other)
+        return self._binary("add", rhs, bits=max(self.bits, rhs.bits) + 1)
+
+    def __sub__(self, other):
+        return self._binary("sub", other)
+
+    def __mul__(self, other):
+        rhs = self._coerce(other)
+        return self._binary("mul", rhs, bits=self.bits + rhs.bits)
+
+    def __and__(self, other):
+        return self._binary("and", other)
+
+    def __or__(self, other):
+        return self._binary("or", other)
+
+    def __xor__(self, other):
+        return self._binary("xor", other)
+
+    def __invert__(self):
+        return Expression(self.program, "not", self.bits, (self,))
+
+    def __lshift__(self, amount: int):
+        if not isinstance(amount, int) or amount < 0:
+            raise SynthesisError("shift amounts must be non-negative integers")
+        return Expression(self.program, "shl", self.bits + amount, (self,), constant=amount)
+
+    def __rshift__(self, amount: int):
+        if not isinstance(amount, int) or amount < 0:
+            raise SynthesisError("shift amounts must be non-negative integers")
+        return Expression(self.program, "shr", max(1, self.bits - amount), (self,), constant=amount)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary("eq", other, bits=1)
+
+    def __ge__(self, other):
+        return self._binary("ge", other, bits=1)
+
+    # Keep Expression hashable despite overriding __eq__ (identity hashing is
+    # exactly what the lowering cache needs).
+    __hash__ = object.__hash__
+
+    def resize(self, bits: int) -> "Expression":
+        """Explicitly truncate or zero-extend to ``bits`` bits."""
+        if bits <= 0:
+            raise SynthesisError("bit width must be positive")
+        return Expression(self.program, "resize", bits, (self,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.op
+        return f"<expr {label}:{self.bits}b>"
+
+
+class PimProgram:
+    """A small fixed-point program lowered to a PiM netlist."""
+
+    def __init__(self, name: str = "program", use_multi_output: bool = True) -> None:
+        self.name = name
+        self.builder = CircuitBuilder(Netlist(name=name), use_multi_output=use_multi_output)
+        self._inputs: List[Tuple[str, Expression]] = []
+        self._outputs: List[Tuple[str, Expression]] = []
+        # Caches are keyed by id(expression): Expression overloads __eq__ to
+        # build comparison nodes, so it must never be used as a mapping key.
+        self._input_words: Dict[int, Word] = {}
+        self._lowered: Dict[int, Word] = {}
+        self._compiled = False
+
+    # ------------------------------------------------------------------ #
+    # Program construction
+    # ------------------------------------------------------------------ #
+    def input(self, name: str, bits: int) -> Expression:
+        if bits <= 0:
+            raise SynthesisError("input width must be positive")
+        if self._compiled:
+            raise SynthesisError("cannot add inputs after compile()")
+        expression = Expression(self, "input", bits, name=name)
+        word = self.builder.input_word(bits, name)
+        self._inputs.append((name, expression))
+        self._input_words[id(expression)] = word
+        return expression
+
+    def literal(self, value: int, bits: Optional[int] = None) -> Expression:
+        if value < 0:
+            raise SynthesisError("literals must be non-negative (unsigned fixed point)")
+        width = bits if bits is not None else max(1, value.bit_length())
+        if value >= (1 << width):
+            raise SynthesisError(f"literal {value} does not fit in {width} bits")
+        return Expression(self, "const", width, constant=value)
+
+    def output(self, name: str, expression: Expression) -> None:
+        if expression.program is not self:
+            raise SynthesisError("expression belongs to a different program")
+        if self._compiled:
+            raise SynthesisError("cannot add outputs after compile()")
+        self._outputs.append((name, expression))
+
+    # ------------------------------------------------------------------ #
+    # Lowering
+    # ------------------------------------------------------------------ #
+    def _lower(self, expression: Expression) -> Word:
+        cached = self._lowered.get(id(expression))
+        if cached is not None:
+            return cached
+        builder = self.builder
+        op = expression.op
+        if op == "input":
+            word = list(self._input_words[id(expression)])
+        elif op == "const":
+            word = builder.constant_word(expression.constant or 0, expression.bits)
+        elif op == "resize":
+            word = builder.fit_width(self._lower(expression.operands[0]), expression.bits)
+        elif op == "shl":
+            source = self._lower(expression.operands[0])
+            word = builder.fit_width(builder.shift_left(source, expression.constant or 0), expression.bits)
+        elif op == "shr":
+            source = self._lower(expression.operands[0])
+            word = builder.fit_width(source[(expression.constant or 0):] or [builder.constant(0)], expression.bits)
+        elif op == "not":
+            word = builder.invert_word(self._lower(expression.operands[0]))
+        elif op in ("and", "or", "xor"):
+            a = builder.fit_width(self._lower(expression.operands[0]), expression.bits)
+            b = builder.fit_width(self._lower(expression.operands[1]), expression.bits)
+            gate = {"and": builder.and_, "or": builder.or_, "xor": builder.xor}[op]
+            word = [gate(x, y) for x, y in zip(a, b)]
+        elif op == "add":
+            a = builder.fit_width(self._lower(expression.operands[0]), expression.bits)
+            b = builder.fit_width(self._lower(expression.operands[1]), expression.bits)
+            word, _ = builder.ripple_adder(a, b)
+        elif op == "sub":
+            a = builder.fit_width(self._lower(expression.operands[0]), expression.bits)
+            b = builder.fit_width(self._lower(expression.operands[1]), expression.bits)
+            word, _ = builder.subtract(a, b)
+        elif op == "mul":
+            a = self._lower(expression.operands[0])
+            b = self._lower(expression.operands[1])
+            word = builder.fit_width(builder.multiply_wallace(a, b), expression.bits)
+        elif op == "eq":
+            a = self._lower(expression.operands[0])
+            b = self._lower(expression.operands[1])
+            width = max(len(a), len(b))
+            word = [builder.equals(builder.fit_width(a, width), builder.fit_width(b, width))]
+        elif op == "ge":
+            a = self._lower(expression.operands[0])
+            b = self._lower(expression.operands[1])
+            width = max(len(a), len(b))
+            word = [
+                builder.greater_equal_unsigned(
+                    builder.fit_width(a, width), builder.fit_width(b, width)
+                )
+            ]
+        else:  # pragma: no cover - every op is handled above
+            raise SynthesisError(f"unknown expression op {op!r}")
+        word = builder.fit_width(word, expression.bits)
+        self._lowered[id(expression)] = word
+        return word
+
+    def compile(self) -> Netlist:
+        """Lower every output expression and return the finished netlist."""
+        if not self._outputs:
+            raise SynthesisError("a program needs at least one output")
+        if self._compiled:
+            return self.builder.netlist
+        for name, expression in self._outputs:
+            self.builder.mark_output_word(self._lower(expression), name)
+        self._compiled = True
+        self.builder.netlist.validate()
+        return self.builder.netlist
+
+    # ------------------------------------------------------------------ #
+    # Convenience for simulation
+    # ------------------------------------------------------------------ #
+    def input_assignment(self, values: Dict[str, int]) -> Dict[int, int]:
+        """Map named integer inputs onto netlist input-signal bit assignments."""
+        assignment: Dict[int, int] = {}
+        for name, expression in self._inputs:
+            if name not in values:
+                raise SynthesisError(f"missing value for input {name!r}")
+            value = int(values[name])
+            if value < 0 or value >= (1 << expression.bits):
+                raise SynthesisError(f"value {value} does not fit input {name!r} ({expression.bits} bits)")
+            for index, signal in enumerate(self._input_words[id(expression)]):
+                assignment[signal] = (value >> index) & 1
+        return assignment
+
+    def decode_outputs(self, outputs: Dict[int, int]) -> Dict[str, int]:
+        """Reassemble named integer outputs from a netlist/executor result."""
+        if not self._compiled:
+            raise SynthesisError("compile() the program before decoding outputs")
+        decoded: Dict[str, int] = {}
+        for name, expression in self._outputs:
+            word = self._lowered[id(expression)]
+            value = 0
+            for index, signal in enumerate(word):
+                if signal == Netlist.CONST_ZERO:
+                    bit = 0
+                elif signal == Netlist.CONST_ONE:
+                    bit = 1
+                else:
+                    bit = outputs[signal]
+                value |= bit << index
+            decoded[name] = value
+        return decoded

@@ -1,0 +1,184 @@
+"""Binary instruction translation (compiler flow step 3).
+
+The last compilation step maps gate-level opcodes to the binary signals that
+drive the array: which bit-select lines / word lines are asserted, and which
+gate-specific bias voltage is applied (Section II-B).  This library keeps the
+translation at a symbolic-but-complete level: every instruction carries the
+operand columns, the gate opcode, the selected bias voltage (from the
+electrical model) and the partition mask, which is all a memory-controller
+model needs.
+
+The encoder also exposes :meth:`InstructionEncoder.encode_word`, a packed
+integer encoding, so tests can check that the translation is invertible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.netlist import Netlist
+from repro.compiler.scheduler import RowSchedule
+from repro.errors import CompilerError
+from repro.pim.electrical import (
+    OutputTopology,
+    mram_bias_window,
+    mram_thr_window,
+    reram_nor_window,
+    reram_thr_window,
+)
+from repro.pim.gates import GateType
+from repro.pim.technology import TechnologyParameters
+
+__all__ = ["PimInstruction", "InstructionEncoder"]
+
+#: Opcode numbering for the packed encoding.
+_OPCODES: Dict[str, int] = {
+    GateType.NOR: 0x1,
+    GateType.NOT: 0x2,
+    GateType.COPY: 0x3,
+    GateType.THR: 0x4,
+    GateType.NAND: 0x5,
+    GateType.MAJ: 0x6,
+    "read": 0x8,
+    "write": 0x9,
+    "preset": 0xA,
+}
+_OPCODE_NAMES = {v: k for k, v in _OPCODES.items()}
+
+
+@dataclass(frozen=True)
+class PimInstruction:
+    """One controller-level instruction driving the array."""
+
+    opcode: str
+    step: int
+    logic_level: int
+    input_columns: Tuple[int, ...]
+    output_columns: Tuple[int, ...]
+    bias_voltage: float
+    partition_mask: int
+
+    @property
+    def is_gate(self) -> bool:
+        return self.opcode in (
+            GateType.NOR,
+            GateType.NOT,
+            GateType.COPY,
+            GateType.THR,
+            GateType.NAND,
+            GateType.MAJ,
+        )
+
+
+class InstructionEncoder:
+    """Translates a scheduled netlist into controller instructions."""
+
+    def __init__(self, technology: TechnologyParameters, column_bits: int = 8) -> None:
+        if column_bits <= 0 or column_bits > 16:
+            raise CompilerError("column_bits must be in 1..16")
+        self.technology = technology
+        self.column_bits = column_bits
+        self._bias_cache: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Bias selection
+    # ------------------------------------------------------------------ #
+    def bias_for(self, gate: str, n_outputs: int = 1) -> float:
+        """Centre of the feasible bias window for the gate on this technology."""
+        key = f"{gate}:{n_outputs}"
+        if key in self._bias_cache:
+            return self._bias_cache[key]
+        if gate == GateType.THR:
+            window = (
+                mram_thr_window(self.technology)
+                if self.technology.is_mram
+                else reram_thr_window(self.technology)
+            )
+        else:
+            window = (
+                mram_bias_window(self.technology, n_outputs=n_outputs, topology=OutputTopology.PARALLEL)
+                if self.technology.is_mram
+                else reram_nor_window(self.technology, n_outputs=n_outputs)
+            )
+        self._bias_cache[key] = window.center
+        return window.center
+
+    # ------------------------------------------------------------------ #
+    # Translation
+    # ------------------------------------------------------------------ #
+    def encode_schedule(
+        self,
+        netlist: Netlist,
+        schedule: RowSchedule,
+        column_of_signal: Dict[int, int],
+    ) -> List[PimInstruction]:
+        """Translate each scheduled gate into a :class:`PimInstruction`.
+
+        ``column_of_signal`` comes from the allocator (signal → column); the
+        constants CONST_ZERO / CONST_ONE must be mapped as well if used.
+        """
+        gate_by_index = {g.index: g for g in netlist.gates}
+        instructions: List[PimInstruction] = []
+        for step in schedule.steps:
+            for partition_slot, gate_index in enumerate(step.gate_indices):
+                node = gate_by_index[gate_index]
+                try:
+                    inputs = tuple(column_of_signal[s] for s in node.inputs)
+                    outputs = (column_of_signal[node.output],)
+                except KeyError as exc:
+                    raise CompilerError(f"signal {exc.args[0]} has no column assignment") from None
+                instructions.append(
+                    PimInstruction(
+                        opcode=node.gate,
+                        step=step.index,
+                        logic_level=step.logic_level,
+                        input_columns=inputs,
+                        output_columns=outputs,
+                        bias_voltage=self.bias_for(node.gate, node.n_outputs),
+                        partition_mask=1 << (partition_slot % schedule.n_partitions),
+                    )
+                )
+        return instructions
+
+    # ------------------------------------------------------------------ #
+    # Packed binary form
+    # ------------------------------------------------------------------ #
+    def encode_word(self, instruction: PimInstruction) -> int:
+        """Pack an instruction into an integer (opcode | columns | partition).
+
+        Layout, from least significant: 4-bit opcode, then each input column
+        and each output column in ``column_bits``-bit fields (up to 4 inputs
+        and 1 output), then an 8-bit partition mask.  Raises when a column
+        does not fit the configured field width.
+        """
+        if len(instruction.input_columns) > 4 or len(instruction.output_columns) > 1:
+            raise CompilerError("packed encoding supports up to 4 inputs and 1 output")
+        word = _OPCODES[instruction.opcode]
+        shift = 4
+        columns = list(instruction.input_columns) + [0] * (4 - len(instruction.input_columns))
+        columns += list(instruction.output_columns) or [0]
+        for column in columns:
+            if column >= (1 << self.column_bits):
+                raise CompilerError(
+                    f"column {column} does not fit in {self.column_bits} bits"
+                )
+            word |= column << shift
+            shift += self.column_bits
+        word |= (instruction.partition_mask & 0xFF) << shift
+        return word
+
+    def decode_word(self, word: int, n_inputs: int) -> Tuple[str, Tuple[int, ...], int, int]:
+        """Inverse of :meth:`encode_word` (opcode, input columns, output column, mask)."""
+        opcode = _OPCODE_NAMES.get(word & 0xF)
+        if opcode is None:
+            raise CompilerError(f"unknown opcode in word 0x{word:x}")
+        shift = 4
+        columns = []
+        for _ in range(4):
+            columns.append((word >> shift) & ((1 << self.column_bits) - 1))
+            shift += self.column_bits
+        output = (word >> shift) & ((1 << self.column_bits) - 1)
+        shift += self.column_bits
+        mask = (word >> shift) & 0xFF
+        return opcode, tuple(columns[:n_inputs]), output, mask

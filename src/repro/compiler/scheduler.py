@@ -1,0 +1,113 @@
+"""Gate scheduling onto PiM rows and partitions.
+
+The substrate offers three levels of parallelism (Section II-A):
+
+1. *partition-level* — each row can be split into several switch-separated
+   partitions, each of which can execute one gate per step;
+2. *row-level* — every row executes the same gate schedule on different data;
+3. *array-level* — arrays operate independently.
+
+The scheduler takes a levelised netlist and produces, for one row, the
+sequence of *steps*: each step contains at most ``n_partitions`` gates, all
+from the same logic level (gates in a level are data-independent by
+construction, so packing them into concurrent partitions is always legal).
+Row- and array-level parallelism are handled by the executor/evaluation
+layers, which simply replicate the per-row schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.netlist import GateNode, Netlist
+from repro.errors import SchedulingError
+
+__all__ = ["ScheduledStep", "RowSchedule", "RowScheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduledStep:
+    """One array step: the gates fired concurrently in different partitions."""
+
+    index: int
+    logic_level: int
+    gate_indices: Tuple[int, ...]
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_indices)
+
+
+@dataclass(frozen=True)
+class RowSchedule:
+    """The per-row gate schedule for one netlist."""
+
+    netlist_name: str
+    n_partitions: int
+    steps: Tuple[ScheduledStep, ...]
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def n_gates(self) -> int:
+        return sum(step.n_gates for step in self.steps)
+
+    def steps_in_level(self, logic_level: int) -> List[ScheduledStep]:
+        return [s for s in self.steps if s.logic_level == logic_level]
+
+    def steps_per_level(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for step in self.steps:
+            counts[step.logic_level] = counts.get(step.logic_level, 0) + 1
+        return counts
+
+    def utilization(self) -> float:
+        """Average fraction of partitions busy per step."""
+        if not self.steps:
+            return 0.0
+        return self.n_gates / (self.n_steps * self.n_partitions)
+
+
+class RowScheduler:
+    """Packs each logic level's gates into partition-wide steps."""
+
+    def __init__(self, n_partitions: int = 1) -> None:
+        if n_partitions < 1:
+            raise SchedulingError("need at least one partition")
+        self.n_partitions = n_partitions
+
+    def schedule(self, netlist: Netlist) -> RowSchedule:
+        """Produce the per-row schedule.
+
+        Gates within a level are packed greedily, ``n_partitions`` at a time,
+        preserving netlist order (which keeps multi-output gates adjacent to
+        the THR gates that consume them, matching the Fig. 5 pipeline).
+        """
+        levels = netlist.levelize()
+        steps: List[ScheduledStep] = []
+        step_index = 0
+        for level_number, gate_indices in enumerate(levels, start=1):
+            for start in range(0, len(gate_indices), self.n_partitions):
+                chunk = tuple(gate_indices[start : start + self.n_partitions])
+                steps.append(
+                    ScheduledStep(
+                        index=step_index,
+                        logic_level=level_number,
+                        gate_indices=chunk,
+                    )
+                )
+                step_index += 1
+        return RowSchedule(
+            netlist_name=netlist.name,
+            n_partitions=self.n_partitions,
+            steps=tuple(steps),
+        )
+
+    def serial_steps_for_level(self, n_gates_in_level: int) -> int:
+        """Number of array steps a level of ``n_gates_in_level`` gates takes."""
+        if n_gates_in_level < 0:
+            raise SchedulingError("gate count must be non-negative")
+        return -(-n_gates_in_level // self.n_partitions)

@@ -1,0 +1,395 @@
+"""NOR-based Boolean synthesis for the PiM gate library.
+
+This module is the "gate-level opcode generation" step of the compiler flow
+(Section II-B, step 2): it lowers multi-bit arithmetic into the native PiM
+gate set — NOR (single- and multi-output), NOT and the thresholding gate THR.
+
+:class:`CircuitBuilder` wraps a :class:`~repro.compiler.netlist.Netlist` and
+provides:
+
+* logic primitives (NOT, OR, AND, XOR/XNOR, MUX) expressed with NOR/THR,
+  including the paper's 2-step XOR (``NOR22`` + ``THR``);
+* word-level helpers (constants, sign extension, shifts);
+* arithmetic blocks: half/full adders, ripple-carry adders and subtractors,
+  incrementers, two's-complement negation, unsigned and signed (sign/magnitude
+  handled by the caller) shift-add multipliers, and multiply-accumulate;
+* comparators and zero detection.
+
+Every block keeps the netlist purely combinational, which matches the PiM
+execution model: a fixed schedule of bulk bitwise gate operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.compiler.netlist import Netlist
+from repro.errors import SynthesisError
+from repro.pim.gates import GateType
+
+__all__ = ["CircuitBuilder", "Word"]
+
+#: A multi-bit value is a list of signal ids, least-significant bit first.
+Word = List[int]
+
+
+class CircuitBuilder:
+    """Helper that synthesises arithmetic onto a NOR/THR netlist."""
+
+    def __init__(self, netlist: Optional[Netlist] = None, use_multi_output: bool = True) -> None:
+        self.netlist = netlist if netlist is not None else Netlist()
+        #: When True, the XOR decomposition uses a 2-output NOR (``NOR22``) so
+        #: the copy needed by THR comes for free (the paper's 2-step XOR);
+        #: when False, an explicit COPY gate is emitted (3-step XOR).
+        self.use_multi_output = use_multi_output
+
+    # ------------------------------------------------------------------ #
+    # Inputs / outputs / constants
+    # ------------------------------------------------------------------ #
+    def input_bit(self, name: Optional[str] = None) -> int:
+        return self.netlist.add_input(name)
+
+    def input_word(self, width: int, name: str = "w") -> Word:
+        if width <= 0:
+            raise SynthesisError("word width must be positive")
+        return [self.netlist.add_input(f"{name}[{i}]") for i in range(width)]
+
+    def constant(self, bit: int) -> int:
+        if bit not in (0, 1):
+            raise SynthesisError("constant must be a bit")
+        return Netlist.CONST_ONE if bit else Netlist.CONST_ZERO
+
+    def constant_word(self, value: int, width: int) -> Word:
+        if value < 0 or value >= (1 << width):
+            raise SynthesisError(f"constant {value} does not fit in {width} bits")
+        return [self.constant((value >> i) & 1) for i in range(width)]
+
+    def mark_output_bit(self, signal: int, name: Optional[str] = None) -> None:
+        self.netlist.mark_output(signal, name)
+
+    def mark_output_word(self, word: Word, name: str = "out") -> None:
+        for index, signal in enumerate(word):
+            self.netlist.mark_output(signal, f"{name}[{index}]")
+
+    # ------------------------------------------------------------------ #
+    # Logic primitives
+    # ------------------------------------------------------------------ #
+    def nor(self, *signals: int) -> int:
+        if not signals:
+            raise SynthesisError("NOR needs at least one input")
+        return self.netlist.add_gate(GateType.NOR, signals)
+
+    def not_(self, signal: int) -> int:
+        return self.netlist.add_gate(GateType.NOT, [signal])
+
+    def or_(self, *signals: int) -> int:
+        """OR = NOT(NOR)."""
+        return self.not_(self.nor(*signals))
+
+    def and_(self, *signals: int) -> int:
+        """AND = NOR of the complemented inputs."""
+        inverted = [self.not_(s) for s in signals]
+        return self.nor(*inverted)
+
+    def nand(self, *signals: int) -> int:
+        return self.not_(self.and_(*signals))
+
+    def xor(self, a: int, b: int) -> int:
+        """The paper's in-array XOR.
+
+        2-step form (multi-output gates available): ``s1 = NOR22(a, b)``
+        produces the NOR result and its copy simultaneously, then
+        ``out = THR(a, b, s1, s1)`` with threshold 3.  3-step form: an
+        explicit COPY gate supplies the second THR operand (Table I).
+        """
+        if self.use_multi_output:
+            s1 = self.netlist.add_gate(GateType.NOR, [a, b], n_outputs=2)
+            s2 = s1
+        else:
+            s1 = self.netlist.add_gate(GateType.NOR, [a, b])
+            s2 = self.netlist.add_gate(GateType.COPY, [s1])
+        return self.netlist.add_gate(GateType.THR, [a, b, s1, s2], threshold=3)
+
+    def xnor(self, a: int, b: int) -> int:
+        return self.not_(self.xor(a, b))
+
+    def mux(self, select: int, when_zero: int, when_one: int) -> int:
+        """2:1 multiplexer: ``select ? when_one : when_zero``."""
+        pick_one = self.and_(select, when_one)
+        pick_zero = self.and_(self.not_(select), when_zero)
+        return self.or_(pick_one, pick_zero)
+
+    def majority3(self, a: int, b: int, c: int) -> int:
+        """Majority of three bits using the thresholding gate.
+
+        ``THR(a, b, c)`` with threshold 2 fires when at least two inputs are
+        0, i.e. when the majority is 0; its complement is the majority-of-ones
+        — exactly the carry function of a full adder.
+        """
+        minority = self.netlist.add_gate(GateType.THR, [a, b, c], threshold=2)
+        return self.not_(minority)
+
+    # ------------------------------------------------------------------ #
+    # Word-level helpers
+    # ------------------------------------------------------------------ #
+    def invert_word(self, word: Word) -> Word:
+        return [self.not_(bit) for bit in word]
+
+    def zero_extend(self, word: Word, width: int) -> Word:
+        if width < len(word):
+            raise SynthesisError("cannot zero-extend to a smaller width")
+        return list(word) + [self.constant(0)] * (width - len(word))
+
+    def sign_extend(self, word: Word, width: int) -> Word:
+        if width < len(word):
+            raise SynthesisError("cannot sign-extend to a smaller width")
+        return list(word) + [word[-1]] * (width - len(word))
+
+    def shift_left(self, word: Word, amount: int) -> Word:
+        """Logical left shift by a constant amount (width grows)."""
+        if amount < 0:
+            raise SynthesisError("shift amount must be non-negative")
+        return [self.constant(0)] * amount + list(word)
+
+    def fit_width(self, word: Word, width: int) -> Word:
+        """Zero-extend or truncate a word to exactly ``width`` bits."""
+        if width <= 0:
+            raise SynthesisError("width must be positive")
+        if len(word) >= width:
+            return list(word[:width])
+        return self.zero_extend(list(word), width)
+
+    # ------------------------------------------------------------------ #
+    # Adders / subtractors
+    # ------------------------------------------------------------------ #
+    def half_adder(self, a: int, b: int) -> Tuple[int, int]:
+        """Returns (sum, carry)."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a: int, b: int, carry_in: int) -> Tuple[int, int]:
+        """Returns (sum, carry_out); carry uses the THR-based majority."""
+        partial = self.xor(a, b)
+        total = self.xor(partial, carry_in)
+        carry_out = self.majority3(a, b, carry_in)
+        return total, carry_out
+
+    def ripple_adder(
+        self, a: Word, b: Word, carry_in: Optional[int] = None
+    ) -> Tuple[Word, int]:
+        """Ripple-carry addition of two equal-width words.
+
+        Returns ``(sum_word, carry_out)``.
+        """
+        if len(a) != len(b):
+            raise SynthesisError("ripple_adder operands must have equal widths")
+        if not a:
+            raise SynthesisError("ripple_adder operands must be non-empty")
+        carry = carry_in if carry_in is not None else self.constant(0)
+        total: Word = []
+        for bit_a, bit_b in zip(a, b):
+            s, carry = self.full_adder(bit_a, bit_b, carry)
+            total.append(s)
+        return total, carry
+
+    def add(self, a: Word, b: Word, width: Optional[int] = None) -> Word:
+        """Addition with the result truncated/extended to ``width`` bits."""
+        width = width if width is not None else max(len(a), len(b)) + 1
+        a_ext = self.zero_extend(a, width)
+        b_ext = self.zero_extend(b, width)
+        total, _ = self.ripple_adder(a_ext, b_ext)
+        return total
+
+    def increment(self, word: Word) -> Word:
+        """word + 1 (same width, wrap-around)."""
+        one = self.constant_word(1, len(word))
+        total, _ = self.ripple_adder(list(word), one)
+        return total
+
+    def negate(self, word: Word) -> Word:
+        """Two's-complement negation (same width)."""
+        return self.increment(self.invert_word(word))
+
+    def subtract(self, a: Word, b: Word) -> Tuple[Word, int]:
+        """a − b via a + NOT(b) + 1; returns (difference, borrow-free flag).
+
+        The returned flag is the final carry: 1 when a ≥ b (no borrow).
+        """
+        if len(a) != len(b):
+            raise SynthesisError("subtract operands must have equal widths")
+        total, carry = self.ripple_adder(list(a), self.invert_word(b), carry_in=self.constant(1))
+        return total, carry
+
+    # ------------------------------------------------------------------ #
+    # Carry-save arithmetic (wide, shallow logic levels)
+    # ------------------------------------------------------------------ #
+    def carry_save_add3(self, a: Word, b: Word, c: Word) -> Tuple[Word, Word]:
+        """3:2 carry-save compression: (a, b, c) → (sum, carry), no propagation.
+
+        Every bit position gets an independent full-adder cell, so the whole
+        compression is a handful of *wide* logic levels — exactly the circuit
+        shape the paper's logic-level-granularity checking favours (many
+        independent gates per level).  The carry word is returned already
+        shifted left by one position (LSB = constant 0).
+        """
+        width = max(len(a), len(b), len(c))
+        a_ext = self.zero_extend(list(a), width)
+        b_ext = self.zero_extend(list(b), width)
+        c_ext = self.zero_extend(list(c), width)
+        sums: Word = []
+        carries: Word = [self.constant(0)]
+        for bit_a, bit_b, bit_c in zip(a_ext, b_ext, c_ext):
+            partial = self.xor(bit_a, bit_b)
+            sums.append(self.xor(partial, bit_c))
+            carries.append(self.majority3(bit_a, bit_b, bit_c))
+        return sums, carries[: width + 1]
+
+    def carry_save_reduce(self, words: Sequence[Word], width: Optional[int] = None) -> Tuple[Word, Word]:
+        """Reduce any number of addends to two words via a 3:2 compressor tree.
+
+        Returns ``(sum, carry)`` such that the true total equals
+        ``sum + carry`` (mod 2^width).  The tree has O(log3/2 n) compressor
+        stages, each a wide level of independent full-adder cells.
+        """
+        if not words:
+            raise SynthesisError("carry_save_reduce needs at least one addend")
+        if width is None:
+            width = max(len(w) for w in words) + max(1, len(words).bit_length())
+        pending: List[Word] = [self.fit_width(list(w), width) for w in words]
+        while len(pending) > 2:
+            next_round: List[Word] = []
+            index = 0
+            while len(pending) - index >= 3:
+                a, b, c = pending[index], pending[index + 1], pending[index + 2]
+                s, cy = self.carry_save_add3(a, b, c)
+                next_round.append(self.fit_width(s, width))
+                next_round.append(self.fit_width(cy, width))
+                index += 3
+            next_round.extend(pending[index:])
+            pending = next_round
+        if len(pending) == 1:
+            pending.append(self.constant_word(0, width))
+        return pending[0], pending[1]
+
+    def finalize_carry_save(self, total: Word, carry: Word, width: Optional[int] = None) -> Word:
+        """Collapse a carry-save pair into a plain binary word (one CPA)."""
+        width = width if width is not None else max(len(total), len(carry))
+        a = self.fit_width(list(total), width)
+        b = self.fit_width(list(carry), width)
+        result, _ = self.ripple_adder(a, b)
+        return result
+
+    def partial_products(self, a: Word, b: Word) -> List[Word]:
+        """The shifted AND partial products of an unsigned multiplication.
+
+        The operand complements are shared across partial products, so the
+        whole generation is two wide levels (NOTs then NORs).
+        """
+        not_a = [self.not_(bit) for bit in a]
+        not_b = [self.not_(bit) for bit in b]
+        products: List[Word] = []
+        for shift, nb in enumerate(not_b):
+            row = [self.nor(na, nb) for na in not_a]  # AND(a_i, b_shift)
+            products.append(self.shift_left(row, shift))
+        return products
+
+    def multiply_carry_save(self, a: Word, b: Word, width: Optional[int] = None) -> Tuple[Word, Word]:
+        """Wallace-style multiplier: partial products + 3:2 reduction tree.
+
+        Returns the product in carry-save form; call
+        :meth:`finalize_carry_save` when a plain binary result is needed.
+        """
+        if not a or not b:
+            raise SynthesisError("multiplier operands must be non-empty")
+        width = width if width is not None else len(a) + len(b)
+        return self.carry_save_reduce(self.partial_products(a, b), width)
+
+    def multiply_wallace(self, a: Word, b: Word) -> Word:
+        """Wallace multiplier with a final carry-propagate stage."""
+        width = len(a) + len(b)
+        total, carry = self.multiply_carry_save(a, b, width)
+        return self.finalize_carry_save(total, carry, width)
+
+    def mac_carry_save(
+        self,
+        acc_sum: Word,
+        acc_carry: Word,
+        a: Word,
+        b: Word,
+        width: Optional[int] = None,
+    ) -> Tuple[Word, Word]:
+        """Multiply-accumulate with the accumulator kept in carry-save form.
+
+        ``(acc_sum, acc_carry) += a · b`` — the product's partial products
+        are folded into the running carry-save accumulator by the same 3:2
+        tree, so no carry-propagate adder appears inside the MAC at all; the
+        dot-product caller performs a single finalisation at the very end.
+        """
+        width = width if width is not None else len(acc_sum)
+        addends = [list(acc_sum), list(acc_carry)] + self.partial_products(a, b)
+        return self.carry_save_reduce(addends, width)
+
+    # ------------------------------------------------------------------ #
+    # Multipliers / MAC
+    # ------------------------------------------------------------------ #
+    def multiply_unsigned(self, a: Word, b: Word) -> Word:
+        """Shift-add unsigned multiplier; result width = len(a) + len(b)."""
+        if not a or not b:
+            raise SynthesisError("multiplier operands must be non-empty")
+        width = len(a) + len(b)
+        accumulator = self.constant_word(0, width)
+        for shift, b_bit in enumerate(b):
+            partial = [self.and_(a_bit, b_bit) for a_bit in a]
+            partial_word = self.zero_extend(self.shift_left(partial, shift), width)
+            accumulator, _ = self.ripple_adder(accumulator, partial_word)
+        return accumulator
+
+    def multiply_by_constant(self, a: Word, constant: int, width: Optional[int] = None) -> Word:
+        """Multiply by a non-negative constant using shift-adds only."""
+        if constant < 0:
+            raise SynthesisError("constant must be non-negative")
+        width = width if width is not None else len(a) + max(constant.bit_length(), 1)
+        accumulator = self.constant_word(0, width)
+        shift = 0
+        value = constant
+        while value:
+            if value & 1:
+                shifted = self.zero_extend(self.shift_left(list(a), shift), width)
+                accumulator, _ = self.ripple_adder(accumulator, shifted)
+            value >>= 1
+            shift += 1
+        return accumulator
+
+    def mac(self, accumulator: Word, a: Word, b: Word) -> Word:
+        """Multiply-accumulate: accumulator + a·b, truncated to accumulator width."""
+        product = self.multiply_unsigned(a, b)
+        width = len(accumulator)
+        product_fit = (
+            product[:width] if len(product) >= width else self.zero_extend(product, width)
+        )
+        total, _ = self.ripple_adder(list(accumulator), product_fit)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Comparators / reductions
+    # ------------------------------------------------------------------ #
+    def is_zero(self, word: Word) -> int:
+        """1 iff every bit of the word is 0 (a wide NOR)."""
+        return self.nor(*word)
+
+    def equals(self, a: Word, b: Word) -> int:
+        """1 iff the two words are bitwise equal."""
+        if len(a) != len(b):
+            raise SynthesisError("equals operands must have equal widths")
+        differences = [self.xor(x, y) for x, y in zip(a, b)]
+        return self.nor(*differences)
+
+    def greater_equal_unsigned(self, a: Word, b: Word) -> int:
+        """1 iff a ≥ b (unsigned), via the subtractor's carry."""
+        _, carry = self.subtract(list(a), list(b))
+        return carry
+
+    def reduce_or(self, word: Word) -> int:
+        return self.or_(*word)
+
+    def reduce_and(self, word: Word) -> int:
+        return self.and_(*word)

@@ -1,0 +1,151 @@
+"""Iso-area accounting: array budget, metadata footprint and area reclaims.
+
+The evaluation (Section VI) constrains ECiM and TRiM to the *same area
+budget* as the unprotected baseline: no extra arrays, no wider rows.  The
+metadata (parity columns for ECiM, redundant-copy columns for TRiM) therefore
+eats into the scratch space available to the main computation, and the
+greedy allocator has to *reclaim* scratch more often — Table IV counts those
+reclaims; Fig. 7 / Table V absorb their time and energy cost.
+
+This module turns a workload's per-row resource demand into reclaim counts:
+
+* :class:`ArrayBudget` — the fleet budget (≤ 16 arrays of 256 × 256).
+* :class:`RowFootprint` — what one row of the workload needs: resident data
+  columns, total scratch-cell claims over the program, and how many rows the
+  workload occupies fleet-wide.
+* :func:`scratch_capacity` — columns left for computation scratch once the
+  resident data and the scheme's metadata fraction are carved out.
+* :func:`area_reclaims` — reclaim count via the greedy-allocator model of
+  :func:`repro.compiler.allocator.reclaim_count_for_demand`.
+* :func:`reclaim_cost_bits` — cells rewritten per reclaim (feeds the
+  energy / time models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler.allocator import reclaim_count_for_demand
+from repro.core.protection import ProtectionScheme
+from repro.errors import AllocationError, ProtectionError
+
+__all__ = ["ArrayBudget", "RowFootprint", "scratch_capacity", "area_reclaims", "reclaim_cost_bits"]
+
+
+@dataclass(frozen=True)
+class ArrayBudget:
+    """The fleet-wide area budget of the evaluation (Section V)."""
+
+    n_arrays: int = 16
+    rows: int = 256
+    cols: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_arrays < 1 or self.rows < 1 or self.cols < 1:
+            raise ProtectionError("array budget dimensions must be positive")
+
+    @property
+    def total_cells(self) -> int:
+        return self.n_arrays * self.rows * self.cols
+
+    @property
+    def total_rows(self) -> int:
+        return self.n_arrays * self.rows
+
+
+@dataclass(frozen=True)
+class RowFootprint:
+    """Per-row resource demand of a workload mapping.
+
+    Attributes
+    ----------
+    data_columns:
+        Columns permanently occupied by operands / results in each active row.
+    scratch_claims:
+        Total number of scratch cells the row program claims over its whole
+        execution (one claim per intermediate gate output).
+    rows_used:
+        Number of rows the workload occupies across the fleet (bounded by the
+        budget's total rows).
+    """
+
+    data_columns: int
+    scratch_claims: float
+    rows_used: int = 1
+
+    def __post_init__(self) -> None:
+        if self.data_columns < 0 or self.scratch_claims < 0 or self.rows_used < 1:
+            raise ProtectionError("row footprint values must be non-negative (rows >= 1)")
+
+
+def scratch_capacity(
+    budget: ArrayBudget,
+    scheme: ProtectionScheme,
+    footprint: RowFootprint,
+    multi_output: bool = True,
+) -> float:
+    """Scratch columns available per row under the iso-area budget.
+
+    The resident operands come off the top of the row; the remaining columns
+    hold computation scratch (in-flight gate outputs), and every scratch
+    column must be accompanied by ``metadata_column_fraction`` metadata
+    columns (parity columns and staging blocks for ECiM, redundant-copy
+    columns for TRiM — the paper's metadata covers computation *results*, not
+    the resident operands).  Hence::
+
+        scratch = (cols − data_columns) / (1 + fraction)
+    """
+    fraction = scheme.metadata_column_fraction(multi_output)
+    free_columns = budget.cols - footprint.data_columns
+    if free_columns < 1:
+        raise AllocationError(
+            f"{scheme.name}: resident data ({footprint.data_columns} columns) already exceeds "
+            f"the {budget.cols}-column row budget"
+        )
+    usable = free_columns / (1.0 + fraction)
+    if usable < 1.0:
+        raise AllocationError(
+            f"{scheme.name}: metadata fraction {fraction:.2f} leaves no scratch space in a "
+            f"{budget.cols}-column row with {footprint.data_columns} resident data columns"
+        )
+    return usable
+
+
+def area_reclaims(
+    budget: ArrayBudget,
+    scheme: ProtectionScheme,
+    footprint: RowFootprint,
+    multi_output: bool = True,
+    live_fraction: float = 0.5,
+) -> int:
+    """Number of area-reclaim events for one workload under one scheme.
+
+    Rows execute the same program in lockstep (row-level parallelism), so a
+    reclaim of the row program is one fleet-wide event; the count is the
+    per-row greedy-allocator estimate.
+    """
+    capacity = scratch_capacity(budget, scheme, footprint, multi_output)
+    return reclaim_count_for_demand(
+        total_cell_claims=footprint.scratch_claims,
+        scratch_capacity=capacity,
+        live_fraction=live_fraction,
+    )
+
+
+def reclaim_cost_bits(
+    budget: ArrayBudget,
+    scheme: ProtectionScheme,
+    footprint: RowFootprint,
+    multi_output: bool = True,
+    live_fraction: float = 0.5,
+) -> int:
+    """Cells rewritten per reclaim event (per row).
+
+    A reclaim recycles the non-live part of the scratch pool; recycling a
+    resistive cell means re-presetting it (a write), and the live values
+    adjacent to recycled regions are compacted, which the model folds into
+    the same per-cell write charge.
+    """
+    capacity = scratch_capacity(budget, scheme, footprint, multi_output)
+    return int(round(capacity * (1.0 - live_fraction)))

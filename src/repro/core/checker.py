@@ -1,0 +1,233 @@
+"""External Checker blocks for ECiM and TRiM.
+
+The full-system design (Fig. 3) hardens error detection/correction by moving
+it *out* of the PiM arrays into small dedicated hardware blocks next to each
+array:
+
+* the **ECiM checker** receives, at the end of each logic level, the level's
+  gate outputs together with the in-memory-maintained parity bits, multiplies
+  the (hard-wired) parity-check matrix H with the codeword to obtain the
+  syndrome, corrects the indicated bit if any, and writes the corrected level
+  output back;
+* the **TRiM checker** receives the level output plus its two redundant
+  copies, takes the bitwise majority vote, and writes the voted output back
+  when any copy disagreed.
+
+Both classes implement the functional behaviour and an area/energy/latency
+cost model.  The cost model substitutes the paper's NanGate-45nm + OpenROAD
+synthesis with standard-cell first-order constants (documented per field),
+since only the relative magnitude — "relatively light-weight hardware
+blocks" — enters the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ecc.linear import SystematicLinearCode
+from repro.ecc.redundancy import majority_vote_word
+from repro.errors import CheckerError
+from repro.pim.technology import TechnologyParameters
+
+__all__ = [
+    "CheckerCostModel",
+    "CheckResult",
+    "EcimChecker",
+    "TrimChecker",
+    "DEFAULT_CHECKER_COSTS",
+]
+
+
+@dataclass(frozen=True)
+class CheckerCostModel:
+    """First-order standard-cell cost constants for checker hardware.
+
+    The defaults are representative of a 45 nm standard-cell library (NanGate
+    class): a 2-input gate costs ~1 fJ per switching event and ~1 µm²; the
+    evaluation only relies on these being small relative to the in-array
+    costs of Table III-scale operations.
+    """
+
+    energy_per_gate_event_fj: float = 1.0
+    area_per_gate_um2: float = 1.0
+    delay_per_logic_level_ns: float = 0.1
+    write_back_setup_ns: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "energy_per_gate_event_fj",
+            "area_per_gate_um2",
+            "delay_per_logic_level_ns",
+            "write_back_setup_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise CheckerError(f"{name} must be non-negative")
+
+
+DEFAULT_CHECKER_COSTS = CheckerCostModel()
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one logic-level check."""
+
+    corrected_data: Tuple[int, ...]
+    error_detected: bool
+    error_corrected: bool
+    corrected_positions: Tuple[int, ...]
+    uncorrectable: bool = False
+
+
+class EcimChecker:
+    """Syndrome-computing checker for ECiM.
+
+    The checker is built around one systematic linear code (Hamming by
+    default, BCH for the multi-error extension); the parity-check matrix H is
+    conceptually hard-wired, so the hardware is an AND/XOR tree per syndrome
+    bit plus a small decoder and correction XOR.
+    """
+
+    def __init__(
+        self,
+        code: SystematicLinearCode,
+        costs: CheckerCostModel = DEFAULT_CHECKER_COSTS,
+    ) -> None:
+        self.code = code
+        self.costs = costs
+
+    # ------------------------------------------------------------------ #
+    # Functional behaviour
+    # ------------------------------------------------------------------ #
+    def check_level(
+        self, data_bits: Sequence[int], parity_bits: Sequence[int]
+    ) -> CheckResult:
+        """Decode one logic level's codeword and return the corrected data.
+
+        ``data_bits`` may be shorter than the code dimension k; the word is
+        implicitly zero-padded (a shortened-code view), which matches mapping
+        a logic level with fewer outputs than 247 onto Hamming(255,247).
+        """
+        data = [int(b) for b in data_bits]
+        parity = [int(b) for b in parity_bits]
+        if len(data) > self.code.k:
+            raise CheckerError(
+                f"logic level has {len(data)} outputs but the code only protects {self.code.k}"
+            )
+        if len(parity) != self.code.n_parity:
+            raise CheckerError(
+                f"expected {self.code.n_parity} parity bits, got {len(parity)}"
+            )
+        padded = data + [0] * (self.code.k - len(data))
+        word = np.array(padded + parity, dtype=np.uint8)
+        result = self.code.decode(word)
+        corrected = tuple(int(b) for b in result.corrected[: len(data)])
+        corrected_positions = tuple(p for p in result.error_positions if p < len(data))
+        return CheckResult(
+            corrected_data=corrected,
+            error_detected=result.error_detected,
+            error_corrected=result.error_corrected,
+            corrected_positions=corrected_positions,
+            uncorrectable=result.detected_uncorrectable,
+        )
+
+    def reference_parity(self, data_bits: Sequence[int]) -> Tuple[int, ...]:
+        """Parity the in-memory pipeline *should* have produced (oracle)."""
+        data = [int(b) for b in data_bits]
+        padded = data + [0] * (self.code.k - len(data))
+        return tuple(int(b) for b in self.code.parity_bits(padded))
+
+    # ------------------------------------------------------------------ #
+    # Hardware cost model
+    # ------------------------------------------------------------------ #
+    def gate_count(self) -> int:
+        """Two-input-gate-equivalent count of the syndrome + correction logic.
+
+        Each syndrome bit XORs the codeword positions selected by its H row
+        (an XOR tree of ``weight − 1`` gates); the corrector needs one
+        (n−k)-input match per data position (≈ n−k gates each) plus one XOR.
+        """
+        h = self.code.parity_check_matrix
+        syndrome_gates = int(h.sum() - h.shape[0])
+        corrector_gates = self.code.k * (self.code.n_parity + 1)
+        return syndrome_gates + corrector_gates
+
+    def area_um2(self) -> float:
+        return self.gate_count() * self.costs.area_per_gate_um2
+
+    def energy_per_check_fj(self, n_data_bits: Optional[int] = None) -> float:
+        """Energy of one logic-level check.
+
+        Only the syndrome tree switches on every check; the corrector
+        contributes when an error is present, which is rare, so the per-check
+        energy is dominated by the syndrome XOR tree over the bits actually
+        transferred.
+        """
+        bits = self.code.n if n_data_bits is None else min(self.code.n, n_data_bits + self.code.n_parity)
+        average_fanin = self.code.parity_check_matrix.sum() / self.code.n
+        events = bits * average_fanin
+        return float(events) * self.costs.energy_per_gate_event_fj
+
+    def latency_ns(self) -> float:
+        """Check latency: the XOR-tree depth plus write-back setup."""
+        depth = int(np.ceil(np.log2(max(2, self.code.n))))
+        return depth * self.costs.delay_per_logic_level_ns + self.costs.write_back_setup_ns
+
+
+class TrimChecker:
+    """Majority-vote checker for TRiM."""
+
+    def __init__(
+        self,
+        n_copies: int = 3,
+        costs: CheckerCostModel = DEFAULT_CHECKER_COSTS,
+    ) -> None:
+        if n_copies < 3 or n_copies % 2 == 0:
+            raise CheckerError("TRiM voting needs an odd number of copies >= 3")
+        self.n_copies = n_copies
+        self.costs = costs
+
+    # ------------------------------------------------------------------ #
+    # Functional behaviour
+    # ------------------------------------------------------------------ #
+    def check_level(self, copies: Sequence[Sequence[int]]) -> CheckResult:
+        """Vote across the copies of one logic level's outputs."""
+        if len(copies) != self.n_copies:
+            raise CheckerError(f"expected {self.n_copies} copies, got {len(copies)}")
+        widths = {len(c) for c in copies}
+        if len(widths) != 1:
+            raise CheckerError("all copies must have the same width")
+        vote = majority_vote_word([list(c) for c in copies])
+        primary = [int(b) for b in copies[0]]
+        corrected_positions = tuple(
+            i for i, (p, v) in enumerate(zip(primary, vote.value)) if p != v
+        )
+        return CheckResult(
+            corrected_data=vote.value,
+            error_detected=vote.error_detected,
+            error_corrected=bool(corrected_positions) or vote.error_detected,
+            corrected_positions=corrected_positions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hardware cost model
+    # ------------------------------------------------------------------ #
+    def gate_count(self, width: int = 256) -> int:
+        """A 3-input majority is 4 two-input gates; plus a mux per bit."""
+        per_bit = 4 * (self.n_copies // 2) + 3
+        return per_bit * width
+
+    def area_um2(self, width: int = 256) -> float:
+        return self.gate_count(width) * self.costs.area_per_gate_um2
+
+    def energy_per_check_fj(self, n_data_bits: int) -> float:
+        if n_data_bits < 0:
+            raise CheckerError("n_data_bits must be non-negative")
+        per_bit_events = 4 * (self.n_copies // 2) + 1
+        return n_data_bits * per_bit_events * self.costs.energy_per_gate_event_fj
+
+    def latency_ns(self) -> float:
+        depth = 2 + (self.n_copies // 2)
+        return depth * self.costs.delay_per_logic_level_ns + self.costs.write_back_setup_ns

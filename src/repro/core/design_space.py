@@ -1,0 +1,206 @@
+"""SEP design space: the asymptotic comparison of Table II.
+
+Table II compares ECiM and TRiM design points for protecting ``N`` PiM gate
+outputs, as a function of the *update granularity* (when metadata is
+produced) and the *check granularity* (when the Checker is invoked):
+
+======  =================  ================  ====  =====================  ========  =================
+Scheme  Update gran.       Check gran.       SEP   Time                   Energy    Checker metadata
+======  =================  ================  ====  =====================  ========  =================
+TRiM    gate               gate              yes   3N                     3N        2N
+TRiM    gate               logic level       yes   3N, fully maskable     3N        2N
+ECiM    gate               gate              —     reduces to TRiM        —         —
+ECiM    gate               logic level       yes   N(1 + log N)           N(1+logN) N log N
+======  =================  ================  ====  =====================  ========  =================
+
+A check granularity of *circuit* is also possible but cannot guarantee SEP:
+a single early gate error propagates into multiple errors before the check.
+
+:func:`design_space_table` renders the table (symbolically and numerically
+for a chosen N); :func:`sep_guaranteed` encodes the guarantee rule so tests
+and the ablation bench can exercise it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import CoverageError
+
+__all__ = [
+    "Granularity",
+    "DesignPoint",
+    "sep_guaranteed",
+    "trim_costs",
+    "ecim_costs",
+    "design_space_table",
+]
+
+
+class Granularity:
+    """Metadata-update / error-check granularities considered by the paper."""
+
+    GATE = "gate"
+    LOGIC_LEVEL = "logic-level"
+    CIRCUIT = "circuit"
+
+    ALL = (GATE, LOGIC_LEVEL, CIRCUIT)
+
+    #: Ordering from finest to coarsest, used to validate configurations.
+    _ORDER = {GATE: 0, LOGIC_LEVEL: 1, CIRCUIT: 2}
+
+    @classmethod
+    def is_finer_or_equal(cls, a: str, b: str) -> bool:
+        """True when granularity ``a`` is at least as fine as ``b``."""
+        return cls._ORDER[a] <= cls._ORDER[b]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One row of the Table II design space."""
+
+    scheme: str
+    update_granularity: str
+    check_granularity: str
+    sep_guarantee: bool
+    time_cost: float
+    energy_cost: float
+    checker_metadata_bits: float
+    time_expression: str
+    energy_expression: str
+    metadata_expression: str
+    note: str = ""
+
+
+def sep_guaranteed(update_granularity: str, check_granularity: str) -> bool:
+    """Whether a (update, check) granularity pair can guarantee SEP.
+
+    Checks cannot be finer than updates (there would be nothing to check
+    against), and circuit-granularity checks lose SEP because an early error
+    can propagate through later logic levels into multiple errors before the
+    single check happens (Section IV-F).
+    """
+    for granularity in (update_granularity, check_granularity):
+        if granularity not in Granularity.ALL:
+            raise CoverageError(f"unknown granularity: {granularity!r}")
+    if not Granularity.is_finer_or_equal(update_granularity, check_granularity):
+        raise CoverageError(
+            "check granularity cannot be finer than update granularity "
+            f"({check_granularity} vs {update_granularity})"
+        )
+    return check_granularity in (Granularity.GATE, Granularity.LOGIC_LEVEL)
+
+
+def trim_costs(n_outputs: int, check_granularity: str, maskable: bool = True) -> Dict[str, float]:
+    """TRiM asymptotic costs for protecting ``n_outputs`` gate outputs.
+
+    Classic TMR-in-time costs 3N in both time and energy; when checks happen
+    at logic-level granularity and logic levels are large enough, the 3× time
+    can be masked by overlapping checks of one row with computation of
+    another (the Fig. 4 skewed schedule).
+    """
+    if n_outputs <= 0:
+        raise CoverageError("n_outputs must be positive")
+    time_cost = 3.0 * n_outputs
+    if check_granularity == Granularity.LOGIC_LEVEL and maskable:
+        time_cost = float(n_outputs)
+    return {
+        "time": time_cost,
+        "energy": 3.0 * n_outputs,
+        "checker_metadata_bits": 2.0 * n_outputs,
+    }
+
+
+def ecim_costs(n_outputs: int, check_granularity: str) -> Dict[str, float]:
+    """ECiM asymptotic costs for protecting ``n_outputs`` gate outputs.
+
+    With Hamming-style codes the number of parity bits grows as log N, so
+    metadata maintenance costs N(1 + log N) in time and energy, and the
+    checker receives N log N metadata bits.  At gate/gate granularity ECiM
+    degenerates to Hamming(3,1), i.e. TRiM.
+    """
+    if n_outputs <= 0:
+        raise CoverageError("n_outputs must be positive")
+    if check_granularity == Granularity.GATE:
+        return trim_costs(n_outputs, Granularity.GATE)
+    log_n = math.log2(n_outputs) if n_outputs > 1 else 1.0
+    return {
+        "time": n_outputs * (1.0 + log_n),
+        "energy": n_outputs * (1.0 + log_n),
+        "checker_metadata_bits": n_outputs * log_n,
+    }
+
+
+def design_space_table(n_outputs: int = 256) -> List[DesignPoint]:
+    """Regenerate Table II, evaluated for ``n_outputs`` protected outputs."""
+    points: List[DesignPoint] = []
+
+    gate_gate = trim_costs(n_outputs, Granularity.GATE)
+    points.append(
+        DesignPoint(
+            scheme="TRiM",
+            update_granularity=Granularity.GATE,
+            check_granularity=Granularity.GATE,
+            sep_guarantee=sep_guaranteed(Granularity.GATE, Granularity.GATE),
+            time_cost=gate_gate["time"],
+            energy_cost=gate_gate["energy"],
+            checker_metadata_bits=gate_gate["checker_metadata_bits"],
+            time_expression="3N",
+            energy_expression="3N",
+            metadata_expression="2N",
+            note="classic triple modular redundancy in time",
+        )
+    )
+
+    gate_level = trim_costs(n_outputs, Granularity.LOGIC_LEVEL, maskable=True)
+    points.append(
+        DesignPoint(
+            scheme="TRiM",
+            update_granularity=Granularity.GATE,
+            check_granularity=Granularity.LOGIC_LEVEL,
+            sep_guarantee=sep_guaranteed(Granularity.GATE, Granularity.LOGIC_LEVEL),
+            time_cost=gate_level["time"],
+            energy_cost=gate_level["energy"],
+            checker_metadata_bits=gate_level["checker_metadata_bits"],
+            time_expression="3N, but can be fully masked",
+            energy_expression="3N",
+            metadata_expression="2N",
+            note="proposed TRiM design point",
+        )
+    )
+
+    points.append(
+        DesignPoint(
+            scheme="ECiM",
+            update_granularity=Granularity.GATE,
+            check_granularity=Granularity.GATE,
+            sep_guarantee=sep_guaranteed(Granularity.GATE, Granularity.GATE),
+            time_cost=gate_gate["time"],
+            energy_cost=gate_gate["energy"],
+            checker_metadata_bits=gate_gate["checker_metadata_bits"],
+            time_expression="reduces to TRiM",
+            energy_expression="reduces to TRiM",
+            metadata_expression="reduces to TRiM",
+            note="Hamming(3,1) degenerates to triple redundancy",
+        )
+    )
+
+    ecim_level = ecim_costs(n_outputs, Granularity.LOGIC_LEVEL)
+    points.append(
+        DesignPoint(
+            scheme="ECiM",
+            update_granularity=Granularity.GATE,
+            check_granularity=Granularity.LOGIC_LEVEL,
+            sep_guarantee=sep_guaranteed(Granularity.GATE, Granularity.LOGIC_LEVEL),
+            time_cost=ecim_level["time"],
+            energy_cost=ecim_level["energy"],
+            checker_metadata_bits=ecim_level["checker_metadata_bits"],
+            time_expression="N(1 + logN)",
+            energy_expression="N(1 + logN)",
+            metadata_expression="N logN",
+            note="proposed ECiM design point",
+        )
+    )
+    return points

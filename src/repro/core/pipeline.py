@@ -1,0 +1,202 @@
+"""Parity-update pipelining (Fig. 5) and skewed row interleaving (Fig. 4).
+
+ECiM's parity updates would double-or-worse the step count of every logic
+level if executed back-to-back with the main computation.  The paper avoids
+that by partitioning the parity columns into left/right *blocks* (separate
+partitions in the logic lines) and pipelining: while the compute columns fire
+NOR(n+1), the parity blocks still process the XOR steps triggered by NOR(n)
+and NOR(n−1).  With enough blocks, the main computation never stalls and only
+the *drain* of the final updates remains visible.
+
+:class:`ParityUpdatePipeline` builds the explicit block-by-block timing
+diagram (the executable analogue of Fig. 5), checks the no-conflict property,
+and reports the visible (unmasked) extra steps.  :func:`skewed_row_overlap`
+models Fig. 4: how many of a row's Checker R/W slots are hidden behind other
+rows' computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtectionError
+
+__all__ = [
+    "PipelineSlot",
+    "PipelineSchedule",
+    "ParityUpdatePipeline",
+    "skewed_row_overlap",
+]
+
+
+@dataclass(frozen=True)
+class PipelineSlot:
+    """One (block, step) activity entry of the Fig. 5 timing diagram."""
+
+    step: int
+    block: str
+    operation: str
+    triggered_by: int  # index of the computation NOR that triggered this work
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """A complete pipelined schedule for one logic level in one row."""
+
+    compute_steps: int
+    total_steps: int
+    slots: Tuple[PipelineSlot, ...]
+
+    @property
+    def drain_steps(self) -> int:
+        """Steps after the last computation step still doing parity work."""
+        return self.total_steps - self.compute_steps
+
+    def activity_of_block(self, block: str) -> List[PipelineSlot]:
+        return [s for s in self.slots if s.block == block]
+
+    def busy_blocks_at(self, step: int) -> List[str]:
+        return [s.block for s in self.slots if s.step == step]
+
+
+class ParityUpdatePipeline:
+    """Schedules ECiM parity updates into left/right parity blocks.
+
+    Parameters
+    ----------
+    blocks_per_side:
+        Number of independent parity-block partitions on each side of the
+        compute columns.  Fig. 5 uses three per side (blocks m, m+1, m+2).
+    updates_per_gate:
+        Number of parity bits each computation NOR must fold in (the average
+        column weight ``w`` of the code; 1 reproduces the single running
+        parity bit of Section IV-C's introduction).
+    steps_per_update:
+        In-array gate steps per XOR: 2 with multi-output gates
+        (``NOR22`` + ``THR``), 4 without (``NOR``, two ``NOT`` copies,
+        ``THR``).
+    """
+
+    def __init__(
+        self,
+        blocks_per_side: int = 3,
+        updates_per_gate: int = 1,
+        steps_per_update: int = 2,
+    ) -> None:
+        if blocks_per_side < 1:
+            raise ProtectionError("need at least one parity block per side")
+        if updates_per_gate < 1:
+            raise ProtectionError("updates_per_gate must be >= 1")
+        if steps_per_update < 1:
+            raise ProtectionError("steps_per_update must be >= 1")
+        self.blocks_per_side = blocks_per_side
+        self.updates_per_gate = updates_per_gate
+        self.steps_per_update = steps_per_update
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule_level(self, n_compute_gates: int) -> PipelineSchedule:
+        """Build the pipelined schedule for one logic level.
+
+        Computation NOR ``n`` fires at step ``n`` (one gate per step in the
+        compute columns).  Its parity work — ``updates_per_gate`` XORs of
+        ``steps_per_update`` steps each — is assigned to the parity blocks of
+        the side given by the gate's parity (even gates → right, odd → left,
+        matching the alternating-sides description), starting at step
+        ``n + 1`` on the earliest block that is free.
+        """
+        if n_compute_gates < 0:
+            raise ProtectionError("gate count must be non-negative")
+        slots: List[PipelineSlot] = []
+        # block name -> first step at which the block is free
+        free_at: Dict[str, int] = {}
+        for side in ("left", "right"):
+            for index in range(self.blocks_per_side):
+                free_at[f"{side}-{index}"] = 0
+
+        last_step = n_compute_gates - 1
+        for gate in range(n_compute_gates):
+            slots.append(
+                PipelineSlot(step=gate, block="compute", operation=f"NOR({gate})", triggered_by=gate)
+            )
+            side = "right" if gate % 2 == 0 else "left"
+            work_units = self.updates_per_gate
+            earliest = gate + 1
+            for unit in range(work_units):
+                # Pick the block on this side that frees up first.
+                candidates = [f"{side}-{i}" for i in range(self.blocks_per_side)]
+                block = min(candidates, key=lambda b: max(free_at[b], earliest))
+                start = max(free_at[block], earliest)
+                for offset in range(self.steps_per_update):
+                    operation = "XOR1" if offset < self.steps_per_update - 1 else "XOR2"
+                    slots.append(
+                        PipelineSlot(
+                            step=start + offset,
+                            block=block,
+                            operation=f"{operation}({gate})",
+                            triggered_by=gate,
+                        )
+                    )
+                free_at[block] = start + self.steps_per_update
+                last_step = max(last_step, start + self.steps_per_update - 1)
+
+        return PipelineSchedule(
+            compute_steps=n_compute_gates,
+            total_steps=last_step + 1,
+            slots=tuple(slots),
+        )
+
+    def unmasked_steps(self, n_compute_gates: int) -> int:
+        """Extra steps visible beyond the level's own computation steps."""
+        return self.schedule_level(n_compute_gates).drain_steps
+
+    def sustains_full_rate(self, n_compute_gates: int = 64) -> bool:
+        """Whether the pipeline keeps up with one computation NOR per step.
+
+        The steady-state requirement is that each side can absorb the parity
+        work generated every other step:  work per compute gate =
+        ``updates_per_gate × steps_per_update`` block-steps, produced every
+        2 steps per side, absorbed by ``blocks_per_side`` blocks.
+        """
+        demand_per_side_step = self.updates_per_gate * self.steps_per_update / 2.0
+        if demand_per_side_step > self.blocks_per_side:
+            return False
+        schedule = self.schedule_level(n_compute_gates)
+        # Full rate means the drain does not grow with the level size.
+        half = self.schedule_level(max(1, n_compute_gates // 2))
+        return schedule.drain_steps <= half.drain_steps + self.steps_per_update
+
+    def verify_no_conflicts(self, schedule: PipelineSchedule) -> bool:
+        """Check that no block executes two operations in the same step."""
+        seen = set()
+        for slot in schedule.slots:
+            key = (slot.step, slot.block)
+            if slot.block != "compute" and key in seen:
+                return False
+            if slot.block != "compute":
+                seen.add(key)
+        return True
+
+
+def skewed_row_overlap(
+    n_rows: int,
+    compute_steps_per_level: int,
+    rw_slots_per_level: int,
+) -> Tuple[int, int]:
+    """Fig. 4 row interleaving: how many R/W slots are hidden per level.
+
+    Rows start in a delayed fashion; while one row spends ``rw_slots_per_level``
+    slots communicating with the Checker, the other ``n_rows − 1`` rows have
+    ``compute_steps_per_level`` steps each of useful work that can fill the
+    array interface's idle compute time.  Returns
+    ``(visible_rw_slots, hidden_rw_slots)`` per level per row.
+    """
+    if n_rows < 1:
+        raise ProtectionError("n_rows must be >= 1")
+    if compute_steps_per_level < 0 or rw_slots_per_level < 0:
+        raise ProtectionError("step counts must be non-negative")
+    cover = (n_rows - 1) * compute_steps_per_level
+    hidden = min(rw_slots_per_level, cover)
+    return rw_slots_per_level - hidden, hidden

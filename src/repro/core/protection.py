@@ -1,0 +1,369 @@
+"""Protection schemes: the analytic cost interface shared by ECiM and TRiM.
+
+The evaluation compares three designs under an iso-area budget:
+
+* **Unprotected** — the baseline: no metadata, no checks.
+* **ECiM** — Hamming/BCH parity maintained in memory (Section IV-C),
+  checked by an external syndrome checker at logic-level granularity.
+* **TRiM** — triple-redundant computation in memory (Section IV-D),
+  checked by an external majority-vote checker at logic-level granularity.
+
+Each scheme answers the same analytic questions:
+
+1. How many extra in-array gate firings / output cells / presets does one
+   logic level of the main computation cost? (→ energy + unmasked time)
+2. How many bits travel to/from the Checker per logic level? (→ transfer
+   time and energy, Checker energy)
+3. What fraction of the row's columns is consumed by metadata? (→ scratch
+   capacity under iso-area, hence the reclaim counts of Table IV)
+
+The per-level workload description is :class:`LevelProfile`; the per-level
+answer is :class:`MetadataCounts`.  The evaluation models in
+:mod:`repro.eval.models` assemble these into the Table IV / Table V / Fig. 7
+numbers, and the functional executors in :mod:`repro.core.executor` implement
+the same schemes bit-accurately on the behavioural array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.checker import (
+    DEFAULT_CHECKER_COSTS,
+    CheckerCostModel,
+    EcimChecker,
+    TrimChecker,
+)
+from repro.ecc.hamming import HammingCode
+from repro.ecc.linear import SystematicLinearCode
+from repro.errors import CoverageError, ProtectionError
+
+__all__ = [
+    "LevelProfile",
+    "MetadataCounts",
+    "ProtectionScheme",
+    "UnprotectedScheme",
+    "EcimScheme",
+    "TrimScheme",
+]
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """Workload description of one logic level (per row).
+
+    Attributes
+    ----------
+    n_nor_gates / n_thr_gates:
+        Main-computation gate firings in the level, split by type (THR gates
+        have a different energy in Table III).
+    n_outputs:
+        Number of distinct output bits the level produces (= gate count for
+        single-output mapping of the main computation).
+    """
+
+    n_nor_gates: int
+    n_thr_gates: int = 0
+    n_outputs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_nor_gates < 0 or self.n_thr_gates < 0:
+            raise ProtectionError("gate counts must be non-negative")
+
+    @property
+    def n_gates(self) -> int:
+        return self.n_nor_gates + self.n_thr_gates
+
+    @property
+    def output_bits(self) -> int:
+        return self.n_outputs if self.n_outputs is not None else self.n_gates
+
+
+@dataclass(frozen=True)
+class MetadataCounts:
+    """Per-level metadata cost of a protection scheme.
+
+    ``unmaskable_steps`` is the number of extra serial gate steps that cannot
+    be hidden behind the level's own computation even with the Fig. 5
+    pipeline (e.g. the pipeline drain of the last parity updates).
+    """
+
+    metadata_nor_gates: int = 0
+    metadata_thr_gates: int = 0
+    metadata_gate_outputs: int = 0
+    metadata_preset_bits: int = 0
+    checker_read_bits: int = 0
+    checker_write_bits: int = 0
+    checker_energy_fj: float = 0.0
+    unmaskable_steps: int = 0
+
+    @property
+    def metadata_gates(self) -> int:
+        return self.metadata_nor_gates + self.metadata_thr_gates
+
+
+class ProtectionScheme:
+    """Base class for the analytic protection-scheme interface."""
+
+    #: Human readable scheme name used in reports.
+    name: str = "base"
+    #: Granularity of metadata updates ("gate" for both ECiM and TRiM).
+    update_granularity: str = "gate"
+    #: Granularity of error checks ("logic-level" for the proposed designs).
+    check_granularity: str = "logic-level"
+
+    def guarantees_sep(self) -> bool:
+        """Whether the scheme guarantees single error protection."""
+        raise NotImplementedError
+
+    def metadata_column_fraction(self, multi_output: bool = True) -> float:
+        """Extra row columns required per main-computation column.
+
+        Under the iso-area budget, this fraction is carved out of the scratch
+        space available to the main computation — the direct driver of the
+        area-reclaim counts in Table IV.
+        """
+        raise NotImplementedError
+
+    def level_metadata(self, level: LevelProfile, multi_output: bool = True) -> MetadataCounts:
+        """Metadata cost of protecting one logic level."""
+        raise NotImplementedError
+
+    def correctable_errors_per_level(self) -> int:
+        """Number of errors per logic level the scheme corrects."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: update granularity = {self.update_granularity}, "
+            f"check granularity = {self.check_granularity}, "
+            f"SEP = {self.guarantees_sep()}"
+        )
+
+
+class UnprotectedScheme(ProtectionScheme):
+    """No protection: the iso-area baseline of the evaluation."""
+
+    name = "unprotected"
+    update_granularity = "none"
+    check_granularity = "none"
+
+    def guarantees_sep(self) -> bool:
+        return False
+
+    def metadata_column_fraction(self, multi_output: bool = True) -> float:
+        return 0.0
+
+    def level_metadata(self, level: LevelProfile, multi_output: bool = True) -> MetadataCounts:
+        return MetadataCounts()
+
+    def correctable_errors_per_level(self) -> int:
+        return 0
+
+
+class EcimScheme(ProtectionScheme):
+    """ECiM: in-memory Hamming/BCH parity with an external syndrome checker.
+
+    Cost model (per main-computation NOR, Section IV-C):
+
+    * the NOR is issued as a 2-output ``NOR22``; its second output lands in a
+      parity block (1 extra output cell, free with multi-output gates; an
+      explicit COPY gate without them);
+    * for each of the ``w`` parity bits covering the produced data bit
+      (``w`` = average column weight of the code's A matrix, ≈ 4.1 for
+      Hamming(255,247)), one in-array XOR updates the running parity:
+      2 gate steps (``NOR22`` + ``THR``) with multi-output gates, 3 steps
+      (``NOR``, ``COPY``, ``THR``) plus one operand-staging COPY without;
+    * at the end of the level, the level outputs plus the n−k parity bits are
+      read by the checker; corrections are written back only on error.
+
+    ``parity_blocks_per_side`` configures the Fig. 5 pipeline; with at least
+    two blocks per side the parity updates of step *n* overlap the
+    computation of steps *n+1, n+2*, leaving only the final drain
+    (≈ the per-bit update chain of the last computation step) unmasked.
+    """
+
+    name = "ecim"
+
+    def __init__(
+        self,
+        code: Optional[SystematicLinearCode] = None,
+        parity_blocks_per_side: int = 2,
+        checker_costs: CheckerCostModel = DEFAULT_CHECKER_COSTS,
+        correction_write_probability: float = 0.0,
+    ) -> None:
+        if parity_blocks_per_side < 1:
+            raise ProtectionError("ECiM needs at least one parity block per side")
+        if not 0.0 <= correction_write_probability <= 1.0:
+            raise ProtectionError("correction_write_probability must be a probability")
+        self.code = code if code is not None else HammingCode.from_codeword_length(255, 247)
+        self.parity_blocks_per_side = parity_blocks_per_side
+        self.checker = EcimChecker(self.code, checker_costs)
+        self.correction_write_probability = correction_write_probability
+        # The mean parity fan-out only depends on the code; cache it because
+        # level_metadata is called once per level profile per design point.
+        self._average_parity_updates = self.code.average_parity_updates_per_data_bit()
+
+    def guarantees_sep(self) -> bool:
+        return self.code.is_single_error_correcting() if hasattr(self.code, "is_single_error_correcting") else True
+
+    def correctable_errors_per_level(self) -> int:
+        if hasattr(self.code, "correctable_errors"):
+            return self.code.correctable_errors()
+        if hasattr(self.code, "t"):
+            return int(self.code.t)
+        return 1
+
+    @property
+    def average_parity_updates(self) -> float:
+        """Mean number of parity bits toggled per produced data bit (w)."""
+        return self._average_parity_updates
+
+    def metadata_column_fraction(self, multi_output: bool = True) -> float:
+        """Parity columns + pipeline blocks, per compute column.
+
+        The code itself needs (n−k)/k parity columns per data column; the
+        left/right parity-block pipeline additionally keeps
+        ``2 × parity_blocks_per_side`` staging cells per row, amortised over
+        the code dimension.
+        """
+        code_fraction = self.code.n_parity / self.code.k
+        # Staging cells are reused across steps; only one image per side is
+        # live at a time, so the incremental footprint is one extra parity
+        # image regardless of the pipeline depth.
+        staging_fraction = self.code.n_parity / self.code.k
+        return code_fraction + staging_fraction
+
+    def level_metadata(self, level: LevelProfile, multi_output: bool = True) -> MetadataCounts:
+        w = self.average_parity_updates
+        n = level.n_nor_gates + level.n_thr_gates  # every gate output is protected
+        updates = int(round(w * n))
+
+        if multi_output:
+            # Each computation gate drives one *independent* extra output per
+            # covered parity bit (Fig. 6: r_ij), for free in the same firing
+            # -> `updates` extra output cells, no extra firings.  Each parity
+            # update is the 2-step XOR: NOR22 (2 cells) + THR (1 cell).
+            r_gates, r_outputs = 0, updates
+            xor_nor_gates, xor_nor_outputs = updates, 2 * updates
+            xor_thr_gates = updates
+        else:
+            # Without multi-output gates, every r_ij is an independent
+            # re-execution of the computation gate (a plain copy of the data
+            # output would not preserve the independence the SEP argument
+            # needs), and the XOR falls back to the 3-step form with an
+            # explicit 2-NOT copy: NOR + NOT + NOT + THR.
+            r_gates, r_outputs = updates, updates
+            xor_nor_gates, xor_nor_outputs = 3 * updates, 3 * updates
+            xor_thr_gates = updates
+
+        metadata_nor = r_gates + xor_nor_gates
+        metadata_thr = xor_thr_gates
+        metadata_outputs = r_outputs + xor_nor_outputs + xor_thr_gates
+        presets = metadata_outputs  # every driven metadata cell is preset first
+
+        read_bits = level.output_bits + self.code.n_parity
+        write_bits = int(round(self.correction_write_probability * level.output_bits))
+
+        # Pipeline drain: the parity updates triggered by the *last*
+        # computation step of the level cannot overlap further computation.
+        per_gate_chain = 2 if multi_output else 4
+        drain = int(round(per_gate_chain * w))
+        # With more parity blocks, more of the drain proceeds concurrently.
+        drain = max(1, drain // max(1, self.parity_blocks_per_side))
+
+        return MetadataCounts(
+            metadata_nor_gates=metadata_nor,
+            metadata_thr_gates=metadata_thr,
+            metadata_gate_outputs=metadata_outputs,
+            metadata_preset_bits=presets,
+            checker_read_bits=read_bits,
+            checker_write_bits=write_bits,
+            checker_energy_fj=self.checker.energy_per_check_fj(level.output_bits),
+            unmaskable_steps=drain,
+        )
+
+
+class TrimScheme(ProtectionScheme):
+    """TRiM: triple-redundant in-memory computation with an external voter.
+
+    Cost model (per main-computation gate, Section IV-D):
+
+    * with multi-output gates the redundant copies come from a 3-output gate:
+      no extra firings, 2 extra output cells (and presets) per gate;
+    * without multi-output gates the same gate is issued in three column
+      partitions, which requires staging copies of both operands into each
+      redundant partition (2 copies × 2 operands) plus the 2 redundant
+      firings;
+    * at the end of the level the checker reads all three copies
+      (3 × level outputs) and votes; write-backs happen only on mismatch.
+    """
+
+    name = "trim"
+
+    def __init__(
+        self,
+        n_copies: int = 3,
+        checker_costs: CheckerCostModel = DEFAULT_CHECKER_COSTS,
+        correction_write_probability: float = 0.0,
+        operands_per_gate: int = 2,
+    ) -> None:
+        if n_copies < 3 or n_copies % 2 == 0:
+            raise CoverageError("TRiM requires an odd number of copies >= 3")
+        if not 0.0 <= correction_write_probability <= 1.0:
+            raise ProtectionError("correction_write_probability must be a probability")
+        if operands_per_gate < 1:
+            raise ProtectionError("operands_per_gate must be >= 1")
+        self.n_copies = n_copies
+        self.checker = TrimChecker(n_copies, checker_costs)
+        self.correction_write_probability = correction_write_probability
+        self.operands_per_gate = operands_per_gate
+
+    def guarantees_sep(self) -> bool:
+        return True
+
+    def correctable_errors_per_level(self) -> int:
+        return (self.n_copies - 1) // 2
+
+    def metadata_column_fraction(self, multi_output: bool = True) -> float:
+        """Each compute column needs n_copies − 1 redundant columns."""
+        return float(self.n_copies - 1)
+
+    def level_metadata(self, level: LevelProfile, multi_output: bool = True) -> MetadataCounts:
+        n = level.n_nor_gates + level.n_thr_gates
+        redundant = self.n_copies - 1
+
+        if multi_output:
+            metadata_nor = 0
+            metadata_thr = 0
+            metadata_outputs = redundant * n
+            presets = redundant * n
+        else:
+            staging_copies = redundant * self.operands_per_gate * n
+            redundant_firings_nor = redundant * level.n_nor_gates
+            redundant_firings_thr = redundant * level.n_thr_gates
+            metadata_nor = staging_copies + redundant_firings_nor
+            metadata_thr = redundant_firings_thr
+            metadata_outputs = staging_copies + redundant * n
+            presets = metadata_outputs
+
+        read_bits = self.n_copies * level.output_bits
+        write_bits = int(round(self.correction_write_probability * level.output_bits))
+
+        # With multi-output gates the redundant copies are produced in the
+        # very same step as the main computation — nothing to drain.  With
+        # single-output gates the redundant firings of the level's last step
+        # trail the main computation.
+        unmaskable = 0 if multi_output else redundant
+
+        return MetadataCounts(
+            metadata_nor_gates=metadata_nor,
+            metadata_thr_gates=metadata_thr,
+            metadata_gate_outputs=metadata_outputs,
+            metadata_preset_bits=presets,
+            checker_read_bits=read_bits,
+            checker_write_bits=write_bits,
+            checker_energy_fj=self.checker.energy_per_check_fj(level.output_bits),
+            unmaskable_steps=unmaskable,
+        )

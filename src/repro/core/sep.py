@@ -1,0 +1,270 @@
+"""Single Error Protection (SEP) analysis — the executable form of Fig. 6.
+
+The paper argues (Section IV-E) that adapting Hamming codes or TMR is not by
+itself enough: SEP additionally requires checking at logic-level granularity,
+because an uncorrected error at level L propagates through the gates of level
+L+1 into *multiple* errors, defeating a single-error-correcting code.
+
+This module provides:
+
+* :func:`and_gate_example_netlist` — the Fig. 6 example circuit: three
+  multi-output NOR gates over two logic levels implementing a 2-input AND
+  (``o1 = NOT a``, ``o2 = NOT b``, ``o3 = out = NOR(o1, o2)``).
+* :func:`exhaustive_single_fault_injection` — inject one bit flip at every
+  possible gate-output site of an execution (every output cell of every gate
+  firing, metadata included) and verify the final circuit outputs; this is
+  the operational statement of the SEP guarantee.
+* :func:`fig6_case_table` — categorise the fault sites of the AND example
+  like the table in Fig. 6 (error in a level-1 data output, in the level-2
+  output, or in a redundant ``r_ij`` / parity cell) and report, for each
+  category, the observed number of errors at the level output and the final
+  outcome.
+* :func:`circuit_granularity_counterexample` — show that with checks deferred
+  to circuit granularity a single fault does escape correction, i.e. the
+  logic-level granularity is necessary, not just convenient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.netlist import Netlist
+from repro.compiler.synthesis import CircuitBuilder
+from repro.errors import ProtectionError
+from repro.pim.faults import DeterministicFaultInjector, FaultLog, NoFaultInjector
+from repro.pim.operations import OperationKind
+
+__all__ = [
+    "FaultSite",
+    "FaultOutcome",
+    "SepAnalysis",
+    "and_gate_example_netlist",
+    "enumerate_fault_sites",
+    "exhaustive_single_fault_injection",
+    "fig6_case_table",
+    "circuit_granularity_counterexample",
+]
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One injectable fault site: a specific output cell of a gate firing."""
+
+    operation_index: int
+    output_position: int
+    gate: str
+    is_metadata: bool
+    logic_level: int
+    column: int
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Result of injecting a single fault at one site."""
+
+    site: FaultSite
+    final_outputs_correct: bool
+    error_detected: bool
+    corrections: int
+    uncorrectable_levels: int
+
+
+@dataclass
+class SepAnalysis:
+    """Aggregate result of an exhaustive single-fault sweep."""
+
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+
+    @property
+    def total_sites(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def protected_sites(self) -> int:
+        return sum(1 for o in self.outcomes if o.final_outputs_correct)
+
+    @property
+    def unprotected_sites(self) -> List[FaultOutcome]:
+        return [o for o in self.outcomes if not o.final_outputs_correct]
+
+    @property
+    def sep_guaranteed(self) -> bool:
+        """True when every single fault left the final outputs correct."""
+        return bool(self.outcomes) and not self.unprotected_sites
+
+    @property
+    def coverage(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.protected_sites / self.total_sites
+
+    def by_category(self) -> Dict[str, Tuple[int, int]]:
+        """(protected, total) per site category (data vs metadata)."""
+        summary: Dict[str, List[int]] = {}
+        for outcome in self.outcomes:
+            key = "metadata" if outcome.site.is_metadata or outcome.site.output_position > 0 else "data"
+            entry = summary.setdefault(key, [0, 0])
+            entry[1] += 1
+            if outcome.final_outputs_correct:
+                entry[0] += 1
+        return {k: (v[0], v[1]) for k, v in summary.items()}
+
+
+def and_gate_example_netlist() -> Netlist:
+    """The illustrative circuit of Fig. 6: AND built from three NOR gates.
+
+    Logic level 1: ``o1 = NOR(a) = NOT a`` and ``o2 = NOR(b) = NOT b``;
+    logic level 2: ``o3 = out = NOR(o1, o2) = a AND b``.
+    """
+    builder = CircuitBuilder(Netlist(name="fig6-and"))
+    a = builder.input_bit("a")
+    b = builder.input_bit("b")
+    o1 = builder.nor(a)
+    o2 = builder.nor(b)
+    o3 = builder.nor(o1, o2)
+    builder.mark_output_bit(o3, "out")
+    return builder.netlist
+
+
+def enumerate_fault_sites(
+    make_executor: Callable[[Optional[object]], object],
+    input_values: Dict[int, int],
+) -> List[FaultSite]:
+    """Dry-run an execution and enumerate every injectable gate-output site.
+
+    ``make_executor(fault_injector)`` must build a fresh executor whose array
+    uses the given injector (``None`` → fault free).  The dry run records one
+    :class:`FaultSite` per output cell of every gate firing, in execution
+    order, so the exhaustive sweep can target each site individually.
+    """
+    executor = make_executor(NoFaultInjector())
+    executor.run(dict(input_values))
+    sites: List[FaultSite] = []
+    op_index = 0
+    for record in executor.array.trace:
+        if record.kind != OperationKind.GATE:
+            continue
+        for position, column in enumerate(record.outputs):
+            sites.append(
+                FaultSite(
+                    operation_index=op_index,
+                    output_position=position,
+                    gate=record.gate,
+                    is_metadata=record.is_metadata,
+                    logic_level=record.logic_level,
+                    column=column,
+                )
+            )
+        op_index += 1
+    return sites
+
+
+def exhaustive_single_fault_injection(
+    make_executor: Callable[[Optional[object]], object],
+    input_values: Dict[int, int],
+    sites: Optional[Sequence[FaultSite]] = None,
+) -> SepAnalysis:
+    """Inject one fault per run, at every enumerated site, and collect outcomes."""
+    if sites is None:
+        sites = enumerate_fault_sites(make_executor, input_values)
+    analysis = SepAnalysis()
+    for site in sites:
+        injector = DeterministicFaultInjector(
+            target_output_positions={site.operation_index: site.output_position}
+        )
+        executor = make_executor(injector)
+        report = executor.run(dict(input_values))
+        if injector.log.count() == 0:
+            # The site was never reached (should not happen for a
+            # deterministic schedule); record it as unprotected so the
+            # discrepancy is visible rather than silently ignored.
+            raise ProtectionError(
+                f"fault site {site} was not exercised during re-execution"
+            )
+        analysis.outcomes.append(
+            FaultOutcome(
+                site=site,
+                final_outputs_correct=report.outputs_correct,
+                error_detected=any(c.error_detected for c in report.checks),
+                corrections=report.corrections,
+                uncorrectable_levels=report.uncorrectable_levels,
+            )
+        )
+    return analysis
+
+
+def fig6_case_table(
+    make_executor: Callable[[Optional[object]], object],
+    input_values: Optional[Dict[int, int]] = None,
+) -> List[Dict[str, object]]:
+    """Reproduce the case analysis of Fig. 6 on the AND example.
+
+    Returns one row per fault-site category with the paper's columns:
+    ``error_site``, ``errors_in_level_output`` (worst case over the category),
+    ``final_outcome`` and ``protected`` (whether the final output stayed
+    correct for every site in the category).
+    """
+    netlist = and_gate_example_netlist()
+    if input_values is None:
+        input_values = {netlist.inputs[0]: 1, netlist.inputs[1]: 1}
+    sites = enumerate_fault_sites(make_executor, input_values)
+    analysis = exhaustive_single_fault_injection(make_executor, input_values, sites)
+
+    level_of_gate: Dict[int, int] = {}
+    for level_number, gate_indices in enumerate(netlist.levelize(), start=1):
+        for gate_index in gate_indices:
+            level_of_gate[gate_index] = level_number
+
+    def category(site: FaultSite) -> str:
+        if not site.is_metadata and site.output_position == 0:
+            return "o1 or o2 (level-1 data output)" if site.logic_level == 1 else "o3 (final output)"
+        if not site.is_metadata and site.output_position > 0:
+            return "r_ij (redundant copy for parity)"
+        return "parity update (XOR / parity cell)"
+
+    rows: Dict[str, Dict[str, object]] = {}
+    for outcome in analysis.outcomes:
+        name = category(outcome.site)
+        row = rows.setdefault(
+            name,
+            {
+                "error_site": name,
+                "sites": 0,
+                "errors_in_level_output": 0,
+                "final_outcome": "",
+                "protected": True,
+            },
+        )
+        row["sites"] = int(row["sites"]) + 1
+        data_error = 1 if (not outcome.site.is_metadata and outcome.site.output_position == 0) else 0
+        row["errors_in_level_output"] = max(int(row["errors_in_level_output"]), data_error)
+        row["protected"] = bool(row["protected"]) and outcome.final_outputs_correct
+    for row in rows.values():
+        if row["protected"]:
+            row["final_outcome"] = "corrected before propagation (SEP holds)"
+        else:
+            row["final_outcome"] = "error escaped to the final output"
+    return list(rows.values())
+
+
+def circuit_granularity_counterexample(
+    make_unprotected_executor: Callable[[Optional[object]], object],
+    input_values: Optional[Dict[int, int]] = None,
+) -> bool:
+    """Show that deferring checks to circuit granularity loses SEP.
+
+    Runs the Fig. 6 AND example *without* per-level correction and injects a
+    single fault in a level-1 output; returns True when the final output is
+    wrong — i.e. the single early error propagated, so a single check at the
+    end (even with a distance-3 code over the final outputs) could not have
+    pinpointed it.  Used by tests and the granularity ablation bench.
+    """
+    netlist = and_gate_example_netlist()
+    if input_values is None:
+        input_values = {netlist.inputs[0]: 1, netlist.inputs[1]: 1}
+    injector = DeterministicFaultInjector(target_operations={0: 1})
+    executor = make_unprotected_executor(injector)
+    report = executor.run(dict(input_values))
+    return not report.outputs_correct

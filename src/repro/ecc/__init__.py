@@ -1,0 +1,56 @@
+"""Error-correcting-code substrate: GF(2) algebra, Hamming, BCH, parity,
+Berger codes and modular redundancy."""
+
+from repro.ecc.bch import (
+    BchCode,
+    BchDecodeResult,
+    bch_dimension,
+    bch_parity_bits,
+    parity_bits_vs_correctable_errors,
+)
+from repro.ecc.berger import BergerCode, BergerWord
+from repro.ecc.gf2m import GF2m, cyclotomic_cosets, minimal_polynomial
+from repro.ecc.hamming import (
+    HAMMING_7_4,
+    HAMMING_255_247,
+    HammingCode,
+    hamming_parameters_for_data_bits,
+    hamming_parity_bits_for,
+)
+from repro.ecc.linear import DecodeResult, SystematicLinearCode
+from repro.ecc.parity import ParityWord, TwoDimensionalParity, even_parity_bit
+from repro.ecc.redundancy import (
+    ModularRedundancy,
+    VoteResult,
+    dmr_compare,
+    majority_vote_bit,
+    majority_vote_word,
+)
+
+__all__ = [
+    "SystematicLinearCode",
+    "DecodeResult",
+    "HammingCode",
+    "HAMMING_7_4",
+    "HAMMING_255_247",
+    "hamming_parameters_for_data_bits",
+    "hamming_parity_bits_for",
+    "BchCode",
+    "BchDecodeResult",
+    "bch_parity_bits",
+    "bch_dimension",
+    "parity_bits_vs_correctable_errors",
+    "GF2m",
+    "cyclotomic_cosets",
+    "minimal_polynomial",
+    "ParityWord",
+    "TwoDimensionalParity",
+    "even_parity_bit",
+    "BergerCode",
+    "BergerWord",
+    "ModularRedundancy",
+    "VoteResult",
+    "majority_vote_bit",
+    "majority_vote_word",
+    "dmr_compare",
+]

@@ -1,0 +1,397 @@
+"""Binary BCH codes.
+
+The paper extends ECiM beyond Hamming codes to BCH codes [6], [26], which can
+correct ``t`` errors at the cost of more parity bits (Fig. 8: "Number of
+parity bits vs correctable errors" for BCH-255 vs Hamming(255,247)).  Because
+BCH codes are linear, the exact same in-memory parity-update mechanism
+applies: flipping data bit ``j`` flips the parity bits in column ``j`` of the
+non-identity part of the generator matrix.
+
+This module provides:
+
+* :class:`BchCode` — a full binary BCH implementation over GF(2^m):
+  generator polynomial from the LCM of minimal polynomials of
+  ``α, α^2, …, α^{2t}``, systematic polynomial encoding, syndrome
+  computation, Berlekamp–Massey error-locator synthesis and Chien-search
+  decoding.
+* :func:`bch_parity_bits` — the parity-bit count for a given (n, t) without
+  building the full code (used by the Fig. 8 sweep: it only needs the sizes
+  of the unions of cyclotomic cosets).
+* :func:`parity_bits_vs_correctable_errors` — the Fig. 8 data series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ecc import gf2
+from repro.ecc.gf2m import (
+    GF2m,
+    cyclotomic_cosets,
+    minimal_polynomial,
+    poly_degree,
+    poly_mod_gf2,
+    poly_mul_gf2,
+)
+from repro.errors import CodeConstructionError, DecodingError
+
+__all__ = [
+    "BchCode",
+    "bch_parity_bits",
+    "bch_dimension",
+    "parity_bits_vs_correctable_errors",
+]
+
+
+def _m_for_length(n: int) -> int:
+    """Field degree m such that n = 2^m − 1."""
+    m = (n + 1).bit_length() - 1
+    if (1 << m) - 1 != n:
+        raise CodeConstructionError(f"BCH length must be 2^m - 1, got {n}")
+    return m
+
+
+def bch_parity_bits(n: int, t: int) -> int:
+    """Number of parity bits of the primitive BCH code of length n correcting t errors.
+
+    Equals the degree of the generator polynomial, i.e. the size of the union
+    of the cyclotomic cosets (mod n) of ``1, 2, …, 2t``.  For ``t = 1`` this
+    is ``m`` — the Hamming case of Fig. 8.
+    """
+    if t < 1:
+        raise CodeConstructionError("t must be >= 1")
+    m = _m_for_length(n)
+    if 2 * t >= n:
+        raise CodeConstructionError(
+            f"BCH({n}) cannot be designed for t={t}: designed distance 2t+1 exceeds n"
+        )
+    covered = set()
+    for exponent in range(1, 2 * t + 1):
+        value = exponent % n
+        if value == 0 or value in covered:
+            continue
+        coset = set()
+        while value not in coset:
+            coset.add(value)
+            value = (value * 2) % n
+        covered |= coset
+    if len(covered) >= n:
+        raise CodeConstructionError(
+            f"BCH({n}) cannot correct {t} errors: parity would consume the whole codeword"
+        )
+    return len(covered)
+
+
+def bch_dimension(n: int, t: int) -> int:
+    """Data-bit count k of the primitive BCH(n) code correcting t errors."""
+    return n - bch_parity_bits(n, t)
+
+
+def parity_bits_vs_correctable_errors(
+    n: int = 255, t_values: Sequence[int] = tuple(range(1, 11))
+) -> List[Dict[str, int]]:
+    """The Fig. 8 sweep: parity bits required for each correctable-error count.
+
+    Returns one row per ``t`` with keys ``t``, ``parity_bits`` and ``k``.
+    The ``t = 1`` row coincides with Hamming(255,247)'s 8 parity bits.
+    """
+    rows = []
+    for t in t_values:
+        parity = bch_parity_bits(n, t)
+        rows.append({"t": int(t), "parity_bits": int(parity), "k": int(n - parity)})
+    return rows
+
+
+class BchCode:
+    """Primitive binary BCH code of length ``n = 2^m − 1`` correcting ``t`` errors.
+
+    The systematic encoding places the data bits in the high-degree
+    coefficients and the parity (remainder) bits in the low-degree ones; the
+    :meth:`encode` / :meth:`decode` interface nevertheless presents codewords
+    as ``[data | parity]`` to match :class:`~repro.ecc.linear.SystematicLinearCode`.
+    """
+
+    def __init__(self, n: int, t: int, primitive_poly: int = 0) -> None:
+        if t < 1:
+            raise CodeConstructionError("t must be >= 1")
+        m = _m_for_length(n)
+        self.n = n
+        self.t = t
+        self.m = m
+        self.field = GF2m(m, primitive_poly)
+        self.generator_poly = self._build_generator()
+        self.n_parity = poly_degree(self.generator_poly)
+        self.k = n - self.n_parity
+        if self.k <= 0:
+            raise CodeConstructionError(
+                f"BCH({n}) with t={t} has no data bits left (n-k={self.n_parity})"
+            )
+        self.name = f"BCH({self.n},{self.k},t={self.t})"
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_generator(self) -> int:
+        """LCM of the minimal polynomials of α^1 .. α^{2t} (as a bit mask)."""
+        generator = 1
+        included: set = set()
+        for exponent in range(1, 2 * self.t + 1):
+            e = exponent % self.field.order
+            if e in included:
+                continue
+            # Record the whole coset so we skip its other members.
+            value = e
+            while value not in included:
+                included.add(value)
+                value = (value * 2) % self.field.order
+            generator = poly_mul_gf2(generator, minimal_polynomial(self.field, e))
+        return generator
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    @property
+    def designed_distance(self) -> int:
+        """The BCH designed distance 2t + 1."""
+        return 2 * self.t + 1
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def _check_data(self, data: Sequence[int]) -> np.ndarray:
+        vector = gf2.as_gf2(data)
+        if vector.ndim != 1 or vector.shape[0] != self.k:
+            raise CodeConstructionError(
+                f"{self.name} expects {self.k} data bits, got shape {vector.shape}"
+            )
+        return vector
+
+    def _check_word(self, word: Sequence[int]) -> np.ndarray:
+        vector = gf2.as_gf2(word)
+        if vector.ndim != 1 or vector.shape[0] != self.n:
+            raise CodeConstructionError(
+                f"{self.name} expects {self.n} codeword bits, got shape {vector.shape}"
+            )
+        return vector
+
+    def parity_bits(self, data: Sequence[int]) -> np.ndarray:
+        """Check symbols: remainder of ``data(x) · x^{n−k}`` modulo g(x)."""
+        data_vec = self._check_data(data)
+        # Data polynomial shifted up by n-k positions, as an integer mask.
+        message_poly = 0
+        for index, bit in enumerate(data_vec):
+            if bit:
+                message_poly |= 1 << (index + self.n_parity)
+        remainder = poly_mod_gf2(message_poly, self.generator_poly)
+        return np.array(
+            [(remainder >> i) & 1 for i in range(self.n_parity)], dtype=np.uint8
+        )
+
+    def encode(self, data: Sequence[int]) -> np.ndarray:
+        """Systematic codeword ``[data | parity]``."""
+        data_vec = self._check_data(data)
+        return np.concatenate([data_vec, self.parity_bits(data_vec)]).astype(np.uint8)
+
+    def extract_data(self, word: Sequence[int]) -> np.ndarray:
+        return self._check_word(word)[: self.k].copy()
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def _codeword_polynomial(self, word: np.ndarray) -> List[int]:
+        """Map the [data | parity] layout to polynomial coefficients.
+
+        Coefficient of x^i for i < n−k is parity bit i; for i >= n−k it is
+        data bit i − (n−k) — matching the systematic encoder above.
+        """
+        coefficients = [0] * self.n
+        for i in range(self.n_parity):
+            coefficients[i] = int(word[self.k + i])
+        for j in range(self.k):
+            coefficients[self.n_parity + j] = int(word[j])
+        return coefficients
+
+    def syndromes(self, word: Sequence[int]) -> List[int]:
+        """The 2t syndromes S_j = r(α^j), j = 1..2t."""
+        received = self._check_word(word)
+        coefficients = self._codeword_polynomial(received)
+        return [
+            self.field.poly_eval(coefficients, self.field.alpha_pow(j))
+            for j in range(1, 2 * self.t + 1)
+        ]
+
+    def is_codeword(self, word: Sequence[int]) -> bool:
+        return all(s == 0 for s in self.syndromes(word))
+
+    def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
+        """Error-locator polynomial σ(x) from the syndromes."""
+        field = self.field
+        sigma = [1]
+        prev_sigma = [1]
+        l = 0
+        shift = 1
+        b = 1
+        for step, syndrome in enumerate(syndromes):
+            # Discrepancy.
+            delta = syndrome
+            for i in range(1, l + 1):
+                if i < len(sigma):
+                    delta = field.add(delta, field.mul(sigma[i], syndromes[step - i]))
+            if delta == 0:
+                shift += 1
+                continue
+            correction = field.poly_scale(prev_sigma, field.div(delta, b))
+            correction = ([0] * shift) + correction
+            new_sigma = field.poly_add(sigma, correction)
+            if 2 * l <= step:
+                prev_sigma = sigma
+                b = delta
+                l = step + 1 - l
+                shift = 1
+            else:
+                shift += 1
+            sigma = new_sigma
+        return sigma
+
+    def _chien_search(self, sigma: List[int]) -> List[int]:
+        """Error positions (polynomial coefficient indices) from σ(x)."""
+        positions = []
+        for i in range(self.n):
+            # σ has roots at α^{-j} for error positions j.
+            x = self.field.alpha_pow(-i % self.field.order)
+            if self.field.poly_eval(sigma, x) == 0:
+                positions.append(i)
+        return positions
+
+    def decode(self, word: Sequence[int]) -> "BchDecodeResult":
+        """Correct up to t errors; raises :class:`DecodingError` beyond that
+        only when the failure is detectable (σ degree mismatch)."""
+        received = self._check_word(word)
+        syndromes = self.syndromes(received)
+        if all(s == 0 for s in syndromes):
+            return BchDecodeResult(
+                corrected=received.copy(),
+                data=received[: self.k].copy(),
+                error_positions=(),
+            )
+        sigma = self._berlekamp_massey(syndromes)
+        degree = max((i for i, c in enumerate(sigma) if c), default=0)
+        positions = self._chien_search(sigma)
+        if degree > self.t or len(positions) != degree:
+            return BchDecodeResult(
+                corrected=received.copy(),
+                data=received[: self.k].copy(),
+                error_positions=(),
+                detected_uncorrectable=True,
+            )
+        corrected = received.copy()
+        layout_positions = []
+        for coefficient_index in positions:
+            if coefficient_index < self.n_parity:
+                layout_index = self.k + coefficient_index
+            else:
+                layout_index = coefficient_index - self.n_parity
+            corrected[layout_index] ^= 1
+            layout_positions.append(layout_index)
+        if not all(s == 0 for s in self.syndromes(corrected)):
+            return BchDecodeResult(
+                corrected=received.copy(),
+                data=received[: self.k].copy(),
+                error_positions=(),
+                detected_uncorrectable=True,
+            )
+        return BchDecodeResult(
+            corrected=corrected,
+            data=corrected[: self.k].copy(),
+            error_positions=tuple(sorted(layout_positions)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # ECiM-facing helpers (linearity)
+    # ------------------------------------------------------------------ #
+    def correctable_errors(self) -> int:
+        """Designed correction capability (t errors)."""
+        return self.t
+
+    @property
+    def a_matrix(self) -> np.ndarray:
+        """The (n−k) × k submatrix A of the systematic form (computed lazily).
+
+        Column j is the parity pattern of the j-th unit data vector; because
+        the code is linear this fully determines the systematic generator and
+        parity-check matrices, exactly as for Hamming codes.
+        """
+        cached = getattr(self, "_a_matrix", None)
+        if cached is not None:
+            return cached
+        a = np.zeros((self.n_parity, self.k), dtype=np.uint8)
+        unit = np.zeros(self.k, dtype=np.uint8)
+        for j in range(self.k):
+            unit[:] = 0
+            unit[j] = 1
+            a[:, j] = self.parity_bits(unit)
+        self._a_matrix = a
+        return a
+
+    @property
+    def parity_check_matrix(self) -> np.ndarray:
+        """H = [A | I_{n−k}] over GF(2) for the [data | parity] layout."""
+        return np.hstack([self.a_matrix, np.eye(self.n_parity, dtype=np.uint8)])
+
+    def parity_bits_affected_by(self, data_bit: int) -> Tuple[int, ...]:
+        """Parity bits that toggle when ``data_bit`` toggles.
+
+        Computed from linearity: encode the unit vector for that bit and
+        report the non-zero parity positions.  This is what an ECiM pipeline
+        maintaining BCH parity in memory would hard-wire per column.
+        """
+        if not 0 <= data_bit < self.k:
+            raise CodeConstructionError(f"data bit index {data_bit} outside 0..{self.k - 1}")
+        unit = np.zeros(self.k, dtype=np.uint8)
+        unit[data_bit] = 1
+        parity = self.parity_bits(unit)
+        return tuple(int(i) for i in np.flatnonzero(parity))
+
+    def average_parity_updates_per_data_bit(self, sample: Optional[int] = None) -> float:
+        """Mean number of parity bits toggled per data-bit update.
+
+        For large codes a uniform sample of data-bit positions keeps this
+        cheap; pass ``sample=None`` to use every position.
+        """
+        if sample is None or sample >= self.k:
+            indices = range(self.k)
+        else:
+            step = max(1, self.k // sample)
+            indices = range(0, self.k, step)
+        counts = [len(self.parity_bits_affected_by(i)) for i in indices]
+        return float(sum(counts)) / len(counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name}>"
+
+
+class BchDecodeResult:
+    """Decode outcome mirroring :class:`repro.ecc.linear.DecodeResult`."""
+
+    def __init__(
+        self,
+        corrected: np.ndarray,
+        data: np.ndarray,
+        error_positions: Tuple[int, ...],
+        detected_uncorrectable: bool = False,
+    ) -> None:
+        self.corrected = corrected
+        self.data = data
+        self.error_positions = error_positions
+        self.detected_uncorrectable = detected_uncorrectable
+
+    @property
+    def error_detected(self) -> bool:
+        return bool(self.error_positions) or self.detected_uncorrectable
+
+    @property
+    def error_corrected(self) -> bool:
+        return bool(self.error_positions) and not self.detected_uncorrectable

@@ -1,0 +1,114 @@
+"""Berger codes.
+
+Berger codes are the classic *unidirectional*-error-detecting arithmetic
+codes: the check symbol of a word is the binary count of its zero bits.  Any
+error pattern that only flips bits in one direction (all 0→1 or all 1→0) is
+detected, because such a pattern necessarily changes the zero count in the
+opposite direction of the check symbol.
+
+The paper surveys Berger codes as homomorphic-ish candidates for PiM
+(Section III-A / VII): they are the only arithmetic codes whose check symbols
+can in principle be derived for bitwise logic outputs, but the output check
+symbol depends on the *data* inputs, not only on the input check symbols, so
+criterion (1) of Section III-A fails and the scheme is not cost-effective for
+bulk bitwise PiM.  :meth:`BergerCode.nor_check_symbol_needs_data` documents
+that property executably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import List, Sequence, Tuple
+
+from repro.ecc import gf2
+from repro.errors import CodeConstructionError
+
+__all__ = ["BergerCode", "BergerWord"]
+
+
+@dataclass(frozen=True)
+class BergerWord:
+    """A data word together with its Berger check symbol."""
+
+    data: Tuple[int, ...]
+    check: Tuple[int, ...]
+
+    @property
+    def zero_count(self) -> int:
+        return gf2.int_from_bits(self.check)
+
+
+class BergerCode:
+    """Berger code for k-bit data words."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise CodeConstructionError("k must be positive")
+        self.k = k
+        #: Width of the check symbol: enough bits to count up to k zeros.
+        self.check_bits = max(1, ceil(log2(k + 1)))
+
+    @property
+    def n(self) -> int:
+        """Total codeword length."""
+        return self.k + self.check_bits
+
+    def check_symbol(self, data: Sequence[int]) -> Tuple[int, ...]:
+        """Binary (little-endian) count of zero bits in the data word."""
+        vector = gf2.as_gf2(data)
+        if vector.shape[0] != self.k:
+            raise CodeConstructionError(f"expected {self.k} data bits")
+        zeros = int(self.k - vector.sum())
+        return tuple(gf2.bits_from_int(zeros, self.check_bits))
+
+    def encode(self, data: Sequence[int]) -> BergerWord:
+        vector = gf2.as_gf2(data)
+        if vector.shape[0] != self.k:
+            raise CodeConstructionError(f"expected {self.k} data bits")
+        return BergerWord(
+            data=tuple(int(b) for b in vector), check=self.check_symbol(vector)
+        )
+
+    def check(self, word: BergerWord) -> bool:
+        """True when the stored check symbol matches the data."""
+        return self.check_symbol(word.data) == word.check
+
+    def detects(self, original: Sequence[int], corrupted: Sequence[int]) -> bool:
+        """Whether the code detects this particular corruption of the data.
+
+        The check symbol is assumed uncorrupted (the standard Berger
+        analysis); detection means the corrupted data no longer matches the
+        original's check symbol.
+        """
+        return self.check_symbol(corrupted) != self.check_symbol(original)
+
+    # ------------------------------------------------------------------ #
+    # Why Berger codes fail the paper's column-wise ECC criteria
+    # ------------------------------------------------------------------ #
+    def nor_check_symbol_needs_data(self) -> bool:
+        """Demonstrate that NOR output check symbols are not a function of
+        input check symbols alone.
+
+        Returns True when two input pairs with *identical* check symbols lead
+        to *different* output check symbols under bitwise NOR — i.e. no
+        operator ``f(c_a, c_b)`` can exist (criterion (1) of Section III-A
+        fails), so Berger codes cannot support column-wise ECC for bulk
+        bitwise PiM.
+        """
+        if self.k < 2:
+            return False
+        # Two pairs of 2-bit-prefix patterns with equal zero counts but
+        # different NOR results; pad the rest of the word with ones so the
+        # padding contributes nothing to the zero count.
+        pad = [1] * (self.k - 2)
+        a1, b1 = [0, 1] + pad, [1, 0] + pad
+        a2, b2 = [0, 1] + pad, [0, 1] + pad
+        same_checks = (
+            self.check_symbol(a1) == self.check_symbol(a2)
+            and self.check_symbol(b1) == self.check_symbol(b2)
+        )
+        nor1 = [1 - (x | y) for x, y in zip(a1, b1)]
+        nor2 = [1 - (x | y) for x, y in zip(a2, b2)]
+        different_outputs = self.check_symbol(nor1) != self.check_symbol(nor2)
+        return same_checks and different_outputs

@@ -1,0 +1,161 @@
+"""Linear algebra over GF(2).
+
+Small, dependency-light helpers used by the block-code implementations:
+matrix/vector products modulo 2, identity and concatenation helpers, row
+reduction, rank, and conversion of parity-check matrices to/from systematic
+form.  Vectors and matrices are plain ``numpy`` arrays with dtype ``uint8``
+holding 0/1 entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CodeConstructionError
+
+__all__ = [
+    "as_gf2",
+    "gf2_matmul",
+    "gf2_matvec",
+    "gf2_add",
+    "identity",
+    "hstack",
+    "vstack",
+    "gf2_rref",
+    "gf2_rank",
+    "is_binary",
+    "bits_from_int",
+    "int_from_bits",
+    "weight",
+    "all_binary_vectors",
+]
+
+
+def is_binary(array: np.ndarray) -> bool:
+    """True if every entry of ``array`` is 0 or 1."""
+    return bool(np.all((array == 0) | (array == 1)))
+
+
+def as_gf2(data: Sequence) -> np.ndarray:
+    """Coerce a nested sequence / array into a uint8 GF(2) array.
+
+    Raises :class:`CodeConstructionError` on non-binary entries.
+    """
+    array = np.array(data, dtype=np.int64)
+    if array.size and not is_binary(array):
+        raise CodeConstructionError("GF(2) arrays may only contain 0/1 entries")
+    return array.astype(np.uint8)
+
+
+def gf2_add(a: Sequence, b: Sequence) -> np.ndarray:
+    """Element-wise addition over GF(2) (i.e. XOR)."""
+    return (as_gf2(a) ^ as_gf2(b)).astype(np.uint8)
+
+
+def gf2_matmul(a: Sequence, b: Sequence) -> np.ndarray:
+    """Matrix product over GF(2)."""
+    a_arr = as_gf2(a).astype(np.int64)
+    b_arr = as_gf2(b).astype(np.int64)
+    return (a_arr @ b_arr % 2).astype(np.uint8)
+
+
+def gf2_matvec(matrix: Sequence, vector: Sequence) -> np.ndarray:
+    """Matrix–vector product over GF(2)."""
+    m_arr = as_gf2(matrix).astype(np.int64)
+    v_arr = as_gf2(vector).astype(np.int64)
+    if m_arr.shape[1] != v_arr.shape[0]:
+        raise CodeConstructionError(
+            f"dimension mismatch: matrix has {m_arr.shape[1]} columns, "
+            f"vector has {v_arr.shape[0]} entries"
+        )
+    return (m_arr @ v_arr % 2).astype(np.uint8)
+
+
+def identity(n: int) -> np.ndarray:
+    """The n × n identity matrix over GF(2)."""
+    if n < 0:
+        raise CodeConstructionError("identity size must be non-negative")
+    return np.eye(n, dtype=np.uint8)
+
+
+def hstack(blocks: Iterable[Sequence]) -> np.ndarray:
+    """Horizontal concatenation of GF(2) blocks."""
+    return np.hstack([as_gf2(b) for b in blocks]).astype(np.uint8)
+
+
+def vstack(blocks: Iterable[Sequence]) -> np.ndarray:
+    """Vertical concatenation of GF(2) blocks."""
+    return np.vstack([as_gf2(b) for b in blocks]).astype(np.uint8)
+
+
+def gf2_rref(matrix: Sequence) -> Tuple[np.ndarray, List[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns ``(rref_matrix, pivot_columns)``.
+    """
+    m = as_gf2(matrix).copy()
+    rows, cols = m.shape
+    pivots: List[int] = []
+    row = 0
+    for col in range(cols):
+        if row >= rows:
+            break
+        pivot_row = None
+        for r in range(row, rows):
+            if m[r, col]:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        if pivot_row != row:
+            m[[row, pivot_row]] = m[[pivot_row, row]]
+        for r in range(rows):
+            if r != row and m[r, col]:
+                m[r] ^= m[row]
+        pivots.append(col)
+        row += 1
+    return m, pivots
+
+
+def gf2_rank(matrix: Sequence) -> int:
+    """Rank of a matrix over GF(2)."""
+    _, pivots = gf2_rref(matrix)
+    return len(pivots)
+
+
+def bits_from_int(value: int, width: int) -> List[int]:
+    """Little-endian bit expansion of ``value`` to ``width`` bits."""
+    if value < 0:
+        raise CodeConstructionError("value must be non-negative")
+    if width < 0:
+        raise CodeConstructionError("width must be non-negative")
+    if value >= (1 << width):
+        raise CodeConstructionError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def int_from_bits(bits: Sequence[int]) -> int:
+    """Inverse of :func:`bits_from_int` (little-endian)."""
+    total = 0
+    for index, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise CodeConstructionError("bits must be 0/1")
+        total |= int(bit) << index
+    return total
+
+
+def weight(bits: Sequence[int]) -> int:
+    """Hamming weight of a bit vector."""
+    return int(np.count_nonzero(as_gf2(bits)))
+
+
+def all_binary_vectors(length: int) -> Iterable[np.ndarray]:
+    """Yield every binary vector of the given length (use only for small lengths)."""
+    if length < 0:
+        raise CodeConstructionError("length must be non-negative")
+    if length > 20:
+        raise CodeConstructionError("refusing to enumerate more than 2^20 vectors")
+    for value in range(1 << length):
+        yield np.array(bits_from_int(value, length), dtype=np.uint8)

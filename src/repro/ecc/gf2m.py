@@ -1,0 +1,248 @@
+"""Arithmetic in the binary extension fields GF(2^m).
+
+BCH codes are defined through the roots of their generator polynomial in
+GF(2^m); this module provides the field arithmetic (log/antilog tables over a
+primitive element), polynomial helpers over GF(2^m), and the cyclotomic-coset
+and minimal-polynomial machinery that the BCH construction needs.
+
+The default primitive polynomials are the conventional ones (e.g.
+``x^8 + x^4 + x^3 + x^2 + 1`` for GF(2^8), which underlies the BCH-255 family
+of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import CodeConstructionError
+
+__all__ = [
+    "PRIMITIVE_POLYNOMIALS",
+    "GF2m",
+    "cyclotomic_cosets",
+    "minimal_polynomial",
+    "poly_mul_gf2",
+    "poly_mod_gf2",
+    "poly_degree",
+]
+
+#: Primitive polynomials represented as integers (bit i = coefficient of x^i).
+#: Values are the standard choices from coding-theory references.
+PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
+    2: 0b111,            # x^2 + x + 1
+    3: 0b1011,           # x^3 + x + 1
+    4: 0b10011,          # x^4 + x + 1
+    5: 0b100101,         # x^5 + x^2 + 1
+    6: 0b1000011,        # x^6 + x + 1
+    7: 0b10001001,       # x^7 + x^3 + 1
+    8: 0b100011101,      # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,     # x^9 + x^4 + 1
+    10: 0b10000001001,   # x^10 + x^3 + 1
+    11: 0b100000000101,  # x^11 + x^2 + 1
+    12: 0b1000001010011, # x^12 + x^6 + x^4 + x + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with log/antilog tables.
+
+    Elements are integers in ``0 .. 2^m − 1`` interpreted as polynomials over
+    GF(2) modulo the primitive polynomial.
+    """
+
+    def __init__(self, m: int, primitive_poly: int = 0) -> None:
+        if m < 2 or m > 16:
+            raise CodeConstructionError("GF(2^m) supported for 2 <= m <= 16")
+        if primitive_poly == 0:
+            try:
+                primitive_poly = PRIMITIVE_POLYNOMIALS[m]
+            except KeyError:
+                raise CodeConstructionError(
+                    f"no default primitive polynomial for m={m}; supply one"
+                ) from None
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        self.primitive_poly = primitive_poly
+        self._exp: List[int] = [0] * (2 * self.order)
+        self._log: List[int] = [0] * self.size
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        x = 1
+        for i in range(self.order):
+            if i > 0 and x == 1:
+                # x returned to 1 before exhausting the multiplicative group:
+                # the polynomial is reducible or irreducible-but-not-primitive.
+                raise CodeConstructionError(
+                    f"polynomial 0x{self.primitive_poly:x} is not primitive for m={self.m}"
+                )
+            self._exp[i] = x
+            self._log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= self.primitive_poly
+        if x != 1:
+            raise CodeConstructionError(
+                f"polynomial 0x{self.primitive_poly:x} is not primitive for m={self.m}"
+            )
+        for i in range(self.order, 2 * self.order):
+            self._exp[i] = self._exp[i - self.order]
+
+    # ------------------------------------------------------------------ #
+    # Element arithmetic
+    # ------------------------------------------------------------------ #
+    def add(self, a: int, b: int) -> int:
+        """Addition (and subtraction) in GF(2^m) is XOR."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[(self._log[a] - self._log[b]) % self.order]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return self._exp[(-self._log[a]) % self.order]
+
+    def pow(self, a: int, exponent: int) -> int:
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ZeroDivisionError("zero to a negative power")
+            return 0
+        return self._exp[(self._log[a] * exponent) % self.order]
+
+    def alpha_pow(self, exponent: int) -> int:
+        """α^exponent for the primitive element α."""
+        return self._exp[exponent % self.order]
+
+    def log(self, a: int) -> int:
+        if a == 0:
+            raise CodeConstructionError("log of zero is undefined")
+        return self._log[a]
+
+    # ------------------------------------------------------------------ #
+    # Polynomials over GF(2^m) (coefficient lists, lowest degree first)
+    # ------------------------------------------------------------------ #
+    def poly_eval(self, poly: Sequence[int], x: int) -> int:
+        """Evaluate a polynomial at ``x`` (Horner's rule)."""
+        result = 0
+        for coefficient in reversed(list(poly)):
+            result = self.add(self.mul(result, x), coefficient)
+        return result
+
+    def poly_mul(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        result = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb == 0:
+                    continue
+                result[i + j] = self.add(result[i + j], self.mul(ca, cb))
+        return result
+
+    def poly_scale(self, poly: Sequence[int], factor: int) -> List[int]:
+        return [self.mul(c, factor) for c in poly]
+
+    def poly_add(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        length = max(len(a), len(b))
+        result = []
+        for i in range(length):
+            ca = a[i] if i < len(a) else 0
+            cb = b[i] if i < len(b) else 0
+            result.append(self.add(ca, cb))
+        return result
+
+
+# ---------------------------------------------------------------------- #
+# GF(2)[x] helpers (binary polynomials as integer bit masks)
+# ---------------------------------------------------------------------- #
+def poly_degree(poly: int) -> int:
+    """Degree of a binary polynomial given as a bit mask (−1 for the zero poly)."""
+    return poly.bit_length() - 1
+
+
+def poly_mul_gf2(a: int, b: int) -> int:
+    """Product of two binary polynomials (carry-less multiplication)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_mod_gf2(a: int, modulus: int) -> int:
+    """Remainder of a binary polynomial division."""
+    if modulus == 0:
+        raise ZeroDivisionError("polynomial modulus must be non-zero")
+    deg_m = poly_degree(modulus)
+    while poly_degree(a) >= deg_m:
+        a ^= modulus << (poly_degree(a) - deg_m)
+    return a
+
+
+def cyclotomic_cosets(m: int, n: int = 0) -> List[FrozenSet[int]]:
+    """Cyclotomic cosets of 2 modulo n (default n = 2^m − 1).
+
+    The coset containing ``s`` is ``{s, 2s, 4s, ...} mod n``.  The number of
+    parity bits of a BCH code equals the size of the union of the cosets of
+    its required roots, which is how Fig. 8's parity-bit counts arise.
+    """
+    if n == 0:
+        n = (1 << m) - 1
+    seen: Set[int] = set()
+    cosets: List[FrozenSet[int]] = []
+    for s in range(1, n):
+        if s in seen:
+            continue
+        coset = set()
+        value = s
+        while value not in coset:
+            coset.add(value)
+            value = (value * 2) % n
+        seen |= coset
+        cosets.append(frozenset(coset))
+    return cosets
+
+
+def minimal_polynomial(field: GF2m, exponent: int) -> int:
+    """Minimal polynomial (over GF(2)) of α^exponent, as an integer bit mask.
+
+    Computed as ``∏ (x − α^(e·2^i))`` over the cyclotomic coset of the
+    exponent; the product necessarily has GF(2) coefficients.
+    """
+    n = field.order
+    coset = set()
+    value = exponent % n
+    while value not in coset:
+        coset.add(value)
+        value = (value * 2) % n
+    # Polynomial over GF(2^m), coefficients lowest-degree first.
+    poly = [1]
+    for e in sorted(coset):
+        root = field.alpha_pow(e)
+        poly = field.poly_mul(poly, [root, 1])
+    # Verify the coefficients collapsed to GF(2) and pack into a bit mask.
+    mask = 0
+    for degree, coefficient in enumerate(poly):
+        if coefficient not in (0, 1):
+            raise CodeConstructionError(
+                "minimal polynomial has a non-binary coefficient; "
+                "field construction is inconsistent"
+            )
+        if coefficient:
+            mask |= 1 << degree
+    return mask

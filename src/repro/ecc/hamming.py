@@ -1,0 +1,142 @@
+"""Hamming codes (single error correcting linear block codes).
+
+Hamming codes [24] have minimum distance 3, so they correct any single bit
+error and detect double errors.  A full-length Hamming code with ``r`` check
+symbols has ``n = 2^r − 1`` and ``k = n − r``; the paper uses
+``Hamming(7,4)`` for the illustrative SEP example (Fig. 6) and
+``Hamming(255,247)`` — i.e. ``r = 8`` — for the evaluation, chosen so that
+codewords match the 256-column array interface.
+
+The systematic construction used here puts the data bits first
+(``codeword = [data | parity]``).  The columns of the ``A`` submatrix are all
+non-zero r-bit patterns of weight ≥ 2 in increasing numeric order — the
+weight-1 patterns are the identity columns belonging to the parity bits —
+which yields a parity-check matrix with pairwise-distinct non-zero columns,
+hence distance ≥ 3.  Shortened codes (for arbitrary ``k``) simply drop the
+excess data columns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ecc import gf2
+from repro.ecc.linear import SystematicLinearCode
+from repro.errors import CodeConstructionError
+
+__all__ = [
+    "HammingCode",
+    "hamming_parameters_for_data_bits",
+    "hamming_parity_bits_for",
+    "HAMMING_7_4",
+    "HAMMING_255_247",
+]
+
+
+def hamming_parity_bits_for(k: int) -> int:
+    """Minimum number of check symbols r such that 2^r − 1 − r ≥ k.
+
+    This is the ``log(n + 1)``-ish growth of Table II / Section II-C: the
+    number of check bits grows logarithmically with the protected word.
+    """
+    if k <= 0:
+        raise CodeConstructionError("k must be positive")
+    r = 2
+    while (1 << r) - 1 - r < k:
+        r += 1
+    return r
+
+
+def hamming_parameters_for_data_bits(k: int) -> "tuple[int, int]":
+    """(n, k) of the (possibly shortened) Hamming code protecting k data bits."""
+    r = hamming_parity_bits_for(k)
+    return k + r, k
+
+
+def _data_columns(r: int, k: int) -> np.ndarray:
+    """First ``k`` weight-≥2 non-zero r-bit column patterns, as an r × k matrix."""
+    columns: List[List[int]] = []
+    value = 1
+    while len(columns) < k:
+        if value >= (1 << r):
+            raise CodeConstructionError(
+                f"cannot build {k} data columns with only {r} parity bits"
+            )
+        bits = gf2.bits_from_int(value, r)
+        if sum(bits) >= 2:
+            columns.append(bits)
+        value += 1
+    return np.array(columns, dtype=np.uint8).T
+
+
+class HammingCode(SystematicLinearCode):
+    """Systematic (shortened) Hamming code for ``k`` data bits.
+
+    Parameters
+    ----------
+    k:
+        Number of data bits to protect.
+    r:
+        Number of check symbols; defaults to the minimum feasible value.
+        Supplying a larger ``r`` yields an (over-provisioned) shortened code,
+        which is occasionally useful for layout-matching experiments.
+    """
+
+    def __init__(self, k: int, r: Optional[int] = None) -> None:
+        if k <= 0:
+            raise CodeConstructionError("k must be positive")
+        min_r = hamming_parity_bits_for(k)
+        if r is None:
+            r = min_r
+        if r < min_r:
+            raise CodeConstructionError(
+                f"{r} parity bits cannot protect {k} data bits (need >= {min_r})"
+            )
+        a_matrix = _data_columns(r, k)
+        n = k + r
+        full_n = (1 << r) - 1
+        label = f"Hamming({n},{k})"
+        if n < full_n:
+            label = f"Hamming({n},{k}) [shortened from ({full_n},{full_n - r})]"
+        super().__init__(a_matrix, name=label)
+        self._r = r
+
+    @property
+    def r(self) -> int:
+        """Number of check symbols."""
+        return self._r
+
+    @property
+    def is_full_length(self) -> bool:
+        """True when n = 2^r − 1 (no shortening)."""
+        return self.n == (1 << self._r) - 1
+
+    @classmethod
+    def from_codeword_length(cls, n: int, k: int) -> "HammingCode":
+        """Construct a Hamming code from explicit (n, k), e.g. (255, 247)."""
+        if n <= k:
+            raise CodeConstructionError("n must exceed k")
+        code = cls(k=k, r=n - k)
+        if code.n != n:
+            raise CodeConstructionError(
+                f"({n},{k}) is not a valid (shortened) Hamming parameterisation"
+            )
+        return code
+
+    def correctable_errors(self) -> int:
+        """Hamming codes guarantee correction of exactly one error."""
+        return 1
+
+
+def _make_default(n: int, k: int) -> HammingCode:
+    return HammingCode.from_codeword_length(n, k)
+
+
+#: The illustrative code of Fig. 6.
+HAMMING_7_4 = _make_default(7, 4)
+
+#: The evaluation code of Section V (matches the 256-column array interface).
+HAMMING_255_247 = _make_default(255, 247)

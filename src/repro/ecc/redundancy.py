@@ -1,0 +1,144 @@
+"""Modular redundancy: DMR, TMR and generalised N-modular redundancy.
+
+Section II-C of the paper recaps the classical schemes:
+
+* **DMR** runs two copies and compares — it *detects* a single error (a
+  mismatch) but cannot tell which copy is wrong, so it cannot correct.
+* **TMR** runs three copies and takes the strict majority — it *corrects*
+  any single error, provided two simultaneous errors are less likely than
+  one.
+* **NMR** generalises to N copies, correcting up to ⌊(N−1)/2⌋ errors.
+
+TRiM builds on TMR but moves the vote into a hardened external Checker and
+generates the redundant copies with multi-output gates; the plain voters here
+are the building blocks used by that Checker and by the design-space
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ecc import gf2
+from repro.errors import RedundancyError
+
+__all__ = [
+    "VoteResult",
+    "majority_vote_bit",
+    "majority_vote_word",
+    "dmr_compare",
+    "ModularRedundancy",
+]
+
+
+@dataclass(frozen=True)
+class VoteResult:
+    """Outcome of a majority vote over N copies of a word."""
+
+    value: Tuple[int, ...]
+    disagreeing_copies: Tuple[int, ...]
+    disagreeing_bits: Tuple[int, ...]
+
+    @property
+    def error_detected(self) -> bool:
+        return bool(self.disagreeing_copies)
+
+    @property
+    def unanimous(self) -> bool:
+        return not self.disagreeing_copies
+
+
+def majority_vote_bit(bits: Sequence[int]) -> int:
+    """Strict majority over an odd number of bits."""
+    vector = gf2.as_gf2(bits)
+    if vector.shape[0] % 2 == 0:
+        raise RedundancyError("majority vote requires an odd number of copies")
+    return int(vector.sum() * 2 > vector.shape[0])
+
+
+def majority_vote_word(copies: Sequence[Sequence[int]]) -> VoteResult:
+    """Bitwise majority over N (odd) copies of a word.
+
+    Returns the voted word plus which copies and which bit positions
+    disagreed with the vote.
+    """
+    matrix = gf2.as_gf2(copies)
+    if matrix.ndim != 2:
+        raise RedundancyError("expected a 2-D array of copies")
+    n_copies, width = matrix.shape
+    if n_copies % 2 == 0:
+        raise RedundancyError("majority vote requires an odd number of copies")
+    voted = (matrix.sum(axis=0) * 2 > n_copies).astype(np.uint8)
+    disagreeing_copies = tuple(
+        int(i) for i in range(n_copies) if not np.array_equal(matrix[i], voted)
+    )
+    disagreeing_bits = tuple(
+        int(j) for j in range(width) if len(set(int(matrix[i, j]) for i in range(n_copies))) > 1
+    )
+    return VoteResult(
+        value=tuple(int(b) for b in voted),
+        disagreeing_copies=disagreeing_copies,
+        disagreeing_bits=disagreeing_bits,
+    )
+
+
+def dmr_compare(copy_a: Sequence[int], copy_b: Sequence[int]) -> Tuple[bool, Tuple[int, ...]]:
+    """DMR check: returns (match, mismatching bit positions)."""
+    a = gf2.as_gf2(copy_a)
+    b = gf2.as_gf2(copy_b)
+    if a.shape != b.shape:
+        raise RedundancyError("DMR copies must have the same width")
+    mismatches = tuple(int(i) for i in np.flatnonzero(a ^ b))
+    return (not mismatches, mismatches)
+
+
+class ModularRedundancy:
+    """Generalised N-modular redundancy over fixed-width words."""
+
+    def __init__(self, n_copies: int = 3, width: int = 1) -> None:
+        if n_copies < 2:
+            raise RedundancyError("modular redundancy needs at least two copies")
+        if width < 1:
+            raise RedundancyError("word width must be positive")
+        self.n_copies = n_copies
+        self.width = width
+
+    @property
+    def can_correct(self) -> bool:
+        """Correction requires an odd copy count of at least three."""
+        return self.n_copies >= 3 and self.n_copies % 2 == 1
+
+    @property
+    def correctable_errors(self) -> int:
+        """Maximum number of erroneous copies the vote tolerates."""
+        if not self.can_correct:
+            return 0
+        return (self.n_copies - 1) // 2
+
+    @property
+    def space_overhead_factor(self) -> float:
+        """Storage/computation multiplier relative to unprotected operation."""
+        return float(self.n_copies)
+
+    def vote(self, copies: Sequence[Sequence[int]]) -> VoteResult:
+        """Vote across the provided copies (must match n_copies and width)."""
+        matrix = gf2.as_gf2(copies)
+        if matrix.shape != (self.n_copies, self.width):
+            raise RedundancyError(
+                f"expected {self.n_copies} copies of width {self.width}, got {matrix.shape}"
+            )
+        if not self.can_correct:
+            match, mismatches = dmr_compare(matrix[0], matrix[1])
+            if not match:
+                raise RedundancyError(
+                    f"DMR mismatch at bit positions {mismatches}; correction impossible"
+                )
+            return VoteResult(
+                value=tuple(int(b) for b in matrix[0]),
+                disagreeing_copies=(),
+                disagreeing_bits=(),
+            )
+        return majority_vote_word(matrix)

@@ -1,0 +1,52 @@
+"""Evaluation harness: analytic overhead models, the per-table/figure
+experiment registry and plain-text report rendering."""
+
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    available_experiments,
+    experiment_ablation_codes,
+    experiment_ablation_granularity,
+    experiment_ablation_partitions,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    run_experiment,
+)
+from repro.eval.models import (
+    DesignEvaluation,
+    EvaluationConfig,
+    EvaluationModel,
+    OverheadComparison,
+)
+from repro.eval.report import format_mapping, format_series, format_table
+
+__all__ = [
+    "EvaluationModel",
+    "EvaluationConfig",
+    "DesignEvaluation",
+    "OverheadComparison",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "experiment_table4",
+    "experiment_table5",
+    "experiment_fig6",
+    "experiment_fig7",
+    "experiment_fig8",
+    "experiment_fig9",
+    "experiment_ablation_granularity",
+    "experiment_ablation_partitions",
+    "experiment_ablation_codes",
+    "format_table",
+    "format_series",
+    "format_mapping",
+]

@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment results (tables and figure series).
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place so the benches, the examples and
+EXPERIMENTS.md all show identical tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_mapping", "format_series", "indent"]
+
+
+def _stringify(value: object, float_digits: int = 2) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_digits: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    rendered_rows = [[_stringify(cell, float_digits) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render a key/value mapping, one entry per line."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(str(k)) for k in mapping), default=0)
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)} : {_stringify(value)}")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    float_digits: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [values[index] for values in series.values()])
+    return format_table(headers, rows, float_digits=float_digits, title=title)
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    """Indent every line of ``text`` by ``prefix``."""
+    return "\n".join(prefix + line for line in text.splitlines())

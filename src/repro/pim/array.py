@@ -1,0 +1,415 @@
+"""Behavioural model of a resistive PiM array.
+
+A :class:`PimArray` is a grid of single-bit resistive cells (default
+256 × 256, the array size used in the paper's evaluation).  Besides ordinary
+reads and writes it supports the in-array gate semantics of Section II-A:
+
+* the designated output cell(s) of a gate are preset to the gate's preset
+  value, then
+* the gate fires, switching the outputs according to the truth table as a
+  function of the input cells' logic states.
+
+The array also models the *partition* mechanism of [38]/[37]: each row can be
+split into blocks of neighbouring columns separated by switches in the logic
+lines, such that one gate can be in flight per partition at a time while gate
+operands may span multiple partitions (in which case those partitions are all
+busy for that step).  Partition bookkeeping is validated per *step* via
+:meth:`begin_step` / :meth:`execute_gate` / :meth:`end_step`.
+
+Every cell touch goes through the attached :class:`~repro.pim.faults.FaultInjector`
+so logic, preset and memory errors can be injected at the exact architectural
+point where the paper's error model places them, and every operation is
+recorded into an :class:`~repro.pim.operations.OperationTrace` for the timing
+and energy models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ArrayBoundsError, GateOperandError, PartitionError, PimError
+from repro.pim.faults import FaultInjector, NoFaultInjector
+from repro.pim.gates import GATE_PRESETS, GateType, gate_output
+from repro.pim.operations import (
+    GateOperation,
+    OperationTrace,
+    PresetOperation,
+    ReadOperation,
+    WriteOperation,
+)
+from repro.pim.technology import STT_MRAM, TechnologyParameters
+
+__all__ = ["PartitionLayout", "PimArray", "DEFAULT_ARRAY_ROWS", "DEFAULT_ARRAY_COLS"]
+
+#: Array dimensions used throughout the paper's evaluation (Section V).
+DEFAULT_ARRAY_ROWS = 256
+DEFAULT_ARRAY_COLS = 256
+
+
+class PartitionLayout:
+    """Column partitioning of a row into switch-separated blocks.
+
+    The layout is shared by all rows of an array (the switches sit in the
+    logic lines, which are column resources).  A layout is described by the
+    ordered list of partition boundaries: ``boundaries = [b0, b1, ..., bm]``
+    with ``b0 = 0`` and ``bm = n_cols`` defines partitions
+    ``[b0, b1), [b1, b2), ...``.
+    """
+
+    def __init__(self, n_cols: int, boundaries: Optional[Sequence[int]] = None) -> None:
+        if n_cols <= 0:
+            raise PartitionError("a partition layout needs at least one column")
+        if boundaries is None:
+            boundaries = [0, n_cols]
+        boundaries = list(boundaries)
+        if boundaries[0] != 0 or boundaries[-1] != n_cols:
+            raise PartitionError("boundaries must start at 0 and end at n_cols")
+        if sorted(boundaries) != boundaries or len(set(boundaries)) != len(boundaries):
+            raise PartitionError("boundaries must be strictly increasing")
+        self.n_cols = n_cols
+        self.boundaries = boundaries
+
+    @classmethod
+    def uniform(cls, n_cols: int, n_partitions: int) -> "PartitionLayout":
+        """Split ``n_cols`` columns into ``n_partitions`` near-equal blocks."""
+        if n_partitions <= 0:
+            raise PartitionError("n_partitions must be positive")
+        if n_partitions > n_cols:
+            raise PartitionError("cannot have more partitions than columns")
+        base = n_cols // n_partitions
+        remainder = n_cols % n_partitions
+        boundaries = [0]
+        for i in range(n_partitions):
+            boundaries.append(boundaries[-1] + base + (1 if i < remainder else 0))
+        return cls(n_cols, boundaries)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.boundaries) - 1
+
+    def partition_of(self, column: int) -> int:
+        """Index of the partition containing ``column``."""
+        if not 0 <= column < self.n_cols:
+            raise ArrayBoundsError(f"column {column} outside 0..{self.n_cols - 1}")
+        # Linear scan is fine: partition counts are small (a handful of blocks).
+        for index in range(self.n_partitions):
+            if self.boundaries[index] <= column < self.boundaries[index + 1]:
+                return index
+        raise PartitionError(f"column {column} not covered by any partition")
+
+    def partitions_of(self, columns: Iterable[int]) -> Tuple[int, ...]:
+        return tuple(sorted({self.partition_of(c) for c in columns}))
+
+    def columns_of(self, partition: int) -> range:
+        if not 0 <= partition < self.n_partitions:
+            raise PartitionError(f"partition {partition} outside 0..{self.n_partitions - 1}")
+        return range(self.boundaries[partition], self.boundaries[partition + 1])
+
+
+class PimArray:
+    """One resistive PiM array with in-array compute capability."""
+
+    def __init__(
+        self,
+        rows: int = DEFAULT_ARRAY_ROWS,
+        cols: int = DEFAULT_ARRAY_COLS,
+        technology: TechnologyParameters = STT_MRAM,
+        array_id: int = 0,
+        partitions: int = 1,
+        fault_injector: Optional[FaultInjector] = None,
+        trace: Optional[OperationTrace] = None,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ArrayBoundsError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.technology = technology
+        self.array_id = array_id
+        self.layout = PartitionLayout.uniform(cols, partitions)
+        self.fault_injector = fault_injector if fault_injector is not None else NoFaultInjector()
+        self.trace = trace if trace is not None else OperationTrace()
+        self._cells = np.zeros((rows, cols), dtype=np.uint8)
+        self._operation_index = 0
+        self._busy_partitions_by_row: Dict[int, set] = {}
+        self._in_step = False
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ArrayBoundsError(f"row {row} outside 0..{self.rows - 1}")
+
+    def _check_col(self, col: int) -> None:
+        if not 0 <= col < self.cols:
+            raise ArrayBoundsError(f"column {col} outside 0..{self.cols - 1}")
+
+    def _site(self, row: int, col: int) -> Tuple[int, int, int]:
+        return (self.array_id, row, col)
+
+    # ------------------------------------------------------------------ #
+    # Memory semantics (reads / writes)
+    # ------------------------------------------------------------------ #
+    def read_cell(self, row: int, col: int) -> int:
+        """Read a single cell (no trace record — use :meth:`read_row` for
+        checker transfers, which are the architecturally visible reads)."""
+        self._check_row(row)
+        self._check_col(col)
+        return int(self._cells[row, col])
+
+    def write_cell(self, row: int, col: int, value: int, record: bool = False) -> None:
+        """Write a single cell; ``record=True`` logs it as a WRITE operation."""
+        self._check_row(row)
+        self._check_col(col)
+        if value not in (0, 1):
+            raise PimError(f"cell value must be a bit, got {value!r}")
+        self._cells[row, col] = value
+        if record:
+            self.trace.append(
+                WriteOperation(array=self.array_id, row=row, n_bits=1, purpose="cell-write")
+            )
+
+    def read_row(
+        self,
+        row: int,
+        columns: Optional[Sequence[int]] = None,
+        logic_level: int = 0,
+        purpose: str = "checker-transfer",
+    ) -> List[int]:
+        """Architectural row read: returns the selected bits and records it."""
+        self._check_row(row)
+        if columns is None:
+            columns = range(self.cols)
+        values = []
+        for col in columns:
+            self._check_col(col)
+            raw = int(self._cells[row, col])
+            corrupted = self.fault_injector.corrupt_stored_bit(raw, self._site(row, col))
+            if corrupted != raw:
+                self._cells[row, col] = corrupted
+            values.append(corrupted)
+        self.trace.append(
+            ReadOperation(
+                array=self.array_id,
+                row=row,
+                n_bits=len(values),
+                logic_level=logic_level,
+                purpose=purpose,
+            )
+        )
+        return values
+
+    def write_row(
+        self,
+        row: int,
+        columns: Sequence[int],
+        values: Sequence[int],
+        logic_level: int = 0,
+        purpose: str = "correction-writeback",
+    ) -> None:
+        """Architectural row write (e.g. Checker correction write-back)."""
+        self._check_row(row)
+        if len(columns) != len(values):
+            raise PimError("columns and values must have the same length")
+        for col, value in zip(columns, values):
+            self._check_col(col)
+            if value not in (0, 1):
+                raise PimError(f"cell value must be a bit, got {value!r}")
+            self._cells[row, col] = value
+        self.trace.append(
+            WriteOperation(
+                array=self.array_id,
+                row=row,
+                n_bits=len(columns),
+                logic_level=logic_level,
+                purpose=purpose,
+            )
+        )
+
+    def load_row(self, row: int, values: Sequence[int], start_col: int = 0) -> None:
+        """Bulk (un-traced) initialisation of input data into a row."""
+        self._check_row(row)
+        if start_col + len(values) > self.cols:
+            raise ArrayBoundsError("row initialisation exceeds array width")
+        for offset, value in enumerate(values):
+            if value not in (0, 1):
+                raise PimError(f"cell value must be a bit, got {value!r}")
+            self._cells[row, start_col + offset] = value
+
+    def dump_row(self, row: int, columns: Optional[Sequence[int]] = None) -> List[int]:
+        """Un-traced snapshot of a row (for assertions in tests)."""
+        self._check_row(row)
+        if columns is None:
+            columns = range(self.cols)
+        return [int(self._cells[row, c]) for c in columns]
+
+    # ------------------------------------------------------------------ #
+    # Step / partition bookkeeping
+    # ------------------------------------------------------------------ #
+    def begin_step(self) -> None:
+        """Open a parallel step: gates issued until :meth:`end_step` are
+        considered simultaneous and must not share partitions per row."""
+        if self._in_step:
+            raise PartitionError("begin_step called while a step is already open")
+        self._in_step = True
+        self._busy_partitions_by_row = {}
+
+    def end_step(self) -> None:
+        if not self._in_step:
+            raise PartitionError("end_step called without begin_step")
+        self._in_step = False
+        self._busy_partitions_by_row = {}
+
+    def repartition(self, n_partitions: int) -> None:
+        """Change the number of column partitions (switch configuration)."""
+        if self._in_step:
+            raise PartitionError("cannot repartition in the middle of a step")
+        self.layout = PartitionLayout.uniform(self.cols, n_partitions)
+
+    # ------------------------------------------------------------------ #
+    # Compute semantics (in-array gates)
+    # ------------------------------------------------------------------ #
+    def preset_cells(
+        self,
+        row: int,
+        columns: Sequence[int],
+        value: int,
+        logic_level: int = 0,
+        is_metadata: bool = False,
+    ) -> None:
+        """Preset the designated output cells before a gate fires."""
+        self._check_row(row)
+        if value not in (0, 1):
+            raise PimError("preset value must be a bit")
+        for col in columns:
+            self._check_col(col)
+            actual = self.fault_injector.corrupt_preset(
+                value, self._site(row, col), self._operation_index
+            )
+            self._cells[row, col] = actual
+        self.trace.append(
+            PresetOperation(
+                array=self.array_id,
+                row=row,
+                columns=tuple(columns),
+                value=value,
+                logic_level=logic_level,
+                is_metadata=is_metadata,
+            )
+        )
+
+    def execute_gate(
+        self,
+        gate: str,
+        row: int,
+        input_cols: Sequence[int],
+        output_cols: Sequence[int],
+        logic_level: int = 0,
+        is_metadata: bool = False,
+        preset: bool = True,
+        threshold: Optional[int] = None,
+    ) -> Tuple[int, ...]:
+        """Fire one in-array gate and return the (possibly faulty) outputs.
+
+        The method (1) optionally presets the outputs, (2) evaluates the gate
+        truth table on the *current* input cell values, (3) passes each output
+        bit through the fault injector, (4) commits the outputs to the array
+        and (5) records a :class:`GateOperation`.
+
+        Partition semantics: when called inside a :meth:`begin_step` /
+        :meth:`end_step` window, all partitions touched by the gate's operand
+        columns are marked busy for this row; a second gate touching any of
+        them in the same step raises :class:`PartitionError`.
+        """
+        gate = gate.lower()
+        self._check_row(row)
+        if gate not in GateType.NATIVE:
+            raise GateOperandError(f"not a native in-array gate: {gate!r}")
+        if not output_cols:
+            raise GateOperandError("a gate needs at least one output cell")
+        for col in list(input_cols) + list(output_cols):
+            self._check_col(col)
+        overlap = set(input_cols) & set(output_cols)
+        if overlap:
+            raise GateOperandError(
+                f"columns {sorted(overlap)} used as both input and output"
+            )
+
+        touched = self.layout.partitions_of(list(input_cols) + list(output_cols))
+        if self._in_step:
+            busy = self._busy_partitions_by_row.setdefault(row, set())
+            conflict = busy.intersection(touched)
+            if conflict:
+                raise PartitionError(
+                    f"partitions {sorted(conflict)} already busy in row {row} this step"
+                )
+            busy.update(touched)
+
+        preset_value = GATE_PRESETS.get(gate, 0)
+        if preset:
+            self.preset_cells(
+                row, output_cols, preset_value, logic_level=logic_level, is_metadata=is_metadata
+            )
+
+        input_values = [int(self._cells[row, c]) for c in input_cols]
+        if not input_cols:
+            ideal = preset_value
+        elif gate == GateType.THR and threshold is not None:
+            from repro.pim.gates import thr as thr_fn
+
+            ideal = thr_fn(input_values, threshold=threshold)
+        else:
+            ideal = gate_output(gate, input_values)
+
+        outputs: List[int] = []
+        for col in output_cols:
+            value = self.fault_injector.corrupt_gate_output(
+                ideal,
+                self._site(row, col),
+                self._operation_index,
+                is_metadata=is_metadata,
+            )
+            self._cells[row, col] = value
+            outputs.append(value)
+
+        self.trace.append(
+            GateOperation(
+                gate=gate,
+                array=self.array_id,
+                row=row,
+                inputs=tuple(input_cols),
+                outputs=tuple(output_cols),
+                logic_level=logic_level,
+                is_metadata=is_metadata,
+            )
+        )
+        self._operation_index += 1
+        return tuple(outputs)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def operation_index(self) -> int:
+        """Number of gate operations executed so far (global fault-site index)."""
+        return self._operation_index
+
+    def occupancy(self) -> float:
+        """Fraction of cells currently holding a 1 (useful in tests)."""
+        return float(self._cells.mean())
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the raw cell matrix."""
+        return self._cells.copy()
+
+    def restore(self, snapshot: np.ndarray) -> None:
+        """Restore a snapshot previously produced by :meth:`snapshot`."""
+        if snapshot.shape != self._cells.shape:
+            raise PimError("snapshot shape does not match array dimensions")
+        self._cells = snapshot.astype(np.uint8).copy()
+
+    def clear(self) -> None:
+        """Reset every cell to 0 (does not clear the operation trace)."""
+        self._cells.fill(0)

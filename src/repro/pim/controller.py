@@ -1,0 +1,163 @@
+"""PiM controller: manages a fleet of arrays and their shared bookkeeping.
+
+The paper's system (Fig. 3a) consists of several PiM arrays, each with its
+own PiM controller and an attached external Checker.  This module provides
+the array-fleet abstraction: construction of up to ``max_arrays`` identical
+arrays (the evaluation uses at most 16 arrays of 256 × 256 cells), shared
+fault-injection and operation tracing, and simple broadcast helpers for
+row-parallel execution.
+
+Protection-aware execution (interleaving computation with Checker activity)
+lives in :mod:`repro.core.executor`; this controller is protection-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import PimError, SchedulingError
+from repro.pim.array import DEFAULT_ARRAY_COLS, DEFAULT_ARRAY_ROWS, PimArray
+from repro.pim.faults import FaultInjector, NoFaultInjector
+from repro.pim.operations import OperationTrace
+from repro.pim.technology import STT_MRAM, TechnologyParameters
+
+__all__ = ["ArrayFleet", "MAX_ARRAYS"]
+
+#: The paper maps every benchmark onto no more than 16 arrays (Section V).
+MAX_ARRAYS = 16
+
+
+class ArrayFleet:
+    """A fleet of identical PiM arrays sharing one fault injector and trace."""
+
+    def __init__(
+        self,
+        n_arrays: int = 1,
+        rows: int = DEFAULT_ARRAY_ROWS,
+        cols: int = DEFAULT_ARRAY_COLS,
+        technology: TechnologyParameters = STT_MRAM,
+        partitions: int = 1,
+        fault_injector: Optional[FaultInjector] = None,
+        max_arrays: int = MAX_ARRAYS,
+    ) -> None:
+        if n_arrays < 1:
+            raise PimError("a fleet needs at least one array")
+        if n_arrays > max_arrays:
+            raise SchedulingError(
+                f"requested {n_arrays} arrays exceeds the fleet budget of {max_arrays}"
+            )
+        self.technology = technology
+        self.fault_injector = fault_injector if fault_injector is not None else NoFaultInjector()
+        self.trace = OperationTrace()
+        self.arrays: List[PimArray] = [
+            PimArray(
+                rows=rows,
+                cols=cols,
+                technology=technology,
+                array_id=index,
+                partitions=partitions,
+                fault_injector=self.fault_injector,
+                trace=self.trace,
+            )
+            for index in range(n_arrays)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Collection protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.arrays)
+
+    def __getitem__(self, index: int) -> PimArray:
+        return self.arrays[index]
+
+    def __iter__(self):
+        return iter(self.arrays)
+
+    # ------------------------------------------------------------------ #
+    # Capacity accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> int:
+        return self.arrays[0].rows
+
+    @property
+    def cols(self) -> int:
+        return self.arrays[0].cols
+
+    @property
+    def total_cells(self) -> int:
+        """Total cell count across the fleet (the iso-area budget)."""
+        return sum(a.rows * a.cols for a in self.arrays)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(a.rows for a in self.arrays)
+
+    # ------------------------------------------------------------------ #
+    # Broadcast helpers
+    # ------------------------------------------------------------------ #
+    def repartition(self, n_partitions: int) -> None:
+        """Reconfigure the column partitioning of every array."""
+        for array in self.arrays:
+            array.repartition(n_partitions)
+
+    def load_rows(self, data: Sequence[Sequence[int]], start_col: int = 0) -> None:
+        """Distribute row vectors over the fleet, round-robin across arrays.
+
+        Row ``i`` of ``data`` is placed into array ``i % n_arrays``, row
+        ``i // n_arrays``.  Raises when the fleet does not have enough rows.
+        """
+        capacity = self.total_rows
+        if len(data) > capacity:
+            raise SchedulingError(
+                f"{len(data)} data rows exceed the fleet capacity of {capacity} rows"
+            )
+        for index, values in enumerate(data):
+            array = self.arrays[index % len(self.arrays)]
+            row = index // len(self.arrays)
+            array.load_row(row, values, start_col=start_col)
+
+    def for_each_row(
+        self,
+        n_rows: int,
+        fn: Callable[[PimArray, int], None],
+    ) -> None:
+        """Apply ``fn(array, row)`` over the first ``n_rows`` logical rows.
+
+        Logical row ``i`` lives in array ``i % n_arrays``, physical row
+        ``i // n_arrays`` — the same placement as :meth:`load_rows`.
+        """
+        if n_rows < 0:
+            raise PimError("n_rows must be non-negative")
+        if n_rows > self.total_rows:
+            raise SchedulingError("n_rows exceeds fleet row capacity")
+        for index in range(n_rows):
+            array = self.arrays[index % len(self.arrays)]
+            row = index // len(self.arrays)
+            fn(array, row)
+
+    def locate_row(self, logical_row: int) -> "tuple[PimArray, int]":
+        """Map a logical row index to ``(array, physical_row)``."""
+        if logical_row < 0 or logical_row >= self.total_rows:
+            raise PimError(f"logical row {logical_row} outside fleet capacity")
+        return self.arrays[logical_row % len(self.arrays)], logical_row // len(self.arrays)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        return {
+            "n_arrays": len(self.arrays),
+            "rows": self.rows,
+            "cols": self.cols,
+            "technology": self.technology.name,
+            "total_cells": self.total_cells,
+            "operations": self.trace.summary(),
+            "faults_injected": self.fault_injector.log.count(),
+        }
+
+    def clear(self) -> None:
+        """Zero every array (the trace and the fault log are kept)."""
+        for array in self.arrays:
+            array.clear()

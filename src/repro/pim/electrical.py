@@ -1,0 +1,393 @@
+"""Electrical characterisation of multi-output in-array gates (paper Appendix).
+
+The paper's Appendix derives, for each technology, the bias-voltage windows
+within which the in-array NOR and thresholding (THR) gates switch correctly,
+and the resulting *noise margin* as a function of the number of simultaneously
+driven output cells.  This module reproduces those closed-form models:
+
+* Equations (2) and (3): low/high bias voltages for N-output MRAM gates with
+  the output MTJs connected in parallel or in series ("Today's MTJ"
+  parameters, i.e. the STT set of Table III unless overridden).
+* Equation (4): the 4-input THR bias window for MRAM.
+* Equation (5): the N-output NOR window with D dummy inputs used to align the
+  NOR window with the THR window.
+* Equations (6) and (7): the ReRAM equivalents.
+* Fig. 9(a): noise margin (%) vs number of output cells for parallel/series
+  connectivity, with the 5 % minimum-noise-margin feasibility rule.
+* Fig. 9(b): the corresponding bias voltages.
+
+All voltages are in volts; resistances are converted from the kΩ of
+:class:`~repro.pim.technology.TechnologyParameters` to Ω and currents from µA
+to A internally, so the returned voltages are directly comparable with the
+~0.2–2 V range of Fig. 9(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import BiasVoltageError, TechnologyError
+from repro.pim.technology import (
+    RERAM,
+    STT_MRAM,
+    ResistiveFamily,
+    TechnologyParameters,
+)
+
+__all__ = [
+    "OutputTopology",
+    "BiasWindow",
+    "NoiseMarginPoint",
+    "parallel_resistance",
+    "mram_bias_window",
+    "mram_thr_window",
+    "mram_nor_window_with_dummies",
+    "reram_thr_window",
+    "reram_nor_window",
+    "noise_margin_percent",
+    "noise_margin_curve",
+    "bias_voltage_curve",
+    "max_feasible_outputs",
+    "dummy_inputs_for",
+    "MINIMUM_NOISE_MARGIN_PERCENT",
+]
+
+#: Feasibility threshold used in Fig. 9(a): gates whose noise margin falls
+#: below this value are considered unreliable.
+MINIMUM_NOISE_MARGIN_PERCENT = 5.0
+
+#: Dummy-input counts D used to align the NOR and THR bias windows
+#: (Appendix: "D is 4 for STT; 5 for SOT/SHE; and 2 for ReRAM").
+_DUMMY_INPUTS = {"stt": 4, "sot": 5, "reram": 2}
+
+
+class OutputTopology:
+    """How the output cells of a multi-output gate are wired together."""
+
+    PARALLEL = "parallel"
+    SERIES = "series"
+
+    ALL = (PARALLEL, SERIES)
+
+
+@dataclass(frozen=True)
+class BiasWindow:
+    """A feasible bias-voltage interval (V_low, V_high) for a gate.
+
+    ``v_low`` is the largest voltage at which the output must *not* switch
+    (marginal non-switching input combination); ``v_high`` is the smallest
+    voltage at which it must switch (marginal switching combination).  A gate
+    is operable when ``v_low < v_bias < v_high`` — i.e. when the window is
+    non-empty.
+    """
+
+    v_low: float
+    v_high: float
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.v_high > self.v_low > 0.0
+
+    @property
+    def width(self) -> float:
+        return self.v_high - self.v_low
+
+    @property
+    def center(self) -> float:
+        return 0.5 * (self.v_high + self.v_low)
+
+    def overlap(self, other: "BiasWindow") -> "BiasWindow":
+        """Intersection of two windows (possibly infeasible)."""
+        return BiasWindow(max(self.v_low, other.v_low), min(self.v_high, other.v_high))
+
+    def contains(self, v_bias: float) -> bool:
+        return self.v_low < v_bias < self.v_high
+
+
+@dataclass(frozen=True)
+class NoiseMarginPoint:
+    """One point of the Fig. 9 curves."""
+
+    n_outputs: int
+    topology: str
+    v_low: float
+    v_high: float
+    noise_margin_percent: float
+    feasible: bool
+
+
+def parallel_resistance(resistances: Iterable[float]) -> float:
+    """Equivalent resistance of resistors connected in parallel.
+
+    Raises :class:`BiasVoltageError` if the iterable is empty or contains a
+    non-positive resistance.
+    """
+    values = list(resistances)
+    if not values:
+        raise BiasVoltageError("parallel_resistance needs at least one resistor")
+    if any(r <= 0 for r in values):
+        raise BiasVoltageError("resistances must be positive")
+    return 1.0 / sum(1.0 / r for r in values)
+
+
+def _mram_quantities(tech: TechnologyParameters) -> Tuple[float, float, float]:
+    """Return (TMR, R_P in Ω, I_C in A) for an MRAM technology."""
+    if not tech.is_mram:
+        raise TechnologyError(f"{tech.name!r} is not an MRAM technology")
+    if tech.critical_current_ua is None:
+        raise TechnologyError("MRAM technology is missing critical current")
+    tmr = tech.tmr_ratio
+    r_p = tech.r_low_kohm * 1e3
+    i_c = tech.critical_current_ua * 1e-6
+    return tmr, r_p, i_c
+
+
+def mram_bias_window(
+    tech: TechnologyParameters = STT_MRAM,
+    n_outputs: int = 1,
+    topology: str = OutputTopology.PARALLEL,
+) -> BiasWindow:
+    """Bias window of an N-output MRAM NOR gate (Appendix Eqs. 2 and 3).
+
+    Parallel connectivity (Eq. 2)::
+
+        V_BSL,low  (parallel) = N * I_C * ((TMR+1) R_P / (TMR+2) + R_P / N)
+        V_BSL,high (parallel) = N * I_C * ((TMR+1) R_P / 2       + R_P / N)
+
+    Series connectivity (Eq. 3)::
+
+        V_BSL,low  (series) = I_C * ((TMR+1) R_P / (TMR+2) + R_P * N)
+        V_BSL,high (series) = I_C * ((TMR+1) R_P / 2       + R_P * N)
+
+    The low voltage corresponds to the marginally non-switching input
+    combination and the high voltage to the marginally switching one.
+    """
+    if n_outputs < 1:
+        raise BiasVoltageError("n_outputs must be >= 1")
+    if topology not in OutputTopology.ALL:
+        raise BiasVoltageError(f"unknown output topology: {topology!r}")
+    tmr, r_p, i_c = _mram_quantities(tech)
+
+    if topology == OutputTopology.PARALLEL:
+        v_low = n_outputs * i_c * ((tmr + 1.0) * r_p / (tmr + 2.0) + r_p / n_outputs)
+        v_high = n_outputs * i_c * ((tmr + 1.0) * r_p / 2.0 + r_p / n_outputs)
+    else:
+        v_low = i_c * ((tmr + 1.0) * r_p / (tmr + 2.0) + r_p * n_outputs)
+        v_high = i_c * ((tmr + 1.0) * r_p / 2.0 + r_p * n_outputs)
+    return BiasWindow(v_low=v_low, v_high=v_high)
+
+
+def mram_thr_window(tech: TechnologyParameters = STT_MRAM) -> BiasWindow:
+    """Bias window of the 4-input MRAM thresholding gate (Appendix Eq. 4).
+
+    ``I_C (R_P‖R_P‖R_P‖R_AP + R_P) < V_bias < I_C (R_P‖R_P‖R_AP‖R_AP + R_P)``
+    """
+    _, r_p, i_c = _mram_quantities(tech)
+    r_ap = tech.r_high_kohm * 1e3
+    r_out = tech.output_resistance_kohm * 1e3
+    v_low = i_c * (parallel_resistance([r_p, r_p, r_p, r_ap]) + r_out)
+    v_high = i_c * (parallel_resistance([r_p, r_p, r_ap, r_ap]) + r_out)
+    return BiasWindow(v_low=v_low, v_high=v_high)
+
+
+def mram_nor_window_with_dummies(
+    tech: TechnologyParameters = STT_MRAM,
+    n_outputs: int = 1,
+    n_dummies: int = 0,
+) -> BiasWindow:
+    """N-output MRAM NOR window with D dummy inputs (Appendix Eq. 5).
+
+    ``N I_C (R_P‖R_P‖(R_P/D) + R_P/N) < V_bias <
+    N I_C (R_P‖R_AP‖(R_P/D) + R_P/N)``
+
+    Dummy inputs are always-low-resistance cells added to the gate's input
+    network purely to shift its bias window so that it overlaps the THR
+    window (both gate types share the array's column control lines and must
+    operate at a common bias).
+    """
+    if n_outputs < 1:
+        raise BiasVoltageError("n_outputs must be >= 1")
+    if n_dummies < 0:
+        raise BiasVoltageError("n_dummies must be >= 0")
+    _, r_p, i_c = _mram_quantities(tech)
+    r_ap = tech.r_high_kohm * 1e3
+    r_out = tech.output_resistance_kohm * 1e3
+
+    branch = [r_p, r_p] if n_dummies == 0 else [r_p, r_p, r_p / n_dummies]
+    branch_hi = [r_p, r_ap] if n_dummies == 0 else [r_p, r_ap, r_p / n_dummies]
+    v_low = n_outputs * i_c * (parallel_resistance(branch) + r_out / n_outputs)
+    v_high = n_outputs * i_c * (parallel_resistance(branch_hi) + r_out / n_outputs)
+    return BiasWindow(v_low=v_low, v_high=v_high)
+
+
+def reram_thr_window(tech: TechnologyParameters = RERAM) -> BiasWindow:
+    """ReRAM 4-input THR bias window (Appendix Eq. 6).
+
+    ``(V_OFF/R_ON)(R_ON + R_OFF‖R_OFF‖R_ON‖R_ON) < V_bias <
+    (V_OFF/R_ON)(R_ON + R_OFF‖R_OFF‖R_OFF‖R_ON)``
+    """
+    if tech.family != ResistiveFamily.RERAM:
+        raise TechnologyError(f"{tech.name!r} is not a ReRAM technology")
+    if tech.v_off is None:
+        raise TechnologyError("ReRAM technology is missing v_off")
+    r_on = tech.r_low_kohm * 1e3
+    r_off = tech.r_high_kohm * 1e3
+    scale = tech.v_off / r_on
+    v_low = scale * (r_on + parallel_resistance([r_off, r_off, r_on, r_on]))
+    v_high = scale * (r_on + parallel_resistance([r_off, r_off, r_off, r_on]))
+    return BiasWindow(v_low=v_low, v_high=v_high)
+
+
+def reram_nor_window(
+    tech: TechnologyParameters = RERAM,
+    n_outputs: int = 1,
+    n_dummies: int = 0,
+) -> BiasWindow:
+    """N-output ReRAM NOR window with D dummy inputs (Appendix Eq. 7).
+
+    ``(V_OFF/R_ON) N (R_ON/N + R_OFF‖R_ON‖(R_ON/D)) < V_bias <
+    (V_OFF/R_ON) N (R_ON/N + R_OFF‖R_OFF‖(R_ON/D))``
+    """
+    if tech.family != ResistiveFamily.RERAM:
+        raise TechnologyError(f"{tech.name!r} is not a ReRAM technology")
+    if n_outputs < 1:
+        raise BiasVoltageError("n_outputs must be >= 1")
+    if n_dummies < 0:
+        raise BiasVoltageError("n_dummies must be >= 0")
+    if tech.v_off is None:
+        raise TechnologyError("ReRAM technology is missing v_off")
+    r_on = tech.r_low_kohm * 1e3
+    r_off = tech.r_high_kohm * 1e3
+    scale = tech.v_off / r_on
+
+    branch_lo = [r_off, r_on] if n_dummies == 0 else [r_off, r_on, r_on / n_dummies]
+    branch_hi = [r_off, r_off] if n_dummies == 0 else [r_off, r_off, r_on / n_dummies]
+    v_low = scale * n_outputs * (r_on / n_outputs + parallel_resistance(branch_lo))
+    v_high = scale * n_outputs * (r_on / n_outputs + parallel_resistance(branch_hi))
+    return BiasWindow(v_low=v_low, v_high=v_high)
+
+
+def noise_margin_percent(window: BiasWindow) -> float:
+    """Noise margin as defined in the Appendix (after [61]).
+
+    ``NM (%) = (V_high − V_low) / ((V_high + V_low) / 2) × 100``
+
+    Returns 0.0 for an infeasible (empty) window.
+    """
+    if not window.is_feasible:
+        return 0.0
+    return 100.0 * window.width / window.center
+
+
+def dummy_inputs_for(tech: TechnologyParameters) -> int:
+    """Number of dummy NOR inputs D used to align the NOR/THR windows."""
+    try:
+        return _DUMMY_INPUTS[tech.name]
+    except KeyError:
+        # Unknown (user-defined) technology: search for the smallest D whose
+        # NOR window still overlaps the THR window for a 2-output gate.
+        for d in range(0, 16):
+            if tech.is_mram:
+                nor = mram_nor_window_with_dummies(tech, n_outputs=2, n_dummies=d)
+                thr = mram_thr_window(tech)
+            else:
+                nor = reram_nor_window(tech, n_outputs=2, n_dummies=d)
+                thr = reram_thr_window(tech)
+            if nor.overlap(thr).is_feasible:
+                return d
+        raise BiasVoltageError(
+            f"could not find a dummy-input count aligning NOR/THR for {tech.name!r}"
+        )
+
+
+def noise_margin_curve(
+    tech: TechnologyParameters = STT_MRAM,
+    n_outputs_range: Sequence[int] = tuple(range(1, 11)),
+    topologies: Sequence[str] = OutputTopology.ALL,
+) -> List[NoiseMarginPoint]:
+    """Reproduce Fig. 9(a): noise margin vs number of output cells.
+
+    For each output count and topology, the bias window of the N-output gate
+    is evaluated with Eq. 2/3 (MRAM) and the noise margin computed; points
+    whose margin falls below :data:`MINIMUM_NOISE_MARGIN_PERCENT` are marked
+    infeasible.  For ReRAM the parallel topology uses Eq. 7 (series output
+    stacking is not part of the ReRAM appendix model and reuses the parallel
+    window scaled by the output count).
+    """
+    points: List[NoiseMarginPoint] = []
+    for topology in topologies:
+        for n in n_outputs_range:
+            if tech.is_mram:
+                window = mram_bias_window(tech, n_outputs=n, topology=topology)
+            else:
+                window = reram_nor_window(tech, n_outputs=n, n_dummies=dummy_inputs_for(tech))
+                if topology == OutputTopology.SERIES:
+                    window = BiasWindow(window.v_low * n, window.v_high * n)
+            margin = noise_margin_percent(window)
+            points.append(
+                NoiseMarginPoint(
+                    n_outputs=n,
+                    topology=topology,
+                    v_low=window.v_low,
+                    v_high=window.v_high,
+                    noise_margin_percent=margin,
+                    feasible=margin >= MINIMUM_NOISE_MARGIN_PERCENT,
+                )
+            )
+    return points
+
+
+def bias_voltage_curve(
+    tech: TechnologyParameters = STT_MRAM,
+    n_outputs_range: Sequence[int] = tuple(range(1, 11)),
+) -> Dict[str, List[float]]:
+    """Reproduce Fig. 9(b): the four bias-voltage series vs output count.
+
+    Returns a mapping with keys ``"v_low_parallel"``, ``"v_high_parallel"``,
+    ``"v_low_series"`` and ``"v_high_series"``, each a list aligned with
+    ``n_outputs_range``.
+    """
+    series: Dict[str, List[float]] = {
+        "n_outputs": list(n_outputs_range),
+        "v_low_parallel": [],
+        "v_high_parallel": [],
+        "v_low_series": [],
+        "v_high_series": [],
+    }
+    for n in n_outputs_range:
+        if tech.is_mram:
+            par = mram_bias_window(tech, n_outputs=n, topology=OutputTopology.PARALLEL)
+            ser = mram_bias_window(tech, n_outputs=n, topology=OutputTopology.SERIES)
+        else:
+            par = reram_nor_window(tech, n_outputs=n, n_dummies=dummy_inputs_for(tech))
+            ser = BiasWindow(par.v_low * n, par.v_high * n)
+        series["v_low_parallel"].append(par.v_low)
+        series["v_high_parallel"].append(par.v_high)
+        series["v_low_series"].append(ser.v_low)
+        series["v_high_series"].append(ser.v_high)
+    return series
+
+
+def max_feasible_outputs(
+    tech: TechnologyParameters = STT_MRAM,
+    topology: str = OutputTopology.PARALLEL,
+    limit: int = 16,
+) -> int:
+    """Largest output count whose noise margin stays above the 5 % minimum.
+
+    The paper concludes that parallel placement of output MTJs is the more
+    efficient (and feasible) option; this helper quantifies exactly how many
+    outputs each topology supports for a given technology.
+    """
+    best = 0
+    for n in range(1, limit + 1):
+        if tech.is_mram:
+            window = mram_bias_window(tech, n_outputs=n, topology=topology)
+        else:
+            window = reram_nor_window(tech, n_outputs=n, n_dummies=dummy_inputs_for(tech))
+            if topology == OutputTopology.SERIES:
+                window = BiasWindow(window.v_low * n, window.v_high * n)
+        if noise_margin_percent(window) >= MINIMUM_NOISE_MARGIN_PERCENT:
+            best = n
+    return best

@@ -1,0 +1,248 @@
+"""Energy model for PiM executions.
+
+Mirrors :mod:`repro.pim.timing`: a trace-level accumulator for small
+functional runs, plus a statistics-level view (:class:`LevelEnergyStats`)
+used by the evaluation harness for the large paper benchmarks.
+
+Energy components (all in fJ):
+
+* ``compute``   — in-array gate operations of the main computation, including
+  the per-step peripheral drive energy and the preset writes of output cells.
+* ``metadata``  — gate operations, extra outputs and presets performed purely
+  for protection metadata (ECiM parity updates, TRiM redundant copies).
+* ``transfer``  — architectural reads/writes between the array and the
+  external Checker (sensing + drivers + row activation + cell writes for
+  write-backs).
+* ``checker``   — energy of the external Checker logic itself (syndrome or
+  majority vote); supplied by :mod:`repro.core.checker`.
+* ``reclaim``   — writes spent recycling scratch space under the iso-area
+  budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PimError
+from repro.pim.operations import OperationKind, OperationTrace
+from repro.pim.peripheral import DEFAULT_PERIPHERAL, PeripheralModel
+from repro.pim.technology import STT_MRAM, TechnologyParameters
+
+__all__ = ["LevelEnergyStats", "EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy decomposition in fJ."""
+
+    compute_fj: float = 0.0
+    metadata_fj: float = 0.0
+    transfer_fj: float = 0.0
+    checker_fj: float = 0.0
+    reclaim_fj: float = 0.0
+
+    @property
+    def total_fj(self) -> float:
+        return (
+            self.compute_fj
+            + self.metadata_fj
+            + self.transfer_fj
+            + self.checker_fj
+            + self.reclaim_fj
+        )
+
+    def overhead_vs(self, baseline: "EnergyBreakdown") -> float:
+        """Fractional energy overhead relative to ``baseline``."""
+        if baseline.total_fj <= 0:
+            raise PimError("baseline energy must be positive")
+        return self.total_fj / baseline.total_fj - 1.0
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        if factor < 0:
+            raise PimError("scale factor must be non-negative")
+        return EnergyBreakdown(
+            compute_fj=self.compute_fj * factor,
+            metadata_fj=self.metadata_fj * factor,
+            transfer_fj=self.transfer_fj * factor,
+            checker_fj=self.checker_fj * factor,
+            reclaim_fj=self.reclaim_fj * factor,
+        )
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            compute_fj=self.compute_fj + other.compute_fj,
+            metadata_fj=self.metadata_fj + other.metadata_fj,
+            transfer_fj=self.transfer_fj + other.transfer_fj,
+            checker_fj=self.checker_fj + other.checker_fj,
+            reclaim_fj=self.reclaim_fj + other.reclaim_fj,
+        )
+
+
+@dataclass(frozen=True)
+class LevelEnergyStats:
+    """Per-logic-level event counts consumed by the statistics-level model.
+
+    ``compute_gate_outputs`` counts *output cells driven* by main-computation
+    gates (a 2-output NOR contributes 2); ``compute_gates`` counts gate
+    firings (a 2-output NOR contributes 1).  Same split for metadata.
+    """
+
+    compute_gates: int
+    compute_gate_outputs: int
+    compute_thr_gates: int = 0
+    metadata_gates: int = 0
+    metadata_gate_outputs: int = 0
+    metadata_thr_gates: int = 0
+    preset_bits: int = 0
+    metadata_preset_bits: int = 0
+    checker_read_bits: int = 0
+    checker_write_bits: int = 0
+    reclaim_write_bits: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "compute_gates",
+            "compute_gate_outputs",
+            "compute_thr_gates",
+            "metadata_gates",
+            "metadata_gate_outputs",
+            "metadata_thr_gates",
+            "preset_bits",
+            "metadata_preset_bits",
+            "checker_read_bits",
+            "checker_write_bits",
+            "reclaim_write_bits",
+        ):
+            if getattr(self, name) < 0:
+                raise PimError(f"{name} must be non-negative")
+
+
+class EnergyModel:
+    """Energy estimation for PiM executions on one technology."""
+
+    def __init__(
+        self,
+        technology: TechnologyParameters = STT_MRAM,
+        peripheral: PeripheralModel = DEFAULT_PERIPHERAL,
+    ) -> None:
+        self.technology = technology
+        self.peripheral = peripheral
+
+    # ------------------------------------------------------------------ #
+    # Primitive energies
+    # ------------------------------------------------------------------ #
+    def gate_energy_fj(self, gate: str, n_outputs: int = 1) -> float:
+        """Cell-level energy of one gate firing plus peripheral drive energy."""
+        return self.technology.gate_energy_fj(gate, n_outputs) + self.peripheral.gate_step_energy_fj()
+
+    def preset_energy_fj(self, n_bits: int) -> float:
+        """Energy of presetting ``n_bits`` output cells (ordinary writes)."""
+        if n_bits < 0:
+            raise PimError("n_bits must be non-negative")
+        return n_bits * self.technology.write_energy_fj
+
+    def read_energy_fj(self, n_bits: int) -> float:
+        """Energy of one architectural read of ``n_bits`` bits."""
+        if n_bits <= 0:
+            return 0.0
+        return self.peripheral.read_energy_fj(n_bits) + n_bits * self.technology.read_energy_fj
+
+    def write_energy_fj(self, n_bits: int) -> float:
+        """Energy of one architectural write of ``n_bits`` bits."""
+        if n_bits <= 0:
+            return 0.0
+        return self.peripheral.write_energy_fj(n_bits) + n_bits * self.technology.write_energy_fj
+
+    # ------------------------------------------------------------------ #
+    # Trace-level accounting
+    # ------------------------------------------------------------------ #
+    def trace_energy_fj(self, trace: OperationTrace) -> EnergyBreakdown:
+        """Energy of a recorded operation trace."""
+        compute = 0.0
+        metadata = 0.0
+        transfer = 0.0
+        for record in trace:
+            if record.kind == OperationKind.GATE:
+                energy = self.gate_energy_fj(record.gate, record.n_outputs)
+                if record.is_metadata:
+                    metadata += energy
+                else:
+                    compute += energy
+            elif record.kind == OperationKind.PRESET:
+                energy = self.preset_energy_fj(len(record.columns))
+                if record.is_metadata:
+                    metadata += energy
+                else:
+                    compute += energy
+            elif record.kind == OperationKind.READ:
+                transfer += self.read_energy_fj(record.n_bits)
+            elif record.kind == OperationKind.WRITE:
+                transfer += self.write_energy_fj(record.n_bits)
+            else:  # pragma: no cover - OperationTrace already validates kinds
+                raise PimError(f"unknown operation kind {record.kind!r}")
+        return EnergyBreakdown(compute_fj=compute, metadata_fj=metadata, transfer_fj=transfer)
+
+    # ------------------------------------------------------------------ #
+    # Statistics-level accounting
+    # ------------------------------------------------------------------ #
+    def level_energy_fj(
+        self,
+        level: LevelEnergyStats,
+        checker_energy_fj: float = 0.0,
+    ) -> EnergyBreakdown:
+        """Energy of one logic level from aggregate event counts.
+
+        The gate energy is charged per gate *firing* (NOR vs. THR separated
+        because their Table III energies differ); every output cell driven
+        beyond one per firing adds a cell-switching (write) energy, matching
+        :meth:`TechnologyParameters.gate_energy_fj`.  The peripheral drive
+        energy is charged per firing as well.
+        """
+        nor_firings = max(0, level.compute_gates - level.compute_thr_gates)
+        extra_outputs = max(0, level.compute_gate_outputs - level.compute_gates)
+        compute = (
+            nor_firings * self.technology.nor_energy_fj
+            + level.compute_thr_gates * self.technology.thr_energy_fj
+            + extra_outputs * self.technology.write_energy_fj
+            + level.compute_gates * self.peripheral.gate_step_energy_fj()
+            + self.preset_energy_fj(level.preset_bits)
+        )
+        metadata_nor_firings = max(0, level.metadata_gates - level.metadata_thr_gates)
+        metadata_extra_outputs = max(0, level.metadata_gate_outputs - level.metadata_gates)
+        metadata = (
+            metadata_nor_firings * self.technology.nor_energy_fj
+            + level.metadata_thr_gates * self.technology.thr_energy_fj
+            + metadata_extra_outputs * self.technology.write_energy_fj
+            + level.metadata_gates * self.peripheral.gate_step_energy_fj()
+            + self.preset_energy_fj(level.metadata_preset_bits)
+        )
+        transfer = self.read_energy_fj(level.checker_read_bits) + self.write_energy_fj(
+            level.checker_write_bits
+        )
+        reclaim = self.write_energy_fj(level.reclaim_write_bits) if level.reclaim_write_bits else 0.0
+        return EnergyBreakdown(
+            compute_fj=compute,
+            metadata_fj=metadata,
+            transfer_fj=transfer,
+            checker_fj=checker_energy_fj,
+            reclaim_fj=reclaim,
+        )
+
+    def levels_energy_fj(
+        self,
+        levels: Sequence[LevelEnergyStats],
+        checker_energy_per_level_fj: float = 0.0,
+    ) -> EnergyBreakdown:
+        """Sum of :meth:`level_energy_fj` over a sequence of levels."""
+        total = EnergyBreakdown()
+        for level in levels:
+            total = total + self.level_energy_fj(level, checker_energy_per_level_fj)
+        return total
+
+    def overhead_percent(
+        self, protected: EnergyBreakdown, baseline: EnergyBreakdown
+    ) -> float:
+        """Energy overhead of a protected run vs. its baseline, in percent."""
+        return 100.0 * protected.overhead_vs(baseline)

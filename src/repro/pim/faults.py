@@ -1,0 +1,363 @@
+"""Fault models and injectors for nonvolatile PiM.
+
+The paper distinguishes (Section II-C):
+
+* **memory errors** — the conventional storage errors PiM inherits from the
+  underlying NVM substrate (retention failures, read disturb, resistance
+  drift...).  They manifest as single bit flips of idle cells.
+* **logic errors** — errors induced by the in-array computation itself: the
+  output cell of a gate fails to switch when it should, or switches when it
+  should not.  They also manifest as single bit flips, but on *freshly
+  produced* gate outputs, and can propagate through subsequent gates before a
+  periodic memory-ECC scrub would ever notice them.
+
+Following the paper's error model ("errors in Boolean gate operations are
+uniformly distributed in each PiM array throughout row-parallel
+computation"), the stochastic injector flips each gate output independently
+with probability ``gate_error_rate`` and each idle cell per read/scrub window
+with probability ``memory_error_rate``.  A deterministic injector targets a
+specific operation index / cell for the exhaustive SEP case analysis of
+Fig. 6, and a correlation-aware injector models the spatially / temporally
+correlated bursts discussed in Section IV-E.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PimError
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultModel",
+    "FaultInjector",
+    "NoFaultInjector",
+    "StochasticFaultInjector",
+    "DeterministicFaultInjector",
+    "BurstFaultInjector",
+    "StuckAtFaultInjector",
+    "FaultLog",
+]
+
+
+class FaultKind:
+    """Categories of injected faults."""
+
+    LOGIC = "logic"          # direct error on a gate output
+    MEMORY = "memory"        # idle-cell storage error
+    PRESET = "preset"        # erroneous preset before a gate fires
+    METADATA = "metadata"    # error landing on a parity / redundant-copy cell
+    STUCK_AT = "stuck-at"    # permanent (hard) fault
+
+    ALL = (LOGIC, MEMORY, PRESET, METADATA, STUCK_AT)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Record of one injected fault.
+
+    ``site`` identifies the victim cell as ``(array, row, column)``;
+    ``operation_index`` is the global index of the gate operation during
+    which the fault was injected (``None`` for pure memory errors);
+    ``original`` / ``flipped`` give the before/after bit values.
+    """
+
+    kind: str
+    site: Tuple[int, int, int]
+    operation_index: Optional[int]
+    original: int
+    flipped: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise PimError(f"unknown fault kind: {self.kind!r}")
+
+
+@dataclass
+class FaultLog:
+    """Accumulates every :class:`FaultEvent` injected during a run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def record(self, event: FaultEvent) -> None:
+        self.events.append(event)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def sites(self) -> List[Tuple[int, int, int]]:
+        return [e.site for e in self.events]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Error-rate configuration shared by the stochastic injectors.
+
+    Rates are per-event probabilities: ``gate_error_rate`` applies once per
+    gate output produced, ``memory_error_rate`` once per idle cell per
+    scrub/read window, ``preset_error_rate`` once per preset operation.
+    ``metadata_error_rate`` defaults to the gate error rate because metadata
+    is produced by the very same in-array gates.
+    """
+
+    gate_error_rate: float = 0.0
+    memory_error_rate: float = 0.0
+    preset_error_rate: float = 0.0
+    metadata_error_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("gate_error_rate", "memory_error_rate", "preset_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise PimError(f"{name} must be a probability, got {rate}")
+        if self.metadata_error_rate is not None and not 0.0 <= self.metadata_error_rate <= 1.0:
+            raise PimError("metadata_error_rate must be a probability")
+
+    @property
+    def effective_metadata_error_rate(self) -> float:
+        if self.metadata_error_rate is None:
+            return self.gate_error_rate
+        return self.metadata_error_rate
+
+    @property
+    def is_error_free(self) -> bool:
+        return (
+            self.gate_error_rate == 0.0
+            and self.memory_error_rate == 0.0
+            and self.preset_error_rate == 0.0
+            and (self.metadata_error_rate in (None, 0.0))
+        )
+
+
+class FaultInjector:
+    """Interface every injector implements.
+
+    The behavioural array calls :meth:`corrupt_gate_output` right after it
+    evaluates a gate (once per produced output bit) and
+    :meth:`corrupt_stored_bit` when modelling idle-cell decay between
+    logic levels.  Both return the possibly-flipped bit value and log a
+    :class:`FaultEvent` when they flip.
+    """
+
+    def __init__(self, log: Optional[FaultLog] = None) -> None:
+        self.log = log if log is not None else FaultLog()
+
+    def corrupt_gate_output(
+        self,
+        value: int,
+        site: Tuple[int, int, int],
+        operation_index: int,
+        is_metadata: bool = False,
+    ) -> int:
+        raise NotImplementedError
+
+    def corrupt_stored_bit(self, value: int, site: Tuple[int, int, int]) -> int:
+        raise NotImplementedError
+
+    def corrupt_preset(
+        self, value: int, site: Tuple[int, int, int], operation_index: int
+    ) -> int:
+        """Default: presets are not corrupted; subclasses may override."""
+        return value
+
+    def _flip(
+        self,
+        kind: str,
+        value: int,
+        site: Tuple[int, int, int],
+        operation_index: Optional[int],
+    ) -> int:
+        flipped = value ^ 1
+        self.log.record(
+            FaultEvent(
+                kind=kind,
+                site=site,
+                operation_index=operation_index,
+                original=value,
+                flipped=flipped,
+            )
+        )
+        return flipped
+
+
+class NoFaultInjector(FaultInjector):
+    """Error-free execution (the functional-validation configuration)."""
+
+    def corrupt_gate_output(self, value, site, operation_index, is_metadata=False):
+        return value
+
+    def corrupt_stored_bit(self, value, site):
+        return value
+
+
+class StochasticFaultInjector(FaultInjector):
+    """Uniformly distributed, independent bit flips per the paper's model."""
+
+    def __init__(
+        self,
+        model: FaultModel,
+        seed: Optional[int] = None,
+        log: Optional[FaultLog] = None,
+    ) -> None:
+        super().__init__(log)
+        self.model = model
+        self._rng = random.Random(seed)
+
+    def corrupt_gate_output(self, value, site, operation_index, is_metadata=False):
+        rate = (
+            self.model.effective_metadata_error_rate
+            if is_metadata
+            else self.model.gate_error_rate
+        )
+        if rate > 0.0 and self._rng.random() < rate:
+            kind = FaultKind.METADATA if is_metadata else FaultKind.LOGIC
+            return self._flip(kind, value, site, operation_index)
+        return value
+
+    def corrupt_stored_bit(self, value, site):
+        if self.model.memory_error_rate > 0.0 and self._rng.random() < self.model.memory_error_rate:
+            return self._flip(FaultKind.MEMORY, value, site, None)
+        return value
+
+    def corrupt_preset(self, value, site, operation_index):
+        if self.model.preset_error_rate > 0.0 and self._rng.random() < self.model.preset_error_rate:
+            return self._flip(FaultKind.PRESET, value, site, operation_index)
+        return value
+
+
+class DeterministicFaultInjector(FaultInjector):
+    """Flip exactly the requested fault sites — used by the Fig. 6 analysis.
+
+    ``target_operations`` maps a global gate-operation index to the number of
+    output bits of that operation to flip (normally 1, flipping the first
+    output).  ``target_output_positions`` instead maps an operation index to
+    the zero-based *position* of the single output cell to flip, which lets
+    the exhaustive SEP sweep target, e.g., the redundant ``r_ij`` copy of a
+    multi-output gate rather than its data output.  ``target_cells`` is a
+    collection of ``(array, row, column)`` sites whose stored value is
+    flipped on the next touch (modelling a memory error at a known location).
+    """
+
+    def __init__(
+        self,
+        target_operations: Optional[Dict[int, int]] = None,
+        target_cells: Optional[Iterable[Tuple[int, int, int]]] = None,
+        target_output_positions: Optional[Dict[int, int]] = None,
+        log: Optional[FaultLog] = None,
+    ) -> None:
+        super().__init__(log)
+        self._targets = dict(target_operations or {})
+        self._remaining = dict(self._targets)
+        self._cells = set(target_cells or ())
+        self._positions = dict(target_output_positions or {})
+        self._seen_outputs: Dict[int, int] = {}
+
+    def corrupt_gate_output(self, value, site, operation_index, is_metadata=False):
+        kind = FaultKind.METADATA if is_metadata else FaultKind.LOGIC
+        if operation_index in self._positions:
+            position = self._seen_outputs.get(operation_index, 0)
+            self._seen_outputs[operation_index] = position + 1
+            if position == self._positions[operation_index]:
+                return self._flip(kind, value, site, operation_index)
+            return value
+        remaining = self._remaining.get(operation_index, 0)
+        if remaining > 0:
+            self._remaining[operation_index] = remaining - 1
+            return self._flip(kind, value, site, operation_index)
+        return value
+
+    def corrupt_stored_bit(self, value, site):
+        if site in self._cells:
+            self._cells.discard(site)
+            return self._flip(FaultKind.MEMORY, value, site, None)
+        return value
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every requested fault has been injected."""
+        return not self._cells and all(v == 0 for v in self._remaining.values())
+
+
+class BurstFaultInjector(FaultInjector):
+    """Spatially / temporally correlated error bursts (Section IV-E).
+
+    When the base stochastic draw fires, the injector flips not just the
+    victim bit but also up to ``burst_length − 1`` of the next gate outputs
+    produced within ``correlation_window`` operations — modelling, e.g., a
+    shared-parameter disturbance affecting several back-to-back operations.
+    """
+
+    def __init__(
+        self,
+        model: FaultModel,
+        burst_length: int = 2,
+        correlation_window: int = 4,
+        seed: Optional[int] = None,
+        log: Optional[FaultLog] = None,
+    ) -> None:
+        super().__init__(log)
+        if burst_length < 1:
+            raise PimError("burst_length must be >= 1")
+        if correlation_window < 1:
+            raise PimError("correlation_window must be >= 1")
+        self.model = model
+        self.burst_length = burst_length
+        self.correlation_window = correlation_window
+        self._rng = random.Random(seed)
+        self._burst_remaining = 0
+        self._burst_expires_at = -1
+
+    def corrupt_gate_output(self, value, site, operation_index, is_metadata=False):
+        if self._burst_remaining > 0 and operation_index <= self._burst_expires_at:
+            self._burst_remaining -= 1
+            kind = FaultKind.METADATA if is_metadata else FaultKind.LOGIC
+            return self._flip(kind, value, site, operation_index)
+        rate = self.model.gate_error_rate
+        if rate > 0.0 and self._rng.random() < rate:
+            self._burst_remaining = self.burst_length - 1
+            self._burst_expires_at = operation_index + self.correlation_window
+            kind = FaultKind.METADATA if is_metadata else FaultKind.LOGIC
+            return self._flip(kind, value, site, operation_index)
+        return value
+
+    def corrupt_stored_bit(self, value, site):
+        if self.model.memory_error_rate > 0.0 and self._rng.random() < self.model.memory_error_rate:
+            return self._flip(FaultKind.MEMORY, value, site, None)
+        return value
+
+
+class StuckAtFaultInjector(FaultInjector):
+    """Permanent (hard) faults: listed cells always read as the stuck value."""
+
+    def __init__(
+        self,
+        stuck_cells: Dict[Tuple[int, int, int], int],
+        log: Optional[FaultLog] = None,
+    ) -> None:
+        super().__init__(log)
+        for site, value in stuck_cells.items():
+            if value not in (0, 1):
+                raise PimError(f"stuck-at value must be a bit, got {value} at {site}")
+        self._stuck = dict(stuck_cells)
+
+    def _apply(self, value: int, site: Tuple[int, int, int], op: Optional[int]) -> int:
+        stuck = self._stuck.get(site)
+        if stuck is not None and stuck != value:
+            return self._flip(FaultKind.STUCK_AT, value, site, op)
+        if stuck is not None:
+            return stuck
+        return value
+
+    def corrupt_gate_output(self, value, site, operation_index, is_metadata=False):
+        return self._apply(value, site, operation_index)
+
+    def corrupt_stored_bit(self, value, site):
+        return self._apply(value, site, None)

@@ -1,0 +1,275 @@
+"""Logic semantics of the in-array gates used by the targeted PiM substrates.
+
+The paper's PiM technologies implement Boolean gates *inside* the memory
+array: a designated output cell is preset to a known value, the input cells
+are connected into a resistive divider, and a gate-specific bias voltage
+either switches the output cell or leaves it at its preset, according to the
+gate's truth table (Section II-A).  Functionally this gives:
+
+* ``NOR``   — n-input NOR, output preset to 0, switches to 1 only when all
+  inputs are 0 (i.e. all input devices in the low-resistance state for MRAM).
+* ``NOR_mk``— the multi-output variants ``NOR22``, ``NOR23`` … that drive
+  several *independent, identical* outputs in a single step (used for
+  seamless metadata generation by ECiM and TRiM).
+* ``THR``   — the 4-input thresholding gate, output preset to 0, switches to
+  1 when **three or more** of its inputs are 0.
+* ``CP``    — copy (single-input, output = input), realised as two cascaded
+  NOT gates or as the second output of a multi-output gate.
+* ``NOT``   — single-input NOR.
+* ``XOR``   — not a native gate; composed either as the 3-step sequence
+  ``NOR``, ``CP``, ``THR`` (Table I) or the 2-step sequence ``NOR22``,
+  ``THR`` when 2-output gates are available.
+
+This module implements the *functional* behaviour only; electrical validity
+(bias windows, output-count limits) lives in :mod:`repro.pim.electrical`, and
+timing/energy in :mod:`repro.pim.timing` / :mod:`repro.pim.energy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import GateOperandError
+
+__all__ = [
+    "GateType",
+    "GATE_PRESETS",
+    "gate_output",
+    "nor",
+    "nand",
+    "not_",
+    "copy_",
+    "thr",
+    "majority",
+    "xor_two_step",
+    "xor_three_step",
+    "xor_reference",
+    "table1_rows",
+    "GateSpec",
+    "THREE_STEP_XOR_SEQUENCE",
+    "TWO_STEP_XOR_SEQUENCE",
+]
+
+
+class GateType:
+    """String constants naming the supported in-array gate operations."""
+
+    NOR = "nor"
+    NAND = "nand"
+    NOT = "not"
+    COPY = "copy"
+    THR = "thr"
+    MAJ = "maj"
+    PRESET = "preset"
+
+    #: Gates that can be fired as a single in-array step.
+    NATIVE = (NOR, NAND, NOT, COPY, THR, MAJ)
+
+
+#: Preset value of the designated output cell for each gate type.  The preset
+#: is the value the output keeps when the resistive network does *not* drive
+#: enough current to switch it.
+GATE_PRESETS: Dict[str, int] = {
+    GateType.NOR: 0,
+    GateType.NAND: 0,
+    GateType.NOT: 0,
+    GateType.COPY: 0,
+    GateType.THR: 0,
+    GateType.MAJ: 0,
+}
+
+
+def _validate_bits(bits: Sequence[int], name: str) -> Tuple[int, ...]:
+    values = tuple(int(b) for b in bits)
+    if any(b not in (0, 1) for b in values):
+        raise GateOperandError(f"{name} operands must be bits (0/1), got {bits!r}")
+    return values
+
+
+def nor(inputs: Sequence[int]) -> int:
+    """n-input NOR: 1 iff every input is 0."""
+    values = _validate_bits(inputs, "NOR")
+    if not values:
+        raise GateOperandError("NOR requires at least one input")
+    return 1 if all(v == 0 for v in values) else 0
+
+
+def nand(inputs: Sequence[int]) -> int:
+    """n-input NAND: 0 iff every input is 1."""
+    values = _validate_bits(inputs, "NAND")
+    if not values:
+        raise GateOperandError("NAND requires at least one input")
+    return 0 if all(v == 1 for v in values) else 1
+
+
+def not_(value: int) -> int:
+    """Single-input NOR, i.e. logical NOT."""
+    return nor([value])
+
+
+def copy_(value: int) -> int:
+    """Copy gate (CP): identity on a single bit.
+
+    In the array a copy is realised either as two cascaded NOTs or, during
+    metadata generation, for free as the extra output of a multi-output gate.
+    """
+    (v,) = _validate_bits([value], "COPY")
+    return v
+
+
+def thr(inputs: Sequence[int], threshold: int = 3) -> int:
+    """Thresholding gate: 1 iff at least ``threshold`` inputs are 0.
+
+    The paper's THR is the 4-input instance with threshold 3 ("the preset for
+    THR output is logic 0, which only switches to 1 if three or more of its
+    inputs are 0").  The generalised form is exposed because the electrical
+    model supports other input counts.
+    """
+    values = _validate_bits(inputs, "THR")
+    if not values:
+        raise GateOperandError("THR requires at least one input")
+    if not 1 <= threshold <= len(values):
+        raise GateOperandError(
+            f"threshold must be within 1..{len(values)}, got {threshold}"
+        )
+    zeros = sum(1 for v in values if v == 0)
+    return 1 if zeros >= threshold else 0
+
+
+def majority(inputs: Sequence[int]) -> int:
+    """Majority vote over an odd number of bits (used by TRiM checkers)."""
+    values = _validate_bits(inputs, "MAJ")
+    if len(values) % 2 == 0:
+        raise GateOperandError("majority vote requires an odd number of inputs")
+    return 1 if sum(values) * 2 > len(values) else 0
+
+
+def gate_output(gate: str, inputs: Sequence[int]) -> int:
+    """Dispatch on the gate type string and evaluate one gate functionally."""
+    gate = gate.lower()
+    if gate == GateType.NOR:
+        return nor(inputs)
+    if gate == GateType.NAND:
+        return nand(inputs)
+    if gate == GateType.NOT:
+        if len(inputs) != 1:
+            raise GateOperandError("NOT takes exactly one input")
+        return not_(inputs[0])
+    if gate == GateType.COPY:
+        if len(inputs) != 1:
+            raise GateOperandError("COPY takes exactly one input")
+        return copy_(inputs[0])
+    if gate == GateType.THR:
+        return thr(inputs)
+    if gate == GateType.MAJ:
+        return majority(inputs)
+    raise GateOperandError(f"unknown gate type: {gate!r}")
+
+
+# ---------------------------------------------------------------------- #
+# XOR decompositions (Table I and the 2-step variant)
+# ---------------------------------------------------------------------- #
+def xor_three_step(in1: int, in2: int) -> Tuple[int, int, int]:
+    """3-step XOR from Table I.
+
+    Step 1: ``s1 = NOR(in1, in2)``;
+    Step 2: ``s2 = CP(s1)``;
+    Step 3: ``out = THR(in1, in2, s1, s2)`` (threshold 3).
+
+    Returns ``(s1, s2, out)`` so callers can also inspect the intermediates.
+    """
+    s1 = nor([in1, in2])
+    s2 = copy_(s1)
+    out = thr([in1, in2, s1, s2])
+    return s1, s2, out
+
+
+def xor_two_step(in1: int, in2: int) -> Tuple[int, int, int]:
+    """2-step XOR using a 2-output NOR (``NOR22``) followed by THR.
+
+    The 2-output NOR produces ``s1`` and its identical copy ``s2`` in one
+    step, so only the THR step remains: ``out = THR(in1, in2, s1, s2)``.
+    Returns ``(s1, s2, out)``.
+    """
+    s1 = nor([in1, in2])
+    s2 = s1  # second, identical output of NOR22 — produced in the same step
+    out = thr([in1, in2, s1, s2])
+    return s1, s2, out
+
+
+def xor_reference(in1: int, in2: int) -> int:
+    """Plain Boolean XOR used as the oracle in tests and checkers."""
+    values = _validate_bits([in1, in2], "XOR")
+    return values[0] ^ values[1]
+
+
+def table1_rows() -> List[Dict[str, int]]:
+    """Regenerate Table I of the paper (the 3-step XOR truth table).
+
+    Each row maps the column headers of Table I to their value:
+    ``in1, in2, s1, s2, out``.
+    """
+    rows = []
+    for in1 in (0, 1):
+        for in2 in (0, 1):
+            s1, s2, out = xor_three_step(in1, in2)
+            rows.append({"in1": in1, "in2": in2, "s1": s1, "s2": s2, "out": out})
+    return rows
+
+
+#: Gate sequences backing the two XOR decompositions; each element is
+#: ``(gate_type, number_of_array_steps, number_of_outputs)``.  These are used
+#: by the compiler when expanding XOR nodes and by the timing model.
+THREE_STEP_XOR_SEQUENCE: Tuple[Tuple[str, int, int], ...] = (
+    (GateType.NOR, 1, 1),
+    (GateType.COPY, 1, 1),
+    (GateType.THR, 1, 1),
+)
+
+TWO_STEP_XOR_SEQUENCE: Tuple[Tuple[str, int, int], ...] = (
+    (GateType.NOR, 1, 2),
+    (GateType.THR, 1, 1),
+)
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of one gate operation for scheduling purposes.
+
+    Attributes
+    ----------
+    gate:
+        One of :class:`GateType`.
+    n_inputs:
+        Number of input cells participating in the resistive network.
+    n_outputs:
+        Number of simultaneously driven (identical) output cells; multi-output
+        gates are the mechanism behind ECiM's free parity copy and TRiM's
+        one-shot redundant outputs.
+    """
+
+    gate: str
+    n_inputs: int
+    n_outputs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gate not in GateType.NATIVE:
+            raise GateOperandError(f"not a native in-array gate: {self.gate!r}")
+        if self.n_inputs < 1:
+            raise GateOperandError("a gate needs at least one input")
+        if self.n_outputs < 1:
+            raise GateOperandError("a gate needs at least one output")
+
+    @property
+    def is_multi_output(self) -> bool:
+        return self.n_outputs > 1
+
+    def evaluate(self, inputs: Sequence[int]) -> Tuple[int, ...]:
+        """Evaluate the gate and return the tuple of (identical) outputs."""
+        if len(inputs) != self.n_inputs:
+            raise GateOperandError(
+                f"{self.gate} expects {self.n_inputs} inputs, got {len(inputs)}"
+            )
+        value = gate_output(self.gate, inputs)
+        return (value,) * self.n_outputs

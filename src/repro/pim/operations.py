@@ -1,0 +1,226 @@
+"""Operation records for the PiM substrate.
+
+Every interaction with a PiM array is captured as an operation record so the
+timing model, the energy model and the protection layer can all reason about
+the exact same event stream.  Four operation kinds exist:
+
+* :class:`GateOperation` — an in-array Boolean gate (NOR / THR / …), possibly
+  multi-output, fired in one row (and possibly spanning several partitions).
+* :class:`PresetOperation` — writing the preset value into the designated
+  output cell(s) before a gate fires.
+* :class:`ReadOperation` — a conventional row (or partial-row) read, e.g. the
+  transfer of a logic level's results + metadata to the external Checker.
+* :class:`WriteOperation` — a conventional write, e.g. the Checker writing a
+  corrected logic-level output back into the array.
+
+:class:`OperationTrace` accumulates records and exposes the aggregate counts
+that the evaluation harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PimError
+
+__all__ = [
+    "OperationKind",
+    "GateOperation",
+    "PresetOperation",
+    "ReadOperation",
+    "WriteOperation",
+    "OperationTrace",
+]
+
+
+class OperationKind:
+    """Categories of array-level operations."""
+
+    GATE = "gate"
+    PRESET = "preset"
+    READ = "read"
+    WRITE = "write"
+
+    ALL = (GATE, PRESET, READ, WRITE)
+
+
+@dataclass(frozen=True)
+class GateOperation:
+    """One in-array gate firing.
+
+    ``inputs`` / ``outputs`` are column indices within ``row``;
+    ``is_metadata`` marks operations performed purely for protection metadata
+    (parity updates for ECiM, redundant copies for TRiM) so overhead can be
+    attributed; ``logic_level`` ties the operation to the circuit level it
+    implements (checks happen at logic-level granularity).
+    """
+
+    kind: str = field(default=OperationKind.GATE, init=False)
+    gate: str = "nor"
+    array: int = 0
+    row: int = 0
+    inputs: Tuple[int, ...] = ()
+    outputs: Tuple[int, ...] = ()
+    logic_level: int = 0
+    is_metadata: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise PimError("a gate operation needs at least one output column")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise PimError("duplicate output columns in gate operation")
+        overlap = set(self.inputs) & set(self.outputs)
+        if overlap:
+            raise PimError(f"columns {sorted(overlap)} are both input and output")
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+
+@dataclass(frozen=True)
+class PresetOperation:
+    """Preset of one or more output cells before a gate fires."""
+
+    kind: str = field(default=OperationKind.PRESET, init=False)
+    array: int = 0
+    row: int = 0
+    columns: Tuple[int, ...] = ()
+    value: int = 0
+    logic_level: int = 0
+    is_metadata: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise PimError("a preset operation needs at least one column")
+        if self.value not in (0, 1):
+            raise PimError("preset value must be a bit")
+
+
+@dataclass(frozen=True)
+class ReadOperation:
+    """Conventional read of ``n_bits`` bits from one row (to the Checker)."""
+
+    kind: str = field(default=OperationKind.READ, init=False)
+    array: int = 0
+    row: int = 0
+    n_bits: int = 0
+    logic_level: int = 0
+    purpose: str = "checker-transfer"
+
+    def __post_init__(self) -> None:
+        if self.n_bits <= 0:
+            raise PimError("a read operation must transfer at least one bit")
+
+
+@dataclass(frozen=True)
+class WriteOperation:
+    """Conventional write of ``n_bits`` bits into one row (from the Checker)."""
+
+    kind: str = field(default=OperationKind.WRITE, init=False)
+    array: int = 0
+    row: int = 0
+    n_bits: int = 0
+    logic_level: int = 0
+    purpose: str = "correction-writeback"
+
+    def __post_init__(self) -> None:
+        if self.n_bits <= 0:
+            raise PimError("a write operation must transfer at least one bit")
+
+
+Operation = object  # informal union of the four record types
+
+
+@dataclass
+class OperationTrace:
+    """Accumulates operation records and derives aggregate statistics."""
+
+    records: List[object] = field(default_factory=list)
+
+    def append(self, record: object) -> None:
+        kind = getattr(record, "kind", None)
+        if kind not in OperationKind.ALL:
+            raise PimError(f"not an operation record: {record!r}")
+        self.records.append(record)
+
+    def extend(self, records: Iterable[object]) -> None:
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate views
+    # ------------------------------------------------------------------ #
+    def count(self, kind: Optional[str] = None, metadata_only: bool = False) -> int:
+        total = 0
+        for record in self.records:
+            if kind is not None and record.kind != kind:
+                continue
+            if metadata_only and not getattr(record, "is_metadata", False):
+                continue
+            total += 1
+        return total
+
+    def gate_counts_by_type(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            if record.kind == OperationKind.GATE:
+                counts[record.gate] = counts.get(record.gate, 0) + 1
+        return counts
+
+    def gate_output_bits(self, metadata_only: bool = False) -> int:
+        """Total number of output bits produced by gate operations."""
+        total = 0
+        for record in self.records:
+            if record.kind != OperationKind.GATE:
+                continue
+            if metadata_only and not record.is_metadata:
+                continue
+            total += record.n_outputs
+        return total
+
+    def transferred_bits(self, kind: str) -> int:
+        """Total bits moved by READ or WRITE operations."""
+        if kind not in (OperationKind.READ, OperationKind.WRITE):
+            raise PimError("transferred_bits expects READ or WRITE")
+        return sum(r.n_bits for r in self.records if r.kind == kind)
+
+    def operations_by_logic_level(self) -> Dict[int, int]:
+        levels: Dict[int, int] = {}
+        for record in self.records:
+            level = getattr(record, "logic_level", 0)
+            levels[level] = levels.get(level, 0) + 1
+        return levels
+
+    def metadata_fraction(self) -> float:
+        """Fraction of gate operations attributed to protection metadata."""
+        gates = [r for r in self.records if r.kind == OperationKind.GATE]
+        if not gates:
+            return 0.0
+        metadata = sum(1 for r in gates if r.is_metadata)
+        return metadata / len(gates)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "total_operations": len(self.records),
+            "gate_operations": self.count(OperationKind.GATE),
+            "metadata_gate_operations": self.count(OperationKind.GATE, metadata_only=True),
+            "preset_operations": self.count(OperationKind.PRESET),
+            "read_operations": self.count(OperationKind.READ),
+            "write_operations": self.count(OperationKind.WRITE),
+            "read_bits": self.transferred_bits(OperationKind.READ),
+            "write_bits": self.transferred_bits(OperationKind.WRITE),
+            "gate_counts_by_type": self.gate_counts_by_type(),
+            "metadata_fraction": self.metadata_fraction(),
+        }

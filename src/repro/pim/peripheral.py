@@ -1,0 +1,120 @@
+"""Peripheral-circuitry overhead model (NVSim substitute).
+
+The paper uses NVSim [17] to estimate the overhead of the array periphery:
+sense amplifiers, column decoders, the predecoder, charge/precharge circuitry
+and the control-line drivers.  NVSim itself is a C++ circuit-level tool that
+is not available here, so this module provides an analytical substitute with
+published per-access constants representative of 256 × 256 resistive arrays
+at ~45 nm: the *shape* of every comparison in the paper depends only on the
+relative magnitudes (row-access energy vs. in-array gate energy), which the
+defaults preserve.
+
+The model charges:
+
+* a per-row-activation cost (decoders + wordline driver + precharge),
+* a per-bit sensing cost for reads,
+* a per-bit driver cost for writes,
+* a fixed leakage/controller adder per array step (disabled by default).
+
+All energies are in fJ and latencies in ns to match
+:class:`~repro.pim.technology.TechnologyParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PimError
+
+__all__ = ["PeripheralModel", "DEFAULT_PERIPHERAL"]
+
+
+@dataclass(frozen=True)
+class PeripheralModel:
+    """Analytical periphery cost model for one PiM array.
+
+    Attributes
+    ----------
+    row_activation_energy_fj:
+        Energy to decode and activate one row (wordline driver, predecoder,
+        precharge), charged once per architectural read or write operation.
+    sense_energy_per_bit_fj:
+        Sense-amplifier energy per bit read.
+    write_driver_energy_per_bit_fj:
+        Bitline driver energy per bit written (on top of the cell's own
+        write energy from the technology parameters).
+    gate_drive_energy_fj:
+        Control-line biasing energy charged once per in-array gate step
+        (the gate-specific V_bias has to be driven onto the BSLs/WLs).
+    row_access_latency_ns:
+        Latency of one architectural row read or write, including decoding
+        and sensing; this is the unit of the R/W slots in Fig. 4.
+    step_latency_overhead_ns:
+        Extra per-gate-step latency added by the periphery (driver settling);
+        0 by default because Table III's t_switch already dominates.
+    static_power_uw:
+        Optional static power of the periphery; only used by energy reports
+        that integrate over the run time.
+    """
+
+    row_activation_energy_fj: float = 220.0
+    sense_energy_per_bit_fj: float = 2.0
+    write_driver_energy_per_bit_fj: float = 1.2
+    gate_drive_energy_fj: float = 3.5
+    row_access_latency_ns: float = 2.0
+    step_latency_overhead_ns: float = 0.0
+    static_power_uw: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "row_activation_energy_fj",
+            "sense_energy_per_bit_fj",
+            "write_driver_energy_per_bit_fj",
+            "gate_drive_energy_fj",
+            "row_access_latency_ns",
+            "step_latency_overhead_ns",
+            "static_power_uw",
+        ):
+            if getattr(self, name) < 0:
+                raise PimError(f"peripheral parameter {name} must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Energy
+    # ------------------------------------------------------------------ #
+    def read_energy_fj(self, n_bits: int) -> float:
+        """Energy of one architectural read of ``n_bits`` bits."""
+        if n_bits <= 0:
+            raise PimError("read must transfer at least one bit")
+        return self.row_activation_energy_fj + n_bits * self.sense_energy_per_bit_fj
+
+    def write_energy_fj(self, n_bits: int) -> float:
+        """Peripheral energy of one architectural write of ``n_bits`` bits.
+
+        The cell switching energy itself comes from the technology parameters
+        and is *not* included here.
+        """
+        if n_bits <= 0:
+            raise PimError("write must transfer at least one bit")
+        return self.row_activation_energy_fj + n_bits * self.write_driver_energy_per_bit_fj
+
+    def gate_step_energy_fj(self) -> float:
+        """Peripheral energy charged per in-array gate step."""
+        return self.gate_drive_energy_fj
+
+    # ------------------------------------------------------------------ #
+    # Latency
+    # ------------------------------------------------------------------ #
+    def access_latency_ns(self) -> float:
+        """Latency of one architectural row read or write."""
+        return self.row_access_latency_ns
+
+    def static_energy_fj(self, duration_ns: float) -> float:
+        """Static (leakage) energy over ``duration_ns`` nanoseconds."""
+        if duration_ns < 0:
+            raise PimError("duration must be non-negative")
+        # 1 µW over 1 ns = 1 fJ.
+        return self.static_power_uw * duration_ns
+
+
+#: Default periphery used throughout the evaluation.
+DEFAULT_PERIPHERAL = PeripheralModel()

@@ -1,0 +1,240 @@
+"""Device-level reliability models: from technology parameters to error rates.
+
+Section II-C of the paper surveys the physical error sources of the three
+substrates — thermally-activated switching of MTJs, write-current variation,
+tunnelling-magnetoresistance-ratio (TMR) variation, ReRAM resistance-state
+confusion — and notes that, regardless of origin, they manifest as single bit
+flips whose rate is "very sensitive to the TMR ratio" and improves quickly
+with technology maturity.  The evaluation then treats the gate error rate as
+a free parameter of the uniform fault model.
+
+This module closes that gap with first-order, closed-form device models so a
+user can *derive* a :class:`~repro.pim.faults.FaultModel` from a
+:class:`~repro.pim.technology.TechnologyParameters` instance instead of
+guessing rates:
+
+* :func:`mtj_retention_failure_rate` — thermally activated retention flips
+  (Néel–Arrhenius) from the thermal stability factor Δ.
+* :func:`write_error_rate` — probability that a write/switch pulse fails for
+  a given overdrive (Gaussian critical-current variation).
+* :func:`gate_error_rate_from_noise_margin` — probability that an in-array
+  gate output lands on the wrong side of its switching threshold when the
+  effective bias sits inside a noise margin perturbed by Gaussian parameter
+  variation; this is the paper's "gate error rate is very sensitive to the
+  TMR ratio" statement made quantitative, because the noise margin itself
+  comes from the Appendix equations in :mod:`repro.pim.electrical`.
+* :func:`reram_state_confusion_rate` — overlap of two log-normal resistance
+  distributions (the ReRAM "resistance state confusion" error source).
+* :func:`fault_model_for` — bundle everything into a ready-to-use
+  :class:`FaultModel` for a technology and gate configuration.
+
+These are engineering models with documented assumptions, not device physics
+simulations; their role is to provide *consistent, monotone* rate inputs for
+the fault-injection and coverage studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PimError
+from repro.pim.electrical import (
+    OutputTopology,
+    mram_bias_window,
+    noise_margin_percent,
+    reram_nor_window,
+)
+from repro.pim.faults import FaultModel
+from repro.pim.technology import TechnologyParameters
+
+__all__ = [
+    "ATTEMPT_FREQUENCY_HZ",
+    "standard_normal_cdf",
+    "mtj_retention_failure_rate",
+    "write_error_rate",
+    "gate_error_rate_from_noise_margin",
+    "gate_error_rate_for",
+    "reram_state_confusion_rate",
+    "ReliabilityProfile",
+    "fault_model_for",
+]
+
+#: Attempt frequency of thermally activated magnetisation reversal (1/τ0),
+#: the standard 1 GHz figure used in MRAM retention analyses.
+ATTEMPT_FREQUENCY_HZ = 1.0e9
+
+
+def standard_normal_cdf(x: float) -> float:
+    """Φ(x) via the error function (no SciPy dependency needed)."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def mtj_retention_failure_rate(
+    thermal_stability: float,
+    retention_time_s: float = 1.0,
+    attempt_frequency_hz: float = ATTEMPT_FREQUENCY_HZ,
+) -> float:
+    """Probability that an idle MTJ flips within ``retention_time_s``.
+
+    Néel–Arrhenius model: the switching rate is ``f0 · exp(−Δ)`` with Δ the
+    thermal stability factor (≈ 40–80 for storage-class MTJs), so::
+
+        P(flip) = 1 − exp(−t · f0 · e^{−Δ})
+    """
+    if thermal_stability <= 0:
+        raise PimError("thermal stability factor must be positive")
+    if retention_time_s < 0 or attempt_frequency_hz <= 0:
+        raise PimError("retention time must be >= 0 and attempt frequency > 0")
+    rate = attempt_frequency_hz * math.exp(-thermal_stability)
+    return 1.0 - math.exp(-retention_time_s * rate)
+
+
+def write_error_rate(
+    overdrive: float,
+    sigma: float = 0.05,
+) -> float:
+    """Probability that a switch attempt fails for a given current overdrive.
+
+    ``overdrive`` is the applied-to-critical current ratio I/I_C; the critical
+    current itself varies across cells and events with relative standard
+    deviation ``sigma`` (process + thermal variation, the paper's [46], [51]).
+    A write fails when the actual critical current exceeds the applied
+    current::
+
+        P(fail) = Φ((1 − overdrive) / sigma)
+    """
+    if overdrive <= 0:
+        raise PimError("overdrive must be positive")
+    if sigma <= 0:
+        raise PimError("sigma must be positive")
+    return standard_normal_cdf((1.0 - overdrive) / sigma)
+
+
+def gate_error_rate_from_noise_margin(
+    noise_margin_fraction: float,
+    parameter_sigma: float = 0.04,
+) -> float:
+    """Gate error probability from a (fractional) noise margin.
+
+    The in-array gate switches correctly as long as the effective operating
+    point stays within ± half the noise margin of the window centre.  With
+    the lumped circuit parameters (device resistances, bias voltage, critical
+    current) varying with relative standard deviation ``parameter_sigma``,
+    the probability of leaving the window is::
+
+        P(error) = 2 · (1 − Φ((NM / 2) / sigma))
+
+    A 5 % margin with 4 % variation gives ≈ 53 % — unusable, which is why the
+    Appendix imposes the 5 % *minimum*; a 40 % margin gives ≈ 6e-7.
+    """
+    if noise_margin_fraction < 0:
+        raise PimError("noise margin must be non-negative")
+    if parameter_sigma <= 0:
+        raise PimError("parameter_sigma must be positive")
+    half_margin = noise_margin_fraction / 2.0
+    return 2.0 * (1.0 - standard_normal_cdf(half_margin / parameter_sigma))
+
+
+def gate_error_rate_for(
+    technology: TechnologyParameters,
+    n_outputs: int = 1,
+    topology: str = OutputTopology.PARALLEL,
+    parameter_sigma: float = 0.04,
+) -> float:
+    """Gate error rate of an N-output gate on a given technology.
+
+    Combines the Appendix bias-window model (which already captures the TMR
+    ratio and output-count dependence) with the Gaussian-variation error
+    model above.  More outputs → narrower margins → higher error rate, and a
+    higher TMR ratio → wider margins → exponentially lower error rate, which
+    is exactly the sensitivity the paper describes.
+    """
+    if technology.is_mram:
+        window = mram_bias_window(technology, n_outputs=n_outputs, topology=topology)
+    else:
+        window = reram_nor_window(technology, n_outputs=n_outputs)
+    margin = noise_margin_percent(window) / 100.0
+    return gate_error_rate_from_noise_margin(margin, parameter_sigma)
+
+
+def reram_state_confusion_rate(
+    technology: TechnologyParameters,
+    log_sigma: float = 0.35,
+) -> float:
+    """Probability of confusing the two ReRAM resistance states on a read.
+
+    Both states are modelled as log-normal distributions centred on R_ON and
+    R_OFF with log-domain standard deviation ``log_sigma``; the confusion
+    probability is the overlap mass on the wrong side of the geometric-mean
+    threshold.  For the Table III ReRAM (100× resistance window) this is
+    negligible unless ``log_sigma`` grows pathologically — matching the
+    paper's observation that state confusion matters mainly for degraded
+    devices.
+    """
+    if log_sigma <= 0:
+        raise PimError("log_sigma must be positive")
+    r_on = technology.r_low_kohm
+    r_off = technology.r_high_kohm
+    threshold = math.sqrt(r_on * r_off)
+    distance_on = (math.log(threshold) - math.log(r_on)) / log_sigma
+    distance_off = (math.log(r_off) - math.log(threshold)) / log_sigma
+    p_on_misread = 1.0 - standard_normal_cdf(distance_on)
+    p_off_misread = 1.0 - standard_normal_cdf(distance_off)
+    return 0.5 * (p_on_misread + p_off_misread)
+
+
+@dataclass(frozen=True)
+class ReliabilityProfile:
+    """Derived error rates for one technology / gate configuration."""
+
+    technology: str
+    gate_error_rate: float
+    memory_error_rate: float
+    preset_error_rate: float
+    n_outputs: int
+    parameter_sigma: float
+
+    def as_fault_model(self) -> FaultModel:
+        return FaultModel(
+            gate_error_rate=min(1.0, self.gate_error_rate),
+            memory_error_rate=min(1.0, self.memory_error_rate),
+            preset_error_rate=min(1.0, self.preset_error_rate),
+        )
+
+
+def fault_model_for(
+    technology: TechnologyParameters,
+    n_outputs: int = 1,
+    parameter_sigma: float = 0.04,
+    thermal_stability: float = 60.0,
+    scrub_interval_s: float = 1.0e-3,
+    write_overdrive: float = 1.3,
+    write_sigma: float = 0.05,
+) -> ReliabilityProfile:
+    """Derive a full fault model for a technology.
+
+    * gate errors from the noise-margin model (TMR / output-count sensitive);
+    * memory errors from MTJ retention (MRAM) or state confusion (ReRAM),
+      accumulated over one scrub/check interval;
+    * preset errors from the write-error model at the given overdrive.
+    """
+    gate_rate = gate_error_rate_for(
+        technology, n_outputs=n_outputs, parameter_sigma=parameter_sigma
+    )
+    if technology.is_mram:
+        memory_rate = mtj_retention_failure_rate(
+            thermal_stability, retention_time_s=scrub_interval_s
+        )
+    else:
+        memory_rate = reram_state_confusion_rate(technology)
+    preset_rate = write_error_rate(write_overdrive, write_sigma)
+    return ReliabilityProfile(
+        technology=technology.name,
+        gate_error_rate=gate_rate,
+        memory_error_rate=memory_rate,
+        preset_error_rate=preset_rate,
+        n_outputs=n_outputs,
+        parameter_sigma=parameter_sigma,
+    )

@@ -1,0 +1,303 @@
+"""Technology parameter sets for the three nonvolatile PiM substrates.
+
+The paper evaluates three representative resistive PiM technologies that can
+perform Boolean gates directly within the memory array (Table III):
+
+========================  =========  ============  =========
+Parameter                 STT        SOT/SHE       ReRAM
+========================  =========  ============  =========
+R_low / R_ON / R_P (kΩ)   3.15       253.97        10
+R_high / R_OFF / R_AP     7.34       507.94        1000
+R_SHE (kΩ)                —          64            —
+I_C (µA)                  50         3             —
+V_OFF / V_ON (V)          —          —             0.3 / −1.5
+t_switch (ns)             1          1             1.3
+NOR energy (fJ)           10.5       2.45          19.68
+THR energy (fJ)           11.2       1.31          20.99
+Write energy (fJ)         1.03       0.01          23.8
+========================  =========  ============  =========
+
+Each :class:`TechnologyParameters` instance captures one column of that table
+plus the derived quantities the electrical model (Appendix) needs.  The module
+exposes the three canonical parameter sets as constants and a small registry
+(:func:`get_technology`, :func:`available_technologies`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import TechnologyError
+
+__all__ = [
+    "ResistiveFamily",
+    "TechnologyParameters",
+    "STT_MRAM",
+    "SOT_SHE_MRAM",
+    "RERAM",
+    "available_technologies",
+    "get_technology",
+    "register_technology",
+]
+
+
+class ResistiveFamily:
+    """Enumeration of the resistive device families covered by the paper."""
+
+    MRAM_STT = "stt-mram"
+    MRAM_SOT = "sot-she-mram"
+    RERAM = "reram"
+
+    ALL = (MRAM_STT, MRAM_SOT, RERAM)
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """One column of Table III plus derived electrical quantities.
+
+    Attributes
+    ----------
+    name:
+        Canonical short name used throughout the library (``"stt"``, ``"sot"``
+        or ``"reram"``).
+    family:
+        One of :class:`ResistiveFamily`.
+    r_low_kohm / r_high_kohm:
+        Low / high device resistance in kΩ.  For MRAM these are the parallel
+        (P) and anti-parallel (AP) MTJ states; for ReRAM, R_ON and R_OFF.
+    r_she_kohm:
+        Resistance of the SHE channel (SOT only), in kΩ.
+    critical_current_ua:
+        Critical switching current I_C in µA (MRAM only).
+    v_off / v_on:
+        ReRAM off/on threshold voltages in V (ReRAM only).
+    t_switch_ns:
+        Device switching time, i.e. the gate delay, in ns.
+    nor_energy_fj / thr_energy_fj / write_energy_fj:
+        Per-operation energies in fJ for a single-output NOR, the 4-input
+        thresholding gate and an ordinary cell write, respectively.
+    read_energy_fj:
+        Per-bit sense energy; not reported in Table III, modelled as a small
+        fraction of the write energy (sensing passes a sub-critical current).
+    logic_zero_is_low_resistance:
+        ReRAM maps R_low→1 while MRAM maps R_low→0 (Section II-A); this flag
+        records the polarity so the behavioural array can convert resistances
+        to logic values consistently.
+    """
+
+    name: str
+    family: str
+    r_low_kohm: float
+    r_high_kohm: float
+    t_switch_ns: float
+    nor_energy_fj: float
+    thr_energy_fj: float
+    write_energy_fj: float
+    r_she_kohm: Optional[float] = None
+    critical_current_ua: Optional[float] = None
+    v_off: Optional[float] = None
+    v_on: Optional[float] = None
+    read_energy_fj: float = 0.1
+    logic_zero_is_low_resistance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.family not in ResistiveFamily.ALL:
+            raise TechnologyError(f"unknown resistive family: {self.family!r}")
+        if self.r_low_kohm <= 0 or self.r_high_kohm <= 0:
+            raise TechnologyError("device resistances must be positive")
+        if self.r_high_kohm <= self.r_low_kohm:
+            raise TechnologyError(
+                "r_high must exceed r_low "
+                f"(got {self.r_high_kohm} <= {self.r_low_kohm})"
+            )
+        if self.t_switch_ns <= 0:
+            raise TechnologyError("switching time must be positive")
+        for attr in ("nor_energy_fj", "thr_energy_fj", "write_energy_fj"):
+            if getattr(self, attr) < 0:
+                raise TechnologyError(f"{attr} must be non-negative")
+        if self.family == ResistiveFamily.MRAM_SOT and self.r_she_kohm is None:
+            raise TechnologyError("SOT/SHE technology requires r_she_kohm")
+        if self.family in (ResistiveFamily.MRAM_STT, ResistiveFamily.MRAM_SOT):
+            if self.critical_current_ua is None:
+                raise TechnologyError("MRAM technologies require critical_current_ua")
+        if self.family == ResistiveFamily.RERAM:
+            if self.v_off is None or self.v_on is None:
+                raise TechnologyError("ReRAM requires v_off and v_on thresholds")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def resistance_ratio(self) -> float:
+        """R_high / R_low, the on/off (or AP/P) resistance ratio."""
+        return self.r_high_kohm / self.r_low_kohm
+
+    @property
+    def tmr_ratio(self) -> float:
+        """Tunnelling magnetoresistance ratio (R_AP − R_P) / R_P.
+
+        The appendix equations use TMR directly; for ReRAM the same quantity
+        is simply (R_OFF − R_ON)/R_ON and is still a useful figure of merit.
+        """
+        return (self.r_high_kohm - self.r_low_kohm) / self.r_low_kohm
+
+    @property
+    def is_mram(self) -> bool:
+        """True for both MRAM flavours (STT and SOT/SHE)."""
+        return self.family in (ResistiveFamily.MRAM_STT, ResistiveFamily.MRAM_SOT)
+
+    @property
+    def output_resistance_kohm(self) -> float:
+        """Resistance presented by one output cell in the gate network.
+
+        For SOT/SHE devices the write path goes through the SHE channel, so
+        the output resistance is the channel resistance rather than the MTJ
+        resistance (Appendix).  Otherwise it is the parallel/low state.
+        """
+        if self.family == ResistiveFamily.MRAM_SOT and self.r_she_kohm is not None:
+            return self.r_she_kohm
+        return self.r_low_kohm
+
+    def gate_energy_fj(self, gate: str, n_outputs: int = 1) -> float:
+        """Energy of one in-array gate operation in fJ.
+
+        Multi-output gates drive ``n_outputs`` output cells through the same
+        resistive network; their energy grows linearly with the number of
+        outputs (Section IV-D).  The Table III per-gate energy already
+        includes switching one output cell, so each *additional* output adds
+        one more cell-switching event, modelled with the write energy:
+        ``E(gate, N) = E_gate + (N − 1) · E_write``.
+
+        Parameters
+        ----------
+        gate:
+            ``"nor"``, ``"thr"``, ``"not"``, ``"copy"`` or ``"preset"``.
+            ``NOT``/``COPY`` are single-input NOR variants and reuse the NOR
+            energy; ``preset`` is an ordinary write.
+        n_outputs:
+            Number of simultaneously driven output cells (≥ 1).
+        """
+        if n_outputs < 1:
+            raise TechnologyError("a gate drives at least one output cell")
+        gate = gate.lower()
+        if gate in ("nor", "not", "copy", "cp", "nand", "and", "or"):
+            base = self.nor_energy_fj
+        elif gate in ("thr", "threshold", "maj"):
+            base = self.thr_energy_fj
+        elif gate in ("preset", "write"):
+            return self.write_energy_fj * n_outputs
+        else:
+            raise TechnologyError(f"unknown gate type for energy model: {gate!r}")
+        return base + (n_outputs - 1) * self.write_energy_fj
+
+    def replace(self, **changes) -> "TechnologyParameters":
+        """Return a copy with the given fields replaced (dataclass semantics)."""
+        return dataclasses.replace(self, **changes)
+
+    def as_table_row(self) -> Dict[str, object]:
+        """Render the parameter set as a Table III style row (for reports)."""
+        return {
+            "technology": self.name,
+            "R_low (kOhm)": self.r_low_kohm,
+            "R_high (kOhm)": self.r_high_kohm,
+            "R_SHE (kOhm)": self.r_she_kohm,
+            "I_C (uA)": self.critical_current_ua,
+            "V_OFF/V_ON (V)": (self.v_off, self.v_on) if self.v_off is not None else None,
+            "t_switch (ns)": self.t_switch_ns,
+            "NOR energy (fJ)": self.nor_energy_fj,
+            "THR energy (fJ)": self.thr_energy_fj,
+            "Write energy (fJ)": self.write_energy_fj,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Canonical parameter sets (Table III)
+# ---------------------------------------------------------------------- #
+STT_MRAM = TechnologyParameters(
+    name="stt",
+    family=ResistiveFamily.MRAM_STT,
+    r_low_kohm=3.15,
+    r_high_kohm=7.34,
+    critical_current_ua=50.0,
+    t_switch_ns=1.0,
+    nor_energy_fj=10.5,
+    thr_energy_fj=11.2,
+    write_energy_fj=1.03,
+    read_energy_fj=0.10,
+    logic_zero_is_low_resistance=True,
+)
+
+SOT_SHE_MRAM = TechnologyParameters(
+    name="sot",
+    family=ResistiveFamily.MRAM_SOT,
+    r_low_kohm=253.97,
+    r_high_kohm=507.94,
+    r_she_kohm=64.0,
+    critical_current_ua=3.0,
+    t_switch_ns=1.0,
+    nor_energy_fj=2.45,
+    thr_energy_fj=1.31,
+    write_energy_fj=0.01,
+    read_energy_fj=0.001,
+    logic_zero_is_low_resistance=True,
+)
+
+RERAM = TechnologyParameters(
+    name="reram",
+    family=ResistiveFamily.RERAM,
+    r_low_kohm=10.0,
+    r_high_kohm=1000.0,
+    v_off=0.3,
+    v_on=-1.5,
+    t_switch_ns=1.3,
+    nor_energy_fj=19.68,
+    thr_energy_fj=20.99,
+    write_energy_fj=23.8,
+    read_energy_fj=1.0,
+    logic_zero_is_low_resistance=False,
+)
+
+
+_REGISTRY: Dict[str, TechnologyParameters] = {}
+
+
+def register_technology(params: TechnologyParameters) -> None:
+    """Register a technology so :func:`get_technology` can resolve it by name."""
+    _REGISTRY[params.name.lower()] = params
+
+
+def available_technologies() -> Tuple[str, ...]:
+    """Names of all registered technologies, in registration order."""
+    return tuple(_REGISTRY.keys())
+
+
+def get_technology(name: str) -> TechnologyParameters:
+    """Look up a registered technology parameter set by (case-insensitive) name.
+
+    Accepts a few common aliases (``"stt-mram"``, ``"sot/she"``,
+    ``"sot-mram"``, ``"rram"``).
+    """
+    key = name.strip().lower()
+    aliases = {
+        "stt-mram": "stt",
+        "stt_mram": "stt",
+        "sot/she": "sot",
+        "sot-she": "sot",
+        "sot-mram": "sot",
+        "she": "sot",
+        "rram": "reram",
+        "re-ram": "reram",
+    }
+    key = aliases.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise TechnologyError(
+            f"unknown technology {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+for _params in (STT_MRAM, SOT_SHE_MRAM, RERAM):
+    register_technology(_params)

@@ -1,0 +1,222 @@
+"""Step-level timing model for PiM executions.
+
+The paper's timing simulator is cycle accurate; ours is *step* accurate: the
+unit of time is one in-array gate step (``t_switch`` of the technology) or
+one architectural row access (peripheral ``row_access_latency_ns``).  Two
+views are provided:
+
+* :meth:`TimingModel.trace_latency_ns` — serial latency of an
+  :class:`~repro.pim.operations.OperationTrace`, i.e. the sum of every
+  operation's latency.  Used for small functional runs and unit tests.
+* :meth:`TimingModel.pipelined_latency_ns` — the Fig. 4 execution model:
+  all rows run the same program on different data; computation in one row is
+  overlapped with the Checker reads/writes of other rows by starting rows in
+  a delayed (skewed) fashion, so the R/W slots are masked as long as a logic
+  level contains enough gate steps to cover them.
+
+The pipelined view consumes per-logic-level statistics
+(:class:`LevelTimingStats`) rather than a full trace, because the large paper
+benchmarks are evaluated from analytical circuit statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import PimError
+from repro.pim.operations import OperationKind, OperationTrace
+from repro.pim.peripheral import DEFAULT_PERIPHERAL, PeripheralModel
+from repro.pim.technology import STT_MRAM, TechnologyParameters
+
+__all__ = ["LevelTimingStats", "TimingBreakdown", "TimingModel"]
+
+
+@dataclass(frozen=True)
+class LevelTimingStats:
+    """Per-logic-level step counts consumed by the pipelined timing model.
+
+    Attributes
+    ----------
+    compute_steps:
+        Number of serial in-array gate steps needed for the level's main
+        computation in one row (after partition-level parallelism).
+    metadata_steps:
+        Extra serial gate steps for metadata that could *not* be hidden
+        behind computation (e.g. the pipeline drain of ECiM parity updates,
+        or the two extra copies of single-output TRiM).
+    checker_read_bits:
+        Bits transferred to the Checker at the end of the level.
+    checker_write_bits:
+        Bits written back by the Checker (corrections; usually 0 or the
+        level output width).
+    reclaim_steps:
+        Serial steps spent reclaiming scratch space charged to this level.
+    """
+
+    compute_steps: int
+    metadata_steps: int = 0
+    checker_read_bits: int = 0
+    checker_write_bits: int = 0
+    reclaim_steps: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "compute_steps",
+            "metadata_steps",
+            "checker_read_bits",
+            "checker_write_bits",
+            "reclaim_steps",
+        ):
+            if getattr(self, name) < 0:
+                raise PimError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Latency decomposition returned by the timing model (all in ns)."""
+
+    compute_ns: float
+    metadata_ns: float
+    checker_transfer_ns: float
+    reclaim_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.compute_ns + self.metadata_ns + self.checker_transfer_ns + self.reclaim_ns
+
+    def overhead_vs(self, baseline: "TimingBreakdown") -> float:
+        """Fractional latency overhead of ``self`` relative to ``baseline``."""
+        if baseline.total_ns <= 0:
+            raise PimError("baseline latency must be positive")
+        return self.total_ns / baseline.total_ns - 1.0
+
+
+class TimingModel:
+    """Latency estimation for PiM executions on one technology."""
+
+    def __init__(
+        self,
+        technology: TechnologyParameters = STT_MRAM,
+        peripheral: PeripheralModel = DEFAULT_PERIPHERAL,
+        checker_bus_bits: int = 256,
+    ) -> None:
+        if checker_bus_bits <= 0:
+            raise PimError("checker bus width must be positive")
+        self.technology = technology
+        self.peripheral = peripheral
+        #: Width of the PiM-array/Checker interface: one row access moves up
+        #: to this many bits (the paper matches it to the array width).
+        self.checker_bus_bits = checker_bus_bits
+
+    # ------------------------------------------------------------------ #
+    # Primitive latencies
+    # ------------------------------------------------------------------ #
+    def gate_step_ns(self) -> float:
+        """Latency of one in-array gate step."""
+        return self.technology.t_switch_ns + self.peripheral.step_latency_overhead_ns
+
+    def access_ns(self, n_bits: int) -> float:
+        """Latency of transferring ``n_bits`` bits through the array interface."""
+        if n_bits < 0:
+            raise PimError("n_bits must be non-negative")
+        if n_bits == 0:
+            return 0.0
+        accesses = -(-n_bits // self.checker_bus_bits)  # ceil division
+        return accesses * self.peripheral.access_latency_ns()
+
+    # ------------------------------------------------------------------ #
+    # Trace-level (serial) latency
+    # ------------------------------------------------------------------ #
+    def trace_latency_ns(self, trace: OperationTrace) -> TimingBreakdown:
+        """Serial latency of a recorded operation trace.
+
+        Gate and preset operations take one gate step each; reads and writes
+        take one interface access per ``checker_bus_bits`` bits.  Metadata
+        gate operations are attributed to the ``metadata_ns`` component.
+        """
+        compute = 0.0
+        metadata = 0.0
+        transfer = 0.0
+        for record in trace:
+            if record.kind in (OperationKind.GATE, OperationKind.PRESET):
+                step = self.gate_step_ns()
+                if getattr(record, "is_metadata", False):
+                    metadata += step
+                else:
+                    compute += step
+            elif record.kind == OperationKind.READ:
+                transfer += self.access_ns(record.n_bits)
+            elif record.kind == OperationKind.WRITE:
+                transfer += self.access_ns(record.n_bits)
+            else:  # pragma: no cover - OperationTrace already validates kinds
+                raise PimError(f"unknown operation kind {record.kind!r}")
+        return TimingBreakdown(
+            compute_ns=compute,
+            metadata_ns=metadata,
+            checker_transfer_ns=transfer,
+            reclaim_ns=0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pipelined (Fig. 4) latency
+    # ------------------------------------------------------------------ #
+    def pipelined_latency_ns(
+        self,
+        levels: Sequence[LevelTimingStats],
+        active_rows: int = 1,
+        overlap_checker_transfers: bool = True,
+    ) -> TimingBreakdown:
+        """Latency of the skewed row-parallel execution of Fig. 4.
+
+        Every active row runs the same sequence of logic levels on different
+        data.  Rows start in a delayed fashion so that the Checker R/W slots
+        of one row overlap with gate steps of the other rows.  With enough
+        compute steps per level, the transfer latency is fully masked; what
+        remains visible is::
+
+            max(0, transfer_slots - (active_rows - 1) * compute_slots)
+
+        per level, i.e. transfers are only exposed when the level is too
+        small (or the row count too low) to hide them — exactly the paper's
+        observation that sufficiently large logic levels can mask even the
+        3× metadata volume of TRiM.
+
+        ``reclaim_steps`` are never masked: a reclaim stalls the whole array.
+        """
+        if active_rows < 1:
+            raise PimError("active_rows must be >= 1")
+        step = self.gate_step_ns()
+        compute = 0.0
+        metadata = 0.0
+        transfer = 0.0
+        reclaim = 0.0
+        for level in levels:
+            compute += level.compute_steps * step
+            metadata += level.metadata_steps * step
+            level_transfer = self.access_ns(level.checker_read_bits) + self.access_ns(
+                level.checker_write_bits
+            )
+            if overlap_checker_transfers:
+                # Work available in the *other* rows to hide this row's R/W.
+                cover = (active_rows - 1) * (level.compute_steps + level.metadata_steps) * step
+                level_transfer = max(0.0, level_transfer - cover)
+            transfer += level_transfer
+            reclaim += level.reclaim_steps * step
+        return TimingBreakdown(
+            compute_ns=compute,
+            metadata_ns=metadata,
+            checker_transfer_ns=transfer,
+            reclaim_ns=reclaim,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def overhead_percent(
+        self,
+        protected: TimingBreakdown,
+        baseline: TimingBreakdown,
+    ) -> float:
+        """Latency overhead of a protected run vs. its baseline, in percent."""
+        return 100.0 * protected.overhead_vs(baseline)

@@ -1,0 +1,218 @@
+"""Workload descriptions shared by the evaluation harness.
+
+Each benchmark of the paper (dense matmul, MNIST MLP, FFT) is described in
+two complementary ways:
+
+* a **functional netlist** for small instances, built with
+  :class:`~repro.compiler.synthesis.CircuitBuilder` and executed bit-exactly
+  by the executors in :mod:`repro.core.executor` (functional validation and
+  fault-injection tests);
+* an **analytic workload specification** (:class:`WorkloadSpec`) for the
+  paper-scale instances (mm64, mnist4, fft64 …), which records the per-row
+  gate schedule as *level groups* — (logic-level profile, repetition count)
+  pairs — plus the row footprint needed by the iso-area reclaim model.
+
+To keep the analytic view consistent with the functional one, the level
+groups of the large workloads are derived from the *measured* statistics of
+the unit blocks (one multiplier, one adder, one butterfly) synthesised with
+the very same :class:`CircuitBuilder` recipes, then repeated per the
+workload's structure.  :func:`block_level_profiles` performs that measurement
+(with caching, since the unit blocks are reused across benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.netlist import Netlist
+from repro.core.area import RowFootprint
+from repro.core.protection import LevelProfile
+from repro.errors import UnknownWorkloadError
+
+__all__ = [
+    "LevelGroup",
+    "WorkloadSpec",
+    "block_level_profiles",
+    "block_summary",
+    "WORKLOAD_REGISTRY",
+    "register_workload",
+    "get_workload",
+    "available_workloads",
+]
+
+
+@dataclass(frozen=True)
+class LevelGroup:
+    """A run of ``count`` consecutive logic levels sharing the same profile."""
+
+    profile: LevelProfile
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise UnknownWorkloadError("level group count must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Analytic description of one benchmark instance.
+
+    Attributes
+    ----------
+    name / family / size:
+        e.g. ``"mm16"`` / ``"mm"`` / ``16``.
+    level_groups:
+        The per-row gate program as (profile, repetition) groups.
+    row_footprint:
+        Resident data columns, total scratch claims and rows used — consumed
+        by the iso-area reclaim model.
+    active_rows:
+        Rows computing concurrently (bounds how much checker traffic the
+        Fig. 4 skewed schedule can hide).
+    operand_bits:
+        Fixed-point precision of the workload's operands.
+    """
+
+    name: str
+    family: str
+    size: int
+    level_groups: Tuple[LevelGroup, ...]
+    row_footprint: RowFootprint
+    active_rows: int
+    operand_bits: int
+    description: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def n_levels(self) -> int:
+        return sum(group.count for group in self.level_groups)
+
+    @property
+    def total_gates(self) -> int:
+        return sum(group.profile.n_gates * group.count for group in self.level_groups)
+
+    @property
+    def total_nor_gates(self) -> int:
+        return sum(group.profile.n_nor_gates * group.count for group in self.level_groups)
+
+    @property
+    def total_thr_gates(self) -> int:
+        return sum(group.profile.n_thr_gates * group.count for group in self.level_groups)
+
+    @property
+    def total_output_bits(self) -> int:
+        return sum(group.profile.output_bits * group.count for group in self.level_groups)
+
+    @property
+    def average_level_width(self) -> float:
+        if self.n_levels == 0:
+            return 0.0
+        return self.total_gates / self.n_levels
+
+    def iter_levels(self):
+        """Yield (profile, count) pairs — the shape the cost models consume."""
+        return iter(self.level_groups)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "size": self.size,
+            "levels": self.n_levels,
+            "gates": self.total_gates,
+            "avg_level_width": round(self.average_level_width, 2),
+            "rows_used": self.row_footprint.rows_used,
+            "scratch_claims_per_row": self.row_footprint.scratch_claims,
+            "operand_bits": self.operand_bits,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Unit-block measurement
+# ---------------------------------------------------------------------- #
+_BLOCK_CACHE: Dict[str, Tuple[LevelGroup, ...]] = {}
+
+
+def block_level_profiles(
+    key: str, build: Callable[[], Netlist]
+) -> Tuple[LevelGroup, ...]:
+    """Measure the per-level gate profile of a unit block (cached by key).
+
+    The block netlist is synthesised once, levelised, and each level is
+    converted into a :class:`LevelProfile`; consecutive identical profiles
+    are merged into one :class:`LevelGroup`.
+    """
+    if key in _BLOCK_CACHE:
+        return _BLOCK_CACHE[key]
+    netlist = build()
+    stats = netlist.stats()
+    groups: List[LevelGroup] = []
+    for level in stats.levels:
+        profile = LevelProfile(
+            n_nor_gates=level.n_nor_like,
+            n_thr_gates=level.n_thr,
+            n_outputs=level.output_signals,
+        )
+        if groups and groups[-1].profile == profile:
+            groups[-1] = LevelGroup(profile=profile, count=groups[-1].count + 1)
+        else:
+            groups.append(LevelGroup(profile=profile))
+    result = tuple(groups)
+    _BLOCK_CACHE[key] = result
+    return result
+
+
+def block_summary(groups: Sequence[LevelGroup]) -> Dict[str, float]:
+    """Totals of a measured block: gates, levels and scratch claims."""
+    gates = sum(g.profile.n_gates * g.count for g in groups)
+    levels = sum(g.count for g in groups)
+    # Every gate output claims one scratch cell in the greedy allocator.
+    return {"gates": float(gates), "levels": float(levels), "claims": float(gates)}
+
+
+def repeat_groups(groups: Sequence[LevelGroup], times: int) -> Tuple[LevelGroup, ...]:
+    """Repeat a block's level groups ``times`` times back-to-back."""
+    if times < 1:
+        raise UnknownWorkloadError("repeat count must be >= 1")
+    if times == 1:
+        return tuple(groups)
+    repeated: List[LevelGroup] = []
+    for _ in range(times):
+        repeated.extend(groups)
+    # Merge adjacent identical profiles created by the concatenation.
+    merged: List[LevelGroup] = []
+    for group in repeated:
+        if merged and merged[-1].profile == group.profile:
+            merged[-1] = LevelGroup(profile=group.profile, count=merged[-1].count + group.count)
+        else:
+            merged.append(group)
+    return tuple(merged)
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+WORKLOAD_REGISTRY: Dict[str, Callable[[], WorkloadSpec]] = {}
+
+
+def register_workload(name: str, factory: Callable[[], WorkloadSpec]) -> None:
+    """Register a benchmark instance under its paper name (e.g. ``"mm16"``)."""
+    WORKLOAD_REGISTRY[name.lower()] = factory
+
+
+def available_workloads() -> Tuple[str, ...]:
+    return tuple(sorted(WORKLOAD_REGISTRY))
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Instantiate a registered benchmark by name."""
+    try:
+        factory = WORKLOAD_REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOAD_REGISTRY)}"
+        ) from None
+    return factory()

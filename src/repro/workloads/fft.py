@@ -1,0 +1,245 @@
+"""In-memory FFT (the ``fft8``–``fft64`` benchmarks).
+
+The paper includes a variant of the CRAFFT in-memory FFT [16] as its larger
+scale benchmark: a radix-2 decimation-in-time butterfly network over
+fixed-point complex numbers, with 8 to 64 points.  The PiM mapping assigns
+one butterfly lane to a row: at every FFT stage the row evaluates one
+butterfly — a complex multiplication by the twiddle factor followed by a
+complex add/subtract — so the per-row program is ``log2(n)`` butterfly
+blocks and ``n/2`` rows are active.
+
+Provided here:
+
+* :func:`butterfly_block_netlist` — the unit block (complex MAC + add/sub),
+* :func:`fft_netlist` — a complete functional 4-point FFT (twiddles are
+  ±1/±j at that size, so it reduces to adds/subtracts and exercises the
+  subtractor path of the synthesiser),
+* :func:`fft_reference` — a wrap-around integer radix-2 FFT oracle,
+* :func:`fft_spec` — the analytic workload specification.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.netlist import Netlist
+from repro.compiler.synthesis import CircuitBuilder, Word
+from repro.core.area import RowFootprint
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import (
+    LevelGroup,
+    WorkloadSpec,
+    block_level_profiles,
+    block_summary,
+    register_workload,
+    repeat_groups,
+)
+
+__all__ = [
+    "DEFAULT_FFT_BITS",
+    "PAPER_FFT_SIZES",
+    "butterfly_block_netlist",
+    "fft_netlist",
+    "fft_reference",
+    "fft_spec",
+]
+
+#: Fixed-point precision of the paper-scale FFT spec (butterfly arithmetic
+#: needs head-room over the 8-bit matmul operands; CRAFFT-style
+#: implementations use wider fixed point for the twiddle products).
+DEFAULT_FFT_BITS = 12
+
+#: FFT sizes evaluated in the paper.
+PAPER_FFT_SIZES = (8, 16, 32, 64)
+
+
+def butterfly_block_netlist(bits: int) -> Netlist:
+    """One radix-2 butterfly on complex fixed-point inputs.
+
+    Computes ``(a + w·b, a − w·b)`` where all of ``a``, ``b`` and the twiddle
+    ``w`` are complex with ``bits``-bit real/imaginary parts:
+
+    * complex multiply ``w·b``: 4 real multiplies, 1 add, 1 subtract;
+    * complex add and subtract: 4 more adders/subtractors.
+
+    All arithmetic wraps at ``bits`` bits (two's-complement style), matching
+    the reference in :func:`fft_reference`.
+    """
+    if bits < 2:
+        raise UnknownWorkloadError("butterfly precision must be >= 2 bits")
+    builder = CircuitBuilder(Netlist(name=f"butterfly{bits}b"))
+    a_re = builder.input_word(bits, "a_re")
+    a_im = builder.input_word(bits, "a_im")
+    b_re = builder.input_word(bits, "b_re")
+    b_im = builder.input_word(bits, "b_im")
+    w_re = builder.input_word(bits, "w_re")
+    w_im = builder.input_word(bits, "w_im")
+
+    def truncate(word: Word) -> Word:
+        return word[:bits]
+
+    # w * b (truncated back to `bits` — fixed-point with wrap-around).  The
+    # Wallace form keeps the multiplier's logic levels wide and shallow.
+    re_re = truncate(builder.multiply_wallace(w_re, b_re))
+    im_im = truncate(builder.multiply_wallace(w_im, b_im))
+    re_im = truncate(builder.multiply_wallace(w_re, b_im))
+    im_re = truncate(builder.multiply_wallace(w_im, b_re))
+    prod_re, _ = builder.subtract(re_re, im_im)
+    prod_im, _ = builder.ripple_adder(re_im, im_re)
+    prod_im = truncate(prod_im)
+
+    top_re, _ = builder.ripple_adder(a_re, prod_re)
+    top_im, _ = builder.ripple_adder(a_im, prod_im)
+    bot_re, _ = builder.subtract(a_re, prod_re)
+    bot_im, _ = builder.subtract(a_im, prod_im)
+
+    builder.mark_output_word(truncate(top_re), "top_re")
+    builder.mark_output_word(truncate(top_im), "top_im")
+    builder.mark_output_word(bot_re, "bot_re")
+    builder.mark_output_word(bot_im, "bot_im")
+    return builder.netlist
+
+
+def fft_netlist(n: int = 4, bits: int = 4) -> Netlist:
+    """Functional n-point FFT netlist (n = 2 or 4 only).
+
+    At these sizes every twiddle factor is ±1 or ±j, so the butterflies
+    reduce to adds/subtracts and swaps — which keeps the netlist small enough
+    for bit-exact protected execution while still covering multi-stage
+    dataflow.  Inputs are real ``bits``-bit samples; outputs are the real and
+    imaginary parts of the spectrum, wrap-around two's complement.
+    """
+    if n not in (2, 4):
+        raise UnknownWorkloadError("fft_netlist supports n in {2, 4}; use fft_spec for larger sizes")
+    builder = CircuitBuilder(Netlist(name=f"fft{n}x{bits}b"))
+    samples = [builder.input_word(bits, f"x{i}") for i in range(n)]
+    zero = builder.constant_word(0, bits)
+
+    def add(a: Word, b: Word) -> Word:
+        total, _ = builder.ripple_adder(a, b)
+        return total
+
+    def sub(a: Word, b: Word) -> Word:
+        difference, _ = builder.subtract(a, b)
+        return difference
+
+    def zero_word() -> Word:
+        # Distinct zero-valued signals (a NOR of the constant-1 cell per bit)
+        # so every marked output bit is a unique netlist signal; marking the
+        # shared constant would collapse duplicate outputs.
+        return [builder.nor(builder.constant(1)) for _ in range(bits)]
+
+    def copy_word(word: Word) -> Word:
+        # Re-drive a word through copy gates so a value appearing in two
+        # spectrum positions (e.g. Re{X1} = Re{X3} = s1) still yields unique
+        # output signals per position.
+        return [builder.netlist.add_gate("copy", [bit]) for bit in word]
+
+    if n == 2:
+        x0, x1 = samples
+        outputs = [(add(x0, x1), zero_word()), (sub(x0, x1), zero_word())]
+    else:
+        x0, x1, x2, x3 = samples
+        # Stage 1 (bit-reversed order pairs): (x0, x2) and (x1, x3).
+        s0 = add(x0, x2)
+        s1 = sub(x0, x2)
+        s2 = add(x1, x3)
+        s3 = sub(x1, x3)
+        # Stage 2: X0 = s0 + s2, X2 = s0 − s2,
+        #          X1 = s1 − j·s3, X3 = s1 + j·s3.
+        outputs = [
+            (add(s0, s2), zero_word()),          # X0
+            (list(s1), sub(zero, s3)),           # X1 = s1 − j s3
+            (sub(s0, s2), zero_word()),          # X2
+            (copy_word(s1), copy_word(s3)),      # X3 = s1 + j s3
+        ]
+    for index, (re, im) in enumerate(outputs):
+        builder.mark_output_word(re, f"X{index}_re")
+        builder.mark_output_word(im, f"X{index}_im")
+    return builder.netlist
+
+
+def fft_reference(samples: Sequence[int], bits: int) -> List[Tuple[int, int]]:
+    """Wrap-around integer radix-2 DFT oracle.
+
+    Twiddle factors are taken at unit magnitude (exact for n ≤ 4); all
+    additions/subtractions wrap modulo ``2**bits`` to match the netlist's
+    two's-complement arithmetic.  Returns ``[(re, im), ...]``.
+    """
+    n = len(samples)
+    if n not in (2, 4):
+        raise UnknownWorkloadError("fft_reference mirrors fft_netlist (n in {2, 4})")
+    mask = (1 << bits) - 1
+    x = [int(s) & mask for s in samples]
+    if n == 2:
+        return [((x[0] + x[1]) & mask, 0), ((x[0] - x[1]) & mask, 0)]
+    s0 = (x[0] + x[2]) & mask
+    s1 = (x[0] - x[2]) & mask
+    s2 = (x[1] + x[3]) & mask
+    s3 = (x[1] - x[3]) & mask
+    return [
+        ((s0 + s2) & mask, 0),
+        (s1, (-s3) & mask),
+        ((s0 - s2) & mask, 0),
+        (s1, s3),
+    ]
+
+
+def fft_input_assignment(netlist: Netlist, samples: Sequence[int], bits: int) -> Dict[int, int]:
+    """Map integer samples onto the FFT netlist's input signals."""
+    values: List[int] = []
+    for sample in samples:
+        value = int(sample) & ((1 << bits) - 1)
+        values.extend((value >> bit) & 1 for bit in range(bits))
+    if len(values) != len(netlist.inputs):
+        raise UnknownWorkloadError("sample assignment does not match the netlist")
+    return dict(zip(netlist.inputs, values))
+
+
+def fft_outputs_to_spectrum(netlist: Netlist, outputs: Dict[int, int], n: int, bits: int) -> List[Tuple[int, int]]:
+    """Reassemble (re, im) integer pairs from an execution's output bits."""
+    values = [outputs[s] for s in netlist.outputs]
+    words = [values[i * bits : (i + 1) * bits] for i in range(2 * n)]
+    numbers = [sum(bit << i for i, bit in enumerate(word)) for word in words]
+    return [(numbers[2 * k], numbers[2 * k + 1]) for k in range(n)]
+
+
+def fft_spec(n: int, bits: int = DEFAULT_FFT_BITS) -> WorkloadSpec:
+    """Analytic workload spec for the ``fft{n}`` benchmark.
+
+    Mapping: ``n/2`` butterfly lanes, one per row; each row executes
+    ``log2(n)`` butterfly blocks (one per FFT stage), with the complex
+    operands and the stage's twiddle factor resident in the row.
+    """
+    if n < 4 or (n & (n - 1)) != 0:
+        raise UnknownWorkloadError("FFT size must be a power of two >= 4")
+    stages = int(math.log2(n))
+    block = block_level_profiles(f"butterfly-{bits}", lambda: butterfly_block_netlist(bits))
+    groups = repeat_groups(block, stages)
+    totals = block_summary(block)
+    data_columns = 6 * bits  # a, b and the twiddle factor (complex each)
+    footprint = RowFootprint(
+        data_columns=data_columns,
+        scratch_claims=totals["claims"] * stages,
+        rows_used=max(1, n // 2),
+    )
+    return WorkloadSpec(
+        name=f"fft{n}",
+        family="fft",
+        size=n,
+        level_groups=groups,
+        row_footprint=footprint,
+        active_rows=max(1, n // 2),
+        operand_bits=bits,
+        description=(
+            f"{n}-point radix-2 FFT, {bits}-bit fixed-point complex butterflies, "
+            "one butterfly lane per row"
+        ),
+    )
+
+
+for _size in PAPER_FFT_SIZES:
+    register_workload(f"fft{_size}", lambda s=_size: fft_spec(s))

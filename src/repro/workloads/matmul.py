@@ -1,0 +1,232 @@
+"""Dense fixed-point matrix multiplication (the ``mm8``–``mm64`` benchmarks).
+
+The paper evaluates 8×8, 16×16, 32×32 and 64×64 dense matrix multiplications
+with fixed-point operands.  The mapping follows the usual PiM recipe: each
+row of the compute arrays owns one output element and evaluates its dot
+product as a sequence of multiply-accumulate (MAC) blocks — bulk bitwise NOR
+logic synthesised by :class:`~repro.compiler.synthesis.CircuitBuilder` — with
+row-level parallelism across output elements.
+
+This module provides
+
+* :func:`matmul_netlist` — a complete functional netlist for small instances
+  (used by the bit-exact executors and fault-injection tests),
+* :func:`dot_product_netlist` / :func:`mac_block_netlist` — the unit blocks,
+* :func:`matmul_spec` — the analytic :class:`~repro.workloads.base.WorkloadSpec`
+  for the paper-scale instances,
+* :func:`matmul_reference` — a NumPy oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.netlist import Netlist
+from repro.compiler.synthesis import CircuitBuilder, Word
+from repro.core.area import RowFootprint
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import (
+    LevelGroup,
+    WorkloadSpec,
+    block_level_profiles,
+    block_summary,
+    register_workload,
+    repeat_groups,
+)
+
+__all__ = [
+    "DEFAULT_OPERAND_BITS",
+    "accumulator_bits",
+    "mac_block_netlist",
+    "cpa_finalize_netlist",
+    "dot_product_netlist",
+    "matmul_netlist",
+    "matmul_reference",
+    "matmul_spec",
+    "PAPER_MATMUL_SIZES",
+]
+
+#: Fixed-point operand precision used for the paper-scale specs.
+DEFAULT_OPERAND_BITS = 8
+
+#: The matrix sizes evaluated in the paper.
+PAPER_MATMUL_SIZES = (8, 16, 32, 64)
+
+
+def accumulator_bits(n: int, operand_bits: int) -> int:
+    """Accumulator width for an n-term dot product of ``operand_bits`` operands."""
+    if n < 1 or operand_bits < 1:
+        raise UnknownWorkloadError("dot product length and precision must be positive")
+    return 2 * operand_bits + max(1, math.ceil(math.log2(n)))
+
+
+def mac_block_netlist(
+    operand_bits: int, accumulator_width: int, operand_bits_b: Optional[int] = None
+) -> Netlist:
+    """One multiply-accumulate step with a carry-save accumulator.
+
+    ``(acc_sum, acc_carry) += a · b`` — the accumulator stays in carry-save
+    form so the block contains no carry-propagate adder at all; it is a short
+    sequence of *wide* logic levels (partial products + 3:2 compressor tree),
+    which is the circuit shape the paper's logic-level checking assumes.  The
+    dot-product caller finalises the accumulator once at the very end
+    (:func:`cpa_finalize_netlist`).
+    """
+    b_bits = operand_bits if operand_bits_b is None else operand_bits_b
+    builder = CircuitBuilder(Netlist(name=f"mac{operand_bits}x{b_bits}csa"))
+    acc_sum = builder.input_word(accumulator_width, "acc_s")
+    acc_carry = builder.input_word(accumulator_width, "acc_c")
+    a = builder.input_word(operand_bits, "a")
+    b = builder.input_word(b_bits, "b")
+    new_sum, new_carry = builder.mac_carry_save(acc_sum, acc_carry, a, b, width=accumulator_width)
+    builder.mark_output_word(new_sum, "acc_s_out")
+    builder.mark_output_word(builder.fit_width(new_carry, accumulator_width), "acc_c_out")
+    return builder.netlist
+
+
+def cpa_finalize_netlist(accumulator_width: int) -> Netlist:
+    """The final carry-propagate add collapsing a carry-save accumulator."""
+    builder = CircuitBuilder(Netlist(name=f"cpa{accumulator_width}"))
+    acc_sum = builder.input_word(accumulator_width, "acc_s")
+    acc_carry = builder.input_word(accumulator_width, "acc_c")
+    builder.mark_output_word(builder.finalize_carry_save(acc_sum, acc_carry, accumulator_width), "acc")
+    return builder.netlist
+
+
+def dot_product_netlist(length: int, operand_bits: int) -> Netlist:
+    """Dot product of two ``length``-element fixed-point vectors.
+
+    Uses the carry-save accumulation of :meth:`CircuitBuilder.mac_carry_save`
+    with a single final carry-propagate stage, mirroring the analytic spec.
+    """
+    if length < 1:
+        raise UnknownWorkloadError("dot product length must be >= 1")
+    width = accumulator_bits(length, operand_bits)
+    builder = CircuitBuilder(Netlist(name=f"dot{length}x{operand_bits}b"))
+    a_words = [builder.input_word(operand_bits, f"a{i}") for i in range(length)]
+    b_words = [builder.input_word(operand_bits, f"b{i}") for i in range(length)]
+    acc_sum = builder.constant_word(0, width)
+    acc_carry = builder.constant_word(0, width)
+    for a_word, b_word in zip(a_words, b_words):
+        acc_sum, acc_carry = builder.mac_carry_save(acc_sum, acc_carry, a_word, b_word, width=width)
+        acc_carry = builder.fit_width(acc_carry, width)
+    builder.mark_output_word(builder.finalize_carry_save(acc_sum, acc_carry, width), "dot")
+    return builder.netlist
+
+
+def matmul_netlist(n: int, operand_bits: int = 2) -> Netlist:
+    """Full n×n matrix-multiply netlist (small n / small precision only).
+
+    Inputs are the row-major elements of A then B; outputs are the row-major
+    elements of C with the accumulator width of :func:`accumulator_bits`.
+    """
+    if n < 1:
+        raise UnknownWorkloadError("matrix size must be >= 1")
+    if n > 4 or operand_bits > 4:
+        raise UnknownWorkloadError(
+            "matmul_netlist is intended for functional validation; "
+            "use matmul_spec for paper-scale instances"
+        )
+    width = accumulator_bits(n, operand_bits)
+    builder = CircuitBuilder(Netlist(name=f"mm{n}x{operand_bits}b"))
+    a = [[builder.input_word(operand_bits, f"A{i}{j}") for j in range(n)] for i in range(n)]
+    b = [[builder.input_word(operand_bits, f"B{i}{j}") for j in range(n)] for i in range(n)]
+    for i in range(n):
+        for j in range(n):
+            acc = builder.constant_word(0, width)
+            for k in range(n):
+                acc = builder.mac(acc, a[i][k], b[k][j])
+            builder.mark_output_word(acc, f"C{i}{j}")
+    return builder.netlist
+
+
+def matmul_reference(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> np.ndarray:
+    """Integer matrix-multiply oracle."""
+    return np.array(a, dtype=np.int64) @ np.array(b, dtype=np.int64)
+
+
+def matmul_input_assignment(
+    netlist: Netlist, a: Sequence[Sequence[int]], b: Sequence[Sequence[int]], operand_bits: int
+) -> Dict[int, int]:
+    """Map matrix entries onto the netlist's input signals (row-major A then B)."""
+    a_arr = np.array(a, dtype=np.int64)
+    b_arr = np.array(b, dtype=np.int64)
+    n = a_arr.shape[0]
+    values: List[int] = []
+    for matrix in (a_arr, b_arr):
+        for i in range(n):
+            for j in range(n):
+                entry = int(matrix[i, j])
+                if entry < 0 or entry >= (1 << operand_bits):
+                    raise UnknownWorkloadError(
+                        f"matrix entry {entry} does not fit in {operand_bits} bits"
+                    )
+                values.extend((entry >> bit) & 1 for bit in range(operand_bits))
+    if len(values) != len(netlist.inputs):
+        raise UnknownWorkloadError("input assignment does not match the netlist")
+    return dict(zip(netlist.inputs, values))
+
+
+def matmul_output_matrix(netlist: Netlist, outputs: Dict[int, int], n: int, width: int) -> np.ndarray:
+    """Reassemble the output matrix from a netlist evaluation / execution."""
+    values = [outputs[s] for s in netlist.outputs]
+    matrix = np.zeros((n, n), dtype=np.int64)
+    index = 0
+    for i in range(n):
+        for j in range(n):
+            element = 0
+            for bit in range(width):
+                element |= values[index] << bit
+                index += 1
+            matrix[i, j] = element
+    return matrix
+
+
+def matmul_spec(n: int, operand_bits: int = DEFAULT_OPERAND_BITS) -> WorkloadSpec:
+    """Analytic workload spec for the ``mm{n}`` benchmark.
+
+    Mapping: one output element per row; the per-row program is ``n``
+    consecutive MAC blocks on ``operand_bits`` operands, accumulated into a
+    :func:`accumulator_bits`-bit register.  The operand vectors (one row of A
+    and one column of B) are resident in the row alongside the accumulator.
+    """
+    if n < 2:
+        raise UnknownWorkloadError("matmul size must be >= 2")
+    width = accumulator_bits(n, operand_bits)
+    block = block_level_profiles(
+        f"mac-{operand_bits}-{width}",
+        lambda: mac_block_netlist(operand_bits, width),
+    )
+    finalize = block_level_profiles(f"cpa-{width}", lambda: cpa_finalize_netlist(width))
+    groups = repeat_groups(block, n) + finalize
+    block_totals = block_summary(block)
+    finalize_totals = block_summary(finalize)
+    # Operands are streamed into the row one pair per MAC step (the usual
+    # bit-serial PiM mapping); only the current pair and the carry-save
+    # accumulator are resident alongside the scratch space.
+    data_columns = 2 * operand_bits + 2 * width
+    footprint = RowFootprint(
+        data_columns=data_columns,
+        scratch_claims=block_totals["claims"] * n + finalize_totals["claims"],
+        rows_used=n * n,
+    )
+    return WorkloadSpec(
+        name=f"mm{n}",
+        family="mm",
+        size=n,
+        level_groups=groups,
+        row_footprint=footprint,
+        active_rows=min(n * n, 256),
+        operand_bits=operand_bits,
+        description=(
+            f"{n}x{n} dense fixed-point matrix multiplication, "
+            f"{operand_bits}-bit operands, one output element per row"
+        ),
+    )
+
+
+for _size in PAPER_MATMUL_SIZES:
+    register_workload(f"mm{_size}", lambda s=_size: matmul_spec(s))

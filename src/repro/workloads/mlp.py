@@ -1,0 +1,264 @@
+"""Two-layer perceptron on MNIST (the ``mnist1``–``mnist4`` benchmarks).
+
+The paper uses a two-layer perceptron with 64 hidden neurons to classify
+MNIST, sweeping the weight precision from 1 to 4 bits.  The PiM mapping
+assigns one neuron's dot product to one row: a hidden-layer row accumulates
+784 activation×weight products; an output-layer row accumulates 64.
+
+Analytically (:func:`mlp_spec`) the per-row program is the hidden-neuron dot
+product — the dominant cost — followed by the output-layer dot products
+(which run on their own rows but extend the critical schedule when the fleet
+has fewer free rows than neurons).  Functionally (:func:`mlp_netlist`) a
+down-scaled MLP with constant (compile-time) weights is synthesised so the
+bit-exact executors can run true end-to-end inferences, and
+:func:`mlp_inference_reference` provides the integer oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.netlist import Netlist
+from repro.compiler.synthesis import CircuitBuilder, Word
+from repro.core.area import RowFootprint
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import (
+    LevelGroup,
+    WorkloadSpec,
+    block_level_profiles,
+    block_summary,
+    register_workload,
+    repeat_groups,
+)
+from repro.workloads.matmul import accumulator_bits, cpa_finalize_netlist, mac_block_netlist
+
+__all__ = [
+    "MlpConfig",
+    "PAPER_MLP_CONFIG",
+    "PAPER_WEIGHT_PRECISIONS",
+    "mlp_spec",
+    "mlp_netlist",
+    "mlp_input_assignment",
+    "mlp_outputs_to_scores",
+    "mlp_inference_reference",
+    "generate_prototype_weights",
+]
+
+
+class MlpConfig:
+    """Shape and precision of the perceptron."""
+
+    def __init__(
+        self,
+        input_size: int = 784,
+        hidden_size: int = 64,
+        n_classes: int = 10,
+        weight_bits: int = 2,
+        activation_bits: int = 8,
+    ) -> None:
+        if min(input_size, hidden_size, n_classes) < 1:
+            raise UnknownWorkloadError("layer sizes must be positive")
+        if weight_bits < 1 or activation_bits < 1:
+            raise UnknownWorkloadError("precisions must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.n_classes = n_classes
+        self.weight_bits = weight_bits
+        self.activation_bits = activation_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MlpConfig({self.input_size}-{self.hidden_size}-{self.n_classes}, "
+            f"w{self.weight_bits}/a{self.activation_bits})"
+        )
+
+
+#: The paper's MLP: 784-64-10 with 1–4 bit weights.
+PAPER_MLP_CONFIG = MlpConfig()
+PAPER_WEIGHT_PRECISIONS = (1, 2, 3, 4)
+
+
+def mlp_spec(weight_bits: int, config: Optional[MlpConfig] = None) -> WorkloadSpec:
+    """Analytic workload spec for ``mnist{weight_bits}``."""
+    if config is None:
+        config = MlpConfig(weight_bits=weight_bits)
+    hidden_acc = accumulator_bits(config.input_size, max(config.weight_bits, config.activation_bits))
+    out_acc = accumulator_bits(config.hidden_size, max(config.weight_bits, config.activation_bits))
+
+    hidden_mac = block_level_profiles(
+        f"mac-mlp-{config.activation_bits}x{config.weight_bits}-{hidden_acc}",
+        lambda: mac_block_netlist(
+            config.activation_bits, hidden_acc, operand_bits_b=config.weight_bits
+        ),
+    )
+    output_mac = block_level_profiles(
+        f"mac-mlp-{config.activation_bits}x{config.weight_bits}-{out_acc}",
+        lambda: mac_block_netlist(
+            config.activation_bits, out_acc, operand_bits_b=config.weight_bits
+        ),
+    )
+    finalize = block_level_profiles(f"cpa-{hidden_acc}", lambda: cpa_finalize_netlist(hidden_acc))
+
+    groups = (
+        repeat_groups(hidden_mac, config.input_size)
+        + finalize
+        + repeat_groups(output_mac, config.hidden_size)
+        + finalize
+    )
+    hidden_totals = block_summary(hidden_mac)
+    output_totals = block_summary(output_mac)
+    finalize_totals = block_summary(finalize)
+    scratch_claims = (
+        hidden_totals["claims"] * config.input_size
+        + output_totals["claims"] * config.hidden_size
+        + 2 * finalize_totals["claims"]
+    )
+    data_columns = (
+        config.activation_bits  # the streaming activation operand
+        + config.weight_bits  # the streaming weight operand
+        + 2 * hidden_acc  # the carry-save accumulator register
+    )
+    footprint = RowFootprint(
+        data_columns=data_columns,
+        scratch_claims=scratch_claims,
+        rows_used=config.hidden_size + config.n_classes,
+    )
+    return WorkloadSpec(
+        name=f"mnist{weight_bits}",
+        family="mnist",
+        size=weight_bits,
+        level_groups=groups,
+        row_footprint=footprint,
+        active_rows=config.hidden_size + config.n_classes,
+        operand_bits=max(config.weight_bits, config.activation_bits),
+        description=(
+            f"two-layer perceptron {config.input_size}-{config.hidden_size}-"
+            f"{config.n_classes}, {weight_bits}-bit weights, "
+            f"{config.activation_bits}-bit activations"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Functional (down-scaled) MLP
+# ---------------------------------------------------------------------- #
+def generate_prototype_weights(
+    config: MlpConfig, side: int, seed: int = 7
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic non-negative quantised weights for the functional MLP.
+
+    The hidden layer holds class-prototype-like blobs (matching the
+    synthetic dataset of :mod:`repro.workloads.datasets`), the output layer
+    a near-identity routing of hidden units to classes.  Returns
+    ``(w1, w2)`` with shapes (hidden, input) and (classes, hidden), values in
+    ``[0, 2^weight_bits)``.
+    """
+    if side * side != config.input_size:
+        raise UnknownWorkloadError("side^2 must equal the configured input size")
+    rng = np.random.default_rng(seed)
+    levels = (1 << config.weight_bits) - 1
+    ys, xs = np.mgrid[0:side, 0:side]
+    w1 = np.zeros((config.hidden_size, config.input_size), dtype=np.int64)
+    for unit in range(config.hidden_size):
+        angle = 2.0 * np.pi * (unit % config.n_classes) / config.n_classes
+        cy = side / 2.0 + (side / 3.0) * np.sin(angle)
+        cx = side / 2.0 + (side / 3.0) * np.cos(angle)
+        sigma = side / 5.0
+        blob = np.exp(-(((ys - cy) ** 2 + (xs - cx) ** 2) / (2.0 * sigma**2)))
+        w1[unit] = np.clip(np.round(blob.reshape(-1) * levels), 0, levels)
+    w2 = np.zeros((config.n_classes, config.hidden_size), dtype=np.int64)
+    for cls in range(config.n_classes):
+        for unit in range(config.hidden_size):
+            w2[cls, unit] = levels if unit % config.n_classes == cls else 0
+    # Break exact ties deterministically so argmax is unambiguous.
+    w2 += rng.integers(0, 1, size=w2.shape)
+    return w1, w2
+
+
+def mlp_inference_reference(
+    activations: np.ndarray, w1: np.ndarray, w2: np.ndarray, accumulator_bits_per_layer: Tuple[int, int]
+) -> np.ndarray:
+    """Integer oracle of the functional MLP (wrap-around accumulators)."""
+    mask1 = (1 << accumulator_bits_per_layer[0]) - 1
+    mask2 = (1 << accumulator_bits_per_layer[1]) - 1
+    hidden = (np.asarray(w1, dtype=np.int64) @ np.asarray(activations, dtype=np.int64)) & mask1
+    scores = (np.asarray(w2, dtype=np.int64) @ hidden) & mask2
+    return scores
+
+
+def mlp_netlist(config: MlpConfig, w1: np.ndarray, w2: np.ndarray) -> Netlist:
+    """Functional two-layer MLP with compile-time-constant weights.
+
+    Intended for small configurations (e.g. 16-4-3 with 2-bit weights); the
+    hidden activations feed the output layer directly (no non-linearity),
+    matching the low-precision MLP mapping the analytic spec models.
+    """
+    if config.input_size * config.hidden_size > 4096:
+        raise UnknownWorkloadError(
+            "mlp_netlist is intended for functional validation; use mlp_spec for paper scale"
+        )
+    w1 = np.asarray(w1, dtype=np.int64)
+    w2 = np.asarray(w2, dtype=np.int64)
+    if w1.shape != (config.hidden_size, config.input_size):
+        raise UnknownWorkloadError("w1 shape does not match the configuration")
+    if w2.shape != (config.n_classes, config.hidden_size):
+        raise UnknownWorkloadError("w2 shape does not match the configuration")
+
+    hidden_acc = accumulator_bits(config.input_size, max(config.weight_bits, config.activation_bits))
+    out_acc = accumulator_bits(config.hidden_size, max(config.weight_bits, hidden_acc))
+
+    builder = CircuitBuilder(Netlist(name=f"mlp-{config.input_size}-{config.hidden_size}-{config.n_classes}"))
+    activations = [builder.input_word(config.activation_bits, f"x{i}") for i in range(config.input_size)]
+
+    hidden_words: List[Word] = []
+    for unit in range(config.hidden_size):
+        acc = builder.constant_word(0, hidden_acc)
+        for feature in range(config.input_size):
+            weight = int(w1[unit, feature])
+            if weight == 0:
+                continue
+            product = builder.multiply_by_constant(activations[feature], weight, width=hidden_acc)
+            acc, _ = builder.ripple_adder(acc, product)
+        hidden_words.append(acc)
+
+    for cls in range(config.n_classes):
+        acc = builder.constant_word(0, out_acc)
+        for unit in range(config.hidden_size):
+            weight = int(w2[cls, unit])
+            if weight == 0:
+                continue
+            product = builder.multiply_by_constant(hidden_words[unit], weight, width=out_acc)
+            acc, _ = builder.ripple_adder(acc, product)
+        builder.mark_output_word(acc, f"score{cls}")
+    return builder.netlist
+
+
+def mlp_input_assignment(netlist: Netlist, activations: Sequence[int], activation_bits: int) -> Dict[int, int]:
+    """Map quantised activations onto the netlist's input signals."""
+    values: List[int] = []
+    for activation in activations:
+        value = int(activation)
+        if value < 0 or value >= (1 << activation_bits):
+            raise UnknownWorkloadError(f"activation {value} does not fit in {activation_bits} bits")
+        values.extend((value >> bit) & 1 for bit in range(activation_bits))
+    if len(values) != len(netlist.inputs):
+        raise UnknownWorkloadError("activation assignment does not match the netlist")
+    return dict(zip(netlist.inputs, values))
+
+
+def mlp_outputs_to_scores(netlist: Netlist, outputs: Dict[int, int], n_classes: int) -> np.ndarray:
+    """Reassemble per-class scores from an execution's output bits."""
+    per_class = len(netlist.outputs) // n_classes
+    values = [outputs[s] for s in netlist.outputs]
+    scores = np.zeros(n_classes, dtype=np.int64)
+    for cls in range(n_classes):
+        word = values[cls * per_class : (cls + 1) * per_class]
+        scores[cls] = sum(bit << i for i, bit in enumerate(word))
+    return scores
+
+
+for _bits in PAPER_WEIGHT_PRECISIONS:
+    register_workload(f"mnist{_bits}", lambda b=_bits: mlp_spec(b))

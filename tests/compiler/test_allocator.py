@@ -1,0 +1,106 @@
+"""Tests for the greedy scratch allocator and area-reclaim counting."""
+
+import pytest
+
+from repro.compiler.allocator import GreedyAllocator, reclaim_count_for_demand
+from repro.compiler.synthesis import CircuitBuilder
+from repro.errors import AllocationError
+
+
+def adder_netlist(width=4):
+    builder = CircuitBuilder()
+    a = builder.input_word(width, "a")
+    b = builder.input_word(width, "b")
+    total, carry = builder.ripple_adder(a, b)
+    builder.mark_output_word(total)
+    builder.mark_output_bit(carry)
+    return builder.netlist
+
+
+class TestGreedyAllocator:
+    def test_large_capacity_needs_no_reclaims(self):
+        netlist = adder_netlist()
+        result = GreedyAllocator(capacity=netlist.n_signals + 8).allocate(netlist)
+        assert result.fits_without_reclaims
+        assert result.n_reclaims == 0
+        assert result.average_cells_per_reclaim == 0.0
+
+    def test_tight_capacity_triggers_reclaims(self):
+        netlist = adder_netlist()
+        # Well below the total number of cell claims, but comfortably above
+        # the circuit's true live set, so allocation succeeds via reclaims.
+        tight = GreedyAllocator(capacity=len(netlist.inputs) + 12).allocate(netlist)
+        assert tight.n_reclaims > 0
+        assert tight.reclaimed_cells_total > 0
+        assert len(tight.reclaim_gate_indices) == tight.n_reclaims
+
+    def test_tighter_capacity_means_more_reclaims(self):
+        netlist = adder_netlist(width=6)
+        loose = GreedyAllocator(capacity=60).allocate(netlist)
+        tight = GreedyAllocator(capacity=40).allocate(netlist)
+        assert tight.n_reclaims >= loose.n_reclaims
+
+    def test_impossible_capacity_raises(self):
+        netlist = adder_netlist()
+        with pytest.raises(AllocationError):
+            # Not even the primary inputs fit.
+            GreedyAllocator(capacity=4).allocate(netlist)
+
+    def test_every_signal_gets_a_cell(self):
+        netlist = adder_netlist()
+        result = GreedyAllocator(capacity=netlist.n_signals + 8).allocate(netlist)
+        for gate in netlist.gates:
+            assert gate.output in result.cell_of_signal
+        assigned = list(result.cell_of_signal.values())
+        assert all(0 <= cell < result.capacity for cell in assigned)
+
+    def test_without_input_preallocation(self):
+        netlist = adder_netlist()
+        result = GreedyAllocator(capacity=netlist.n_signals).allocate(
+            netlist, preallocate_inputs=False
+        )
+        for signal in netlist.inputs:
+            assert signal not in result.cell_of_signal
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(AllocationError):
+            GreedyAllocator(capacity=0)
+
+    def test_multi_output_gates_claim_extra_cells(self):
+        builder = CircuitBuilder(use_multi_output=True)
+        a, b = builder.input_bit(), builder.input_bit()
+        builder.mark_output_bit(builder.xor(a, b))
+        single = CircuitBuilder(use_multi_output=False)
+        c, d = single.input_bit(), single.input_bit()
+        single.mark_output_bit(single.xor(c, d))
+        multi_result = GreedyAllocator(capacity=16).allocate(builder.netlist)
+        single_result = GreedyAllocator(capacity=16).allocate(single.netlist)
+        # Both decompositions occupy cells for the copy of the NOR output,
+        # whether it is produced by a second output or an explicit CP gate.
+        assert multi_result.peak_live_cells == single_result.peak_live_cells
+
+
+class TestAnalyticReclaimModel:
+    def test_no_reclaims_when_demand_fits(self):
+        assert reclaim_count_for_demand(100, 200) == 0
+
+    def test_reclaims_grow_with_demand(self):
+        small = reclaim_count_for_demand(1000, 100)
+        large = reclaim_count_for_demand(2000, 100)
+        assert large > small
+
+    def test_reclaims_shrink_with_capacity(self):
+        tight = reclaim_count_for_demand(1000, 50)
+        loose = reclaim_count_for_demand(1000, 200)
+        assert tight > loose
+
+    def test_live_fraction_increases_reclaims(self):
+        relaxed = reclaim_count_for_demand(1000, 100, live_fraction=0.1)
+        pinned = reclaim_count_for_demand(1000, 100, live_fraction=0.8)
+        assert pinned > relaxed
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AllocationError):
+            reclaim_count_for_demand(10, 0)
+        with pytest.raises(AllocationError):
+            reclaim_count_for_demand(10, 10, live_fraction=1.0)

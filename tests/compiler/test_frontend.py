@@ -1,0 +1,151 @@
+"""Tests for the expression-level compiler frontend."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.frontend import PimProgram
+from repro.core.executor import EcimExecutor, UnprotectedExecutor
+from repro.errors import SynthesisError
+
+
+class TestProgramConstruction:
+    def test_inputs_and_outputs(self):
+        program = PimProgram("p")
+        a = program.input("a", 4)
+        program.output("y", a + 1)
+        netlist = program.compile()
+        assert netlist.stats().n_inputs == 4
+        assert netlist.stats().n_outputs >= 4
+
+    def test_compile_requires_outputs(self):
+        program = PimProgram()
+        program.input("a", 2)
+        with pytest.raises(SynthesisError):
+            program.compile()
+
+    def test_no_new_io_after_compile(self):
+        program = PimProgram()
+        a = program.input("a", 2)
+        program.output("y", a)
+        program.compile()
+        with pytest.raises(SynthesisError):
+            program.input("b", 2)
+        with pytest.raises(SynthesisError):
+            program.output("z", a)
+
+    def test_cannot_mix_programs(self):
+        p1, p2 = PimProgram("p1"), PimProgram("p2")
+        a = p1.input("a", 2)
+        b = p2.input("b", 2)
+        with pytest.raises(SynthesisError):
+            _ = a + b
+
+    def test_literal_validation(self):
+        program = PimProgram()
+        with pytest.raises(SynthesisError):
+            program.literal(-1)
+        with pytest.raises(SynthesisError):
+            program.literal(16, bits=4)
+
+    def test_input_value_validation(self):
+        program = PimProgram()
+        a = program.input("a", 3)
+        program.output("y", a)
+        program.compile()
+        with pytest.raises(SynthesisError):
+            program.input_assignment({"a": 9})
+        with pytest.raises(SynthesisError):
+            program.input_assignment({})
+
+    def test_shared_subexpressions_lowered_once(self):
+        program = PimProgram()
+        a = program.input("a", 4)
+        b = program.input("b", 4)
+        product = a * b
+        program.output("x", product + 1)
+        program.output("y", product + 2)
+        shared = program.compile().stats().n_gates
+
+        duplicated = PimProgram()
+        c = duplicated.input("a", 4)
+        d = duplicated.input("b", 4)
+        duplicated.output("x", (c * d) + 1)
+        duplicated.output("y", (c * d) + 2)
+        assert shared < duplicated.compile().stats().n_gates
+
+
+class TestArithmeticSemantics:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=12, deadline=None)
+    def test_mac_expression(self, a, b, c):
+        program = PimProgram()
+        x = program.input("x", 4)
+        y = program.input("y", 4)
+        z = program.input("z", 4)
+        program.output("out", (x * y + z).resize(10))
+        netlist = program.compile()
+        outputs = netlist.evaluate_outputs(program.input_assignment({"x": a, "y": b, "z": c}))
+        assert program.decode_outputs(outputs)["out"] == (a * b + c) % (1 << 10)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    @settings(max_examples=12, deadline=None)
+    def test_sub_and_compare(self, a, b):
+        program = PimProgram()
+        x = program.input("x", 5)
+        y = program.input("y", 5)
+        program.output("difference", x - y)
+        program.output("ge", x >= y)
+        program.output("eq", x == y)
+        netlist = program.compile()
+        decoded = program.decode_outputs(
+            netlist.evaluate_outputs(program.input_assignment({"x": a, "y": b}))
+        )
+        assert decoded["difference"] == (a - b) % 32
+        assert decoded["ge"] == int(a >= b)
+        assert decoded["eq"] == int(a == b)
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=10, deadline=None)
+    def test_bitwise_and_shifts(self, a):
+        program = PimProgram()
+        x = program.input("x", 8)
+        program.output("masked", x & 0b10110101)
+        program.output("inverted", (~x).resize(8))
+        program.output("halved", x >> 1)
+        program.output("doubled", (x << 1).resize(9))
+        netlist = program.compile()
+        decoded = program.decode_outputs(
+            netlist.evaluate_outputs(program.input_assignment({"x": a}))
+        )
+        assert decoded["masked"] == a & 0b10110101
+        assert decoded["inverted"] == (~a) & 0xFF
+        assert decoded["halved"] == a >> 1
+        assert decoded["doubled"] == (a << 1) & 0x1FF
+
+    def test_xor_or_semantics(self):
+        program = PimProgram()
+        x = program.input("x", 4)
+        y = program.input("y", 4)
+        program.output("xor", x ^ y)
+        program.output("or", x | y)
+        netlist = program.compile()
+        decoded = program.decode_outputs(
+            netlist.evaluate_outputs(program.input_assignment({"x": 0b1100, "y": 0b1010}))
+        )
+        assert decoded["xor"] == 0b0110
+        assert decoded["or"] == 0b1110
+
+
+class TestProtectedExecution:
+    def test_program_runs_under_ecim(self):
+        program = PimProgram()
+        x = program.input("x", 3)
+        y = program.input("y", 3)
+        program.output("out", (x * y + 2).resize(8))
+        netlist = program.compile()
+        inputs = program.input_assignment({"x": 5, "y": 6})
+        golden = program.decode_outputs(netlist.evaluate_outputs(inputs))
+        for executor_cls in (UnprotectedExecutor, EcimExecutor):
+            report = executor_cls(netlist).run(dict(inputs))
+            assert program.decode_outputs(report.outputs) == golden

@@ -1,0 +1,112 @@
+"""Tests for the binary instruction translation (compiler flow step 3)."""
+
+import pytest
+
+from repro.compiler.allocator import GreedyAllocator
+from repro.compiler.isa import InstructionEncoder, PimInstruction
+from repro.compiler.netlist import Netlist
+from repro.compiler.scheduler import RowScheduler
+from repro.compiler.synthesis import CircuitBuilder
+from repro.errors import CompilerError
+from repro.pim.technology import RERAM, STT_MRAM
+
+
+def compiled_adder(partitions=2):
+    builder = CircuitBuilder()
+    a = builder.input_word(2, "a")
+    b = builder.input_word(2, "b")
+    total, carry = builder.ripple_adder(a, b)
+    builder.mark_output_word(total)
+    builder.mark_output_bit(carry)
+    netlist = builder.netlist
+    schedule = RowScheduler(partitions).schedule(netlist)
+    allocation = GreedyAllocator(capacity=netlist.n_signals + 4).allocate(netlist)
+    columns = dict(allocation.cell_of_signal)
+    columns[Netlist.CONST_ZERO] = 200
+    columns[Netlist.CONST_ONE] = 201
+    return netlist, schedule, columns
+
+
+class TestBiasSelection:
+    def test_bias_within_feasible_window(self):
+        encoder = InstructionEncoder(STT_MRAM)
+        from repro.pim.electrical import mram_bias_window
+
+        window = mram_bias_window(STT_MRAM, 1)
+        assert window.v_low < encoder.bias_for("nor", 1) < window.v_high
+
+    def test_bias_cached(self):
+        encoder = InstructionEncoder(STT_MRAM)
+        assert encoder.bias_for("nor", 2) == encoder.bias_for("nor", 2)
+
+    def test_reram_bias_differs_from_stt(self):
+        assert InstructionEncoder(RERAM).bias_for("nor") != pytest.approx(
+            InstructionEncoder(STT_MRAM).bias_for("nor")
+        )
+
+
+class TestScheduleEncoding:
+    def test_one_instruction_per_gate(self):
+        netlist, schedule, columns = compiled_adder()
+        instructions = InstructionEncoder(STT_MRAM).encode_schedule(netlist, schedule, columns)
+        assert len(instructions) == netlist.stats().n_gates
+        assert all(isinstance(i, PimInstruction) and i.is_gate for i in instructions)
+
+    def test_instruction_columns_match_allocation(self):
+        netlist, schedule, columns = compiled_adder()
+        instructions = InstructionEncoder(STT_MRAM).encode_schedule(netlist, schedule, columns)
+        gate_by_index = {g.index: g for g in netlist.gates}
+        flat = [g for step in schedule.steps for g in step.gate_indices]
+        for instruction, gate_index in zip(instructions, flat):
+            node = gate_by_index[gate_index]
+            assert instruction.output_columns == (columns[node.output],)
+
+    def test_missing_column_mapping_raises(self):
+        netlist, schedule, columns = compiled_adder()
+        del columns[Netlist.CONST_ZERO]
+        with pytest.raises(CompilerError):
+            InstructionEncoder(STT_MRAM).encode_schedule(netlist, schedule, columns)
+
+    def test_partition_masks_within_width(self):
+        netlist, schedule, columns = compiled_adder(partitions=4)
+        instructions = InstructionEncoder(STT_MRAM).encode_schedule(netlist, schedule, columns)
+        assert all(0 < i.partition_mask <= 0b1000 for i in instructions)
+
+
+class TestPackedEncoding:
+    def test_roundtrip(self):
+        netlist, schedule, columns = compiled_adder()
+        encoder = InstructionEncoder(STT_MRAM)
+        instructions = encoder.encode_schedule(netlist, schedule, columns)
+        for instruction in instructions:
+            if len(instruction.input_columns) > 4:
+                continue
+            word = encoder.encode_word(instruction)
+            opcode, inputs, output, mask = encoder.decode_word(word, len(instruction.input_columns))
+            assert opcode == instruction.opcode
+            assert inputs == instruction.input_columns
+            assert output == instruction.output_columns[0]
+            assert mask == instruction.partition_mask
+
+    def test_column_overflow_rejected(self):
+        encoder = InstructionEncoder(STT_MRAM, column_bits=4)
+        instruction = PimInstruction(
+            opcode="nor",
+            step=0,
+            logic_level=1,
+            input_columns=(3, 200),
+            output_columns=(1,),
+            bias_voltage=0.3,
+            partition_mask=1,
+        )
+        with pytest.raises(CompilerError):
+            encoder.encode_word(instruction)
+
+    def test_invalid_column_bits(self):
+        with pytest.raises(CompilerError):
+            InstructionEncoder(STT_MRAM, column_bits=0)
+
+    def test_decode_unknown_opcode(self):
+        encoder = InstructionEncoder(STT_MRAM)
+        with pytest.raises(CompilerError):
+            encoder.decode_word(0xF, 2)

@@ -1,0 +1,83 @@
+"""Tests for the partition-aware row scheduler."""
+
+import pytest
+
+from repro.compiler.scheduler import RowScheduler
+from repro.compiler.synthesis import CircuitBuilder
+from repro.errors import SchedulingError
+
+
+def sample_netlist():
+    builder = CircuitBuilder()
+    a = builder.input_word(4, "a")
+    b = builder.input_word(4, "b")
+    total, carry = builder.ripple_adder(a, b)
+    builder.mark_output_word(total)
+    builder.mark_output_bit(carry)
+    return builder.netlist
+
+
+class TestScheduling:
+    def test_single_partition_is_fully_serial(self):
+        netlist = sample_netlist()
+        schedule = RowScheduler(n_partitions=1).schedule(netlist)
+        assert schedule.n_steps == netlist.stats().n_gates
+        assert schedule.n_gates == netlist.stats().n_gates
+
+    def test_more_partitions_means_fewer_steps(self):
+        netlist = sample_netlist()
+        serial = RowScheduler(1).schedule(netlist)
+        parallel = RowScheduler(4).schedule(netlist)
+        assert parallel.n_steps < serial.n_steps
+        assert parallel.n_gates == serial.n_gates
+
+    def test_steps_never_exceed_partition_count(self):
+        netlist = sample_netlist()
+        schedule = RowScheduler(3).schedule(netlist)
+        assert all(step.n_gates <= 3 for step in schedule.steps)
+
+    def test_steps_only_mix_gates_from_one_level(self):
+        netlist = sample_netlist()
+        levels = netlist.levelize()
+        level_of = {g: i + 1 for i, level in enumerate(levels) for g in level}
+        schedule = RowScheduler(4).schedule(netlist)
+        for step in schedule.steps:
+            assert len({level_of[g] for g in step.gate_indices}) == 1
+            assert all(level_of[g] == step.logic_level for g in step.gate_indices)
+
+    def test_every_gate_scheduled_exactly_once(self):
+        netlist = sample_netlist()
+        schedule = RowScheduler(4).schedule(netlist)
+        scheduled = [g for step in schedule.steps for g in step.gate_indices]
+        assert sorted(scheduled) == list(range(netlist.stats().n_gates))
+
+    def test_steps_per_level(self):
+        netlist = sample_netlist()
+        schedule = RowScheduler(2).schedule(netlist)
+        per_level = schedule.steps_per_level()
+        for level_number, gates in enumerate(netlist.levelize(), start=1):
+            assert per_level[level_number] == -(-len(gates) // 2)
+
+    def test_utilization_bounds(self):
+        netlist = sample_netlist()
+        schedule = RowScheduler(4).schedule(netlist)
+        assert 0.0 < schedule.utilization() <= 1.0
+
+    def test_serial_steps_helper(self):
+        scheduler = RowScheduler(4)
+        assert scheduler.serial_steps_for_level(0) == 0
+        assert scheduler.serial_steps_for_level(4) == 1
+        assert scheduler.serial_steps_for_level(5) == 2
+        with pytest.raises(SchedulingError):
+            scheduler.serial_steps_for_level(-1)
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(SchedulingError):
+            RowScheduler(0)
+
+    def test_steps_in_level_accessor(self):
+        netlist = sample_netlist()
+        schedule = RowScheduler(2).schedule(netlist)
+        first_level_steps = schedule.steps_in_level(1)
+        assert all(s.logic_level == 1 for s in first_level_steps)
+        assert first_level_steps

@@ -1,0 +1,91 @@
+"""Tests for the iso-area budget and area-reclaim accounting."""
+
+import pytest
+
+from repro.core.area import ArrayBudget, RowFootprint, area_reclaims, reclaim_cost_bits, scratch_capacity
+from repro.core.protection import EcimScheme, TrimScheme, UnprotectedScheme
+from repro.errors import AllocationError, ProtectionError
+
+
+BUDGET = ArrayBudget()
+FOOTPRINT = RowFootprint(data_columns=40, scratch_claims=5000.0, rows_used=64)
+
+
+class TestArrayBudget:
+    def test_paper_defaults(self):
+        assert BUDGET.n_arrays == 16
+        assert BUDGET.rows == 256
+        assert BUDGET.cols == 256
+        assert BUDGET.total_cells == 16 * 256 * 256
+        assert BUDGET.total_rows == 16 * 256
+
+    def test_invalid_budget(self):
+        with pytest.raises(ProtectionError):
+            ArrayBudget(n_arrays=0)
+
+    def test_invalid_footprint(self):
+        with pytest.raises(ProtectionError):
+            RowFootprint(data_columns=-1, scratch_claims=0.0)
+
+
+class TestScratchCapacity:
+    def test_unprotected_gets_all_free_columns(self):
+        capacity = scratch_capacity(BUDGET, UnprotectedScheme(), FOOTPRINT)
+        assert capacity == pytest.approx(256 - 40)
+
+    def test_ecim_loses_a_small_fraction(self):
+        unprotected = scratch_capacity(BUDGET, UnprotectedScheme(), FOOTPRINT)
+        ecim = scratch_capacity(BUDGET, EcimScheme(), FOOTPRINT)
+        assert 0.9 * unprotected < ecim < unprotected
+
+    def test_trim_loses_two_thirds(self):
+        unprotected = scratch_capacity(BUDGET, UnprotectedScheme(), FOOTPRINT)
+        trim = scratch_capacity(BUDGET, TrimScheme(), FOOTPRINT)
+        assert trim == pytest.approx(unprotected / 3.0)
+
+    def test_oversized_resident_data_rejected(self):
+        with pytest.raises(AllocationError):
+            scratch_capacity(BUDGET, UnprotectedScheme(), RowFootprint(300, 100.0))
+
+
+class TestAreaReclaims:
+    def test_small_workload_needs_no_reclaims(self):
+        footprint = RowFootprint(data_columns=16, scratch_claims=50.0)
+        assert area_reclaims(BUDGET, EcimScheme(), footprint) == 0
+
+    def test_trim_reclaims_exceed_ecim_reclaims(self):
+        ecim = area_reclaims(BUDGET, EcimScheme(), FOOTPRINT)
+        trim = area_reclaims(BUDGET, TrimScheme(), FOOTPRINT)
+        unprotected = area_reclaims(BUDGET, UnprotectedScheme(), FOOTPRINT)
+        assert unprotected <= ecim < trim
+        # Table IV shape: TRiM needs roughly 3-4x the reclaims of ECiM.
+        assert trim >= 2.5 * ecim
+
+    def test_reclaims_grow_with_demand(self):
+        small = area_reclaims(BUDGET, EcimScheme(), RowFootprint(40, 2000.0))
+        large = area_reclaims(BUDGET, EcimScheme(), RowFootprint(40, 20000.0))
+        assert large > small
+
+    def test_live_fraction_sensitivity(self):
+        relaxed = area_reclaims(BUDGET, TrimScheme(), FOOTPRINT, live_fraction=0.1)
+        pinned = area_reclaims(BUDGET, TrimScheme(), FOOTPRINT, live_fraction=0.7)
+        assert pinned > relaxed
+
+    def test_single_output_trim_same_column_footprint(self):
+        # TRiM's redundant copies occupy the same columns whether produced by
+        # multi-output gates or by re-execution.
+        assert area_reclaims(BUDGET, TrimScheme(), FOOTPRINT, multi_output=True) == area_reclaims(
+            BUDGET, TrimScheme(), FOOTPRINT, multi_output=False
+        )
+
+
+class TestReclaimCost:
+    def test_cost_bits_positive_and_bounded_by_capacity(self):
+        for scheme in (UnprotectedScheme(), EcimScheme(), TrimScheme()):
+            bits = reclaim_cost_bits(BUDGET, scheme, FOOTPRINT)
+            assert 0 < bits <= scratch_capacity(BUDGET, scheme, FOOTPRINT)
+
+    def test_trim_reclaims_recycle_fewer_cells_per_event(self):
+        assert reclaim_cost_bits(BUDGET, TrimScheme(), FOOTPRINT) < reclaim_cost_bits(
+            BUDGET, EcimScheme(), FOOTPRINT
+        )

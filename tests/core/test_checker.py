@@ -1,0 +1,136 @@
+"""Tests for the external Checker blocks (syndrome and majority vote)."""
+
+import pytest
+
+from repro.core.checker import CheckerCostModel, EcimChecker, TrimChecker
+from repro.ecc.hamming import HAMMING_7_4, HammingCode
+from repro.errors import CheckerError
+
+
+class TestEcimChecker:
+    @pytest.fixture
+    def checker(self):
+        return EcimChecker(HAMMING_7_4)
+
+    def test_clean_level_passes(self, checker):
+        data = [1, 0, 1, 1]
+        parity = list(checker.reference_parity(data))
+        result = checker.check_level(data, parity)
+        assert not result.error_detected
+        assert result.corrected_data == tuple(data)
+
+    @pytest.mark.parametrize("position", range(4))
+    def test_single_data_error_corrected(self, checker, position):
+        data = [1, 0, 1, 1]
+        parity = list(checker.reference_parity(data))
+        corrupted = list(data)
+        corrupted[position] ^= 1
+        result = checker.check_level(corrupted, parity)
+        assert result.error_corrected
+        assert result.corrected_data == tuple(data)
+        assert result.corrected_positions == (position,)
+
+    def test_parity_error_does_not_touch_data(self, checker):
+        data = [0, 1, 1, 0]
+        parity = list(checker.reference_parity(data))
+        parity[1] ^= 1
+        result = checker.check_level(data, parity)
+        assert result.error_detected
+        assert result.corrected_data == tuple(data)
+        assert result.corrected_positions == ()
+
+    def test_short_levels_are_zero_padded(self):
+        checker = EcimChecker(HammingCode(k=16))
+        data = [1, 0, 1]  # fewer outputs than the code dimension
+        parity = list(checker.reference_parity(data))
+        corrupted = list(data)
+        corrupted[2] ^= 1
+        result = checker.check_level(corrupted, parity)
+        assert result.corrected_data == tuple(data)
+
+    def test_level_wider_than_code_rejected(self, checker):
+        with pytest.raises(CheckerError):
+            checker.check_level([0] * 10, [0, 0, 0])
+
+    def test_wrong_parity_width_rejected(self, checker):
+        with pytest.raises(CheckerError):
+            checker.check_level([0, 0, 0, 0], [0, 0])
+
+    def test_hardware_costs_positive_and_scale_with_code(self):
+        small = EcimChecker(HAMMING_7_4)
+        large = EcimChecker(HammingCode.from_codeword_length(255, 247))
+        assert 0 < small.gate_count() < large.gate_count()
+        assert 0 < small.area_um2() < large.area_um2()
+        assert 0 < small.energy_per_check_fj() < large.energy_per_check_fj()
+        assert small.latency_ns() < large.latency_ns()
+
+    def test_checker_is_lightweight_relative_to_level_compute(self):
+        # "ECiM Checkers therefore represent relatively light-weight hardware
+        # blocks": one check must cost far less than the in-array gates it
+        # protects (247 NORs at ~10 fJ each).
+        checker = EcimChecker(HammingCode.from_codeword_length(255, 247))
+        assert checker.energy_per_check_fj() < 247 * 10.5
+
+
+class TestTrimChecker:
+    @pytest.fixture
+    def checker(self):
+        return TrimChecker()
+
+    def test_unanimous_copies_pass(self, checker):
+        result = checker.check_level([[1, 0, 1]] * 3)
+        assert not result.error_detected
+        assert result.corrected_data == (1, 0, 1)
+
+    def test_error_in_primary_corrected(self, checker):
+        copies = [[1, 1, 1], [1, 0, 1], [1, 0, 1]]
+        result = checker.check_level(copies)
+        assert result.corrected_data == (1, 0, 1)
+        assert result.corrected_positions == (1,)
+
+    def test_error_in_redundant_copy_detected_without_correction(self, checker):
+        copies = [[1, 0, 1], [1, 1, 1], [1, 0, 1]]
+        result = checker.check_level(copies)
+        assert result.error_detected
+        assert result.corrected_positions == ()
+        assert result.corrected_data == (1, 0, 1)
+
+    def test_copy_count_must_match(self, checker):
+        with pytest.raises(CheckerError):
+            checker.check_level([[1, 0]] * 2)
+
+    def test_copy_widths_must_match(self, checker):
+        with pytest.raises(CheckerError):
+            checker.check_level([[1, 0], [1], [1, 0]])
+
+    def test_even_copy_count_rejected(self):
+        with pytest.raises(CheckerError):
+            TrimChecker(n_copies=4)
+
+    def test_five_copy_voter(self):
+        checker = TrimChecker(n_copies=5)
+        copies = [[1, 0]] * 3 + [[0, 1]] * 2
+        assert checker.check_level(copies).corrected_data == (1, 0)
+
+    def test_hardware_costs(self, checker):
+        assert checker.gate_count(width=256) > 0
+        assert checker.area_um2(width=256) > 0
+        assert checker.energy_per_check_fj(256) > 0
+        assert checker.latency_ns() > 0
+
+    def test_voter_cheaper_than_syndrome_checker_per_bit(self):
+        # The TRiM checker is simpler hardware than the ECiM decoder.
+        trim = TrimChecker()
+        ecim = EcimChecker(HammingCode.from_codeword_length(255, 247))
+        assert trim.gate_count(width=255) < ecim.gate_count()
+
+
+class TestCostModel:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(CheckerError):
+            CheckerCostModel(energy_per_gate_event_fj=-1.0)
+
+    def test_custom_costs_scale_energy(self):
+        cheap = EcimChecker(HAMMING_7_4, CheckerCostModel(energy_per_gate_event_fj=0.5))
+        expensive = EcimChecker(HAMMING_7_4, CheckerCostModel(energy_per_gate_event_fj=2.0))
+        assert expensive.energy_per_check_fj() == pytest.approx(4 * cheap.energy_per_check_fj())

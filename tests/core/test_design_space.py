@@ -1,0 +1,91 @@
+"""Tests for the Table II design-space model."""
+
+import math
+
+import pytest
+
+from repro.core.design_space import (
+    Granularity,
+    design_space_table,
+    ecim_costs,
+    sep_guaranteed,
+    trim_costs,
+)
+from repro.errors import CoverageError
+
+
+class TestSepRule:
+    def test_gate_and_logic_level_checks_guarantee_sep(self):
+        assert sep_guaranteed(Granularity.GATE, Granularity.GATE)
+        assert sep_guaranteed(Granularity.GATE, Granularity.LOGIC_LEVEL)
+
+    def test_circuit_granularity_loses_sep(self):
+        assert not sep_guaranteed(Granularity.GATE, Granularity.CIRCUIT)
+        assert not sep_guaranteed(Granularity.LOGIC_LEVEL, Granularity.CIRCUIT)
+
+    def test_check_cannot_be_finer_than_update(self):
+        with pytest.raises(CoverageError):
+            sep_guaranteed(Granularity.LOGIC_LEVEL, Granularity.GATE)
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(CoverageError):
+            sep_guaranteed("word", Granularity.GATE)
+
+
+class TestCostExpressions:
+    def test_trim_gate_granularity_is_classic_tmr(self):
+        costs = trim_costs(100, Granularity.GATE)
+        assert costs["time"] == pytest.approx(300.0)
+        assert costs["energy"] == pytest.approx(300.0)
+        assert costs["checker_metadata_bits"] == pytest.approx(200.0)
+
+    def test_trim_logic_level_masks_time_but_not_energy(self):
+        costs = trim_costs(100, Granularity.LOGIC_LEVEL, maskable=True)
+        assert costs["time"] == pytest.approx(100.0)
+        assert costs["energy"] == pytest.approx(300.0)
+
+    def test_ecim_logic_level_is_n_log_n(self):
+        n = 256
+        costs = ecim_costs(n, Granularity.LOGIC_LEVEL)
+        assert costs["time"] == pytest.approx(n * (1 + math.log2(n)))
+        assert costs["checker_metadata_bits"] == pytest.approx(n * math.log2(n))
+
+    def test_ecim_gate_granularity_reduces_to_trim(self):
+        assert ecim_costs(64, Granularity.GATE) == trim_costs(64, Granularity.GATE)
+
+    def test_invalid_output_count(self):
+        with pytest.raises(CoverageError):
+            trim_costs(0, Granularity.GATE)
+        with pytest.raises(CoverageError):
+            ecim_costs(-1, Granularity.LOGIC_LEVEL)
+
+    def test_crossover_ecim_cheaper_metadata_for_small_n(self):
+        # ECiM's N log N metadata beats TRiM's 2N only when log N < 2, and is
+        # worse beyond — matching Table II's asymptotics.
+        assert ecim_costs(2, Granularity.LOGIC_LEVEL)["checker_metadata_bits"] < trim_costs(
+            2, Granularity.LOGIC_LEVEL
+        )["checker_metadata_bits"]
+        assert ecim_costs(256, Granularity.LOGIC_LEVEL)["checker_metadata_bits"] > trim_costs(
+            256, Granularity.LOGIC_LEVEL
+        )["checker_metadata_bits"]
+
+
+class TestTable:
+    def test_table_has_four_design_points(self):
+        points = design_space_table(256)
+        assert len(points) == 4
+
+    def test_all_listed_points_guarantee_sep(self):
+        assert all(p.sep_guarantee for p in design_space_table(64))
+
+    def test_proposed_design_points_present(self):
+        points = design_space_table(128)
+        notes = [p.note for p in points]
+        assert any("proposed TRiM" in note for note in notes)
+        assert any("proposed ECiM" in note for note in notes)
+
+    def test_expressions_match_paper_text(self):
+        points = {(p.scheme, p.check_granularity): p for p in design_space_table(32)}
+        assert points[("TRiM", Granularity.GATE)].time_expression == "3N"
+        assert "masked" in points[("TRiM", Granularity.LOGIC_LEVEL)].time_expression
+        assert points[("ECiM", Granularity.LOGIC_LEVEL)].time_expression == "N(1 + logN)"

@@ -1,0 +1,198 @@
+"""Tests for the bit-exact executors (unprotected, ECiM, TRiM)."""
+
+import pytest
+
+from repro.compiler.netlist import Netlist
+from repro.compiler.synthesis import CircuitBuilder
+from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
+from repro.core.sep import and_gate_example_netlist
+from repro.errors import ProtectionError
+from repro.pim.array import PimArray
+from repro.pim.faults import DeterministicFaultInjector, FaultModel, StochasticFaultInjector
+from repro.pim.operations import OperationKind
+from repro.pim.technology import RERAM
+
+
+def adder_netlist(width=3):
+    builder = CircuitBuilder()
+    a = builder.input_word(width, "a")
+    b = builder.input_word(width, "b")
+    total, carry = builder.ripple_adder(a, b)
+    builder.mark_output_word(total)
+    builder.mark_output_bit(carry, "carry")
+    return builder.netlist, a, b, total, carry
+
+
+def adder_inputs(a_sigs, b_sigs, a_val, b_val):
+    values = {s: (a_val >> i) & 1 for i, s in enumerate(a_sigs)}
+    values.update({s: (b_val >> i) & 1 for i, s in enumerate(b_sigs)})
+    return values
+
+
+def word_value(outputs, word):
+    return sum(outputs[s] << i for i, s in enumerate(word))
+
+
+class TestUnprotectedExecutor:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 7), (6, 1)])
+    def test_adder_matches_golden_model(self, a, b):
+        netlist, a_sigs, b_sigs, total, carry = adder_netlist()
+        report = UnprotectedExecutor(netlist).run(adder_inputs(a_sigs, b_sigs, a, b))
+        assert report.outputs_correct
+        assert word_value(report.outputs, total) + (report.outputs[carry] << 3) == a + b
+
+    def test_no_checker_activity(self):
+        netlist = and_gate_example_netlist()
+        executor = UnprotectedExecutor(netlist)
+        report = executor.run({netlist.inputs[0]: 1, netlist.inputs[1]: 0})
+        assert report.checks == []
+        assert executor.array.trace.count(OperationKind.READ) == 0
+
+    def test_single_fault_corrupts_output(self):
+        netlist = and_gate_example_netlist()
+        injector = DeterministicFaultInjector(target_operations={2: 1})
+        executor = UnprotectedExecutor(and_gate_example_netlist(), fault_injector=injector)
+        report = executor.run({netlist.inputs[0]: 1, netlist.inputs[1]: 1})
+        assert not report.outputs_correct
+
+    def test_uses_supplied_array(self):
+        netlist = and_gate_example_netlist()
+        array = PimArray(rows=2, cols=64, technology=RERAM)
+        executor = UnprotectedExecutor(netlist, array=array)
+        assert executor.array is array
+
+    def test_rejects_too_narrow_array(self):
+        netlist, *_ = adder_netlist()
+        with pytest.raises(ProtectionError):
+            UnprotectedExecutor(netlist, array=PimArray(rows=2, cols=4))
+
+    def test_missing_input_rejected(self):
+        netlist = and_gate_example_netlist()
+        with pytest.raises(ProtectionError):
+            UnprotectedExecutor(netlist).run({netlist.inputs[0]: 1})
+
+
+class TestEcimExecutor:
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 2), (7, 6)])
+    def test_error_free_execution_is_correct(self, a, b):
+        netlist, a_sigs, b_sigs, *_ = adder_netlist()
+        report = EcimExecutor(netlist).run(adder_inputs(a_sigs, b_sigs, a, b))
+        assert report.outputs_correct
+        assert report.corrections == 0
+        assert report.uncorrectable_levels == 0
+
+    def test_checks_happen_per_logic_level(self):
+        netlist, a_sigs, b_sigs, *_ = adder_netlist(width=2)
+        executor = EcimExecutor(netlist)
+        report = executor.run(adder_inputs(a_sigs, b_sigs, 1, 2))
+        assert len(report.checks) == netlist.depth
+
+    def test_checker_transfers_recorded(self):
+        netlist = and_gate_example_netlist()
+        executor = EcimExecutor(netlist)
+        executor.run({netlist.inputs[0]: 1, netlist.inputs[1]: 1})
+        # Two reads per level (data + parity), two levels.
+        assert executor.array.trace.count(OperationKind.READ) == 4
+
+    def test_metadata_operations_flagged(self):
+        netlist = and_gate_example_netlist()
+        executor = EcimExecutor(netlist)
+        executor.run({netlist.inputs[0]: 0, netlist.inputs[1]: 1})
+        assert executor.array.trace.count(OperationKind.GATE, metadata_only=True) > 0
+
+    def test_data_fault_corrected_and_counted(self):
+        netlist = and_gate_example_netlist()
+        injector = DeterministicFaultInjector(target_operations={0: 1})
+        executor = EcimExecutor(and_gate_example_netlist(), fault_injector=injector)
+        report = executor.run({netlist.inputs[0]: 1, netlist.inputs[1]: 1})
+        assert report.outputs_correct
+        assert report.corrections >= 1
+        assert report.errors_detected >= 1
+
+    def test_single_output_variant_still_correct(self):
+        netlist, a_sigs, b_sigs, *_ = adder_netlist(width=2)
+        report = EcimExecutor(netlist, multi_output=False).run(
+            adder_inputs(a_sigs, b_sigs, 3, 1)
+        )
+        assert report.outputs_correct
+
+    def test_single_output_variant_corrects_faults(self):
+        netlist = and_gate_example_netlist()
+        injector = DeterministicFaultInjector(target_operations={0: 1})
+        executor = EcimExecutor(
+            and_gate_example_netlist(), multi_output=False, fault_injector=injector
+        )
+        report = executor.run({netlist.inputs[0]: 1, netlist.inputs[1]: 1})
+        assert report.outputs_correct
+
+    def test_low_stochastic_error_rate_survivable(self):
+        netlist, a_sigs, b_sigs, *_ = adder_netlist(width=2)
+        injector = StochasticFaultInjector(FaultModel(gate_error_rate=0.002), seed=11)
+        report = EcimExecutor(netlist, fault_injector=injector).run(
+            adder_inputs(a_sigs, b_sigs, 2, 3)
+        )
+        # With at most a couple of injected faults spread across levels the
+        # per-level Hamming correction keeps the result intact.
+        if injector.log.count() <= 1:
+            assert report.outputs_correct
+
+
+class TestTrimExecutor:
+    @pytest.mark.parametrize("a,b", [(1, 1), (4, 3), (7, 7)])
+    def test_error_free_execution_is_correct(self, a, b):
+        netlist, a_sigs, b_sigs, *_ = adder_netlist()
+        report = TrimExecutor(netlist).run(adder_inputs(a_sigs, b_sigs, a, b))
+        assert report.outputs_correct
+
+    def test_primary_fault_outvoted(self):
+        netlist = and_gate_example_netlist()
+        injector = DeterministicFaultInjector(target_output_positions={0: 0})
+        executor = TrimExecutor(and_gate_example_netlist(), fault_injector=injector)
+        report = executor.run({netlist.inputs[0]: 1, netlist.inputs[1]: 1})
+        assert report.outputs_correct
+        assert report.corrections >= 1
+
+    def test_copy_fault_detected_but_harmless(self):
+        netlist = and_gate_example_netlist()
+        injector = DeterministicFaultInjector(target_output_positions={0: 1})
+        executor = TrimExecutor(and_gate_example_netlist(), fault_injector=injector)
+        report = executor.run({netlist.inputs[0]: 1, netlist.inputs[1]: 1})
+        assert report.outputs_correct
+        assert report.errors_detected >= 1
+
+    def test_three_reads_per_level(self):
+        netlist = and_gate_example_netlist()
+        executor = TrimExecutor(netlist)
+        executor.run({netlist.inputs[0]: 0, netlist.inputs[1]: 0})
+        assert executor.array.trace.count(OperationKind.READ) == 3 * netlist.depth
+
+    def test_single_output_variant(self):
+        netlist, a_sigs, b_sigs, *_ = adder_netlist(width=2)
+        report = TrimExecutor(netlist, multi_output=False).run(
+            adder_inputs(a_sigs, b_sigs, 1, 3)
+        )
+        assert report.outputs_correct
+
+    def test_even_copy_count_rejected(self):
+        netlist = and_gate_example_netlist()
+        with pytest.raises(ProtectionError):
+            TrimExecutor(netlist, n_copies=2)
+
+
+class TestCrossSchemeConsistency:
+    def test_all_executors_agree_with_golden_model(self):
+        netlist, a_sigs, b_sigs, total, carry = adder_netlist(width=2)
+        inputs = adder_inputs(a_sigs, b_sigs, 2, 3)
+        golden = netlist.evaluate_outputs(inputs)
+        for executor_cls in (UnprotectedExecutor, EcimExecutor, TrimExecutor):
+            report = executor_cls(netlist).run(dict(inputs))
+            assert report.outputs == golden, executor_cls.__name__
+
+    def test_protection_costs_extra_operations(self):
+        netlist = and_gate_example_netlist()
+        inputs = {netlist.inputs[0]: 1, netlist.inputs[1]: 0}
+        unprotected = UnprotectedExecutor(and_gate_example_netlist())
+        unprotected.run(dict(inputs))
+        ecim = EcimExecutor(and_gate_example_netlist())
+        ecim.run(dict(inputs))
+        assert len(ecim.array.trace) > len(unprotected.array.trace)

@@ -1,0 +1,102 @@
+"""Tests for the Fig. 5 parity-update pipeline and Fig. 4 row interleaving."""
+
+import pytest
+
+from repro.core.pipeline import ParityUpdatePipeline, skewed_row_overlap
+from repro.errors import ProtectionError
+
+
+class TestParityUpdatePipeline:
+    def test_schedule_contains_all_compute_and_parity_work(self):
+        pipeline = ParityUpdatePipeline(blocks_per_side=3, updates_per_gate=2, steps_per_update=2)
+        schedule = pipeline.schedule_level(6)
+        compute_slots = [s for s in schedule.slots if s.block == "compute"]
+        parity_slots = [s for s in schedule.slots if s.block != "compute"]
+        assert len(compute_slots) == 6
+        assert len(parity_slots) == 6 * 2 * 2
+
+    def test_no_block_conflicts(self):
+        pipeline = ParityUpdatePipeline(blocks_per_side=3, updates_per_gate=3, steps_per_update=2)
+        schedule = pipeline.schedule_level(12)
+        assert pipeline.verify_no_conflicts(schedule)
+
+    def test_parity_work_starts_after_triggering_gate(self):
+        pipeline = ParityUpdatePipeline(blocks_per_side=2, updates_per_gate=1, steps_per_update=2)
+        schedule = pipeline.schedule_level(4)
+        for slot in schedule.slots:
+            if slot.block != "compute":
+                assert slot.step > slot.triggered_by
+
+    def test_alternating_sides(self):
+        pipeline = ParityUpdatePipeline(blocks_per_side=2, updates_per_gate=1, steps_per_update=2)
+        schedule = pipeline.schedule_level(4)
+        sides_by_gate = {}
+        for slot in schedule.slots:
+            if slot.block == "compute":
+                continue
+            sides_by_gate.setdefault(slot.triggered_by, set()).add(slot.block.split("-")[0])
+        assert sides_by_gate[0] == {"right"}
+        assert sides_by_gate[1] == {"left"}
+
+    def test_more_blocks_reduce_drain(self):
+        shallow = ParityUpdatePipeline(blocks_per_side=1, updates_per_gate=4, steps_per_update=2)
+        deep = ParityUpdatePipeline(blocks_per_side=4, updates_per_gate=4, steps_per_update=2)
+        assert deep.unmasked_steps(32) < shallow.unmasked_steps(32)
+
+    def test_sufficient_blocks_sustain_full_rate(self):
+        pipeline = ParityUpdatePipeline(blocks_per_side=4, updates_per_gate=4, steps_per_update=2)
+        assert pipeline.sustains_full_rate(64)
+
+    def test_insufficient_blocks_cannot_sustain_full_rate(self):
+        pipeline = ParityUpdatePipeline(blocks_per_side=1, updates_per_gate=4, steps_per_update=2)
+        assert not pipeline.sustains_full_rate(64)
+
+    def test_single_running_parity_bit_needs_only_one_block_pair(self):
+        # The Section IV-C baseline: one running parity bit per side, 2-step
+        # XOR per gate, alternating sides — one block per side keeps up.
+        pipeline = ParityUpdatePipeline(blocks_per_side=1, updates_per_gate=1, steps_per_update=2)
+        assert pipeline.sustains_full_rate(64)
+
+    def test_empty_level(self):
+        pipeline = ParityUpdatePipeline()
+        schedule = pipeline.schedule_level(0)
+        assert schedule.total_steps == 0
+        assert schedule.drain_steps == 0
+
+    def test_block_activity_accessors(self):
+        pipeline = ParityUpdatePipeline(blocks_per_side=2, updates_per_gate=1, steps_per_update=2)
+        schedule = pipeline.schedule_level(4)
+        right_block = schedule.activity_of_block("right-0")
+        assert right_block
+        assert all(s.block == "right-0" for s in right_block)
+        assert "compute" in schedule.busy_blocks_at(0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProtectionError):
+            ParityUpdatePipeline(blocks_per_side=0)
+        with pytest.raises(ProtectionError):
+            ParityUpdatePipeline(updates_per_gate=0)
+        with pytest.raises(ProtectionError):
+            ParityUpdatePipeline(steps_per_update=0)
+        with pytest.raises(ProtectionError):
+            ParityUpdatePipeline().schedule_level(-1)
+
+
+class TestSkewedRowOverlap:
+    def test_single_row_hides_nothing(self):
+        visible, hidden = skewed_row_overlap(1, compute_steps_per_level=100, rw_slots_per_level=6)
+        assert visible == 6 and hidden == 0
+
+    def test_enough_rows_hide_everything(self):
+        visible, hidden = skewed_row_overlap(8, compute_steps_per_level=100, rw_slots_per_level=6)
+        assert visible == 0 and hidden == 6
+
+    def test_partial_hiding(self):
+        visible, hidden = skewed_row_overlap(2, compute_steps_per_level=4, rw_slots_per_level=6)
+        assert hidden == 4 and visible == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProtectionError):
+            skewed_row_overlap(0, 1, 1)
+        with pytest.raises(ProtectionError):
+            skewed_row_overlap(1, -1, 1)

@@ -1,0 +1,164 @@
+"""Tests for the analytic protection-scheme models (ECiM, TRiM, unprotected)."""
+
+import pytest
+
+from repro.core.protection import (
+    EcimScheme,
+    LevelProfile,
+    TrimScheme,
+    UnprotectedScheme,
+)
+from repro.ecc.bch import BchCode
+from repro.ecc.hamming import HAMMING_7_4, HammingCode
+from repro.errors import CoverageError, ProtectionError
+
+LEVEL = LevelProfile(n_nor_gates=20, n_thr_gates=4)
+
+
+class TestLevelProfile:
+    def test_gate_totals(self):
+        assert LEVEL.n_gates == 24
+        assert LEVEL.output_bits == 24
+
+    def test_explicit_output_count(self):
+        profile = LevelProfile(n_nor_gates=10, n_thr_gates=0, n_outputs=6)
+        assert profile.output_bits == 6
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ProtectionError):
+            LevelProfile(n_nor_gates=-1)
+
+
+class TestUnprotectedScheme:
+    def test_no_metadata(self):
+        scheme = UnprotectedScheme()
+        counts = scheme.level_metadata(LEVEL)
+        assert counts.metadata_gates == 0
+        assert counts.checker_read_bits == 0
+        assert scheme.metadata_column_fraction() == 0.0
+        assert not scheme.guarantees_sep()
+        assert scheme.correctable_errors_per_level() == 0
+
+
+class TestEcimScheme:
+    @pytest.fixture
+    def scheme(self):
+        return EcimScheme()
+
+    def test_default_code_is_hamming_255_247(self, scheme):
+        assert scheme.code.n == 255
+        assert scheme.code.k == 247
+
+    def test_guarantees_sep(self, scheme):
+        assert scheme.guarantees_sep()
+        assert scheme.correctable_errors_per_level() == 1
+
+    def test_metadata_column_fraction_small(self, scheme):
+        # Parity + staging columns are a few percent of the row, far below
+        # TRiM's 200 %.
+        assert 0.0 < scheme.metadata_column_fraction() < 0.2
+
+    def test_metadata_gates_scale_with_parity_fanout(self, scheme):
+        counts = scheme.level_metadata(LEVEL, multi_output=True)
+        updates = round(scheme.average_parity_updates * LEVEL.n_gates)
+        assert counts.metadata_nor_gates == updates
+        assert counts.metadata_thr_gates == updates
+        assert counts.metadata_gate_outputs == 4 * updates
+
+    def test_single_output_costs_more_than_multi_output(self, scheme):
+        multi = scheme.level_metadata(LEVEL, multi_output=True)
+        single = scheme.level_metadata(LEVEL, multi_output=False)
+        assert single.metadata_gates > multi.metadata_gates
+        assert single.metadata_gate_outputs >= multi.metadata_gate_outputs
+
+    def test_checker_reads_include_parity_bits(self, scheme):
+        counts = scheme.level_metadata(LEVEL)
+        assert counts.checker_read_bits == LEVEL.output_bits + scheme.code.n_parity
+
+    def test_unmaskable_drain_shrinks_with_more_parity_blocks(self):
+        shallow = EcimScheme(parity_blocks_per_side=1).level_metadata(LEVEL)
+        deep = EcimScheme(parity_blocks_per_side=4).level_metadata(LEVEL)
+        assert deep.unmaskable_steps <= shallow.unmaskable_steps
+
+    def test_smaller_code_has_higher_column_fraction(self):
+        small = EcimScheme(code=HAMMING_7_4)
+        assert small.metadata_column_fraction() > EcimScheme().metadata_column_fraction()
+
+    def test_bch_code_increases_metadata(self):
+        hamming = EcimScheme()
+        bch = EcimScheme(code=BchCode(255, 3))
+        assert bch.correctable_errors_per_level() == 3
+        assert (
+            bch.level_metadata(LEVEL).metadata_gates
+            > hamming.level_metadata(LEVEL).metadata_gates
+        )
+
+    def test_checker_energy_positive(self, scheme):
+        assert scheme.level_metadata(LEVEL).checker_energy_fj > 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProtectionError):
+            EcimScheme(parity_blocks_per_side=0)
+        with pytest.raises(ProtectionError):
+            EcimScheme(correction_write_probability=2.0)
+
+    def test_describe_mentions_granularities(self, scheme):
+        text = scheme.describe()
+        assert "gate" in text and "logic-level" in text
+
+
+class TestTrimScheme:
+    @pytest.fixture
+    def scheme(self):
+        return TrimScheme()
+
+    def test_guarantees_sep(self, scheme):
+        assert scheme.guarantees_sep()
+        assert scheme.correctable_errors_per_level() == 1
+
+    def test_column_fraction_is_two(self, scheme):
+        assert scheme.metadata_column_fraction() == pytest.approx(2.0)
+
+    def test_multi_output_needs_no_extra_firings(self, scheme):
+        counts = scheme.level_metadata(LEVEL, multi_output=True)
+        assert counts.metadata_gates == 0
+        assert counts.metadata_gate_outputs == 2 * LEVEL.n_gates
+        assert counts.unmaskable_steps == 0
+
+    def test_single_output_needs_staging_and_refirings(self, scheme):
+        counts = scheme.level_metadata(LEVEL, multi_output=False)
+        assert counts.metadata_gates > 0
+        assert counts.metadata_thr_gates == 2 * LEVEL.n_thr_gates
+        assert counts.unmaskable_steps > 0
+
+    def test_checker_reads_are_three_copies(self, scheme):
+        assert scheme.level_metadata(LEVEL).checker_read_bits == 3 * LEVEL.output_bits
+
+    def test_five_copy_variant(self):
+        scheme = TrimScheme(n_copies=5)
+        assert scheme.correctable_errors_per_level() == 2
+        assert scheme.metadata_column_fraction() == pytest.approx(4.0)
+        assert scheme.level_metadata(LEVEL).checker_read_bits == 5 * LEVEL.output_bits
+
+    def test_even_copy_count_rejected(self):
+        with pytest.raises(CoverageError):
+            TrimScheme(n_copies=2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ProtectionError):
+            TrimScheme(correction_write_probability=-0.1)
+
+
+class TestSchemeComparison:
+    def test_ecim_metadata_columns_much_smaller_than_trim(self):
+        assert EcimScheme().metadata_column_fraction() < 0.1 * TrimScheme().metadata_column_fraction()
+
+    def test_trim_transfers_more_than_ecim(self):
+        ecim = EcimScheme().level_metadata(LEVEL)
+        trim = TrimScheme().level_metadata(LEVEL)
+        assert trim.checker_read_bits > ecim.checker_read_bits
+
+    def test_ecim_fires_more_metadata_gates_than_trim(self):
+        ecim = EcimScheme().level_metadata(LEVEL, multi_output=True)
+        trim = TrimScheme().level_metadata(LEVEL, multi_output=True)
+        assert ecim.metadata_gates > trim.metadata_gates

@@ -1,0 +1,150 @@
+"""Tests for BCH codes (the Fig. 8 extension of ECiM to multi-error correction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import (
+    BchCode,
+    bch_dimension,
+    bch_parity_bits,
+    parity_bits_vs_correctable_errors,
+)
+from repro.errors import CodeConstructionError
+
+
+class TestParityBitCounts:
+    def test_fig8_series_for_bch_255(self):
+        # The canonical BCH-255 parity-bit counts for t = 1..10.
+        rows = parity_bits_vs_correctable_errors(255, tuple(range(1, 11)))
+        assert [r["parity_bits"] for r in rows] == [8, 16, 24, 32, 40, 48, 56, 64, 68, 76]
+
+    def test_t1_matches_hamming_255_247(self):
+        assert bch_parity_bits(255, 1) == 8
+        assert bch_dimension(255, 1) == 247
+
+    def test_known_bch_dimensions(self):
+        # Classic (n, k, t) triples for BCH-255.
+        assert bch_dimension(255, 2) == 239
+        assert bch_dimension(255, 3) == 231
+        assert bch_dimension(255, 5) == 215
+
+    def test_parity_growth_is_sublinear_in_t(self):
+        rows = parity_bits_vs_correctable_errors(255, tuple(range(1, 11)))
+        increments = [
+            rows[i + 1]["parity_bits"] - rows[i]["parity_bits"] for i in range(len(rows) - 1)
+        ]
+        # Increments never exceed m = 8 and eventually drop below it.
+        assert max(increments) <= 8
+        assert min(increments) < 8
+
+    def test_bch_63(self):
+        assert bch_parity_bits(63, 1) == 6
+        assert bch_dimension(63, 2) == 51
+
+    def test_repetition_limit(self):
+        # BCH(15) with t = 7 degenerates to the length-15 repetition code.
+        assert bch_parity_bits(15, 7) == 14
+        assert bch_dimension(15, 7) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CodeConstructionError):
+            bch_parity_bits(100, 1)  # not 2^m - 1
+        with pytest.raises(CodeConstructionError):
+            bch_parity_bits(255, 0)
+        with pytest.raises(CodeConstructionError):
+            bch_parity_bits(15, 8)  # designed distance would exceed n
+
+
+class TestSmallBchCode:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return BchCode(15, 2)  # BCH(15, 7, t=2)
+
+    def test_dimensions(self, code):
+        assert code.n == 15
+        assert code.k == 7
+        assert code.n_parity == 8
+        assert code.designed_distance == 5
+
+    def test_clean_codeword(self, code):
+        data = [1, 0, 1, 1, 0, 0, 1]
+        word = code.encode(data)
+        assert code.is_codeword(word)
+        assert list(code.extract_data(word)) == data
+
+    def test_corrects_one_error(self, code):
+        word = code.encode([1, 1, 0, 0, 1, 0, 1])
+        corrupted = word.copy()
+        corrupted[3] ^= 1
+        result = code.decode(corrupted)
+        assert result.error_corrected
+        assert np.array_equal(result.corrected, word)
+
+    def test_corrects_two_errors_everywhere(self, code):
+        word = code.encode([0, 1, 1, 0, 1, 1, 0])
+        for i in range(code.n):
+            for j in range(i + 1, code.n):
+                corrupted = word.copy()
+                corrupted[i] ^= 1
+                corrupted[j] ^= 1
+                result = code.decode(corrupted)
+                assert np.array_equal(result.corrected, word), (i, j)
+
+    def test_three_errors_not_silently_accepted(self, code):
+        word = code.encode([0, 0, 0, 0, 0, 0, 0])
+        corrupted = word.copy()
+        for i in (1, 5, 9):
+            corrupted[i] ^= 1
+        result = code.decode(corrupted)
+        # Beyond the designed distance the decoder must not claim success
+        # with the original word; either it flags uncorrectable or it
+        # miscorrects to a *different* codeword.
+        assert result.detected_uncorrectable or not np.array_equal(result.corrected, word)
+
+    def test_linearity(self, code):
+        a = np.array([1, 0, 1, 0, 1, 0, 1], dtype=np.uint8)
+        b = np.array([0, 1, 1, 1, 0, 0, 1], dtype=np.uint8)
+        assert np.array_equal(code.encode(a ^ b), code.encode(a) ^ code.encode(b))
+
+    def test_parity_bits_affected_by(self, code):
+        for bit in range(code.k):
+            affected = code.parity_bits_affected_by(bit)
+            assert all(0 <= p < code.n_parity for p in affected)
+        with pytest.raises(CodeConstructionError):
+            code.parity_bits_affected_by(code.k)
+
+    def test_systematic_matrices(self, code):
+        h = code.parity_check_matrix
+        assert h.shape == (code.n_parity, code.n)
+        # Every codeword must satisfy H @ c = 0 with the [data | parity] layout.
+        word = code.encode([1, 1, 1, 0, 0, 1, 0]).astype(int)
+        assert not ((h.astype(int) @ word) % 2).any()
+
+
+class TestBch255:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return BchCode(255, 3)
+
+    def test_dimensions(self, code):
+        assert code.k == 231
+        assert code.n_parity == 24
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_corrects_three_errors(self, code, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, size=code.k).astype(np.uint8)
+        word = code.encode(data)
+        corrupted = word.copy()
+        positions = rng.choice(code.n, size=3, replace=False)
+        for p in positions:
+            corrupted[p] ^= 1
+        result = code.decode(corrupted)
+        assert np.array_equal(result.corrected, word)
+
+    def test_average_parity_updates_reasonable(self, code):
+        w = code.average_parity_updates_per_data_bit(sample=32)
+        assert 1.0 <= w <= code.n_parity

@@ -1,0 +1,58 @@
+"""Tests for Berger codes and why they fail the paper's column-wise ECC criteria."""
+
+import pytest
+
+from repro.ecc.berger import BergerCode
+from repro.errors import CodeConstructionError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("k,check_bits", [(1, 1), (3, 2), (7, 3), (8, 4), (247, 8)])
+    def test_check_symbol_width(self, k, check_bits):
+        assert BergerCode(k).check_bits == check_bits
+
+    def test_codeword_length(self):
+        assert BergerCode(8).n == 12
+
+    def test_invalid_k(self):
+        with pytest.raises(CodeConstructionError):
+            BergerCode(0)
+
+
+class TestChecking:
+    def test_check_symbol_counts_zeros(self):
+        code = BergerCode(6)
+        word = code.encode([1, 0, 0, 1, 0, 1])
+        assert word.zero_count == 3
+
+    def test_clean_word_passes(self):
+        code = BergerCode(5)
+        assert code.check(code.encode([0, 1, 1, 0, 1]))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            BergerCode(4).encode([1, 0])
+
+    def test_unidirectional_errors_detected(self):
+        code = BergerCode(8)
+        original = [1, 1, 0, 0, 1, 0, 1, 1]
+        # Flip several 1s to 0 (all in the same direction).
+        corrupted = [0, 0, 0, 0, 1, 0, 1, 1]
+        assert code.detects(original, corrupted)
+
+    def test_bidirectional_error_can_escape(self):
+        code = BergerCode(4)
+        original = [1, 0, 1, 0]
+        corrupted = [0, 1, 1, 0]  # one 1->0 and one 0->1: zero count unchanged
+        assert not code.detects(original, corrupted)
+
+
+class TestHomomorphismFailure:
+    def test_nor_check_symbols_depend_on_data(self):
+        # Section III-A criterion (1): for column-wise ECC the output check
+        # symbol must be computable from the input check symbols alone.
+        # Berger codes violate this for bitwise NOR.
+        assert BergerCode(8).nor_check_symbol_needs_data()
+
+    def test_failure_demonstrated_for_paper_word_width(self):
+        assert BergerCode(247).nor_check_symbol_needs_data()

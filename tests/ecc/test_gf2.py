@@ -1,0 +1,105 @@
+"""Tests for the GF(2) linear-algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc import gf2
+from repro.errors import CodeConstructionError
+
+
+class TestCoercion:
+    def test_as_gf2_accepts_lists(self):
+        array = gf2.as_gf2([1, 0, 1])
+        assert array.dtype == np.uint8
+        assert list(array) == [1, 0, 1]
+
+    def test_as_gf2_rejects_non_binary(self):
+        with pytest.raises(CodeConstructionError):
+            gf2.as_gf2([0, 2])
+
+    def test_is_binary(self):
+        assert gf2.is_binary(np.array([0, 1, 1]))
+        assert not gf2.is_binary(np.array([0, 3]))
+
+
+class TestArithmetic:
+    def test_addition_is_xor(self):
+        result = gf2.gf2_add([1, 0, 1], [1, 1, 0])
+        assert list(result) == [0, 1, 1]
+
+    def test_matmul_mod2(self):
+        a = [[1, 1], [0, 1]]
+        b = [[1, 0], [1, 1]]
+        result = gf2.gf2_matmul(a, b)
+        assert result.tolist() == [[0, 1], [1, 1]]
+
+    def test_matvec(self):
+        m = [[1, 1, 0], [0, 1, 1]]
+        v = [1, 1, 1]
+        assert list(gf2.gf2_matvec(m, v)) == [0, 0]
+
+    def test_matvec_dimension_mismatch(self):
+        with pytest.raises(CodeConstructionError):
+            gf2.gf2_matvec([[1, 0]], [1, 0, 1])
+
+    def test_identity(self):
+        assert gf2.identity(3).tolist() == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_stacking(self):
+        h = gf2.hstack([gf2.identity(2), [[1], [1]]])
+        assert h.shape == (2, 3)
+        v = gf2.vstack([[[1, 0]], [[0, 1]]])
+        assert v.shape == (2, 2)
+
+
+class TestRrefAndRank:
+    def test_rref_identity(self):
+        m, pivots = gf2.gf2_rref(gf2.identity(3))
+        assert m.tolist() == gf2.identity(3).tolist()
+        assert pivots == [0, 1, 2]
+
+    def test_rank_of_singular_matrix(self):
+        assert gf2.gf2_rank([[1, 1], [1, 1]]) == 1
+
+    def test_rank_of_full_rank_matrix(self):
+        assert gf2.gf2_rank([[1, 0, 1], [0, 1, 1], [1, 1, 1]]) == 3
+
+    @given(st.integers(min_value=1, max_value=5))
+    def test_rank_bounded_by_dimensions(self, n):
+        rng = np.random.default_rng(n)
+        matrix = rng.integers(0, 2, size=(n, n + 1))
+        assert gf2.gf2_rank(matrix) <= n
+
+
+class TestBitConversions:
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_roundtrip(self, value):
+        bits = gf2.bits_from_int(value, 12)
+        assert gf2.int_from_bits(bits) == value
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            gf2.bits_from_int(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            gf2.bits_from_int(-1, 4)
+
+    def test_weight(self):
+        assert gf2.weight([1, 0, 1, 1]) == 3
+        assert gf2.weight([0, 0]) == 0
+
+
+class TestEnumeration:
+    def test_all_binary_vectors_count(self):
+        vectors = list(gf2.all_binary_vectors(3))
+        assert len(vectors) == 8
+        assert {tuple(v) for v in vectors} == {
+            tuple(gf2.bits_from_int(i, 3)) for i in range(8)
+        }
+
+    def test_refuses_huge_enumerations(self):
+        with pytest.raises(CodeConstructionError):
+            list(gf2.all_binary_vectors(30))

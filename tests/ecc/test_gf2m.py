@@ -1,0 +1,118 @@
+"""Tests for GF(2^m) arithmetic and minimal polynomials."""
+
+import pytest
+
+from repro.ecc.gf2m import (
+    GF2m,
+    cyclotomic_cosets,
+    minimal_polynomial,
+    poly_degree,
+    poly_mod_gf2,
+    poly_mul_gf2,
+)
+from repro.errors import CodeConstructionError
+
+
+@pytest.fixture(scope="module")
+def gf256():
+    return GF2m(8)
+
+
+class TestFieldConstruction:
+    def test_orders(self, gf256):
+        assert gf256.size == 256
+        assert gf256.order == 255
+
+    def test_small_field(self):
+        field = GF2m(3)
+        # alpha^7 == 1 in GF(8).
+        assert field.alpha_pow(7) == 1
+
+    def test_non_primitive_polynomial_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive over GF(2).
+        with pytest.raises(CodeConstructionError):
+            GF2m(4, primitive_poly=0b11111)
+
+    def test_unsupported_degree(self):
+        with pytest.raises(CodeConstructionError):
+            GF2m(1)
+
+
+class TestArithmetic:
+    def test_add_is_xor(self, gf256):
+        assert gf256.add(0b1010, 0b0110) == 0b1100
+
+    def test_multiplicative_identity(self, gf256):
+        for value in (1, 7, 100, 255):
+            assert gf256.mul(value, 1) == value
+
+    def test_zero_annihilates(self, gf256):
+        assert gf256.mul(0, 123) == 0
+
+    def test_inverse(self, gf256):
+        for value in (1, 2, 87, 200, 255):
+            assert gf256.mul(value, gf256.inv(value)) == 1
+
+    def test_division(self, gf256):
+        a, b = 113, 57
+        assert gf256.mul(gf256.div(a, b), b) == a
+
+    def test_division_by_zero(self, gf256):
+        with pytest.raises(ZeroDivisionError):
+            gf256.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf256.inv(0)
+
+    def test_pow(self, gf256):
+        assert gf256.pow(gf256.alpha_pow(1), 255) == 1
+        assert gf256.pow(5, 0) == 1
+
+    def test_log_exp_roundtrip(self, gf256):
+        for value in (1, 3, 99, 254):
+            assert gf256.alpha_pow(gf256.log(value)) == value
+
+
+class TestPolynomials:
+    def test_poly_eval_horner(self, gf256):
+        # p(x) = 1 + x evaluated at alpha equals alpha ^ 1 XOR 1.
+        alpha = gf256.alpha_pow(1)
+        assert gf256.poly_eval([1, 1], alpha) == gf256.add(1, alpha)
+
+    def test_poly_mul_and_add(self, gf256):
+        product = gf256.poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2 over GF(2)
+        assert product == [1, 0, 1]
+        assert gf256.poly_add([1, 0, 1], [1, 1]) == [0, 1, 1]
+
+    def test_binary_poly_helpers(self):
+        assert poly_degree(0b1011) == 3
+        assert poly_mul_gf2(0b11, 0b11) == 0b101
+        assert poly_mod_gf2(0b101, 0b11) == 0  # x^2+1 = (x+1)^2 mod (x+1)
+
+
+class TestCyclotomicCosets:
+    def test_cosets_partition_nonzero_residues(self):
+        cosets = cyclotomic_cosets(4)  # modulo 15
+        union = set().union(*cosets)
+        assert union == set(range(1, 15))
+        total = sum(len(c) for c in cosets)
+        assert total == 14
+
+    def test_coset_of_one_has_m_elements(self):
+        cosets = cyclotomic_cosets(8)
+        coset_of_1 = next(c for c in cosets if 1 in c)
+        assert len(coset_of_1) == 8
+
+
+class TestMinimalPolynomials:
+    def test_minimal_polynomial_of_alpha_is_primitive_poly(self, gf256):
+        assert minimal_polynomial(gf256, 1) == gf256.primitive_poly
+
+    def test_minimal_polynomial_has_root(self, gf256):
+        poly_mask = minimal_polynomial(gf256, 5)
+        coefficients = [(poly_mask >> i) & 1 for i in range(poly_degree(poly_mask) + 1)]
+        assert gf256.poly_eval(coefficients, gf256.alpha_pow(5)) == 0
+
+    def test_minimal_polynomial_degree_divides_m(self, gf256):
+        for exponent in (1, 3, 5, 17, 85):
+            degree = poly_degree(minimal_polynomial(gf256, exponent))
+            assert 8 % degree == 0

@@ -1,0 +1,146 @@
+"""Tests for the generic systematic linear block code."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc.linear import SystematicLinearCode
+from repro.errors import CodeConstructionError
+
+# The Hamming(7,4) A submatrix (weight >= 2 columns of 3 bits).
+A_7_4 = [
+    [1, 1, 0, 1],
+    [1, 0, 1, 1],
+    [0, 1, 1, 1],
+]
+
+
+@pytest.fixture
+def code():
+    return SystematicLinearCode(A_7_4, name="Hamming(7,4)")
+
+
+class TestConstruction:
+    def test_dimensions(self, code):
+        assert code.n == 7
+        assert code.k == 4
+        assert code.n_parity == 3
+        assert code.rate == pytest.approx(4 / 7)
+
+    def test_generator_is_systematic(self, code):
+        g = code.generator_matrix
+        assert g.shape == (4, 7)
+        assert np.array_equal(g[:, :4], np.eye(4, dtype=np.uint8))
+
+    def test_parity_check_is_systematic(self, code):
+        h = code.parity_check_matrix
+        assert h.shape == (3, 7)
+        assert np.array_equal(h[:, 4:], np.eye(3, dtype=np.uint8))
+
+    def test_gh_orthogonality(self, code):
+        product = (code.generator_matrix.astype(int) @ code.parity_check_matrix.T.astype(int)) % 2
+        assert not product.any()
+
+    def test_rejects_non_2d_a(self):
+        with pytest.raises(CodeConstructionError):
+            SystematicLinearCode([1, 0, 1])
+
+    def test_rejects_non_binary_a(self):
+        with pytest.raises(CodeConstructionError):
+            SystematicLinearCode([[2, 0], [0, 1]])
+
+
+class TestEncoding:
+    def test_codeword_starts_with_data(self, code):
+        word = code.encode([1, 0, 1, 1])
+        assert list(word[:4]) == [1, 0, 1, 1]
+
+    def test_all_zero_data_gives_all_zero_codeword(self, code):
+        assert not code.encode([0, 0, 0, 0]).any()
+
+    def test_parity_matches_a_matrix(self, code):
+        data = [1, 0, 0, 0]
+        parity = code.parity_bits(data)
+        assert list(parity) == [1, 1, 0]  # first column of A
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(CodeConstructionError):
+            code.encode([1, 0])
+
+    def test_linearity(self, code):
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = np.array([0, 1, 1, 1], dtype=np.uint8)
+        assert np.array_equal(code.encode(a ^ b), code.encode(a) ^ code.encode(b))
+
+
+class TestDecoding:
+    def test_clean_word_has_zero_syndrome(self, code):
+        word = code.encode([1, 1, 0, 1])
+        assert not code.syndrome(word).any()
+        result = code.decode(word)
+        assert not result.error_detected
+        assert list(result.data) == [1, 1, 0, 1]
+
+    @pytest.mark.parametrize("position", range(7))
+    def test_corrects_any_single_error(self, code, position):
+        word = code.encode([1, 0, 1, 1])
+        corrupted = word.copy()
+        corrupted[position] ^= 1
+        result = code.decode(corrupted)
+        assert result.error_corrected
+        assert result.error_positions == (position,)
+        assert np.array_equal(result.corrected, word)
+
+    def test_double_error_detected_not_corrected_to_original(self, code):
+        word = code.encode([1, 0, 1, 1])
+        corrupted = word.copy()
+        corrupted[0] ^= 1
+        corrupted[1] ^= 1
+        result = code.decode(corrupted)
+        # A distance-3 code cannot correct a double error; it either flags it
+        # or miscorrects — it must never silently return the original word.
+        assert result.error_detected
+
+    def test_extract_data(self, code):
+        word = code.encode([0, 1, 1, 0])
+        assert list(code.extract_data(word)) == [0, 1, 1, 0]
+
+    def test_minimum_distance_is_three(self, code):
+        assert code.minimum_distance() == 3
+
+    def test_is_single_error_correcting(self, code):
+        assert code.is_single_error_correcting()
+
+
+class TestEcimFacingHelpers:
+    def test_parity_bits_affected_by_matches_a_columns(self, code):
+        assert code.parity_bits_affected_by(0) == (0, 1)
+        assert code.parity_bits_affected_by(3) == (0, 1, 2)
+
+    def test_parity_bits_affected_by_range_check(self, code):
+        with pytest.raises(CodeConstructionError):
+            code.parity_bits_affected_by(4)
+
+    def test_average_parity_updates(self, code):
+        total_ones = sum(sum(row) for row in A_7_4)
+        assert code.average_parity_updates_per_data_bit() == pytest.approx(total_ones / 4)
+
+    def test_incremental_parity_update_matches_reencoding(self, code):
+        data = np.array([1, 0, 1, 0], dtype=np.uint8)
+        parity = code.parity_bits(data)
+        flipped = data.copy()
+        flipped[2] ^= 1
+        updated = code.update_parity_for_bit_change(parity, 2)
+        assert np.array_equal(updated, code.parity_bits(flipped))
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=3))
+    def test_incremental_update_property(self, value, bit):
+        code = SystematicLinearCode(A_7_4)
+        data = np.array([(value >> i) & 1 for i in range(4)], dtype=np.uint8)
+        parity = code.parity_bits(data)
+        flipped = data.copy()
+        flipped[bit] ^= 1
+        assert np.array_equal(
+            code.update_parity_for_bit_change(parity, bit), code.parity_bits(flipped)
+        )

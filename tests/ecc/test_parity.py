@@ -1,0 +1,82 @@
+"""Tests for single-bit and two-dimensional parity (idle-data protection)."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.parity import ParityWord, TwoDimensionalParity, even_parity_bit
+from repro.errors import CodeConstructionError, DecodingError
+
+
+class TestEvenParity:
+    @pytest.mark.parametrize(
+        "bits,expected", [([0, 0], 0), ([1, 0], 1), ([1, 1], 0), ([1, 1, 1], 1)]
+    )
+    def test_values(self, bits, expected):
+        assert even_parity_bit(bits) == expected
+
+    def test_parity_word_roundtrip(self):
+        word = ParityWord.encode([1, 0, 1, 1])
+        assert word.check()
+
+    def test_single_flip_detected(self):
+        word = ParityWord.encode([1, 0, 1, 1])
+        assert not word.with_bit_flipped(2).check()
+
+    def test_double_flip_undetected(self):
+        word = ParityWord.encode([1, 0, 1, 1])
+        assert word.with_bit_flipped(0).with_bit_flipped(1).check()
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(CodeConstructionError):
+            ParityWord.encode([1, 0]).with_bit_flipped(5)
+
+
+class TestTwoDimensionalParity:
+    @pytest.fixture
+    def block(self):
+        return np.array(
+            [
+                [1, 0, 1, 0],
+                [0, 1, 1, 1],
+                [1, 1, 0, 0],
+            ],
+            dtype=np.uint8,
+        )
+
+    def test_clean_block_passes(self, block):
+        scheme = TwoDimensionalParity(block)
+        bad_rows, bad_cols = scheme.check(block)
+        assert bad_rows == [] and bad_cols == []
+
+    def test_storage_overhead(self, block):
+        assert TwoDimensionalParity(block).storage_overhead_bits == 7
+
+    def test_single_error_located_and_corrected(self, block):
+        scheme = TwoDimensionalParity(block)
+        corrupted = block.copy()
+        corrupted[1, 2] ^= 1
+        bad_rows, bad_cols = scheme.check(corrupted)
+        assert bad_rows == [1] and bad_cols == [2]
+        assert np.array_equal(scheme.correct(corrupted), block)
+
+    def test_two_errors_in_one_row_not_correctable(self, block):
+        scheme = TwoDimensionalParity(block)
+        corrupted = block.copy()
+        corrupted[0, 0] ^= 1
+        corrupted[0, 3] ^= 1
+        with pytest.raises(DecodingError):
+            scheme.correct(corrupted)
+
+    def test_computation_errors_not_covered(self, block):
+        # The key limitation the paper points out for prior PiM ECC [32], [36]:
+        # parities protect data at rest only.
+        assert not TwoDimensionalParity(block).covers_computation_errors()
+
+    def test_shape_change_rejected(self, block):
+        scheme = TwoDimensionalParity(block)
+        with pytest.raises(CodeConstructionError):
+            scheme.check(block[:2])
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            TwoDimensionalParity(np.zeros((0, 3)))

@@ -1,0 +1,102 @@
+"""Tests for modular redundancy (DMR / TMR / NMR)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc.redundancy import (
+    ModularRedundancy,
+    dmr_compare,
+    majority_vote_bit,
+    majority_vote_word,
+)
+from repro.errors import RedundancyError
+
+BITS = st.integers(min_value=0, max_value=1)
+
+
+class TestBitVote:
+    @pytest.mark.parametrize("bits,expected", [([0, 0, 1], 0), ([1, 1, 0], 1), ([1, 1, 1], 1)])
+    def test_three_way(self, bits, expected):
+        assert majority_vote_bit(bits) == expected
+
+    def test_even_copies_rejected(self):
+        with pytest.raises(RedundancyError):
+            majority_vote_bit([0, 1])
+
+
+class TestWordVote:
+    def test_unanimous(self):
+        result = majority_vote_word([[1, 0, 1]] * 3)
+        assert result.value == (1, 0, 1)
+        assert result.unanimous
+        assert not result.error_detected
+
+    def test_single_corrupted_copy_outvoted(self):
+        copies = [[1, 0, 1], [1, 0, 1], [1, 1, 1]]
+        result = majority_vote_word(copies)
+        assert result.value == (1, 0, 1)
+        assert result.disagreeing_copies == (2,)
+        assert result.disagreeing_bits == (1,)
+
+    def test_even_copy_count_rejected(self):
+        with pytest.raises(RedundancyError):
+            majority_vote_word([[1], [0]])
+
+    @given(st.lists(BITS, min_size=4, max_size=4), st.integers(min_value=0, max_value=3))
+    def test_any_single_bit_error_is_corrected(self, word, position):
+        corrupted = list(word)
+        corrupted[position] ^= 1
+        result = majority_vote_word([word, word, corrupted])
+        assert result.value == tuple(word)
+
+
+class TestDmr:
+    def test_match(self):
+        match, mismatches = dmr_compare([1, 0, 1], [1, 0, 1])
+        assert match and mismatches == ()
+
+    def test_mismatch_positions(self):
+        match, mismatches = dmr_compare([1, 0, 1], [1, 1, 0])
+        assert not match
+        assert mismatches == (1, 2)
+
+    def test_width_mismatch(self):
+        with pytest.raises(RedundancyError):
+            dmr_compare([1, 0], [1])
+
+
+class TestModularRedundancy:
+    def test_tmr_corrects_one_error(self):
+        tmr = ModularRedundancy(n_copies=3, width=4)
+        assert tmr.can_correct
+        assert tmr.correctable_errors == 1
+        result = tmr.vote([[1, 0, 0, 1], [1, 0, 0, 1], [1, 1, 0, 1]])
+        assert result.value == (1, 0, 0, 1)
+
+    def test_five_mr_corrects_two(self):
+        assert ModularRedundancy(n_copies=5, width=1).correctable_errors == 2
+
+    def test_dmr_detects_but_cannot_correct(self):
+        dmr = ModularRedundancy(n_copies=2, width=2)
+        assert not dmr.can_correct
+        with pytest.raises(RedundancyError):
+            dmr.vote([[1, 0], [0, 0]])
+
+    def test_dmr_match_passes_through(self):
+        dmr = ModularRedundancy(n_copies=2, width=2)
+        assert dmr.vote([[1, 0], [1, 0]]).value == (1, 0)
+
+    def test_space_overhead(self):
+        assert ModularRedundancy(n_copies=3, width=8).space_overhead_factor == pytest.approx(3.0)
+
+    def test_shape_validation(self):
+        tmr = ModularRedundancy(n_copies=3, width=2)
+        with pytest.raises(RedundancyError):
+            tmr.vote([[1, 0], [1, 0]])
+
+    def test_invalid_construction(self):
+        with pytest.raises(RedundancyError):
+            ModularRedundancy(n_copies=1)
+        with pytest.raises(RedundancyError):
+            ModularRedundancy(n_copies=3, width=0)

@@ -1,0 +1,139 @@
+"""Tests for the experiment registry (one runner per table/figure)."""
+
+import pytest
+
+from repro.errors import UnknownExperimentError
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    available_experiments,
+    experiment_fig6,
+    experiment_fig7,
+    experiment_fig8,
+    experiment_fig9,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    run_experiment,
+)
+from repro.workloads import PAPER_BENCHMARKS
+
+# Small benchmark subset so the experiment tests stay quick.
+SUBSET = ("mm8", "mnist1", "fft8")
+
+
+class TestRegistry:
+    def test_every_table_and_figure_has_an_experiment(self):
+        for experiment_id in ("table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "fig9"):
+            assert experiment_id in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        assert "ablation_granularity" in EXPERIMENTS
+        assert "ablation_partitions" in EXPERIMENTS
+        assert "ablation_codes" in EXPERIMENTS
+
+    def test_available_experiments_sorted(self):
+        assert available_experiments() == sorted(available_experiments())
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("table1")
+        assert "rendered" in result
+
+    def test_unknown_experiment(self):
+        with pytest.raises(UnknownExperimentError):
+            run_experiment("table99")
+
+
+class TestTableExperiments:
+    def test_table1_matches_paper(self):
+        result = experiment_table1()
+        assert [r["out"] for r in result["rows"]] == [0, 1, 1, 0]
+        assert [r["out"] for r in result["two_step_rows"]] == [0, 1, 1, 0]
+        assert "Table I" in result["rendered"]
+
+    def test_table2_design_points(self):
+        result = experiment_table2(n_outputs=128)
+        assert len(result["points"]) == 4
+        assert result["n_outputs"] == 128
+
+    def test_table3_lists_three_technologies(self):
+        result = experiment_table3()
+        assert len(result["rows"]) == 3
+        assert {row["technology"] for row in result["rows"]} == {"stt", "sot", "reram"}
+
+    def test_table4_reclaim_shape(self):
+        result = experiment_table4(benchmarks=SUBSET)
+        reclaims = result["reclaims"]
+        assert set(reclaims) == set(SUBSET)
+        for name in SUBSET:
+            assert reclaims[name]["trim"] > reclaims[name]["ecim"]
+        # Growth with problem scale: the MLP dwarfs the small matmul.
+        assert reclaims["mnist1"]["ecim"] > reclaims["mm8"]["ecim"]
+
+    def test_table5_energy_shape(self):
+        result = experiment_table5(benchmarks=("mm8",))
+        row = result["energy_overhead"]["mm8"]
+        assert len(row) == 12  # 2 schemes x 3 technologies x 2 gate styles
+        for tech in ("reram", "stt", "sot"):
+            assert row[f"ecim/{tech}/s-o"] > row[f"ecim/{tech}/m-o"]
+            assert row[f"trim/{tech}/s-o"] > row[f"trim/{tech}/m-o"]
+            assert row[f"trim/{tech}/m-o"] < row[f"ecim/{tech}/m-o"]
+
+
+class TestFigureExperiments:
+    def test_fig6_sep_holds(self):
+        result = experiment_fig6()
+        assert result["ecim_sep"] is True
+        assert result["trim_sep"] is True
+        assert result["ecim_protected"] == result["ecim_sites"]
+        assert result["error_escapes_without_checks"] is True
+
+    def test_fig7_time_overheads_in_band(self):
+        result = experiment_fig7(benchmarks=SUBSET)
+        for series in result["time_overhead_percent"].values():
+            assert len(series) == len(SUBSET)
+            assert all(0.0 <= value < 100.0 for value in series)
+
+    def test_fig8_parity_series(self):
+        result = experiment_fig8()
+        assert [r["parity_bits"] for r in result["rows"]][:4] == [8, 16, 24, 32]
+        assert result["hamming_parity_bits"] == 8
+
+    def test_fig9_curves(self):
+        result = experiment_fig9()
+        parallel = [p for p in result["noise_margins"] if p.topology == "parallel"]
+        assert len(parallel) == 10
+        assert all(p.feasible for p in parallel)
+        assert len(result["bias_voltages"]["v_high_parallel"]) == 10
+
+
+class TestAblationExperiments:
+    def test_granularity_ablation(self):
+        result = run_experiment("ablation_granularity")
+        assert result["logic_level_protected"] == result["logic_level_sites"]
+        assert result["circuit_granularity_escapes"] is True
+
+    def test_partition_ablation_monotone(self):
+        result = run_experiment("ablation_partitions", block_counts=(1, 2, 4))
+        drains = [row[2] for row in result["rows"]]
+        assert drains == sorted(drains, reverse=True)
+
+    def test_codes_ablation_monotone(self):
+        result = run_experiment("ablation_codes", benchmarks=("mm16",), t_values=(1, 2))
+        overheads = result["results"]["mm16"]
+        assert overheads[2] > overheads[1]
+
+    def test_coverage_extension_experiment(self):
+        result = run_experiment("coverage", benchmark="mm8", gate_error_rates=(1e-5, 1e-3))
+        assert result["n_levels"] > 0
+        for row in result["rows"]:
+            assert row["survival_t1"] <= row["survival_t3"]
+
+
+class TestRenderedOutput:
+    @pytest.mark.parametrize("experiment_id", ["table1", "table2", "table3", "fig8", "fig9"])
+    def test_rendered_output_nonempty(self, experiment_id):
+        result = run_experiment(experiment_id)
+        assert isinstance(result["rendered"], str)
+        assert len(result["rendered"].splitlines()) >= 3

@@ -1,0 +1,131 @@
+"""Tests for the analytical evaluation model (Table IV / Table V / Fig. 7 engine)."""
+
+import pytest
+
+from repro.core.protection import EcimScheme, TrimScheme, UnprotectedScheme
+from repro.errors import EvaluationError
+from repro.eval.models import EvaluationConfig, EvaluationModel
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EvaluationModel()
+
+
+@pytest.fixture(scope="module")
+def mm8():
+    return get_workload("mm8")
+
+
+@pytest.fixture(scope="module")
+def fft8():
+    return get_workload("fft8")
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = EvaluationConfig()
+        assert config.budget.n_arrays == 16
+        assert config.partitions_per_row >= 1
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            EvaluationConfig(partitions_per_row=0)
+        with pytest.raises(EvaluationError):
+            EvaluationConfig(live_fraction=1.5)
+        with pytest.raises(EvaluationError):
+            EvaluationConfig(reclaim_event_overhead_ns=-1.0)
+
+
+class TestDesignEvaluation:
+    def test_baseline_has_no_metadata_costs(self, model, mm8):
+        baseline = model.evaluate_design(mm8, UnprotectedScheme(), "stt")
+        assert baseline.timing.metadata_ns == 0.0
+        assert baseline.energy.metadata_fj == 0.0
+        assert baseline.checker_energy_fj == 0.0
+        assert baseline.total_time_ns > 0.0
+        assert baseline.total_energy_fj > 0.0
+
+    def test_protected_designs_cost_more(self, model, mm8):
+        baseline = model.evaluate_design(mm8, UnprotectedScheme(), "stt")
+        for scheme in (EcimScheme(), TrimScheme()):
+            protected = model.evaluate_design(mm8, scheme, "stt")
+            assert protected.total_time_ns > baseline.total_time_ns
+            assert protected.total_energy_fj > baseline.total_energy_fj
+
+    def test_technology_affects_absolute_energy(self, model, mm8):
+        stt = model.evaluate_design(mm8, UnprotectedScheme(), "stt")
+        sot = model.evaluate_design(mm8, UnprotectedScheme(), "sot")
+        reram = model.evaluate_design(mm8, UnprotectedScheme(), "reram")
+        assert sot.total_energy_fj < stt.total_energy_fj < reram.total_energy_fj
+
+    def test_technology_object_accepted(self, model, mm8):
+        from repro.pim.technology import STT_MRAM
+
+        by_name = model.evaluate_design(mm8, UnprotectedScheme(), "stt")
+        by_object = model.evaluate_design(mm8, UnprotectedScheme(), STT_MRAM)
+        assert by_name.total_energy_fj == pytest.approx(by_object.total_energy_fj)
+
+
+class TestComparisons:
+    def test_time_overhead_in_paper_band(self, model, mm8):
+        for scheme in (EcimScheme(), TrimScheme()):
+            comparison = model.compare(mm8, scheme, "stt")
+            assert 0.0 < comparison.time_overhead_percent < 100.0
+
+    def test_energy_overhead_positive(self, model, mm8):
+        for scheme in (EcimScheme(), TrimScheme()):
+            comparison = model.compare(mm8, scheme, "stt")
+            assert comparison.energy_overhead_factor > 0.0
+            assert comparison.energy_overhead_percent == pytest.approx(
+                100.0 * comparison.energy_overhead_factor
+            )
+
+    def test_single_output_energy_exceeds_multi_output(self, model, mm8):
+        for scheme in (EcimScheme(), TrimScheme()):
+            multi = model.compare(mm8, scheme, "stt", multi_output=True)
+            single = model.compare(mm8, scheme, "stt", multi_output=False)
+            assert single.energy_overhead_factor > multi.energy_overhead_factor
+
+    def test_trim_energy_cheaper_than_ecim_for_matmul(self, model, mm8):
+        # Table V shape for the matmul benchmarks with multi-output gates.
+        ecim = model.compare(mm8, EcimScheme(), "stt")
+        trim = model.compare(mm8, TrimScheme(), "stt")
+        assert trim.energy_overhead_factor < ecim.energy_overhead_factor
+
+    def test_trim_time_exceeds_ecim_for_large_fft(self, model):
+        # Fig. 7 shape: at fft64 ECiM's time overhead drops below TRiM's.
+        fft64 = get_workload("fft64")
+        ecim = model.compare(fft64, EcimScheme(), "stt")
+        trim = model.compare(fft64, TrimScheme(), "stt")
+        assert ecim.time_overhead_percent < trim.time_overhead_percent
+
+    def test_extra_reclaims_positive_for_trim(self, model, mm8):
+        comparison = model.compare(mm8, TrimScheme(), "stt")
+        assert comparison.extra_reclaims > 0
+
+    def test_shared_baseline_reused(self, model, mm8):
+        baseline = model.evaluate_design(mm8, UnprotectedScheme(), "stt")
+        comparison = model.compare(mm8, EcimScheme(), "stt", baseline=baseline)
+        assert comparison.baseline is baseline
+
+
+class TestReclaims:
+    def test_reclaim_ordering(self, model, mm8):
+        unprotected = model.reclaims_for(mm8, UnprotectedScheme())
+        ecim = model.reclaims_for(mm8, EcimScheme())
+        trim = model.reclaims_for(mm8, TrimScheme())
+        assert unprotected <= ecim < trim
+
+    def test_reclaims_grow_with_problem_size(self, model):
+        assert model.reclaims_for(get_workload("mm64"), EcimScheme()) > model.reclaims_for(
+            get_workload("mm8"), EcimScheme()
+        )
+
+    def test_mnist_has_most_reclaims(self, model):
+        # Table IV: the MLP benchmarks dominate the reclaim counts.
+        mnist4 = model.reclaims_for(get_workload("mnist4"), TrimScheme())
+        mm64 = model.reclaims_for(get_workload("mm64"), TrimScheme())
+        fft64 = model.reclaims_for(get_workload("fft64"), TrimScheme())
+        assert mnist4 > mm64 and mnist4 > fft64

@@ -1,0 +1,50 @@
+"""Tests for the plain-text report rendering helpers."""
+
+from repro.eval.report import format_mapping, format_series, format_table, indent
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # All rows are padded to the same width.
+        assert len(set(len(line.rstrip()) <= len(lines[1]) for line in lines)) >= 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]], float_digits=3)
+        assert "3.142" in text
+
+    def test_booleans_and_none(self):
+        text = format_table(["a", "b", "c"], [[True, False, None]])
+        assert "yes" in text and "no" in text and "-" in text
+
+
+class TestFormatMapping:
+    def test_alignment(self):
+        text = format_mapping({"short": 1, "a longer key": 2.5}, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert all(":" in line for line in lines[1:])
+
+    def test_empty_mapping(self):
+        assert format_mapping({}) == ""
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series("x", [1, 2, 3], {"a": [10, 20, 30], "b": [0.1, 0.2, 0.3]})
+        lines = text.splitlines()
+        assert lines[0].split()[:3] == ["x", "a", "b"]
+        assert len(lines) == 2 + 3
+
+
+class TestIndent:
+    def test_indents_every_line(self):
+        text = indent("a\nb", prefix="> ")
+        assert text == "> a\n> b"

@@ -1,0 +1,108 @@
+"""Tests for the array fleet controller."""
+
+import pytest
+
+from repro.errors import PimError, SchedulingError
+from repro.pim.controller import MAX_ARRAYS, ArrayFleet
+from repro.pim.technology import RERAM
+
+
+class TestConstruction:
+    def test_default_fleet(self):
+        fleet = ArrayFleet(n_arrays=2, rows=16, cols=32)
+        assert len(fleet) == 2
+        assert fleet.rows == 16
+        assert fleet.cols == 32
+
+    def test_budget_matches_paper_default(self):
+        assert MAX_ARRAYS == 16
+
+    def test_too_many_arrays_rejected(self):
+        with pytest.raises(SchedulingError):
+            ArrayFleet(n_arrays=MAX_ARRAYS + 1, rows=4, cols=4)
+
+    def test_zero_arrays_rejected(self):
+        with pytest.raises(PimError):
+            ArrayFleet(n_arrays=0)
+
+    def test_arrays_share_trace_and_injector(self):
+        fleet = ArrayFleet(n_arrays=3, rows=4, cols=8)
+        assert all(a.trace is fleet.trace for a in fleet)
+        assert all(a.fault_injector is fleet.fault_injector for a in fleet)
+
+    def test_technology_propagates(self):
+        fleet = ArrayFleet(n_arrays=1, rows=4, cols=8, technology=RERAM)
+        assert fleet[0].technology is RERAM
+
+
+class TestCapacity:
+    def test_total_cells(self):
+        fleet = ArrayFleet(n_arrays=4, rows=16, cols=32)
+        assert fleet.total_cells == 4 * 16 * 32
+
+    def test_total_rows(self):
+        fleet = ArrayFleet(n_arrays=4, rows=16, cols=32)
+        assert fleet.total_rows == 64
+
+
+class TestRowPlacement:
+    def test_load_rows_round_robin(self):
+        fleet = ArrayFleet(n_arrays=2, rows=4, cols=8)
+        fleet.load_rows([[1, 0], [0, 1], [1, 1]])
+        assert fleet[0].dump_row(0, [0, 1]) == [1, 0]
+        assert fleet[1].dump_row(0, [0, 1]) == [0, 1]
+        assert fleet[0].dump_row(1, [0, 1]) == [1, 1]
+
+    def test_load_rows_capacity_exceeded(self):
+        fleet = ArrayFleet(n_arrays=1, rows=2, cols=8)
+        with pytest.raises(SchedulingError):
+            fleet.load_rows([[1]] * 3)
+
+    def test_locate_row(self):
+        fleet = ArrayFleet(n_arrays=2, rows=4, cols=8)
+        array, row = fleet.locate_row(3)
+        assert array is fleet[1]
+        assert row == 1
+
+    def test_locate_row_out_of_range(self):
+        fleet = ArrayFleet(n_arrays=1, rows=2, cols=8)
+        with pytest.raises(PimError):
+            fleet.locate_row(5)
+
+    def test_for_each_row_executes_gates_everywhere(self):
+        fleet = ArrayFleet(n_arrays=2, rows=2, cols=8)
+        fleet.load_rows([[0, 0]] * 4)
+
+        def fire(array, row):
+            array.execute_gate("nor", row, [0, 1], [2])
+
+        fleet.for_each_row(4, fire)
+        assert fleet.trace.count("gate") == 4
+        for logical in range(4):
+            array, row = fleet.locate_row(logical)
+            assert array.read_cell(row, 2) == 1
+
+    def test_for_each_row_over_capacity(self):
+        fleet = ArrayFleet(n_arrays=1, rows=2, cols=8)
+        with pytest.raises(SchedulingError):
+            fleet.for_each_row(5, lambda a, r: None)
+
+
+class TestMaintenance:
+    def test_repartition_all(self):
+        fleet = ArrayFleet(n_arrays=2, rows=4, cols=32)
+        fleet.repartition(4)
+        assert all(a.layout.n_partitions == 4 for a in fleet)
+
+    def test_summary(self):
+        fleet = ArrayFleet(n_arrays=2, rows=4, cols=8)
+        summary = fleet.summary()
+        assert summary["n_arrays"] == 2
+        assert summary["total_cells"] == 64
+        assert summary["faults_injected"] == 0
+
+    def test_clear(self):
+        fleet = ArrayFleet(n_arrays=1, rows=2, cols=4)
+        fleet[0].write_cell(0, 0, 1)
+        fleet.clear()
+        assert fleet[0].occupancy() == 0.0

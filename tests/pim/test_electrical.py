@@ -1,0 +1,188 @@
+"""Tests for the electrical characterisation of multi-output gates (Appendix, Fig. 9)."""
+
+import pytest
+
+from repro.errors import BiasVoltageError, TechnologyError
+from repro.pim.electrical import (
+    MINIMUM_NOISE_MARGIN_PERCENT,
+    BiasWindow,
+    OutputTopology,
+    bias_voltage_curve,
+    dummy_inputs_for,
+    max_feasible_outputs,
+    mram_bias_window,
+    mram_nor_window_with_dummies,
+    mram_thr_window,
+    noise_margin_curve,
+    noise_margin_percent,
+    parallel_resistance,
+    reram_nor_window,
+    reram_thr_window,
+)
+from repro.pim.technology import RERAM, SOT_SHE_MRAM, STT_MRAM
+
+
+class TestParallelResistance:
+    def test_two_equal_resistors(self):
+        assert parallel_resistance([10.0, 10.0]) == pytest.approx(5.0)
+
+    def test_single_resistor(self):
+        assert parallel_resistance([7.0]) == pytest.approx(7.0)
+
+    def test_result_below_smallest(self):
+        assert parallel_resistance([5.0, 100.0]) < 5.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(BiasVoltageError):
+            parallel_resistance([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(BiasVoltageError):
+            parallel_resistance([1.0, 0.0])
+
+
+class TestBiasWindow:
+    def test_feasible_window(self):
+        window = BiasWindow(0.5, 1.0)
+        assert window.is_feasible
+        assert window.width == pytest.approx(0.5)
+        assert window.center == pytest.approx(0.75)
+        assert window.contains(0.75)
+        assert not window.contains(1.5)
+
+    def test_infeasible_window(self):
+        assert not BiasWindow(1.0, 0.5).is_feasible
+
+    def test_overlap(self):
+        a = BiasWindow(0.4, 1.0)
+        b = BiasWindow(0.8, 1.4)
+        overlap = a.overlap(b)
+        assert overlap.v_low == pytest.approx(0.8)
+        assert overlap.v_high == pytest.approx(1.0)
+
+
+class TestMramWindows:
+    def test_single_output_window_feasible(self):
+        window = mram_bias_window(STT_MRAM, 1, OutputTopology.PARALLEL)
+        assert window.is_feasible
+
+    def test_parallel_and_series_agree_for_one_output(self):
+        par = mram_bias_window(STT_MRAM, 1, OutputTopology.PARALLEL)
+        ser = mram_bias_window(STT_MRAM, 1, OutputTopology.SERIES)
+        assert par.v_low == pytest.approx(ser.v_low)
+        assert par.v_high == pytest.approx(ser.v_high)
+
+    def test_voltages_grow_with_outputs(self):
+        v1 = mram_bias_window(STT_MRAM, 1).v_high
+        v4 = mram_bias_window(STT_MRAM, 4).v_high
+        assert v4 > v1
+
+    def test_voltage_range_matches_fig9_scale(self):
+        # Fig. 9(b) shows bias voltages in the ~0.2-2 V range.
+        window = mram_bias_window(STT_MRAM, 10, OutputTopology.PARALLEL)
+        assert 0.1 < window.v_low < 3.0
+        assert 0.1 < window.v_high < 3.0
+
+    def test_thr_window_feasible(self):
+        assert mram_thr_window(STT_MRAM).is_feasible
+
+    def test_thr_window_rejects_reram(self):
+        with pytest.raises(TechnologyError):
+            mram_thr_window(RERAM)
+
+    def test_dummy_inputs_shift_window(self):
+        base = mram_nor_window_with_dummies(STT_MRAM, 2, 0)
+        shifted = mram_nor_window_with_dummies(STT_MRAM, 2, 4)
+        assert shifted.v_low != pytest.approx(base.v_low)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(BiasVoltageError):
+            mram_bias_window(STT_MRAM, 0)
+        with pytest.raises(BiasVoltageError):
+            mram_bias_window(STT_MRAM, 1, topology="diagonal")
+        with pytest.raises(BiasVoltageError):
+            mram_nor_window_with_dummies(STT_MRAM, 1, -1)
+
+
+class TestReramWindows:
+    def test_thr_window_feasible(self):
+        assert reram_thr_window(RERAM).is_feasible
+
+    def test_nor_window_feasible(self):
+        assert reram_nor_window(RERAM, 1, dummy_inputs_for(RERAM)).is_feasible
+
+    def test_rejects_mram(self):
+        with pytest.raises(TechnologyError):
+            reram_thr_window(STT_MRAM)
+
+    def test_invalid_output_count(self):
+        with pytest.raises(BiasVoltageError):
+            reram_nor_window(RERAM, 0)
+
+
+class TestDummyInputs:
+    def test_paper_values(self):
+        # Appendix: D = 4 for STT, 5 for SOT/SHE, 2 for ReRAM.
+        assert dummy_inputs_for(STT_MRAM) == 4
+        assert dummy_inputs_for(SOT_SHE_MRAM) == 5
+        assert dummy_inputs_for(RERAM) == 2
+
+
+class TestNoiseMargins:
+    def test_noise_margin_of_infeasible_window_is_zero(self):
+        assert noise_margin_percent(BiasWindow(1.0, 0.5)) == 0.0
+
+    def test_fig9a_parallel_margin_increases_with_outputs(self):
+        points = [p for p in noise_margin_curve(STT_MRAM) if p.topology == "parallel"]
+        margins = [p.noise_margin_percent for p in points]
+        assert margins == sorted(margins)
+
+    def test_fig9a_series_margin_decreases_with_outputs(self):
+        points = [p for p in noise_margin_curve(STT_MRAM) if p.topology == "series"]
+        margins = [p.noise_margin_percent for p in points]
+        assert margins == sorted(margins, reverse=True)
+
+    def test_fig9a_parallel_always_feasible_up_to_ten(self):
+        points = [p for p in noise_margin_curve(STT_MRAM) if p.topology == "parallel"]
+        assert all(p.feasible for p in points)
+
+    def test_fig9a_series_becomes_infeasible(self):
+        # The paper concludes parallel placement is the feasible/efficient
+        # option; series margins drop below the 5 % minimum at large N.
+        points = [p for p in noise_margin_curve(STT_MRAM) if p.topology == "series"]
+        assert not points[-1].feasible
+
+    def test_parallel_beats_series_beyond_one_output(self):
+        assert max_feasible_outputs(STT_MRAM, OutputTopology.PARALLEL) > max_feasible_outputs(
+            STT_MRAM, OutputTopology.SERIES
+        )
+
+    def test_minimum_noise_margin_is_five_percent(self):
+        assert MINIMUM_NOISE_MARGIN_PERCENT == pytest.approx(5.0)
+
+
+class TestBiasVoltageCurve:
+    def test_fig9b_series_keys_present(self):
+        curve = bias_voltage_curve(STT_MRAM)
+        for key in ("v_low_parallel", "v_high_parallel", "v_low_series", "v_high_series"):
+            assert len(curve[key]) == 10
+
+    def test_fig9b_high_exceeds_low(self):
+        curve = bias_voltage_curve(STT_MRAM)
+        for low, high in zip(curve["v_low_parallel"], curve["v_high_parallel"]):
+            assert high > low
+
+    def test_fig9b_voltages_increase_with_output_count(self):
+        curve = bias_voltage_curve(STT_MRAM)
+        for key in ("v_low_parallel", "v_high_parallel", "v_low_series", "v_high_series"):
+            assert curve[key] == sorted(curve[key])
+
+    def test_fig9b_series_window_narrower_than_parallel_at_ten_outputs(self):
+        curve = bias_voltage_curve(STT_MRAM)
+        parallel_width = curve["v_high_parallel"][-1] - curve["v_low_parallel"][-1]
+        series_width = curve["v_high_series"][-1] - curve["v_low_series"][-1]
+        assert series_width < parallel_width
+
+    def test_supports_reram(self):
+        curve = bias_voltage_curve(RERAM, n_outputs_range=(1, 2, 3))
+        assert len(curve["v_low_parallel"]) == 3

@@ -1,0 +1,151 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.errors import PimError
+from repro.pim.energy import EnergyBreakdown, EnergyModel, LevelEnergyStats
+from repro.pim.operations import GateOperation, OperationTrace, PresetOperation, ReadOperation, WriteOperation
+from repro.pim.peripheral import PeripheralModel
+from repro.pim.technology import RERAM, SOT_SHE_MRAM, STT_MRAM
+
+
+@pytest.fixture
+def model():
+    peripheral = PeripheralModel(
+        row_activation_energy_fj=100.0,
+        sense_energy_per_bit_fj=1.0,
+        write_driver_energy_per_bit_fj=1.0,
+        gate_drive_energy_fj=2.0,
+    )
+    return EnergyModel(STT_MRAM, peripheral)
+
+
+class TestPrimitives:
+    def test_gate_energy_includes_peripheral_drive(self, model):
+        assert model.gate_energy_fj("nor") == pytest.approx(10.5 + 2.0)
+
+    def test_multi_output_gate_energy(self, model):
+        assert model.gate_energy_fj("nor", 3) == pytest.approx(10.5 + 2 * 1.03 + 2.0)
+
+    def test_preset_energy(self, model):
+        assert model.preset_energy_fj(4) == pytest.approx(4 * 1.03)
+
+    def test_read_energy(self, model):
+        expected = 100.0 + 8 * 1.0 + 8 * STT_MRAM.read_energy_fj
+        assert model.read_energy_fj(8) == pytest.approx(expected)
+
+    def test_write_energy(self, model):
+        expected = 100.0 + 8 * 1.0 + 8 * 1.03
+        assert model.write_energy_fj(8) == pytest.approx(expected)
+
+    def test_zero_bit_transfers_are_free(self, model):
+        assert model.read_energy_fj(0) == 0.0
+        assert model.write_energy_fj(0) == 0.0
+
+    def test_negative_presets_rejected(self, model):
+        with pytest.raises(PimError):
+            model.preset_energy_fj(-1)
+
+
+class TestBreakdownArithmetic:
+    def test_total(self):
+        breakdown = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert breakdown.total_fj == pytest.approx(15.0)
+
+    def test_addition(self):
+        total = EnergyBreakdown(compute_fj=1.0) + EnergyBreakdown(metadata_fj=2.0)
+        assert total.compute_fj == pytest.approx(1.0)
+        assert total.metadata_fj == pytest.approx(2.0)
+
+    def test_scaling(self):
+        scaled = EnergyBreakdown(compute_fj=2.0, transfer_fj=4.0).scaled(0.5)
+        assert scaled.compute_fj == pytest.approx(1.0)
+        assert scaled.transfer_fj == pytest.approx(2.0)
+
+    def test_scaling_rejects_negative(self):
+        with pytest.raises(PimError):
+            EnergyBreakdown().scaled(-1.0)
+
+    def test_overhead_vs(self):
+        baseline = EnergyBreakdown(compute_fj=10.0)
+        protected = EnergyBreakdown(compute_fj=10.0, metadata_fj=5.0)
+        assert protected.overhead_vs(baseline) == pytest.approx(0.5)
+
+    def test_overhead_requires_positive_baseline(self):
+        with pytest.raises(PimError):
+            EnergyBreakdown(compute_fj=1.0).overhead_vs(EnergyBreakdown())
+
+
+class TestTraceEnergy:
+    def test_gate_and_metadata_split(self, model):
+        trace = OperationTrace()
+        trace.append(GateOperation(gate="nor", inputs=(0,), outputs=(1,)))
+        trace.append(GateOperation(gate="thr", inputs=(0, 1, 2, 3), outputs=(4,), is_metadata=True))
+        breakdown = model.trace_energy_fj(trace)
+        assert breakdown.compute_fj == pytest.approx(12.5)
+        assert breakdown.metadata_fj == pytest.approx(11.2 + 2.0)
+
+    def test_presets_and_transfers(self, model):
+        trace = OperationTrace()
+        trace.append(PresetOperation(columns=(0, 1), value=0))
+        trace.append(ReadOperation(n_bits=4))
+        trace.append(WriteOperation(n_bits=4))
+        breakdown = model.trace_energy_fj(trace)
+        assert breakdown.compute_fj == pytest.approx(2 * 1.03)
+        assert breakdown.transfer_fj > 200.0
+
+
+class TestLevelEnergy:
+    def test_level_energy_components(self, model):
+        level = LevelEnergyStats(
+            compute_gates=4,
+            compute_gate_outputs=4,
+            compute_thr_gates=1,
+            metadata_gates=2,
+            metadata_gate_outputs=4,
+            metadata_thr_gates=1,
+            preset_bits=4,
+            metadata_preset_bits=4,
+            checker_read_bits=16,
+        )
+        breakdown = model.level_energy_fj(level, checker_energy_fj=7.0)
+        # compute: 3 NOR + 1 THR + peripheral + presets
+        expected_compute = 3 * 10.5 + 11.2 + 4 * 2.0 + 4 * 1.03
+        assert breakdown.compute_fj == pytest.approx(expected_compute)
+        # metadata: 1 NOR-like + 1 THR + 2 extra outputs + peripheral + presets
+        expected_metadata = 1 * 10.5 + 11.2 + 2 * 1.03 + 2 * 2.0 + 4 * 1.03
+        assert breakdown.metadata_fj == pytest.approx(expected_metadata)
+        assert breakdown.checker_fj == pytest.approx(7.0)
+        assert breakdown.transfer_fj > 0.0
+
+    def test_levels_energy_sums(self, model):
+        level = LevelEnergyStats(compute_gates=2, compute_gate_outputs=2, preset_bits=2)
+        total = model.levels_energy_fj([level, level])
+        single = model.level_energy_fj(level)
+        assert total.total_fj == pytest.approx(2 * single.total_fj)
+
+    def test_reclaim_bits_accounted(self, model):
+        level = LevelEnergyStats(
+            compute_gates=1, compute_gate_outputs=1, reclaim_write_bits=64
+        )
+        breakdown = model.level_energy_fj(level)
+        assert breakdown.reclaim_fj > 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(PimError):
+            LevelEnergyStats(compute_gates=-1, compute_gate_outputs=0)
+
+
+class TestTechnologySensitivity:
+    def test_sot_gates_cheapest(self):
+        level = LevelEnergyStats(compute_gates=10, compute_gate_outputs=10, preset_bits=10)
+        energies = {
+            tech.name: EnergyModel(tech).level_energy_fj(level).compute_fj
+            for tech in (STT_MRAM, SOT_SHE_MRAM, RERAM)
+        }
+        assert energies["sot"] < energies["stt"] < energies["reram"]
+
+    def test_overhead_percent_helper(self, model):
+        baseline = EnergyBreakdown(compute_fj=100.0)
+        protected = EnergyBreakdown(compute_fj=100.0, metadata_fj=30.0)
+        assert model.overhead_percent(protected, baseline) == pytest.approx(30.0)

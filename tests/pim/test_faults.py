@@ -1,0 +1,192 @@
+"""Tests for the fault models and injectors (Section II-C error model)."""
+
+import pytest
+
+from repro.errors import PimError
+from repro.pim.faults import (
+    BurstFaultInjector,
+    DeterministicFaultInjector,
+    FaultEvent,
+    FaultKind,
+    FaultLog,
+    FaultModel,
+    NoFaultInjector,
+    StochasticFaultInjector,
+    StuckAtFaultInjector,
+)
+
+SITE = (0, 3, 17)
+
+
+class TestFaultModel:
+    def test_defaults_are_error_free(self):
+        assert FaultModel().is_error_free
+
+    def test_metadata_rate_defaults_to_gate_rate(self):
+        model = FaultModel(gate_error_rate=0.25)
+        assert model.effective_metadata_error_rate == pytest.approx(0.25)
+
+    def test_explicit_metadata_rate(self):
+        model = FaultModel(gate_error_rate=0.25, metadata_error_rate=0.1)
+        assert model.effective_metadata_error_rate == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("field", ["gate_error_rate", "memory_error_rate", "preset_error_rate"])
+    def test_rejects_invalid_probabilities(self, field):
+        with pytest.raises(PimError):
+            FaultModel(**{field: 1.5})
+
+    def test_nonzero_rate_not_error_free(self):
+        assert not FaultModel(gate_error_rate=0.01).is_error_free
+
+
+class TestFaultLog:
+    def test_record_and_count(self):
+        log = FaultLog()
+        log.record(FaultEvent(FaultKind.LOGIC, SITE, 4, 0, 1))
+        log.record(FaultEvent(FaultKind.MEMORY, SITE, None, 1, 0))
+        assert log.count() == 2
+        assert log.count(FaultKind.LOGIC) == 1
+        assert log.count(FaultKind.MEMORY) == 1
+
+    def test_sites_and_clear(self):
+        log = FaultLog()
+        log.record(FaultEvent(FaultKind.LOGIC, SITE, 0, 0, 1))
+        assert log.sites() == [SITE]
+        log.clear()
+        assert log.count() == 0
+
+    def test_event_rejects_unknown_kind(self):
+        with pytest.raises(PimError):
+            FaultEvent("cosmic", SITE, 0, 0, 1)
+
+
+class TestNoFaultInjector:
+    def test_never_corrupts(self):
+        injector = NoFaultInjector()
+        for value in (0, 1):
+            assert injector.corrupt_gate_output(value, SITE, 0) == value
+            assert injector.corrupt_stored_bit(value, SITE) == value
+            assert injector.corrupt_preset(value, SITE, 0) == value
+        assert injector.log.count() == 0
+
+
+class TestStochasticFaultInjector:
+    def test_rate_one_always_flips(self):
+        injector = StochasticFaultInjector(FaultModel(gate_error_rate=1.0), seed=1)
+        assert injector.corrupt_gate_output(0, SITE, 0) == 1
+        assert injector.corrupt_gate_output(1, SITE, 1) == 0
+        assert injector.log.count() == 2
+
+    def test_rate_zero_never_flips(self):
+        injector = StochasticFaultInjector(FaultModel(), seed=1)
+        for index in range(100):
+            assert injector.corrupt_gate_output(0, SITE, index) == 0
+        assert injector.log.count() == 0
+
+    def test_seed_reproducibility(self):
+        model = FaultModel(gate_error_rate=0.3)
+        a = StochasticFaultInjector(model, seed=42)
+        b = StochasticFaultInjector(model, seed=42)
+        seq_a = [a.corrupt_gate_output(0, SITE, i) for i in range(50)]
+        seq_b = [b.corrupt_gate_output(0, SITE, i) for i in range(50)]
+        assert seq_a == seq_b
+
+    def test_empirical_rate_close_to_configured(self):
+        injector = StochasticFaultInjector(FaultModel(gate_error_rate=0.2), seed=7)
+        flips = sum(injector.corrupt_gate_output(0, SITE, i) for i in range(5000))
+        assert 0.15 < flips / 5000 < 0.25
+
+    def test_memory_errors_logged_as_memory(self):
+        injector = StochasticFaultInjector(FaultModel(memory_error_rate=1.0), seed=0)
+        injector.corrupt_stored_bit(1, SITE)
+        assert injector.log.count(FaultKind.MEMORY) == 1
+
+    def test_metadata_errors_logged_as_metadata(self):
+        injector = StochasticFaultInjector(FaultModel(gate_error_rate=1.0), seed=0)
+        injector.corrupt_gate_output(0, SITE, 0, is_metadata=True)
+        assert injector.log.count(FaultKind.METADATA) == 1
+
+    def test_preset_errors(self):
+        injector = StochasticFaultInjector(FaultModel(preset_error_rate=1.0), seed=0)
+        assert injector.corrupt_preset(0, SITE, 0) == 1
+        assert injector.log.count(FaultKind.PRESET) == 1
+
+
+class TestDeterministicFaultInjector:
+    def test_targets_specific_operation(self):
+        injector = DeterministicFaultInjector(target_operations={3: 1})
+        assert injector.corrupt_gate_output(0, SITE, 2) == 0
+        assert injector.corrupt_gate_output(0, SITE, 3) == 1
+        assert injector.corrupt_gate_output(0, SITE, 3) == 0  # only one flip
+        assert injector.exhausted
+
+    def test_targets_output_position(self):
+        injector = DeterministicFaultInjector(target_output_positions={5: 1})
+        # First output of operation 5 untouched, second flipped.
+        assert injector.corrupt_gate_output(0, SITE, 5) == 0
+        assert injector.corrupt_gate_output(0, SITE, 5) == 1
+        assert injector.corrupt_gate_output(0, SITE, 5) == 0
+
+    def test_targets_memory_cell(self):
+        injector = DeterministicFaultInjector(target_cells=[SITE])
+        assert injector.corrupt_stored_bit(1, SITE) == 0
+        # The cell is only hit once.
+        assert injector.corrupt_stored_bit(0, SITE) == 0
+        assert injector.log.count(FaultKind.MEMORY) == 1
+
+    def test_untargeted_operations_clean(self):
+        injector = DeterministicFaultInjector(target_operations={10: 1})
+        for index in range(9):
+            assert injector.corrupt_gate_output(1, SITE, index) == 1
+        assert not injector.exhausted
+
+
+class TestBurstFaultInjector:
+    def test_burst_flips_consecutive_outputs(self):
+        injector = BurstFaultInjector(
+            FaultModel(gate_error_rate=1.0), burst_length=3, correlation_window=10, seed=0
+        )
+        flips = [injector.corrupt_gate_output(0, SITE, i) for i in range(3)]
+        assert flips == [1, 1, 1]
+
+    def test_burst_expires_outside_window(self):
+        injector = BurstFaultInjector(
+            FaultModel(gate_error_rate=0.0), burst_length=3, correlation_window=2, seed=0
+        )
+        # No trigger ever fires with rate 0.
+        assert [injector.corrupt_gate_output(0, SITE, i) for i in range(5)] == [0] * 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PimError):
+            BurstFaultInjector(FaultModel(), burst_length=0)
+        with pytest.raises(PimError):
+            BurstFaultInjector(FaultModel(), correlation_window=0)
+
+    def test_memory_path_still_stochastic(self):
+        injector = BurstFaultInjector(FaultModel(memory_error_rate=1.0), seed=0)
+        assert injector.corrupt_stored_bit(0, SITE) == 1
+
+
+class TestStuckAtFaultInjector:
+    def test_stuck_at_one(self):
+        injector = StuckAtFaultInjector({SITE: 1})
+        assert injector.corrupt_gate_output(0, SITE, 0) == 1
+        assert injector.corrupt_gate_output(1, SITE, 1) == 1
+
+    def test_stuck_at_zero_on_reads(self):
+        injector = StuckAtFaultInjector({SITE: 0})
+        assert injector.corrupt_stored_bit(1, SITE) == 0
+
+    def test_other_sites_untouched(self):
+        injector = StuckAtFaultInjector({SITE: 1})
+        assert injector.corrupt_gate_output(0, (0, 0, 0), 0) == 0
+
+    def test_only_logs_actual_flips(self):
+        injector = StuckAtFaultInjector({SITE: 1})
+        injector.corrupt_gate_output(1, SITE, 0)  # already 1, no flip
+        injector.corrupt_gate_output(0, SITE, 1)  # flips
+        assert injector.log.count(FaultKind.STUCK_AT) == 1
+
+    def test_rejects_non_bit_value(self):
+        with pytest.raises(PimError):
+            StuckAtFaultInjector({SITE: 2})

@@ -1,0 +1,190 @@
+"""Tests for the functional in-array gate models (Section II-A, Table I)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GateOperandError
+from repro.pim.gates import (
+    GATE_PRESETS,
+    GateSpec,
+    GateType,
+    copy_,
+    gate_output,
+    majority,
+    nand,
+    nor,
+    not_,
+    table1_rows,
+    thr,
+    xor_reference,
+    xor_three_step,
+    xor_two_step,
+)
+
+BITS = st.integers(min_value=0, max_value=1)
+
+
+class TestNor:
+    @pytest.mark.parametrize(
+        "inputs,expected",
+        [([0], 1), ([1], 0), ([0, 0], 1), ([0, 1], 0), ([1, 0], 0), ([1, 1], 0)],
+    )
+    def test_truth_table(self, inputs, expected):
+        assert nor(inputs) == expected
+
+    def test_wide_nor_only_high_when_all_zero(self):
+        assert nor([0] * 8) == 1
+        assert nor([0] * 7 + [1]) == 0
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(GateOperandError):
+            nor([])
+
+    def test_rejects_non_bit(self):
+        with pytest.raises(GateOperandError):
+            nor([0, 2])
+
+    @given(st.lists(BITS, min_size=1, max_size=8))
+    def test_matches_definition(self, bits):
+        assert nor(bits) == (1 if not any(bits) else 0)
+
+
+class TestNandNotCopy:
+    @pytest.mark.parametrize(
+        "inputs,expected", [([0, 0], 1), ([0, 1], 1), ([1, 0], 1), ([1, 1], 0)]
+    )
+    def test_nand_truth_table(self, inputs, expected):
+        assert nand(inputs) == expected
+
+    def test_not(self):
+        assert not_(0) == 1
+        assert not_(1) == 0
+
+    def test_copy_is_identity(self):
+        assert copy_(0) == 0
+        assert copy_(1) == 1
+
+    def test_copy_rejects_non_bit(self):
+        with pytest.raises(GateOperandError):
+            copy_(3)
+
+
+class TestThr:
+    def test_paper_semantics_three_or_more_zeros(self):
+        # "the preset for THR output is logic 0, which only switches to 1 if
+        #  three or more of its inputs are 0"
+        assert thr([0, 0, 0, 1]) == 1
+        assert thr([0, 0, 0, 0]) == 1
+        assert thr([0, 0, 1, 1]) == 0
+        assert thr([1, 1, 1, 1]) == 0
+
+    def test_configurable_threshold(self):
+        assert thr([0, 0, 1], threshold=2) == 1
+        assert thr([0, 1, 1], threshold=2) == 0
+
+    def test_threshold_out_of_range(self):
+        with pytest.raises(GateOperandError):
+            thr([0, 1], threshold=3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GateOperandError):
+            thr([])
+
+    @given(st.lists(BITS, min_size=4, max_size=4))
+    def test_default_threshold_counts_zeros(self, bits):
+        assert thr(bits) == (1 if bits.count(0) >= 3 else 0)
+
+
+class TestMajority:
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [([0, 0, 0], 0), ([1, 0, 0], 0), ([1, 1, 0], 1), ([1, 1, 1], 1)],
+    )
+    def test_three_way(self, bits, expected):
+        assert majority(bits) == expected
+
+    def test_even_count_rejected(self):
+        with pytest.raises(GateOperandError):
+            majority([0, 1])
+
+    @given(st.lists(BITS, min_size=5, max_size=5))
+    def test_five_way(self, bits):
+        assert majority(bits) == (1 if sum(bits) >= 3 else 0)
+
+
+class TestXorDecompositions:
+    def test_table1_matches_paper(self):
+        # Table I of the paper, row by row.
+        expected = [
+            {"in1": 0, "in2": 0, "s1": 1, "s2": 1, "out": 0},
+            {"in1": 0, "in2": 1, "s1": 0, "s2": 0, "out": 1},
+            {"in1": 1, "in2": 0, "s1": 0, "s2": 0, "out": 1},
+            {"in1": 1, "in2": 1, "s1": 0, "s2": 0, "out": 0},
+        ]
+        assert table1_rows() == expected
+
+    @given(BITS, BITS)
+    def test_three_step_equals_xor(self, a, b):
+        assert xor_three_step(a, b)[2] == xor_reference(a, b)
+
+    @given(BITS, BITS)
+    def test_two_step_equals_xor(self, a, b):
+        assert xor_two_step(a, b)[2] == xor_reference(a, b)
+
+    @given(BITS, BITS)
+    def test_two_and_three_step_agree(self, a, b):
+        assert xor_two_step(a, b)[2] == xor_three_step(a, b)[2]
+
+    def test_intermediate_s2_is_copy_of_s1(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                s1, s2, _ = xor_three_step(a, b)
+                assert s1 == s2
+
+
+class TestGateDispatch:
+    def test_dispatch_nor(self):
+        assert gate_output("nor", [0, 0]) == 1
+
+    def test_dispatch_thr(self):
+        assert gate_output("thr", [0, 0, 0, 1]) == 1
+
+    def test_dispatch_maj(self):
+        assert gate_output("maj", [1, 1, 0]) == 1
+
+    def test_dispatch_not_requires_single_input(self):
+        with pytest.raises(GateOperandError):
+            gate_output("not", [0, 1])
+
+    def test_unknown_gate(self):
+        with pytest.raises(GateOperandError):
+            gate_output("xnorish", [0, 1])
+
+    def test_presets_are_zero_for_native_gates(self):
+        for gate in GateType.NATIVE:
+            assert GATE_PRESETS[gate] == 0
+
+
+class TestGateSpec:
+    def test_evaluate_replicates_outputs(self):
+        spec = GateSpec(gate=GateType.NOR, n_inputs=2, n_outputs=3)
+        assert spec.evaluate([0, 0]) == (1, 1, 1)
+        assert spec.evaluate([1, 0]) == (0, 0, 0)
+
+    def test_is_multi_output(self):
+        assert GateSpec(GateType.NOR, 2, 2).is_multi_output
+        assert not GateSpec(GateType.NOR, 2, 1).is_multi_output
+
+    def test_wrong_arity_rejected(self):
+        spec = GateSpec(GateType.NOR, 2)
+        with pytest.raises(GateOperandError):
+            spec.evaluate([0])
+
+    def test_invalid_construction(self):
+        with pytest.raises(GateOperandError):
+            GateSpec("flipflop", 2)
+        with pytest.raises(GateOperandError):
+            GateSpec(GateType.NOR, 0)
+        with pytest.raises(GateOperandError):
+            GateSpec(GateType.NOR, 2, 0)

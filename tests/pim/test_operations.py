@@ -1,0 +1,118 @@
+"""Tests for the operation records and the operation trace."""
+
+import pytest
+
+from repro.errors import PimError
+from repro.pim.operations import (
+    GateOperation,
+    OperationKind,
+    OperationTrace,
+    PresetOperation,
+    ReadOperation,
+    WriteOperation,
+)
+
+
+class TestRecordValidation:
+    def test_gate_operation_requires_outputs(self):
+        with pytest.raises(PimError):
+            GateOperation(gate="nor", inputs=(0, 1), outputs=())
+
+    def test_gate_operation_rejects_duplicate_outputs(self):
+        with pytest.raises(PimError):
+            GateOperation(gate="nor", inputs=(0,), outputs=(2, 2))
+
+    def test_gate_operation_rejects_io_overlap(self):
+        with pytest.raises(PimError):
+            GateOperation(gate="nor", inputs=(0, 1), outputs=(1,))
+
+    def test_gate_operation_counts(self):
+        op = GateOperation(gate="nor", inputs=(0, 1), outputs=(2, 3))
+        assert op.n_inputs == 2
+        assert op.n_outputs == 2
+
+    def test_preset_requires_columns_and_bit_value(self):
+        with pytest.raises(PimError):
+            PresetOperation(columns=())
+        with pytest.raises(PimError):
+            PresetOperation(columns=(1,), value=2)
+
+    def test_read_write_require_positive_bits(self):
+        with pytest.raises(PimError):
+            ReadOperation(n_bits=0)
+        with pytest.raises(PimError):
+            WriteOperation(n_bits=-1)
+
+
+class TestOperationTrace:
+    def _populated_trace(self):
+        trace = OperationTrace()
+        trace.append(GateOperation(gate="nor", inputs=(0, 1), outputs=(2,), logic_level=1))
+        trace.append(
+            GateOperation(gate="nor", inputs=(0, 1), outputs=(3, 4), logic_level=1, is_metadata=True)
+        )
+        trace.append(GateOperation(gate="thr", inputs=(0, 1, 2, 3), outputs=(5,), logic_level=2))
+        trace.append(PresetOperation(columns=(5,), value=0, logic_level=2))
+        trace.append(ReadOperation(n_bits=8, logic_level=2))
+        trace.append(WriteOperation(n_bits=3, logic_level=2))
+        return trace
+
+    def test_len_and_iteration(self):
+        trace = self._populated_trace()
+        assert len(trace) == 6
+        assert len(list(trace)) == 6
+
+    def test_counts_by_kind(self):
+        trace = self._populated_trace()
+        assert trace.count(OperationKind.GATE) == 3
+        assert trace.count(OperationKind.PRESET) == 1
+        assert trace.count(OperationKind.READ) == 1
+        assert trace.count(OperationKind.WRITE) == 1
+
+    def test_metadata_only_count(self):
+        trace = self._populated_trace()
+        assert trace.count(OperationKind.GATE, metadata_only=True) == 1
+
+    def test_gate_counts_by_type(self):
+        counts = self._populated_trace().gate_counts_by_type()
+        assert counts == {"nor": 2, "thr": 1}
+
+    def test_gate_output_bits(self):
+        trace = self._populated_trace()
+        assert trace.gate_output_bits() == 4
+        assert trace.gate_output_bits(metadata_only=True) == 2
+
+    def test_transferred_bits(self):
+        trace = self._populated_trace()
+        assert trace.transferred_bits(OperationKind.READ) == 8
+        assert trace.transferred_bits(OperationKind.WRITE) == 3
+
+    def test_transferred_bits_rejects_gate_kind(self):
+        with pytest.raises(PimError):
+            self._populated_trace().transferred_bits(OperationKind.GATE)
+
+    def test_operations_by_logic_level(self):
+        levels = self._populated_trace().operations_by_logic_level()
+        assert levels[1] == 2
+        assert levels[2] == 4
+
+    def test_metadata_fraction(self):
+        assert self._populated_trace().metadata_fraction() == pytest.approx(1 / 3)
+
+    def test_metadata_fraction_empty(self):
+        assert OperationTrace().metadata_fraction() == 0.0
+
+    def test_summary_keys(self):
+        summary = self._populated_trace().summary()
+        assert summary["total_operations"] == 6
+        assert summary["gate_operations"] == 3
+        assert summary["read_bits"] == 8
+
+    def test_append_rejects_non_records(self):
+        with pytest.raises(PimError):
+            OperationTrace().append("not an operation")
+
+    def test_extend(self):
+        trace = OperationTrace()
+        trace.extend([ReadOperation(n_bits=1), WriteOperation(n_bits=1)])
+        assert len(trace) == 2

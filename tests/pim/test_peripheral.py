@@ -1,0 +1,69 @@
+"""Tests for the peripheral-circuitry (NVSim substitute) model."""
+
+import pytest
+
+from repro.errors import PimError
+from repro.pim.peripheral import DEFAULT_PERIPHERAL, PeripheralModel
+
+
+class TestDefaults:
+    def test_default_instance_is_valid(self):
+        assert DEFAULT_PERIPHERAL.row_activation_energy_fj > 0
+        assert DEFAULT_PERIPHERAL.row_access_latency_ns > 0
+
+    def test_defaults_are_small_relative_to_row_width(self):
+        # One full-row read should stay in the low-pJ range for a 256-bit row.
+        assert DEFAULT_PERIPHERAL.read_energy_fj(256) < 2000.0
+
+
+class TestEnergy:
+    def test_read_energy_scales_with_bits(self):
+        model = PeripheralModel(row_activation_energy_fj=100.0, sense_energy_per_bit_fj=2.0)
+        assert model.read_energy_fj(10) == pytest.approx(120.0)
+        assert model.read_energy_fj(20) == pytest.approx(140.0)
+
+    def test_write_energy_scales_with_bits(self):
+        model = PeripheralModel(row_activation_energy_fj=100.0, write_driver_energy_per_bit_fj=1.5)
+        assert model.write_energy_fj(10) == pytest.approx(115.0)
+
+    def test_gate_step_energy(self):
+        model = PeripheralModel(gate_drive_energy_fj=4.0)
+        assert model.gate_step_energy_fj() == pytest.approx(4.0)
+
+    def test_static_energy(self):
+        model = PeripheralModel(static_power_uw=2.0)
+        assert model.static_energy_fj(10.0) == pytest.approx(20.0)
+
+    def test_zero_bit_read_rejected(self):
+        with pytest.raises(PimError):
+            DEFAULT_PERIPHERAL.read_energy_fj(0)
+
+    def test_zero_bit_write_rejected(self):
+        with pytest.raises(PimError):
+            DEFAULT_PERIPHERAL.write_energy_fj(0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PimError):
+            DEFAULT_PERIPHERAL.static_energy_fj(-1.0)
+
+
+class TestLatency:
+    def test_access_latency(self):
+        model = PeripheralModel(row_access_latency_ns=3.0)
+        assert model.access_latency_ns() == pytest.approx(3.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "row_activation_energy_fj",
+            "sense_energy_per_bit_fj",
+            "write_driver_energy_per_bit_fj",
+            "gate_drive_energy_fj",
+            "row_access_latency_ns",
+        ],
+    )
+    def test_negative_parameters_rejected(self, field):
+        with pytest.raises(PimError):
+            PeripheralModel(**{field: -1.0})

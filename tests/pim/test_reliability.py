@@ -1,0 +1,133 @@
+"""Tests for the device-level reliability models."""
+
+import pytest
+
+from repro.errors import PimError
+from repro.pim.reliability import (
+    ReliabilityProfile,
+    fault_model_for,
+    gate_error_rate_for,
+    gate_error_rate_from_noise_margin,
+    mtj_retention_failure_rate,
+    reram_state_confusion_rate,
+    standard_normal_cdf,
+    write_error_rate,
+)
+from repro.pim.technology import RERAM, SOT_SHE_MRAM, STT_MRAM
+
+
+class TestNormalCdf:
+    def test_symmetry(self):
+        assert standard_normal_cdf(0.0) == pytest.approx(0.5)
+        assert standard_normal_cdf(1.0) + standard_normal_cdf(-1.0) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert standard_normal_cdf(1.96) == pytest.approx(0.975, abs=1e-3)
+
+
+class TestRetention:
+    def test_higher_stability_means_lower_failure_rate(self):
+        assert mtj_retention_failure_rate(60.0) < mtj_retention_failure_rate(40.0)
+
+    def test_longer_time_means_higher_failure_rate(self):
+        assert mtj_retention_failure_rate(45.0, retention_time_s=10.0) > mtj_retention_failure_rate(
+            45.0, retention_time_s=0.1
+        )
+
+    def test_storage_class_stability_is_reliable(self):
+        # Delta ~ 60 over a millisecond scrub interval: essentially no flips.
+        assert mtj_retention_failure_rate(60.0, retention_time_s=1e-3) < 1e-12
+
+    def test_probability_bounds(self):
+        assert 0.0 <= mtj_retention_failure_rate(30.0, retention_time_s=100.0) <= 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PimError):
+            mtj_retention_failure_rate(0.0)
+        with pytest.raises(PimError):
+            mtj_retention_failure_rate(40.0, retention_time_s=-1.0)
+
+
+class TestWriteErrors:
+    def test_more_overdrive_means_fewer_errors(self):
+        assert write_error_rate(1.5) < write_error_rate(1.1)
+
+    def test_no_overdrive_is_coin_flip(self):
+        assert write_error_rate(1.0) == pytest.approx(0.5)
+
+    def test_tighter_distribution_helps(self):
+        assert write_error_rate(1.2, sigma=0.02) < write_error_rate(1.2, sigma=0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PimError):
+            write_error_rate(0.0)
+        with pytest.raises(PimError):
+            write_error_rate(1.2, sigma=0.0)
+
+
+class TestGateErrorRates:
+    def test_wider_margin_means_lower_rate(self):
+        assert gate_error_rate_from_noise_margin(0.40) < gate_error_rate_from_noise_margin(0.10)
+
+    def test_five_percent_margin_is_unusable(self):
+        # The Appendix's 5 % minimum margin is a feasibility floor, not a
+        # comfortable operating point.
+        assert gate_error_rate_from_noise_margin(0.05) > 0.1
+
+    def test_rate_bounded_by_two(self):
+        assert 0.0 <= gate_error_rate_from_noise_margin(0.0) <= 1.0 + 1.0
+
+    def test_more_outputs_increase_error_rate_for_series_stacks(self):
+        from repro.pim.electrical import OutputTopology
+
+        single = gate_error_rate_for(STT_MRAM, n_outputs=1, topology=OutputTopology.SERIES)
+        many = gate_error_rate_for(STT_MRAM, n_outputs=8, topology=OutputTopology.SERIES)
+        assert many > single
+
+    def test_parallel_multi_output_remains_reliable(self):
+        rate = gate_error_rate_for(STT_MRAM, n_outputs=4)
+        assert rate < 1e-6
+
+    def test_reram_supported(self):
+        assert 0.0 <= gate_error_rate_for(RERAM, n_outputs=2) <= 1.0
+
+    def test_invalid_sigma(self):
+        with pytest.raises(PimError):
+            gate_error_rate_from_noise_margin(0.2, parameter_sigma=0.0)
+
+
+class TestReramStateConfusion:
+    def test_wide_window_is_reliable(self):
+        assert reram_state_confusion_rate(RERAM) < 1e-6
+
+    def test_more_variation_means_more_confusion(self):
+        assert reram_state_confusion_rate(RERAM, log_sigma=1.0) > reram_state_confusion_rate(
+            RERAM, log_sigma=0.3
+        )
+
+    def test_invalid_sigma(self):
+        with pytest.raises(PimError):
+            reram_state_confusion_rate(RERAM, log_sigma=0.0)
+
+
+class TestFaultModelDerivation:
+    @pytest.mark.parametrize("technology", [STT_MRAM, SOT_SHE_MRAM, RERAM])
+    def test_profile_produces_valid_fault_model(self, technology):
+        profile = fault_model_for(technology)
+        assert isinstance(profile, ReliabilityProfile)
+        model = profile.as_fault_model()
+        assert 0.0 <= model.gate_error_rate <= 1.0
+        assert 0.0 <= model.memory_error_rate <= 1.0
+        assert 0.0 <= model.preset_error_rate <= 1.0
+
+    def test_mature_technology_is_memory_class_reliable(self):
+        # The paper's premise: once mature, gate error rates approach those of
+        # conventional memory — our derived rates for the nominal parameters
+        # are indeed tiny (well below one error per ten thousand gates).
+        profile = fault_model_for(STT_MRAM, n_outputs=2)
+        assert profile.gate_error_rate < 1e-4
+
+    def test_degraded_parameters_raise_rates(self):
+        nominal = fault_model_for(STT_MRAM, parameter_sigma=0.03)
+        degraded = fault_model_for(STT_MRAM, parameter_sigma=0.12)
+        assert degraded.gate_error_rate > nominal.gate_error_rate

@@ -1,0 +1,188 @@
+"""Tests for the technology parameter sets (Table III)."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.pim.technology import (
+    RERAM,
+    SOT_SHE_MRAM,
+    STT_MRAM,
+    ResistiveFamily,
+    TechnologyParameters,
+    available_technologies,
+    get_technology,
+    register_technology,
+)
+
+
+class TestTableIIIValues:
+    """The canonical parameter sets must match Table III exactly."""
+
+    def test_stt_resistances(self):
+        assert STT_MRAM.r_low_kohm == pytest.approx(3.15)
+        assert STT_MRAM.r_high_kohm == pytest.approx(7.34)
+
+    def test_stt_critical_current(self):
+        assert STT_MRAM.critical_current_ua == pytest.approx(50.0)
+
+    def test_stt_energies(self):
+        assert STT_MRAM.nor_energy_fj == pytest.approx(10.5)
+        assert STT_MRAM.thr_energy_fj == pytest.approx(11.2)
+        assert STT_MRAM.write_energy_fj == pytest.approx(1.03)
+
+    def test_stt_switching_time(self):
+        assert STT_MRAM.t_switch_ns == pytest.approx(1.0)
+
+    def test_sot_resistances(self):
+        assert SOT_SHE_MRAM.r_low_kohm == pytest.approx(253.97)
+        assert SOT_SHE_MRAM.r_high_kohm == pytest.approx(507.94)
+        assert SOT_SHE_MRAM.r_she_kohm == pytest.approx(64.0)
+
+    def test_sot_critical_current(self):
+        assert SOT_SHE_MRAM.critical_current_ua == pytest.approx(3.0)
+
+    def test_sot_energies(self):
+        assert SOT_SHE_MRAM.nor_energy_fj == pytest.approx(2.45)
+        assert SOT_SHE_MRAM.thr_energy_fj == pytest.approx(1.31)
+        assert SOT_SHE_MRAM.write_energy_fj == pytest.approx(0.01)
+
+    def test_reram_resistances(self):
+        assert RERAM.r_low_kohm == pytest.approx(10.0)
+        assert RERAM.r_high_kohm == pytest.approx(1000.0)
+
+    def test_reram_thresholds(self):
+        assert RERAM.v_off == pytest.approx(0.3)
+        assert RERAM.v_on == pytest.approx(-1.5)
+
+    def test_reram_energies(self):
+        assert RERAM.nor_energy_fj == pytest.approx(19.68)
+        assert RERAM.thr_energy_fj == pytest.approx(20.99)
+        assert RERAM.write_energy_fj == pytest.approx(23.8)
+
+    def test_reram_switching_time(self):
+        assert RERAM.t_switch_ns == pytest.approx(1.3)
+
+
+class TestDerivedQuantities:
+    def test_resistance_ratio_positive(self):
+        for tech in (STT_MRAM, SOT_SHE_MRAM, RERAM):
+            assert tech.resistance_ratio > 1.0
+
+    def test_tmr_ratio_stt(self):
+        # (7.34 - 3.15) / 3.15
+        assert STT_MRAM.tmr_ratio == pytest.approx(1.33, abs=0.01)
+
+    def test_is_mram_flags(self):
+        assert STT_MRAM.is_mram
+        assert SOT_SHE_MRAM.is_mram
+        assert not RERAM.is_mram
+
+    def test_output_resistance_uses_she_channel(self):
+        assert SOT_SHE_MRAM.output_resistance_kohm == pytest.approx(64.0)
+        assert STT_MRAM.output_resistance_kohm == pytest.approx(3.15)
+
+    def test_table_row_contains_name(self):
+        row = STT_MRAM.as_table_row()
+        assert row["technology"] == "stt"
+        assert row["NOR energy (fJ)"] == pytest.approx(10.5)
+
+
+class TestGateEnergyModel:
+    def test_single_output_nor(self):
+        assert STT_MRAM.gate_energy_fj("nor") == pytest.approx(10.5)
+
+    def test_single_output_thr(self):
+        assert STT_MRAM.gate_energy_fj("thr") == pytest.approx(11.2)
+
+    def test_multi_output_adds_write_energy(self):
+        two = STT_MRAM.gate_energy_fj("nor", n_outputs=2)
+        assert two == pytest.approx(10.5 + 1.03)
+
+    def test_multi_output_linear_growth(self):
+        e2 = STT_MRAM.gate_energy_fj("nor", 2)
+        e3 = STT_MRAM.gate_energy_fj("nor", 3)
+        e4 = STT_MRAM.gate_energy_fj("nor", 4)
+        assert e3 - e2 == pytest.approx(e4 - e3)
+
+    def test_preset_energy_is_write_energy(self):
+        assert STT_MRAM.gate_energy_fj("preset", 3) == pytest.approx(3 * 1.03)
+
+    def test_copy_uses_nor_energy(self):
+        assert STT_MRAM.gate_energy_fj("copy") == pytest.approx(10.5)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(TechnologyError):
+            STT_MRAM.gate_energy_fj("xor9")
+
+    def test_zero_outputs_rejected(self):
+        with pytest.raises(TechnologyError):
+            STT_MRAM.gate_energy_fj("nor", 0)
+
+
+class TestValidation:
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(TechnologyError):
+            TechnologyParameters(
+                name="bad",
+                family=ResistiveFamily.RERAM,
+                r_low_kohm=-1.0,
+                r_high_kohm=10.0,
+                v_off=0.3,
+                v_on=-1.5,
+                t_switch_ns=1.0,
+                nor_energy_fj=1.0,
+                thr_energy_fj=1.0,
+                write_energy_fj=1.0,
+            )
+
+    def test_rejects_rhigh_below_rlow(self):
+        with pytest.raises(TechnologyError):
+            STT_MRAM.replace(r_high_kohm=1.0)
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(TechnologyError):
+            STT_MRAM.replace(family="flash")
+
+    def test_mram_requires_critical_current(self):
+        with pytest.raises(TechnologyError):
+            STT_MRAM.replace(critical_current_ua=None)
+
+    def test_reram_requires_thresholds(self):
+        with pytest.raises(TechnologyError):
+            RERAM.replace(v_off=None)
+
+    def test_sot_requires_she_channel(self):
+        with pytest.raises(TechnologyError):
+            SOT_SHE_MRAM.replace(r_she_kohm=None)
+
+    def test_replace_returns_new_instance(self):
+        faster = STT_MRAM.replace(t_switch_ns=0.5)
+        assert faster.t_switch_ns == pytest.approx(0.5)
+        assert STT_MRAM.t_switch_ns == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_three_canonical_technologies_registered(self):
+        names = available_technologies()
+        assert {"stt", "sot", "reram"}.issubset(set(names))
+
+    def test_lookup_by_name(self):
+        assert get_technology("stt") is STT_MRAM
+        assert get_technology("reram") is RERAM
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_technology("STT") is STT_MRAM
+
+    def test_lookup_aliases(self):
+        assert get_technology("stt-mram") is STT_MRAM
+        assert get_technology("sot/she") is SOT_SHE_MRAM
+        assert get_technology("rram") is RERAM
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TechnologyError):
+            get_technology("pcm")
+
+    def test_register_custom_technology(self):
+        custom = STT_MRAM.replace(name="stt-fast", t_switch_ns=0.2)
+        register_technology(custom)
+        assert get_technology("stt-fast").t_switch_ns == pytest.approx(0.2)

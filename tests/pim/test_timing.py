@@ -1,0 +1,123 @@
+"""Tests for the step-level timing model (Fig. 4 execution model)."""
+
+import pytest
+
+from repro.errors import PimError
+from repro.pim.operations import (
+    GateOperation,
+    OperationTrace,
+    PresetOperation,
+    ReadOperation,
+    WriteOperation,
+)
+from repro.pim.peripheral import PeripheralModel
+from repro.pim.technology import RERAM, STT_MRAM
+from repro.pim.timing import LevelTimingStats, TimingBreakdown, TimingModel
+
+
+@pytest.fixture
+def model():
+    return TimingModel(STT_MRAM, PeripheralModel(row_access_latency_ns=2.0), checker_bus_bits=256)
+
+
+class TestPrimitives:
+    def test_gate_step_uses_switching_time(self, model):
+        assert model.gate_step_ns() == pytest.approx(1.0)
+
+    def test_reram_gate_step(self):
+        assert TimingModel(RERAM).gate_step_ns() == pytest.approx(1.3)
+
+    def test_access_latency_rounds_up_to_bus_width(self, model):
+        assert model.access_ns(1) == pytest.approx(2.0)
+        assert model.access_ns(256) == pytest.approx(2.0)
+        assert model.access_ns(257) == pytest.approx(4.0)
+
+    def test_access_zero_bits_is_free(self, model):
+        assert model.access_ns(0) == 0.0
+
+    def test_negative_bits_rejected(self, model):
+        with pytest.raises(PimError):
+            model.access_ns(-1)
+
+    def test_invalid_bus_width(self):
+        with pytest.raises(PimError):
+            TimingModel(STT_MRAM, checker_bus_bits=0)
+
+
+class TestTraceLatency:
+    def test_gate_and_preset_counted_as_steps(self, model):
+        trace = OperationTrace()
+        trace.append(GateOperation(gate="nor", inputs=(0,), outputs=(1,)))
+        trace.append(PresetOperation(columns=(1,), value=0))
+        breakdown = model.trace_latency_ns(trace)
+        assert breakdown.compute_ns == pytest.approx(2.0)
+
+    def test_metadata_attributed_separately(self, model):
+        trace = OperationTrace()
+        trace.append(GateOperation(gate="nor", inputs=(0,), outputs=(1,)))
+        trace.append(GateOperation(gate="nor", inputs=(0,), outputs=(2,), is_metadata=True))
+        breakdown = model.trace_latency_ns(trace)
+        assert breakdown.compute_ns == pytest.approx(1.0)
+        assert breakdown.metadata_ns == pytest.approx(1.0)
+
+    def test_transfers_counted(self, model):
+        trace = OperationTrace()
+        trace.append(ReadOperation(n_bits=300))
+        trace.append(WriteOperation(n_bits=10))
+        breakdown = model.trace_latency_ns(trace)
+        assert breakdown.checker_transfer_ns == pytest.approx(4.0 + 2.0)
+
+    def test_total_is_sum_of_components(self, model):
+        breakdown = TimingBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert breakdown.total_ns == pytest.approx(10.0)
+
+
+class TestPipelinedLatency:
+    def test_single_row_exposes_all_transfers(self, model):
+        levels = [LevelTimingStats(compute_steps=10, checker_read_bits=256)]
+        breakdown = model.pipelined_latency_ns(levels, active_rows=1)
+        assert breakdown.checker_transfer_ns == pytest.approx(2.0)
+
+    def test_many_rows_mask_transfers(self, model):
+        levels = [LevelTimingStats(compute_steps=10, checker_read_bits=256)]
+        breakdown = model.pipelined_latency_ns(levels, active_rows=8)
+        assert breakdown.checker_transfer_ns == 0.0
+
+    def test_masking_partial_when_cover_is_small(self, model):
+        # transfer = 4 ns (two accesses), cover = (2-1) * 1 step * 1 ns = 1 ns
+        levels = [LevelTimingStats(compute_steps=1, checker_read_bits=512)]
+        breakdown = model.pipelined_latency_ns(levels, active_rows=2)
+        assert breakdown.checker_transfer_ns == pytest.approx(3.0)
+
+    def test_masking_can_be_disabled(self, model):
+        levels = [LevelTimingStats(compute_steps=10, checker_read_bits=256)]
+        breakdown = model.pipelined_latency_ns(
+            levels, active_rows=8, overlap_checker_transfers=False
+        )
+        assert breakdown.checker_transfer_ns == pytest.approx(2.0)
+
+    def test_metadata_and_reclaim_steps_counted(self, model):
+        levels = [LevelTimingStats(compute_steps=5, metadata_steps=3, reclaim_steps=2)]
+        breakdown = model.pipelined_latency_ns(levels, active_rows=4)
+        assert breakdown.compute_ns == pytest.approx(5.0)
+        assert breakdown.metadata_ns == pytest.approx(3.0)
+        assert breakdown.reclaim_ns == pytest.approx(2.0)
+
+    def test_invalid_active_rows(self, model):
+        with pytest.raises(PimError):
+            model.pipelined_latency_ns([], active_rows=0)
+
+    def test_level_stats_reject_negative_counts(self):
+        with pytest.raises(PimError):
+            LevelTimingStats(compute_steps=-1)
+
+
+class TestOverhead:
+    def test_overhead_percent(self, model):
+        baseline = TimingBreakdown(100.0, 0.0, 0.0, 0.0)
+        protected = TimingBreakdown(100.0, 20.0, 5.0, 0.0)
+        assert model.overhead_percent(protected, baseline) == pytest.approx(25.0)
+
+    def test_overhead_requires_positive_baseline(self, model):
+        with pytest.raises(PimError):
+            TimingBreakdown(1.0, 0.0, 0.0, 0.0).overhead_vs(TimingBreakdown(0.0, 0.0, 0.0, 0.0))

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_help_without_command(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("list", "run", "workloads", "technologies", "sep"):
+            assert command in text
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table4" in output and "fig7" in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "table42"]) == 1
+        assert "unknown" in capsys.readouterr().err
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "mm8" in output and "mnist4" in output and "fft64" in output
+
+    def test_technologies(self, capsys):
+        assert main(["technologies"]) == 0
+        assert "reram" in capsys.readouterr().out
+
+    def test_sep(self, capsys):
+        assert main(["sep"]) == 0
+        assert "Single error protection: holds" in capsys.readouterr().out

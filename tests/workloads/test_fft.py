@@ -1,0 +1,116 @@
+"""Tests for the FFT benchmark (fft8-fft64)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import UnprotectedExecutor
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import get_workload
+from repro.workloads.fft import (
+    PAPER_FFT_SIZES,
+    butterfly_block_netlist,
+    fft_input_assignment,
+    fft_netlist,
+    fft_outputs_to_spectrum,
+    fft_reference,
+    fft_spec,
+)
+
+
+class TestButterflyBlock:
+    def test_block_structure(self):
+        netlist = butterfly_block_netlist(bits=4)
+        stats = netlist.stats()
+        assert stats.n_gates > 100
+        assert stats.max_level_width >= 4
+        assert len(netlist.outputs) == 4 * 4  # four 4-bit words
+
+    def test_butterfly_functional(self):
+        bits = 4
+        mask = (1 << bits) - 1
+        netlist = butterfly_block_netlist(bits)
+        a_re, a_im, b_re, b_im, w_re, w_im = 3, 1, 2, 0, 1, 0  # w = 1
+        values = []
+        for value in (a_re, a_im, b_re, b_im, w_re, w_im):
+            values.extend((value >> i) & 1 for i in range(bits))
+        outputs = netlist.evaluate_outputs(dict(zip(netlist.inputs, values)))
+        bit_list = list(outputs.values())
+        words = [
+            sum(bit << i for i, bit in enumerate(bit_list[k * bits : (k + 1) * bits]))
+            for k in range(4)
+        ]
+        top_re, top_im, bot_re, bot_im = words
+        assert top_re == (a_re + b_re) & mask
+        assert top_im == (a_im + b_im) & mask
+        assert bot_re == (a_re - b_re) & mask
+        assert bot_im == (a_im - b_im) & mask
+
+    def test_invalid_precision(self):
+        with pytest.raises(UnknownWorkloadError):
+            butterfly_block_netlist(bits=1)
+
+
+class TestFunctionalFft:
+    @given(st.lists(st.integers(0, 15), min_size=4, max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_fft4_matches_reference(self, samples):
+        bits = 4
+        netlist = fft_netlist(4, bits)
+        inputs = fft_input_assignment(netlist, samples, bits)
+        outputs = netlist.evaluate_outputs(inputs)
+        assert fft_outputs_to_spectrum(netlist, outputs, 4, bits) == fft_reference(samples, bits)
+
+    def test_fft2(self):
+        bits = 4
+        netlist = fft_netlist(2, bits)
+        samples = [5, 3]
+        inputs = fft_input_assignment(netlist, samples, bits)
+        outputs = netlist.evaluate_outputs(inputs)
+        assert fft_outputs_to_spectrum(netlist, outputs, 2, bits) == [(8, 0), (2, 0)]
+
+    def test_fft4_dc_input(self):
+        bits = 5
+        netlist = fft_netlist(4, bits)
+        inputs = fft_input_assignment(netlist, [7, 7, 7, 7], bits)
+        spectrum = fft_outputs_to_spectrum(netlist, netlist.evaluate_outputs(inputs), 4, bits)
+        assert spectrum[0] == (28, 0)
+        assert spectrum[1] == (0, 0)
+        assert spectrum[2] == (0, 0)
+        assert spectrum[3] == (0, 0)
+
+    def test_fft4_runs_on_pim_array(self):
+        bits = 3
+        netlist = fft_netlist(4, bits)
+        inputs = fft_input_assignment(netlist, [1, 2, 3, 4], bits)
+        report = UnprotectedExecutor(netlist).run(inputs)
+        assert report.outputs_correct
+
+    def test_unsupported_sizes_rejected(self):
+        with pytest.raises(UnknownWorkloadError):
+            fft_netlist(8)
+        with pytest.raises(UnknownWorkloadError):
+            fft_reference([1] * 8, 4)
+
+
+class TestWorkloadSpecs:
+    @pytest.mark.parametrize("size", PAPER_FFT_SIZES)
+    def test_registered_benchmarks(self, size):
+        spec = get_workload(f"fft{size}")
+        assert spec.family == "fft"
+        assert spec.size == size
+
+    def test_per_row_program_scales_with_stage_count(self):
+        # log2(64) / log2(8) = 2x the butterfly blocks per row.
+        assert fft_spec(64).total_gates == pytest.approx(2 * fft_spec(8).total_gates, rel=0.01)
+
+    def test_rows_used_is_half_the_points(self):
+        assert fft_spec(32).row_footprint.rows_used == 16
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(UnknownWorkloadError):
+            fft_spec(12)
+
+    def test_footprint_fits_row_budget(self):
+        for size in PAPER_FFT_SIZES:
+            assert fft_spec(size).row_footprint.data_columns < 256

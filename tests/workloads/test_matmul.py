@@ -1,0 +1,126 @@
+"""Tests for the dense matrix-multiplication benchmark (mm8-mm64)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import UnprotectedExecutor
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import get_workload
+from repro.workloads.matmul import (
+    PAPER_MATMUL_SIZES,
+    accumulator_bits,
+    cpa_finalize_netlist,
+    dot_product_netlist,
+    mac_block_netlist,
+    matmul_input_assignment,
+    matmul_netlist,
+    matmul_output_matrix,
+    matmul_reference,
+    matmul_spec,
+)
+
+
+class TestAccumulatorSizing:
+    def test_headroom_for_dot_product(self):
+        # n products of b-bit operands never overflow the accumulator.
+        for n, bits in [(8, 8), (64, 8), (4, 2)]:
+            width = accumulator_bits(n, bits)
+            assert n * ((1 << bits) - 1) ** 2 < (1 << width)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(UnknownWorkloadError):
+            accumulator_bits(0, 8)
+
+
+class TestFunctionalNetlists:
+    @given(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_2x2_matmul_matches_numpy(self, a00, a01, a10, a11):
+        netlist = matmul_netlist(2, operand_bits=2)
+        a = [[a00, a01], [a10, a11]]
+        b = [[a11, a00], [a01, a10]]
+        inputs = matmul_input_assignment(netlist, a, b, operand_bits=2)
+        outputs = netlist.evaluate_outputs(inputs)
+        width = accumulator_bits(2, 2)
+        assert np.array_equal(
+            matmul_output_matrix(netlist, outputs, 2, width), matmul_reference(a, b)
+        )
+
+    def test_2x2_matmul_on_pim_array(self):
+        netlist = matmul_netlist(2, operand_bits=2)
+        a = [[1, 2], [3, 0]]
+        b = [[2, 1], [1, 3]]
+        inputs = matmul_input_assignment(netlist, a, b, operand_bits=2)
+        report = UnprotectedExecutor(netlist).run(inputs)
+        assert report.outputs_correct
+        width = accumulator_bits(2, 2)
+        assert np.array_equal(
+            matmul_output_matrix(netlist, report.outputs, 2, width), matmul_reference(a, b)
+        )
+
+    def test_dot_product_netlist(self):
+        netlist = dot_product_netlist(length=3, operand_bits=3)
+        a_vals = [3, 5, 7]
+        b_vals = [2, 4, 1]
+        values = []
+        for value in a_vals + b_vals:
+            values.extend((value >> i) & 1 for i in range(3))
+        inputs = dict(zip(netlist.inputs, values))
+        outputs = netlist.evaluate_outputs(inputs)
+        result = sum(bit << i for i, bit in enumerate(outputs.values()))
+        assert result == sum(x * y for x, y in zip(a_vals, b_vals))
+
+    def test_matmul_netlist_rejects_large_instances(self):
+        with pytest.raises(UnknownWorkloadError):
+            matmul_netlist(8, operand_bits=8)
+
+    def test_input_assignment_validates_range(self):
+        netlist = matmul_netlist(2, operand_bits=2)
+        with pytest.raises(UnknownWorkloadError):
+            matmul_input_assignment(netlist, [[9, 0], [0, 0]], [[0, 0], [0, 0]], 2)
+
+
+class TestUnitBlocks:
+    def test_mac_block_has_wide_levels(self):
+        netlist = mac_block_netlist(8, accumulator_bits(8, 8))
+        stats = netlist.stats()
+        assert stats.max_level_width >= 8
+        assert stats.n_gates > 100
+
+    def test_cpa_finalize_outputs_full_width(self):
+        width = accumulator_bits(8, 8)
+        netlist = cpa_finalize_netlist(width)
+        assert len(netlist.outputs) == width
+
+
+class TestWorkloadSpecs:
+    @pytest.mark.parametrize("size", PAPER_MATMUL_SIZES)
+    def test_registered_benchmarks(self, size):
+        spec = get_workload(f"mm{size}")
+        assert spec.family == "mm"
+        assert spec.size == size
+        assert spec.total_gates > 0
+        assert spec.n_levels > 0
+
+    def test_gate_count_scales_linearly_with_dot_product_length(self):
+        small = matmul_spec(8)
+        large = matmul_spec(64)
+        assert large.total_gates > 7 * small.total_gates
+
+    def test_rows_used_is_output_count(self):
+        assert matmul_spec(16).row_footprint.rows_used == 256
+
+    def test_footprint_fits_row_budget(self):
+        for size in PAPER_MATMUL_SIZES:
+            assert matmul_spec(size).row_footprint.data_columns < 256
+
+    def test_summary_keys(self):
+        summary = matmul_spec(8).summary()
+        assert summary["name"] == "mm8"
+        assert summary["gates"] == matmul_spec(8).total_gates
+
+    def test_invalid_size(self):
+        with pytest.raises(UnknownWorkloadError):
+            matmul_spec(1)

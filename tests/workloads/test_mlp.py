@@ -1,0 +1,119 @@
+"""Tests for the MNIST MLP benchmark (mnist1-mnist4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import UnprotectedExecutor
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import get_workload
+from repro.workloads.matmul import accumulator_bits
+from repro.workloads.mlp import (
+    PAPER_WEIGHT_PRECISIONS,
+    MlpConfig,
+    generate_prototype_weights,
+    mlp_inference_reference,
+    mlp_input_assignment,
+    mlp_netlist,
+    mlp_outputs_to_scores,
+    mlp_spec,
+)
+
+
+SMALL_CONFIG = MlpConfig(input_size=9, hidden_size=2, n_classes=2, weight_bits=2, activation_bits=2)
+
+
+class TestConfig:
+    def test_paper_configuration(self):
+        spec = mlp_spec(2)
+        assert spec.name == "mnist2"
+        assert spec.family == "mnist"
+
+    def test_invalid_config(self):
+        with pytest.raises(UnknownWorkloadError):
+            MlpConfig(input_size=0)
+        with pytest.raises(UnknownWorkloadError):
+            MlpConfig(weight_bits=0)
+
+
+class TestWorkloadSpecs:
+    @pytest.mark.parametrize("bits", PAPER_WEIGHT_PRECISIONS)
+    def test_registered_benchmarks(self, bits):
+        spec = get_workload(f"mnist{bits}")
+        assert spec.size == bits
+        assert spec.total_gates > 0
+
+    def test_gate_count_grows_with_weight_precision(self):
+        counts = [mlp_spec(bits).total_gates for bits in PAPER_WEIGHT_PRECISIONS]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_rows_used_is_neuron_count(self):
+        spec = mlp_spec(1)
+        assert spec.row_footprint.rows_used == 64 + 10
+
+    def test_mlp_larger_than_matmul_benchmarks(self):
+        # The MLP rows run 784-term dot products, so the per-row program (and
+        # hence Table IV's reclaim counts) dwarfs the matmul benchmarks.
+        from repro.workloads.matmul import matmul_spec
+
+        assert mlp_spec(1).row_footprint.scratch_claims > matmul_spec(64).row_footprint.scratch_claims
+
+    def test_footprint_fits_row_budget(self):
+        for bits in PAPER_WEIGHT_PRECISIONS:
+            assert mlp_spec(bits).row_footprint.data_columns < 256
+
+
+class TestPrototypeWeights:
+    def test_shapes_and_ranges(self):
+        w1, w2 = generate_prototype_weights(SMALL_CONFIG, side=3)
+        assert w1.shape == (2, 9)
+        assert w2.shape == (2, 2)
+        assert w1.max() < (1 << SMALL_CONFIG.weight_bits)
+        assert w1.min() >= 0
+
+    def test_side_mismatch_rejected(self):
+        with pytest.raises(UnknownWorkloadError):
+            generate_prototype_weights(SMALL_CONFIG, side=5)
+
+
+class TestFunctionalMlp:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        w1, w2 = generate_prototype_weights(SMALL_CONFIG, side=3)
+        netlist = mlp_netlist(SMALL_CONFIG, w1, w2)
+        return netlist, w1, w2
+
+    def test_netlist_matches_integer_reference(self, compiled):
+        netlist, w1, w2 = compiled
+        hidden_acc = accumulator_bits(SMALL_CONFIG.input_size, 2)
+        out_acc = accumulator_bits(SMALL_CONFIG.hidden_size, max(2, hidden_acc))
+        activations = np.array([0, 1, 2, 3, 0, 1, 2, 3, 1])
+        inputs = mlp_input_assignment(netlist, activations, SMALL_CONFIG.activation_bits)
+        outputs = netlist.evaluate_outputs(inputs)
+        scores = mlp_outputs_to_scores(netlist, outputs, SMALL_CONFIG.n_classes)
+        expected = mlp_inference_reference(activations, w1, w2, (hidden_acc, out_acc))
+        assert np.array_equal(scores, expected)
+
+    def test_netlist_runs_on_pim_array(self, compiled):
+        netlist, w1, w2 = compiled
+        activations = np.array([3, 3, 3, 0, 0, 0, 1, 1, 1])
+        inputs = mlp_input_assignment(netlist, activations, SMALL_CONFIG.activation_bits)
+        report = UnprotectedExecutor(netlist).run(inputs)
+        assert report.outputs_correct
+
+    def test_wrong_weight_shapes_rejected(self):
+        w1, w2 = generate_prototype_weights(SMALL_CONFIG, side=3)
+        with pytest.raises(UnknownWorkloadError):
+            mlp_netlist(SMALL_CONFIG, w1[:1], w2)
+
+    def test_large_configs_rejected_for_functional_form(self):
+        big = MlpConfig()
+        w1 = np.zeros((big.hidden_size, big.input_size), dtype=np.int64)
+        w2 = np.zeros((big.n_classes, big.hidden_size), dtype=np.int64)
+        with pytest.raises(UnknownWorkloadError):
+            mlp_netlist(big, w1, w2)
+
+    def test_activation_out_of_range_rejected(self, compiled):
+        netlist, _, _ = compiled
+        with pytest.raises(UnknownWorkloadError):
+            mlp_input_assignment(netlist, [9] * 9, 2)
