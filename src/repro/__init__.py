@@ -18,6 +18,9 @@ The package is organised by subsystem:
   MLP, FFT) as functional netlists and analytic specifications.
 * :mod:`repro.eval` — the experiment registry regenerating every table and
   figure of the paper's evaluation.
+* :mod:`repro.campaign` — the sharded, resumable Monte-Carlo fault-injection
+  campaign engine measuring empirical error-coverage curves at scale
+  (``python -m repro campaign``).
 
 Quick start::
 

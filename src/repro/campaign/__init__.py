@@ -1,0 +1,69 @@
+"""Parallel Monte-Carlo fault-injection campaign engine.
+
+Measures *empirical* error-coverage curves at scale — the statistical
+complement of the exhaustive single-fault SEP analysis (Fig. 6): sweep
+(workload netlist x protection scheme x technology x gate error rate), run
+thousands of independent stochastic trials per grid cell, and report
+detected / corrected / silent-corruption rates with Wilson confidence
+intervals.  Campaigns shard across a process pool with deterministic
+per-trial seeding (bit-identical results for any worker count) and
+checkpoint completed shards to JSONL so interrupted runs resume.
+
+Entry points: build a :class:`CampaignSpec`, hand it to
+:func:`run_campaign`, or drive the same path from the command line via
+``python -m repro campaign``.
+"""
+
+from repro.campaign.aggregate import (
+    COUNT_KEYS,
+    CellReport,
+    ShardResult,
+    build_cell_reports,
+    merge_shard_counts,
+    render_campaign_table,
+    wilson_interval,
+    zeroed_counts,
+)
+from repro.campaign.checkpoint import CheckpointStore
+from repro.campaign.runner import CampaignResult, run_campaign
+from repro.campaign.spec import (
+    CAMPAIGN_SCHEMES,
+    CampaignCell,
+    CampaignSpec,
+    ShardTask,
+    trial_seed,
+)
+from repro.campaign.worker import build_executor, run_shard
+from repro.campaign.workloads import (
+    CAMPAIGN_WORKLOADS,
+    CampaignWorkload,
+    available_campaign_workloads,
+    get_campaign_workload,
+    sample_inputs,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMES",
+    "CAMPAIGN_WORKLOADS",
+    "COUNT_KEYS",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignWorkload",
+    "CellReport",
+    "CheckpointStore",
+    "ShardResult",
+    "ShardTask",
+    "available_campaign_workloads",
+    "build_cell_reports",
+    "build_executor",
+    "get_campaign_workload",
+    "merge_shard_counts",
+    "render_campaign_table",
+    "run_campaign",
+    "run_shard",
+    "sample_inputs",
+    "trial_seed",
+    "wilson_interval",
+    "zeroed_counts",
+]

@@ -1,0 +1,160 @@
+"""Campaign orchestration: shard scheduling, worker pools and resume.
+
+:func:`run_campaign` turns a :class:`~repro.campaign.spec.CampaignSpec` into
+a :class:`CampaignResult`:
+
+1. expand the spec into shards (fixed partitioning, independent of workers);
+2. if a checkpoint path is given, load completed shards for this spec's hash
+   and schedule only the remainder;
+3. execute pending shards — serially in-process (``workers <= 1``) or across
+   a :class:`concurrent.futures.ProcessPoolExecutor` — recording each shard
+   into the checkpoint as it completes, so an interrupt at any point loses at
+   most the shards in flight;
+4. merge all counters (order-independent integer sums) into per-cell reports
+   with Wilson confidence intervals.
+
+Both execution modes call the very same
+:func:`repro.campaign.worker.run_shard`, and every trial's randomness is
+derived from the spec alone, so aggregate results are bit-identical for any
+worker count and any serial/parallel/resumed execution history.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.campaign.aggregate import (
+    CellReport,
+    ShardResult,
+    build_cell_reports,
+    merge_shard_counts,
+    render_campaign_table,
+)
+from repro.campaign.checkpoint import CheckpointStore
+from repro.campaign.spec import CampaignSpec, ShardTask
+from repro.campaign.worker import run_shard
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a caller needs from a finished campaign."""
+
+    spec: CampaignSpec
+    reports: List[CellReport]
+    counts_by_cell: Dict[str, Dict[str, int]]
+    executed_shards: int
+    resumed_shards: int
+    workers: int
+
+    @property
+    def total_trials(self) -> int:
+        return sum(report.trials for report in self.reports)
+
+    @property
+    def rendered(self) -> str:
+        return render_campaign_table(
+            f"Campaign '{self.spec.name}': empirical error coverage "
+            f"({self.total_trials} trials, seed {self.spec.seed})",
+            self.reports,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.spec.name,
+            "spec_hash": self.spec.spec_hash(),
+            "cells": len(self.reports),
+            "total_trials": self.total_trials,
+            "executed_shards": self.executed_shards,
+            "resumed_shards": self.resumed_shards,
+            "workers": self.workers,
+        }
+
+
+def _default_workers() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 0,
+    checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign and aggregate its per-cell statistics.
+
+    ``workers``: 0 or 1 runs shards serially in-process; N > 1 fans them out
+    over a process pool of N workers; negative picks ``cpu_count - 1``.
+    ``progress`` (optional) is called as ``progress(done, total)`` after each
+    shard completes, counting resumed shards as already done.
+    """
+    if workers < 0:
+        workers = _default_workers()
+    shards = spec.shards()
+    spec_hash = spec.spec_hash()
+
+    store = CheckpointStore(checkpoint) if checkpoint is not None else None
+    completed: Dict[tuple, ShardResult] = store.load(spec_hash) if store else {}
+    results: List[ShardResult] = []
+    pending: List[ShardTask] = []
+    for task in shards:
+        done = completed.get((task.cell.key, task.shard_index))
+        if done is not None:
+            results.append(done)
+        else:
+            pending.append(task)
+
+    resumed = len(results)
+    total = len(shards)
+    done_count = resumed
+    if progress and resumed:
+        progress(done_count, total)
+
+    def record(result: ShardResult) -> None:
+        nonlocal done_count
+        results.append(result)
+        if store:
+            store.append(spec_hash, result)
+        done_count += 1
+        if progress:
+            progress(done_count, total)
+
+    if pending and workers > 1:
+        # Bound in-flight futures so enormous campaigns don't materialise
+        # their whole shard list in the pool's queue at once.
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            backlog = iter(pending)
+            in_flight = set()
+            try:
+                while True:
+                    while len(in_flight) < 2 * workers:
+                        task = next(backlog, None)
+                        if task is None:
+                            break
+                        in_flight.add(pool.submit(run_shard, task))
+                    if not in_flight:
+                        break
+                    finished, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        record(future.result())
+            finally:
+                for future in in_flight:
+                    future.cancel()
+    else:
+        for task in pending:
+            record(run_shard(task))
+
+    counts_by_cell = merge_shard_counts(results)
+    reports = build_cell_reports(spec.cells(), counts_by_cell)
+    return CampaignResult(
+        spec=spec,
+        reports=reports,
+        counts_by_cell=counts_by_cell,
+        executed_shards=len(results) - resumed,
+        resumed_shards=resumed,
+        workers=max(1, workers),
+    )

@@ -1,0 +1,251 @@
+"""Campaign specifications: the grid a campaign sweeps and how it shards.
+
+A :class:`CampaignSpec` is a declarative description of a Monte-Carlo
+fault-injection campaign: the cross product of
+
+    workloads x protection schemes x technologies x gate error rates,
+
+with ``trials`` independent trials per grid cell.  Expansion is deterministic:
+:meth:`CampaignSpec.cells` enumerates :class:`CampaignCell` objects in a fixed
+order, and :meth:`CampaignSpec.shards` splits each cell's trial range into
+fixed-size :class:`ShardTask` chunks — the unit of work the runner hands to
+worker processes and the unit of resume the checkpoint store records.
+
+Reproducibility is anchored in :func:`trial_seed`: every trial's randomness
+(input sampling and fault injection, as separate streams) derives from
+``(campaign seed, cell key, trial index, stream)`` through SHA-256, never from
+worker identity, shard boundaries or Python's per-process hash randomisation.
+The same spec + seed therefore produces bit-identical aggregate results
+whether it runs serially, across N processes, or resumed across restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "CAMPAIGN_SCHEMES",
+    "CampaignCell",
+    "ShardTask",
+    "CampaignSpec",
+    "trial_seed",
+]
+
+#: Protection schemes a campaign can exercise (executor per scheme).
+CAMPAIGN_SCHEMES = ("unprotected", "ecim", "trim")
+
+
+def trial_seed(campaign_seed: int, cell_key: str, trial_index: int, stream: str) -> int:
+    """Deterministic 64-bit seed for one trial's named randomness stream.
+
+    SHA-256 keyed on the full trial identity: stable across processes,
+    platforms and ``PYTHONHASHSEED``, and statistically independent between
+    neighbouring trials, cells and streams.
+    """
+    payload = f"{campaign_seed}|{cell_key}|{trial_index}|{stream}".encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid cell: a (workload, scheme, technology, error-rate) combination."""
+
+    workload: str
+    scheme: str
+    technology: str
+    gate_error_rate: float
+    memory_error_rate: float = 0.0
+    multi_output: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheme not in CAMPAIGN_SCHEMES:
+            raise EvaluationError(
+                f"unknown scheme {self.scheme!r}; expected one of {CAMPAIGN_SCHEMES}"
+            )
+        for name in ("gate_error_rate", "memory_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise EvaluationError(f"{name} must be a probability, got {rate}")
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used for seeding, checkpointing and merging."""
+        style = "mo" if self.multi_output else "so"
+        return (
+            f"{self.workload}|{self.scheme}|{self.technology}"
+            f"|g{self.gate_error_rate:.9e}|m{self.memory_error_rate:.9e}|{style}"
+        )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A contiguous chunk of one cell's trials — the unit of work and resume."""
+
+    cell: CampaignCell
+    shard_index: int
+    start_trial: int
+    n_trials: int
+    campaign_seed: int
+
+    def __post_init__(self) -> None:
+        if self.n_trials <= 0:
+            raise EvaluationError("a shard must contain at least one trial")
+        if self.start_trial < 0 or self.shard_index < 0:
+            raise EvaluationError("shard indices must be non-negative")
+
+    @property
+    def trial_indices(self) -> range:
+        return range(self.start_trial, self.start_trial + self.n_trials)
+
+
+def _lowered(values: Union[str, Iterable[str]]) -> Tuple[str, ...]:
+    if isinstance(values, str):
+        values = (values,)
+    # Order-preserving dedup: duplicate grid entries would produce cells with
+    # identical keys, double-counting the very same seeded trials.
+    return tuple(dict.fromkeys(v.strip().lower() for v in values))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one fault-injection campaign."""
+
+    workloads: Tuple[str, ...]
+    schemes: Tuple[str, ...] = CAMPAIGN_SCHEMES
+    technologies: Tuple[str, ...] = ("stt",)
+    gate_error_rates: Tuple[float, ...] = (1e-4, 1e-3, 1e-2)
+    memory_error_rate: float = 0.0
+    trials: int = 1000
+    seed: int = 0
+    shard_size: int = 250
+    multi_output: bool = True
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", _lowered(self.workloads))
+        object.__setattr__(self, "schemes", _lowered(self.schemes))
+        object.__setattr__(self, "technologies", _lowered(self.technologies))
+        # Coerce numeric fields (a JSON spec file may carry "100" for 100);
+        # coercion also keeps spec_hash() canonical, so an int-seed spec and
+        # its string-seed twin resume each other's checkpoints.
+        try:
+            object.__setattr__(
+                self,
+                "gate_error_rates",
+                tuple(dict.fromkeys(float(r) for r in self.gate_error_rates)),
+            )
+            object.__setattr__(self, "memory_error_rate", float(self.memory_error_rate))
+            for field_name in ("trials", "seed", "shard_size"):
+                object.__setattr__(self, field_name, int(getattr(self, field_name)))
+        except (TypeError, ValueError) as error:
+            raise EvaluationError(f"malformed campaign spec value: {error}") from None
+        if not self.workloads:
+            raise EvaluationError("a campaign needs at least one workload")
+        if not self.schemes or not self.technologies or not self.gate_error_rates:
+            raise EvaluationError("schemes, technologies and gate_error_rates must be non-empty")
+        for scheme in self.schemes:
+            if scheme not in CAMPAIGN_SCHEMES:
+                raise EvaluationError(
+                    f"unknown scheme {scheme!r}; expected a subset of {CAMPAIGN_SCHEMES}"
+                )
+        for rate in self.gate_error_rates:
+            if not 0.0 <= rate <= 1.0:
+                raise EvaluationError(f"gate error rates must be probabilities, got {rate}")
+        if not 0.0 <= self.memory_error_rate <= 1.0:
+            raise EvaluationError("memory_error_rate must be a probability")
+        if self.trials <= 0:
+            raise EvaluationError("trials must be positive")
+        if self.shard_size <= 0:
+            raise EvaluationError("shard_size must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Grid expansion
+    # ------------------------------------------------------------------ #
+    def cells(self) -> List[CampaignCell]:
+        """Expand the grid in deterministic (workload, scheme, tech, rate) order."""
+        return [
+            CampaignCell(
+                workload=workload,
+                scheme=scheme,
+                technology=technology,
+                gate_error_rate=rate,
+                memory_error_rate=self.memory_error_rate,
+                multi_output=self.multi_output,
+            )
+            for workload in self.workloads
+            for scheme in self.schemes
+            for technology in self.technologies
+            for rate in self.gate_error_rates
+        ]
+
+    def shards_per_cell(self) -> int:
+        return -(-self.trials // self.shard_size)
+
+    def shards(self) -> List[ShardTask]:
+        """Every cell's trial range cut into ``shard_size`` chunks.
+
+        The partitioning depends only on the spec — never on worker count —
+        so a checkpoint written by an 8-worker run resumes cleanly under 1.
+        """
+        tasks: List[ShardTask] = []
+        for cell in self.cells():
+            for shard_index in range(self.shards_per_cell()):
+                start = shard_index * self.shard_size
+                tasks.append(
+                    ShardTask(
+                        cell=cell,
+                        shard_index=shard_index,
+                        start_trial=start,
+                        n_trials=min(self.shard_size, self.trials - start),
+                        campaign_seed=self.seed,
+                    )
+                )
+        return tasks
+
+    @property
+    def total_trials(self) -> int:
+        return self.trials * len(self.cells())
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        for key in ("workloads", "schemes", "technologies", "gate_error_rates"):
+            data[key] = list(data[key])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C401 - tiny
+        unknown = set(data) - known
+        if unknown:
+            raise EvaluationError(f"unknown campaign spec fields: {sorted(unknown)}")
+        if "workloads" not in data:
+            raise EvaluationError("campaign spec must name at least one workload")
+        return cls(**{k: (tuple(v) if isinstance(v, list) else v) for k, v in data.items()})
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Digest of the semantic content — the resume-compatibility key.
+
+        Checkpoint records tagged with a different hash are ignored on load:
+        changing any field that affects trial outcomes or shard boundaries
+        (including the seed) makes old shard results unusable, and the hash is
+        how the store knows.  The cosmetic ``name`` is excluded.
+        """
+        data = self.to_dict()
+        data.pop("name", None)
+        canonical = json.dumps(data, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]

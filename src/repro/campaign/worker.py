@@ -1,0 +1,97 @@
+"""Shard execution: the code that actually runs trials, in any process.
+
+One :func:`run_shard` call executes a contiguous chunk of one grid cell's
+trials and returns summed counters.  It is the single code path for both the
+serial runner and the process-pool runner, which is what makes "same result
+for 1 or N workers" a structural property rather than a testing aspiration:
+
+* per-trial randomness comes from :func:`~repro.campaign.spec.trial_seed`
+  (input sampling and fault injection as independent named streams), never
+  from process-local state;
+* executors are built once per (cell-configuration) per process and reused
+  through :meth:`~repro.core.executor._BaseExecutor.reset`, so a trial costs
+  one netlist execution — no recompilation, no column-layout rebuild;
+* the executor's array gets a :class:`~repro.pim.operations.NullTrace`
+  because campaigns only consume outcome counters, not timing/energy traces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.campaign.aggregate import ShardResult, zeroed_counts
+from repro.campaign.spec import CampaignCell, ShardTask, trial_seed
+from repro.campaign.workloads import get_campaign_workload, sample_inputs
+from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
+from repro.errors import EvaluationError
+from repro.pim.faults import FaultModel, StochasticFaultInjector
+from repro.pim.operations import NullTrace
+from repro.pim.technology import get_technology
+
+__all__ = ["build_executor", "run_shard", "clear_executor_cache"]
+
+#: Per-process executor reuse: one executor per distinct cell configuration.
+_EXECUTOR_CACHE: Dict[Tuple[str, str, str, bool], object] = {}
+
+
+def build_executor(cell: CampaignCell):
+    """Construct a fresh executor for ``cell`` (no cache)."""
+    netlist = get_campaign_workload(cell.workload).netlist
+    technology = get_technology(cell.technology)
+    if cell.scheme == "unprotected":
+        return UnprotectedExecutor(netlist, technology=technology)
+    if cell.scheme == "ecim":
+        return EcimExecutor(netlist, technology=technology, multi_output=cell.multi_output)
+    if cell.scheme == "trim":
+        return TrimExecutor(netlist, technology=technology, multi_output=cell.multi_output)
+    raise EvaluationError(f"unknown scheme {cell.scheme!r}")
+
+
+def _executor_for(cell: CampaignCell):
+    key = (cell.workload, cell.scheme, cell.technology, cell.multi_output)
+    executor = _EXECUTOR_CACHE.get(key)
+    if executor is None:
+        executor = build_executor(cell)
+        executor.array.trace = NullTrace()
+        _EXECUTOR_CACHE[key] = executor
+    return executor
+
+
+def clear_executor_cache() -> None:
+    """Drop cached executors (tests exercising cold-start behaviour)."""
+    _EXECUTOR_CACHE.clear()
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Execute every trial of one shard and return its summed counters."""
+    cell = task.cell
+    executor = _executor_for(cell)
+    netlist = executor.netlist
+    model = FaultModel(
+        gate_error_rate=cell.gate_error_rate,
+        memory_error_rate=cell.memory_error_rate,
+    )
+    counts = zeroed_counts()
+    for trial in task.trial_indices:
+        input_rng = random.Random(trial_seed(task.campaign_seed, cell.key, trial, "inputs"))
+        injector = StochasticFaultInjector(
+            model, seed=trial_seed(task.campaign_seed, cell.key, trial, "faults")
+        )
+        executor.reset(fault_injector=injector)
+        report = executor.run(sample_inputs(netlist, input_rng))
+
+        correct = report.outputs_correct
+        detected = report.errors_detected > 0
+        counts["trials"] += 1
+        counts["correct"] += int(correct)
+        counts["clean"] += int(correct and not detected)
+        counts["recovered"] += int(correct and detected)
+        counts["detected"] += int(detected)
+        counts["detected_corruption"] += int(not correct and detected)
+        counts["silent_corruption"] += int(not correct and not detected)
+        counts["corrections"] += report.corrections
+        counts["uncorrectable_levels"] += report.uncorrectable_levels
+        counts["faults_injected"] += injector.log.count()
+        counts["faulty_trials"] += int(injector.log.count() > 0)
+    return ShardResult(cell_key=cell.key, shard_index=task.shard_index, counts=counts)

@@ -2,6 +2,12 @@
 and binary instruction translation (the three-step flow of Section II-B)."""
 
 from repro.compiler.allocator import AllocationResult, GreedyAllocator, reclaim_count_for_demand
+from repro.compiler.cache import (
+    available_netlists,
+    clear_netlist_cache,
+    compiled_netlist,
+    register_netlist_factory,
+)
 from repro.compiler.frontend import Expression, PimProgram
 from repro.compiler.isa import InstructionEncoder, PimInstruction
 from repro.compiler.netlist import GateNode, LevelStats, Netlist, NetlistStats
@@ -25,4 +31,8 @@ __all__ = [
     "ScheduledStep",
     "InstructionEncoder",
     "PimInstruction",
+    "register_netlist_factory",
+    "compiled_netlist",
+    "available_netlists",
+    "clear_netlist_cache",
 ]

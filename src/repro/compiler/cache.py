@@ -1,0 +1,84 @@
+"""Process-level netlist compile cache.
+
+Gate-level synthesis is pure — the same recipe always produces the same
+netlist — but it is far from free: a small dot-product block is already a
+few hundred gates of Wallace-tree synthesis.  Monte-Carlo campaigns run
+thousands of trials against the *same* netlist, and the executors only ever
+read the netlist they are given, so compiling once per process and sharing
+the instance is safe and turns the per-trial cost into execution only.
+
+The cache is a two-piece API:
+
+* :func:`register_netlist_factory` binds a name to a zero-argument factory
+  (e.g. ``"dot2" -> lambda: dot_product_netlist(2, 2)``).  Registration is
+  idempotent for the same factory and refuses silent redefinition.
+* :func:`compiled_netlist` is the ``lru_cache``-backed lookup: the first call
+  per process synthesises and validates the netlist, every later call (every
+  subsequent campaign trial in that worker process) returns the shared
+  instance.
+
+Because registration happens at import time in the modules that define the
+factories, worker processes created with any start method rebuild the same
+registry simply by importing the same modules.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+from repro.compiler.netlist import Netlist
+from repro.errors import SynthesisError
+
+__all__ = [
+    "register_netlist_factory",
+    "compiled_netlist",
+    "available_netlists",
+    "clear_netlist_cache",
+]
+
+_FACTORIES: Dict[str, Callable[[], Netlist]] = {}
+
+
+def register_netlist_factory(name: str, factory: Callable[[], Netlist]) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    Re-registering the same factory object is a no-op; binding a *different*
+    factory to an existing name raises, because silently changing what a
+    campaign workload means would break checkpoint resume.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise SynthesisError("netlist factory name must be non-empty")
+    existing = _FACTORIES.get(key)
+    if existing is not None and existing is not factory:
+        raise SynthesisError(f"netlist factory {key!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def available_netlists() -> Tuple[str, ...]:
+    return tuple(sorted(_FACTORIES))
+
+
+@lru_cache(maxsize=None)
+def compiled_netlist(name: str) -> Netlist:
+    """Compile (once per process) and return the netlist registered as ``name``.
+
+    The returned instance is shared: treat it as read-only, which is how the
+    executors in :mod:`repro.core.executor` use it.
+    """
+    key = name.strip().lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise SynthesisError(
+            f"unknown netlist {name!r}; registered: {sorted(_FACTORIES)}"
+        ) from None
+    netlist = factory()
+    netlist.validate()
+    return netlist
+
+
+def clear_netlist_cache() -> None:
+    """Drop compiled netlists (tests that register throwaway factories)."""
+    compiled_netlist.cache_clear()

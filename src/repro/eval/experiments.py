@@ -64,6 +64,7 @@ __all__ = [
     "experiment_ablation_partitions",
     "experiment_ablation_codes",
     "experiment_coverage",
+    "experiment_campaign",
 ]
 
 #: Technologies in the order Table V reports them.
@@ -489,6 +490,59 @@ def experiment_ablation_codes(
     return {"results": results, "rendered": rendered}
 
 
+def experiment_campaign(
+    workloads: Sequence[str] = ("and2",),
+    schemes: Sequence[str] = ("unprotected", "ecim", "trim"),
+    technologies: Sequence[str] = ("stt",),
+    gate_error_rates: Sequence[float] = (1e-4, 1e-3, 1e-2),
+    trials: int = 200,
+    seed: int = 0,
+    shard_size: int = 100,
+    workers: int = 0,
+    checkpoint: Optional[str] = None,
+) -> Dict[str, object]:
+    """Monte-Carlo coverage campaign: the empirical complement of Fig. 6.
+
+    Where ``fig6`` proves SEP by exhausting every *single*-fault site, the
+    campaign measures what happens under the paper's stochastic error model
+    at realistic rates — including multi-fault trials that exceed the
+    single-error budget — and reports per-cell coverage / detection /
+    silent-corruption rates with 95% Wilson intervals.  Defaults are sized
+    for the test suite; the CLI (``python -m repro campaign``) is the entry
+    point for paper-scale sweeps.
+    """
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        workloads=tuple(workloads),
+        schemes=tuple(schemes),
+        technologies=tuple(technologies),
+        gate_error_rates=tuple(gate_error_rates),
+        trials=trials,
+        seed=seed,
+        shard_size=shard_size,
+        name="experiment-campaign",
+    )
+    result = run_campaign(spec, workers=workers, checkpoint=checkpoint)
+    return {
+        "spec": spec.to_dict(),
+        "spec_hash": spec.spec_hash(),
+        "summary": result.summary(),
+        "cells": {
+            report.cell.key: {
+                "counts": dict(report.counts),
+                "coverage": report.coverage,
+                "coverage_interval": report.coverage_interval,
+                "silent_corruption_rate": report.silent_corruption_rate,
+                "silent_corruption_interval": report.silent_corruption_interval,
+                "detected_rate": report.detected_rate,
+            }
+            for report in result.reports
+        },
+        "rendered": result.rendered,
+    }
+
+
 # ---------------------------------------------------------------------- #
 # Registry
 # ---------------------------------------------------------------------- #
@@ -506,6 +560,7 @@ EXPERIMENTS: Dict[str, Callable[..., Dict[str, object]]] = {
     "ablation_partitions": experiment_ablation_partitions,
     "ablation_codes": experiment_ablation_codes,
     "coverage": experiment_coverage,
+    "campaign": experiment_campaign,
 }
 
 

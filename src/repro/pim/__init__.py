@@ -35,6 +35,7 @@ from repro.pim.faults import (
     NoFaultInjector,
     StochasticFaultInjector,
     StuckAtFaultInjector,
+    resolve_rng,
 )
 from repro.pim.gates import (
     GateSpec,
@@ -52,6 +53,7 @@ from repro.pim.gates import (
 )
 from repro.pim.operations import (
     GateOperation,
+    NullTrace,
     OperationKind,
     OperationTrace,
     PresetOperation,
@@ -139,6 +141,8 @@ __all__ = [
     # operations
     "OperationKind",
     "OperationTrace",
+    "NullTrace",
+    "resolve_rng",
     "GateOperation",
     "PresetOperation",
     "ReadOperation",

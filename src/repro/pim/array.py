@@ -413,3 +413,20 @@ class PimArray:
     def clear(self) -> None:
         """Reset every cell to 0 (does not clear the operation trace)."""
         self._cells.fill(0)
+
+    def reset(self, fault_injector: Optional[FaultInjector] = None) -> None:
+        """Return the array to its just-constructed state for a fresh run.
+
+        Zeroes every cell, drops the operation trace, rewinds the global
+        operation index (so fault sites line up run after run) and closes any
+        dangling step.  ``fault_injector`` swaps in a new injector — the cheap
+        way to give each Monte-Carlo trial an independent error stream without
+        rebuilding the array or the executor column layout.
+        """
+        self._cells.fill(0)
+        self.trace.clear()
+        self._operation_index = 0
+        self._busy_partitions_by_row = {}
+        self._in_step = False
+        if fault_injector is not None:
+            self.fault_injector = fault_injector

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PimError
 
@@ -40,7 +40,28 @@ __all__ = [
     "BurstFaultInjector",
     "StuckAtFaultInjector",
     "FaultLog",
+    "SeedLike",
+    "resolve_rng",
 ]
+
+#: Anything the stochastic injectors accept as their randomness source: a
+#: plain seed, a pre-built generator (shared streams / campaign shards), or
+#: ``None`` for OS entropy.
+SeedLike = Union[int, random.Random, None]
+
+
+def resolve_rng(seed: SeedLike) -> random.Random:
+    """Turn a seed-or-generator into a private :class:`random.Random`.
+
+    Stochastic injectors never touch the module-global ``random`` state:
+    every injector owns (or is handed) an explicit generator, which is what
+    makes campaign trials reproducible and shard-independent.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is not None and not isinstance(seed, int):
+        raise PimError(f"seed must be an int, random.Random or None, got {seed!r}")
+    return random.Random(seed)
 
 
 class FaultKind:
@@ -204,12 +225,12 @@ class StochasticFaultInjector(FaultInjector):
     def __init__(
         self,
         model: FaultModel,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
         log: Optional[FaultLog] = None,
     ) -> None:
         super().__init__(log)
         self.model = model
-        self._rng = random.Random(seed)
+        self._rng = resolve_rng(seed)
 
     def corrupt_gate_output(self, value, site, operation_index, is_metadata=False):
         rate = (
@@ -300,7 +321,7 @@ class BurstFaultInjector(FaultInjector):
         model: FaultModel,
         burst_length: int = 2,
         correlation_window: int = 4,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
         log: Optional[FaultLog] = None,
     ) -> None:
         super().__init__(log)
@@ -311,7 +332,7 @@ class BurstFaultInjector(FaultInjector):
         self.model = model
         self.burst_length = burst_length
         self.correlation_window = correlation_window
-        self._rng = random.Random(seed)
+        self._rng = resolve_rng(seed)
         self._burst_remaining = 0
         self._burst_expires_at = -1
 

@@ -31,6 +31,7 @@ __all__ = [
     "ReadOperation",
     "WriteOperation",
     "OperationTrace",
+    "NullTrace",
 ]
 
 
@@ -153,6 +154,10 @@ class OperationTrace:
         for record in records:
             self.append(record)
 
+    def clear(self) -> None:
+        """Drop every accumulated record (e.g. between reused-executor runs)."""
+        self.records.clear()
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -224,3 +229,20 @@ class OperationTrace:
             "gate_counts_by_type": self.gate_counts_by_type(),
             "metadata_fraction": self.metadata_fraction(),
         }
+
+
+@dataclass
+class NullTrace(OperationTrace):
+    """A trace that records nothing.
+
+    Monte-Carlo campaigns fire millions of gate operations whose timing and
+    energy are never inspected; installing a ``NullTrace`` removes the
+    per-operation record allocation from the trial hot path while keeping the
+    :class:`OperationTrace` interface intact.
+    """
+
+    def append(self, record: object) -> None:
+        pass
+
+    def extend(self, records: Iterable[object]) -> None:
+        pass

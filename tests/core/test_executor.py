@@ -196,3 +196,92 @@ class TestCrossSchemeConsistency:
         ecim = EcimExecutor(and_gate_example_netlist())
         ecim.run(dict(inputs))
         assert len(ecim.array.trace) > len(unprotected.array.trace)
+
+
+class TestExecutorReset:
+    """The reset()/reuse fast path: repeated trials without rebuilding layout."""
+
+    def executor(self):
+        return EcimExecutor(and_gate_example_netlist())
+
+    def inputs(self, netlist):
+        return {netlist.inputs[0]: 1, netlist.inputs[1]: 1}
+
+    def test_reset_rewinds_trace_and_operation_index(self):
+        executor = self.executor()
+        executor.run(self.inputs(executor.netlist))
+        assert len(executor.array.trace) > 0
+        assert executor.array.operation_index > 0
+        executor.reset()
+        assert len(executor.array.trace) == 0
+        assert executor.array.operation_index == 0
+
+    def test_repeated_runs_with_reset_are_identical(self):
+        executor = self.executor()
+        inputs = self.inputs(executor.netlist)
+        first = executor.run(inputs)
+        trace_size = len(executor.array.trace)
+        executor.reset()
+        second = executor.run(inputs)
+        assert second.outputs == first.outputs
+        assert len(executor.array.trace) == trace_size  # no leak across runs
+
+    def test_without_reset_operation_index_drifts(self):
+        # The leakage reset exists to fix: operation-indexed injectors would
+        # target different sites on a second back-to-back run.
+        executor = self.executor()
+        inputs = self.inputs(executor.netlist)
+        executor.run(inputs)
+        drifted = executor.array.operation_index
+        executor.run(inputs)
+        assert executor.array.operation_index == 2 * drifted
+
+    def test_reset_swaps_fault_injector(self):
+        executor = self.executor()
+        inputs = self.inputs(executor.netlist)
+        executor.reset(
+            fault_injector=StochasticFaultInjector(FaultModel(gate_error_rate=1.0), seed=0)
+        )
+        faulty = executor.run(inputs)
+        assert any(check.error_detected for check in faulty.checks)
+        from repro.pim.faults import NoFaultInjector
+
+        executor.reset(fault_injector=NoFaultInjector())
+        clean = executor.run(inputs)
+        assert clean.outputs == clean.golden_outputs
+        assert clean.errors_detected == 0
+
+    def test_reset_reproduces_seeded_fault_stream(self):
+        executor = self.executor()
+        inputs = self.inputs(executor.netlist)
+        reports = []
+        sites = []
+        for _ in range(2):
+            injector = StochasticFaultInjector(FaultModel(gate_error_rate=0.2), seed=99)
+            executor.reset(fault_injector=injector)
+            reports.append(executor.run(inputs))
+            sites.append(injector.log.sites())
+        assert reports[0].outputs == reports[1].outputs
+        assert sites[0] == sites[1]
+
+    def test_deterministic_injector_lines_up_after_reset(self):
+        executor = self.executor()
+        inputs = self.inputs(executor.netlist)
+        outcomes = []
+        for _ in range(2):
+            injector = DeterministicFaultInjector(target_operations={0: 1})
+            executor.reset(fault_injector=injector)
+            executor.run(inputs)
+            assert injector.exhausted
+            outcomes.append(injector.log.sites())
+        assert outcomes[0] == outcomes[1]
+
+    def test_reset_works_across_all_executors(self):
+        netlist = and_gate_example_netlist()
+        inputs = self.inputs(netlist)
+        for cls in (UnprotectedExecutor, EcimExecutor, TrimExecutor):
+            executor = cls(netlist)
+            first = executor.run(inputs)
+            executor.reset()
+            second = executor.run(inputs)
+            assert first.outputs == second.outputs == first.golden_outputs

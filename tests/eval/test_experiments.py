@@ -33,6 +33,9 @@ class TestRegistry:
         assert "ablation_partitions" in EXPERIMENTS
         assert "ablation_codes" in EXPERIMENTS
 
+    def test_campaign_registered(self):
+        assert "campaign" in EXPERIMENTS
+
     def test_available_experiments_sorted(self):
         assert available_experiments() == sorted(available_experiments())
 
@@ -137,3 +140,28 @@ class TestRenderedOutput:
         result = run_experiment(experiment_id)
         assert isinstance(result["rendered"], str)
         assert len(result["rendered"].splitlines()) >= 3
+
+
+class TestCampaignExperiment:
+    def test_small_campaign(self):
+        result = run_experiment(
+            "campaign",
+            workloads=("and2",),
+            gate_error_rates=(1e-2,),
+            trials=20,
+            shard_size=10,
+            seed=5,
+        )
+        assert result["summary"]["total_trials"] == 20 * 3  # three schemes
+        assert len(result["cells"]) == 3
+        for cell in result["cells"].values():
+            low, high = cell["coverage_interval"]
+            assert low <= cell["coverage"] <= high
+        assert "empirical error coverage" in result["rendered"]
+
+    def test_campaign_experiment_is_deterministic(self):
+        kwargs = dict(workloads=("and2",), gate_error_rates=(1e-2,), trials=15, seed=3)
+        assert (
+            run_experiment("campaign", **kwargs)["cells"]
+            == run_experiment("campaign", **kwargs)["cells"]
+        )

@@ -13,6 +13,7 @@ from repro.pim.faults import (
     NoFaultInjector,
     StochasticFaultInjector,
     StuckAtFaultInjector,
+    resolve_rng,
 )
 
 SITE = (0, 3, 17)
@@ -190,3 +191,52 @@ class TestStuckAtFaultInjector:
     def test_rejects_non_bit_value(self):
         with pytest.raises(PimError):
             StuckAtFaultInjector({SITE: 2})
+
+
+class TestSeedInjection:
+    """Injectors accept explicit seeds or generator instances — never module-global state."""
+
+    def draws(self, injector, n=200):
+        return [injector.corrupt_gate_output(0, SITE, i) for i in range(n)]
+
+    def test_resolve_rng_passes_through_generator_instance(self):
+        import random
+
+        rng = random.Random(5)
+        assert resolve_rng(rng) is rng
+
+    def test_resolve_rng_rejects_non_seeds(self):
+        with pytest.raises(PimError):
+            resolve_rng("entropy")
+
+    def test_generator_instance_equivalent_to_seed(self):
+        import random
+
+        model = FaultModel(gate_error_rate=0.3)
+        by_seed = StochasticFaultInjector(model, seed=123)
+        by_rng = StochasticFaultInjector(model, seed=random.Random(123))
+        assert self.draws(by_seed) == self.draws(by_rng)
+
+    def test_same_seed_same_stream_across_instances(self):
+        model = FaultModel(gate_error_rate=0.3)
+        assert self.draws(StochasticFaultInjector(model, seed=9)) == self.draws(
+            StochasticFaultInjector(model, seed=9)
+        )
+
+    def test_injector_does_not_touch_global_random(self):
+        import random
+
+        model = FaultModel(gate_error_rate=0.5)
+        random.seed(7)
+        expected = [random.random() for _ in range(10)]
+        random.seed(7)
+        self.draws(StochasticFaultInjector(model, seed=1))
+        assert [random.random() for _ in range(10)] == expected
+
+    def test_burst_injector_accepts_generator_instance(self):
+        import random
+
+        model = FaultModel(gate_error_rate=0.3)
+        by_seed = BurstFaultInjector(model, seed=77)
+        by_rng = BurstFaultInjector(model, seed=random.Random(77))
+        assert self.draws(by_seed) == self.draws(by_rng)

@@ -13,7 +13,7 @@ class TestParser:
     def test_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("list", "run", "workloads", "technologies", "sep"):
+        for command in ("list", "run", "workloads", "technologies", "sep", "campaign"):
             assert command in text
 
 
@@ -43,3 +43,54 @@ class TestCommands:
     def test_sep(self, capsys):
         assert main(["sep"]) == 0
         assert "Single error protection: holds" in capsys.readouterr().out
+
+
+CAMPAIGN_ARGS = [
+    "campaign",
+    "--workloads", "and2",
+    "--rates", "1e-2",
+    "--trials", "12",
+    "--shard-size", "4",
+    "--workers", "0",
+    "--quiet",
+]
+
+
+class TestCampaignCommand:
+    def test_runs_and_prints_coverage_table(self, capsys):
+        assert main(CAMPAIGN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "empirical error coverage" in out
+        assert "ecim" in out and "trim" in out and "unprotected" in out
+        assert "36 trials across 3 cells" in out
+
+    def test_checkpoint_resume_via_cli(self, capsys, tmp_path):
+        path = str(tmp_path / "cli.jsonl")
+        assert main(CAMPAIGN_ARGS + ["--checkpoint", path]) == 0
+        first = capsys.readouterr().out
+        assert "9 shards executed, 0 resumed" in first
+        assert main(CAMPAIGN_ARGS + ["--checkpoint", path]) == 0
+        second = capsys.readouterr().out
+        assert "0 shards executed, 9 resumed" in second
+
+    def test_spec_file(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec
+
+        spec = CampaignSpec(
+            workloads=("and2",), schemes=("trim",), gate_error_rates=(1e-2,),
+            trials=5, shard_size=5, name="from-file",
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["campaign", "--spec", str(path), "--workers", "0", "--quiet"]) == 0
+        assert "from-file" in capsys.readouterr().out
+
+    def test_invalid_workload_fails_cleanly(self, capsys):
+        assert main(["campaign", "--workloads", "nonsense", "--trials", "1", "--quiet"]) == 1
+        assert "available workloads" in capsys.readouterr().err
+
+    def test_invalid_spec_file_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"workloads": ["and2"], "gpu_count": 8}')
+        assert main(["campaign", "--spec", str(path), "--quiet"]) == 1
+        assert "invalid campaign spec" in capsys.readouterr().err
