@@ -1,0 +1,66 @@
+"""Batched-vs-scalar trial engine bench: trials/sec on one campaign cell.
+
+Not a paper artefact — this measures what the instruction-tape engine
+(:mod:`repro.core.batched`) buys over the scalar executor walk on the same
+grid cell (dot2 + ECiM at 1e-3, the heaviest shipped scheme).  The batched
+side runs the full 1000-trial cell in one shard; the scalar side is timed on
+a smaller slice of the very same cell (its cost is linear in trials — each
+trial is an independent `reset()` + `run()` — so trials/sec is directly
+comparable) to keep the bench affordable.  The asserted floor is 10x; the
+typical observed ratio is two orders of magnitude.
+"""
+
+from conftest import emit
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.campaign.worker import clear_executor_cache
+
+BATCHED_TRIALS = 1000
+SCALAR_TRIALS = 120
+
+_CELL = dict(
+    workloads=("dot2",),
+    schemes=("ecim",),
+    technologies=("stt",),
+    gate_error_rates=(1e-3,),
+    seed=23,
+    name="engine-throughput-bench",
+)
+
+#: Filled by the scalar bench, consumed by the batched bench (file order).
+_OBSERVED = {}
+
+
+def _trials_per_second(benchmark, result):
+    return result.total_trials / benchmark.stats.stats.mean
+
+
+def test_scalar_engine_throughput(benchmark):
+    spec = CampaignSpec(engine="scalar", trials=SCALAR_TRIALS, shard_size=SCALAR_TRIALS, **_CELL)
+    clear_executor_cache()
+    result = benchmark.pedantic(
+        run_campaign, args=(spec,), kwargs={"workers": 0}, rounds=1, iterations=1
+    )
+    assert result.total_trials == SCALAR_TRIALS
+    _OBSERVED["scalar"] = _trials_per_second(benchmark, result)
+    emit({"rendered": f"scalar engine: {_OBSERVED['scalar']:.0f} trials/sec (dot2, ecim)"})
+
+
+def test_batched_engine_throughput(benchmark):
+    spec = CampaignSpec(
+        engine="batched", trials=BATCHED_TRIALS, shard_size=BATCHED_TRIALS, **_CELL
+    )
+    clear_executor_cache()
+    result = benchmark.pedantic(
+        run_campaign, args=(spec,), kwargs={"workers": 0}, rounds=1, iterations=1
+    )
+    assert result.total_trials == BATCHED_TRIALS
+    # The protected schemes must keep their SEP-scale behaviour at speed.
+    assert result.reports[0].counts["silent_corruption"] == 0
+    batched = _trials_per_second(benchmark, result)
+    lines = [f"batched engine: {batched:.0f} trials/sec (dot2, ecim, {BATCHED_TRIALS}-trial cell)"]
+    if "scalar" in _OBSERVED:
+        speedup = batched / _OBSERVED["scalar"]
+        lines.append(f"speedup over scalar: {speedup:.1f}x")
+        assert speedup >= 10.0, f"batched engine must be >=10x scalar, got {speedup:.1f}x"
+    emit({"rendered": "\n".join(lines)})

@@ -115,6 +115,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 shard_size=args.shard_size,
                 multi_output=not args.single_output,
+                engine=args.engine,
                 name=args.name,
             )
         for workload in spec.workloads:
@@ -234,6 +235,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--single-output", action="store_true",
         help="use single-output gates instead of multi-output gates",
+    )
+    campaign_parser.add_argument(
+        "--engine", choices=["scalar", "batched"], default="scalar",
+        help=(
+            "trial engine: 'scalar' walks the behavioural array per trial "
+            "(bit-exact legacy results), 'batched' compiles the cell to an "
+            "instruction tape and runs each shard as one numpy bit-matrix "
+            "(~2 orders of magnitude faster; Philox-seeded, reproducible "
+            "for a fixed seed)"
+        ),
     )
     campaign_parser.add_argument(
         "--name", default="cli-campaign", help="campaign name (cosmetic, shown in the table title)"

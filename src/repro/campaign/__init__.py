@@ -18,6 +18,7 @@ from repro.campaign.aggregate import (
     COUNT_KEYS,
     CellReport,
     ShardResult,
+    accumulate_report,
     build_cell_reports,
     merge_shard_counts,
     render_campaign_table,
@@ -27,13 +28,14 @@ from repro.campaign.aggregate import (
 from repro.campaign.checkpoint import CheckpointStore
 from repro.campaign.runner import CampaignResult, run_campaign
 from repro.campaign.spec import (
+    CAMPAIGN_ENGINES,
     CAMPAIGN_SCHEMES,
     CampaignCell,
     CampaignSpec,
     ShardTask,
     trial_seed,
 )
-from repro.campaign.worker import build_executor, run_shard
+from repro.campaign.worker import build_executor, build_plan, run_shard
 from repro.campaign.workloads import (
     CAMPAIGN_WORKLOADS,
     CampaignWorkload,
@@ -43,6 +45,7 @@ from repro.campaign.workloads import (
 )
 
 __all__ = [
+    "CAMPAIGN_ENGINES",
     "CAMPAIGN_SCHEMES",
     "CAMPAIGN_WORKLOADS",
     "COUNT_KEYS",
@@ -54,9 +57,11 @@ __all__ = [
     "CheckpointStore",
     "ShardResult",
     "ShardTask",
+    "accumulate_report",
     "available_campaign_workloads",
     "build_cell_reports",
     "build_executor",
+    "build_plan",
     "get_campaign_workload",
     "merge_shard_counts",
     "render_campaign_table",

@@ -32,6 +32,7 @@ __all__ = [
     "COUNT_KEYS",
     "wilson_interval",
     "zeroed_counts",
+    "accumulate_report",
     "ShardResult",
     "merge_shard_counts",
     "CellReport",
@@ -89,6 +90,28 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float
 
 def zeroed_counts() -> Dict[str, int]:
     return {key: 0 for key in COUNT_KEYS}
+
+
+def accumulate_report(counts: Dict[str, int], report, faults_injected: int = 0) -> None:
+    """Fold one trial's :class:`~repro.core.executor.ExecutionReport` into a
+    counter dict.
+
+    The four-way outcome classification lives on the report itself
+    (``clean`` / ``recovered`` / ``detected_corruption`` /
+    ``silent_corruption``), so every consumer shares one definition instead
+    of re-deriving it from ``outputs_correct`` and ``errors_detected``.
+    """
+    counts["trials"] += 1
+    counts["correct"] += int(report.outputs_correct)
+    counts["clean"] += int(report.clean)
+    counts["recovered"] += int(report.recovered)
+    counts["detected"] += int(report.detected)
+    counts["detected_corruption"] += int(report.detected_corruption)
+    counts["silent_corruption"] += int(report.silent_corruption)
+    counts["corrections"] += report.corrections
+    counts["uncorrectable_levels"] += report.uncorrectable_levels
+    counts["faults_injected"] += faults_injected
+    counts["faulty_trials"] += int(faults_injected > 0)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from repro.errors import EvaluationError
 
 __all__ = [
     "CAMPAIGN_SCHEMES",
+    "CAMPAIGN_ENGINES",
     "CampaignCell",
     "ShardTask",
     "CampaignSpec",
@@ -38,6 +39,11 @@ __all__ = [
 
 #: Protection schemes a campaign can exercise (executor per scheme).
 CAMPAIGN_SCHEMES = ("unprotected", "ecim", "trim")
+
+#: Trial execution engines: ``scalar`` walks the behavioural array per trial
+#: (the bit-exact legacy path), ``batched`` interprets a compiled instruction
+#: tape for a whole shard at once (:mod:`repro.core.batched`).
+CAMPAIGN_ENGINES = ("scalar", "batched")
 
 
 def trial_seed(campaign_seed: int, cell_key: str, trial_index: int, stream: str) -> int:
@@ -91,12 +97,17 @@ class ShardTask:
     start_trial: int
     n_trials: int
     campaign_seed: int
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.n_trials <= 0:
             raise EvaluationError("a shard must contain at least one trial")
         if self.start_trial < 0 or self.shard_index < 0:
             raise EvaluationError("shard indices must be non-negative")
+        if self.engine not in CAMPAIGN_ENGINES:
+            raise EvaluationError(
+                f"unknown engine {self.engine!r}; expected one of {CAMPAIGN_ENGINES}"
+            )
 
     @property
     def trial_indices(self) -> range:
@@ -124,12 +135,18 @@ class CampaignSpec:
     seed: int = 0
     shard_size: int = 250
     multi_output: bool = True
+    engine: str = "scalar"
     name: str = "campaign"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", _lowered(self.workloads))
         object.__setattr__(self, "schemes", _lowered(self.schemes))
         object.__setattr__(self, "technologies", _lowered(self.technologies))
+        object.__setattr__(self, "engine", str(self.engine).strip().lower())
+        if self.engine not in CAMPAIGN_ENGINES:
+            raise EvaluationError(
+                f"unknown engine {self.engine!r}; expected one of {CAMPAIGN_ENGINES}"
+            )
         # Coerce numeric fields (a JSON spec file may carry "100" for 100);
         # coercion also keeps spec_hash() canonical, so an int-seed spec and
         # its string-seed twin resume each other's checkpoints.
@@ -203,6 +220,7 @@ class CampaignSpec:
                         start_trial=start,
                         n_trials=min(self.shard_size, self.trials - start),
                         campaign_seed=self.seed,
+                        engine=self.engine,
                     )
                 )
         return tasks
@@ -243,9 +261,15 @@ class CampaignSpec:
         Checkpoint records tagged with a different hash are ignored on load:
         changing any field that affects trial outcomes or shard boundaries
         (including the seed) makes old shard results unusable, and the hash is
-        how the store knows.  The cosmetic ``name`` is excluded.
+        how the store knows.  The cosmetic ``name`` is excluded, and so is
+        ``engine`` while it holds its default (``scalar``) — keeping every
+        pre-engine checkpoint resumable — whereas ``batched`` runs hash
+        differently because their fault streams are Philox- rather than
+        ``random.Random``-derived.
         """
         data = self.to_dict()
         data.pop("name", None)
+        if data.get("engine") == "scalar":
+            data.pop("engine")
         canonical = json.dumps(data, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]

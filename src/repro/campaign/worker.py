@@ -8,31 +8,51 @@ for 1 or N workers" a structural property rather than a testing aspiration:
 * per-trial randomness comes from :func:`~repro.campaign.spec.trial_seed`
   (input sampling and fault injection as independent named streams), never
   from process-local state;
-* executors are built once per (cell-configuration) per process and reused
-  through :meth:`~repro.core.executor._BaseExecutor.reset`, so a trial costs
-  one netlist execution — no recompilation, no column-layout rebuild;
+* the **scalar** engine builds one executor per cell configuration per
+  process and reuses it through
+  :meth:`~repro.core.executor._BaseExecutor.reset`, so a trial costs one
+  netlist execution — no recompilation, no column-layout rebuild;
+* the **batched** engine (:mod:`repro.core.batched`) compiles one
+  instruction tape per cell configuration and interprets the whole shard as
+  a ``(n_trials, n_cols)`` bit matrix in a handful of numpy passes;
 * the executor's array gets a :class:`~repro.pim.operations.NullTrace`
   because campaigns only consume outcome counters, not timing/energy traces.
+
+Both per-process caches are bounded LRU maps (:data:`CACHE_LIMIT` entries):
+a long campaign sweeping many (workload, scheme, technology, gate-style)
+combinations recycles the least-recently-used executor/plan instead of
+accumulating one per distinct cell configuration for the life of the worker.
 """
 
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from typing import Dict, Tuple
 
-from repro.campaign.aggregate import ShardResult, zeroed_counts
+from repro.campaign.aggregate import ShardResult, accumulate_report, zeroed_counts
 from repro.campaign.spec import CampaignCell, ShardTask, trial_seed
 from repro.campaign.workloads import get_campaign_workload, sample_inputs
+from repro.core.batched import compile_plan, run_batch, sample_input_matrix
 from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
 from repro.errors import EvaluationError
 from repro.pim.faults import FaultModel, StochasticFaultInjector
 from repro.pim.operations import NullTrace
 from repro.pim.technology import get_technology
 
-__all__ = ["build_executor", "run_shard", "clear_executor_cache"]
+__all__ = ["CACHE_LIMIT", "build_executor", "build_plan", "run_shard", "clear_executor_cache"]
 
-#: Per-process executor reuse: one executor per distinct cell configuration.
-_EXECUTOR_CACHE: Dict[Tuple[str, str, str, bool], object] = {}
+#: Upper bound on cached executors / compiled plans per worker process.
+CACHE_LIMIT = 8
+
+#: Per-process executor reuse: one executor per distinct cell configuration,
+#: least-recently-used entries evicted beyond CACHE_LIMIT.
+_EXECUTOR_CACHE: "OrderedDict[Tuple[str, str, str, bool], object]" = OrderedDict()
+
+#: Per-process compiled instruction tapes for the batched engine.  Plans are
+#: technology-independent (timing/energy never enter trial outcomes), hence
+#: the shorter key.
+_PLAN_CACHE: "OrderedDict[Tuple[str, str, bool], object]" = OrderedDict()
 
 
 def build_executor(cell: CampaignCell):
@@ -48,30 +68,63 @@ def build_executor(cell: CampaignCell):
     raise EvaluationError(f"unknown scheme {cell.scheme!r}")
 
 
+def build_plan(cell: CampaignCell):
+    """Compile a fresh batched execution plan for ``cell`` (no cache)."""
+    netlist = get_campaign_workload(cell.workload).netlist
+    return compile_plan(netlist, cell.scheme, multi_output=cell.multi_output)
+
+
+def _cache_lookup(cache: OrderedDict, key, build):
+    entry = cache.get(key)
+    if entry is None:
+        entry = build()
+        cache[key] = entry
+        while len(cache) > CACHE_LIMIT:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return entry
+
+
 def _executor_for(cell: CampaignCell):
     key = (cell.workload, cell.scheme, cell.technology, cell.multi_output)
-    executor = _EXECUTOR_CACHE.get(key)
-    if executor is None:
+
+    def build():
         executor = build_executor(cell)
         executor.array.trace = NullTrace()
-        _EXECUTOR_CACHE[key] = executor
-    return executor
+        return executor
+
+    return _cache_lookup(_EXECUTOR_CACHE, key, build)
+
+
+def _plan_for(cell: CampaignCell):
+    # Plans are technology-independent (timing/energy never enter trial
+    # outcomes), but an unknown technology must fail here just like the
+    # scalar engine's executor construction does — and before the cache,
+    # which keys without technology.
+    get_technology(cell.technology)
+    key = (cell.workload, cell.scheme, cell.multi_output)
+    return _cache_lookup(_PLAN_CACHE, key, lambda: build_plan(cell))
 
 
 def clear_executor_cache() -> None:
-    """Drop cached executors (tests exercising cold-start behaviour)."""
+    """Drop cached executors and plans (tests exercising cold-start paths)."""
     _EXECUTOR_CACHE.clear()
+    _PLAN_CACHE.clear()
 
 
-def run_shard(task: ShardTask) -> ShardResult:
-    """Execute every trial of one shard and return its summed counters."""
-    cell = task.cell
-    executor = _executor_for(cell)
-    netlist = executor.netlist
-    model = FaultModel(
+def _fault_model(cell: CampaignCell) -> FaultModel:
+    return FaultModel(
         gate_error_rate=cell.gate_error_rate,
         memory_error_rate=cell.memory_error_rate,
     )
+
+
+def _run_shard_scalar(task: ShardTask) -> ShardResult:
+    cell = task.cell
+    executor = _executor_for(cell)
+    netlist = executor.netlist
+    model = _fault_model(cell)
     counts = zeroed_counts()
     for trial in task.trial_indices:
         input_rng = random.Random(trial_seed(task.campaign_seed, cell.key, trial, "inputs"))
@@ -80,18 +133,34 @@ def run_shard(task: ShardTask) -> ShardResult:
         )
         executor.reset(fault_injector=injector)
         report = executor.run(sample_inputs(netlist, input_rng))
-
-        correct = report.outputs_correct
-        detected = report.errors_detected > 0
-        counts["trials"] += 1
-        counts["correct"] += int(correct)
-        counts["clean"] += int(correct and not detected)
-        counts["recovered"] += int(correct and detected)
-        counts["detected"] += int(detected)
-        counts["detected_corruption"] += int(not correct and detected)
-        counts["silent_corruption"] += int(not correct and not detected)
-        counts["corrections"] += report.corrections
-        counts["uncorrectable_levels"] += report.uncorrectable_levels
-        counts["faults_injected"] += injector.log.count()
-        counts["faulty_trials"] += int(injector.log.count() > 0)
+        accumulate_report(counts, report, faults_injected=injector.log.count())
     return ShardResult(cell_key=cell.key, shard_index=task.shard_index, counts=counts)
+
+
+def _run_shard_batched(task: ShardTask) -> ShardResult:
+    cell = task.cell
+    plan = _plan_for(cell)
+    input_seeds = [
+        trial_seed(task.campaign_seed, cell.key, trial, "inputs")
+        for trial in task.trial_indices
+    ]
+    fault_seeds = [
+        trial_seed(task.campaign_seed, cell.key, trial, "faults")
+        for trial in task.trial_indices
+    ]
+    result = run_batch(
+        plan,
+        sample_input_matrix(plan.netlist, input_seeds),
+        model=_fault_model(cell),
+        fault_seeds=fault_seeds,
+    )
+    return ShardResult(
+        cell_key=cell.key, shard_index=task.shard_index, counts=result.counts()
+    )
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Execute every trial of one shard and return its summed counters."""
+    if task.engine == "batched":
+        return _run_shard_batched(task)
+    return _run_shard_scalar(task)

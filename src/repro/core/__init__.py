@@ -9,6 +9,14 @@ from repro.core.area import (
     reclaim_cost_bits,
     scratch_capacity,
 )
+from repro.core.batched import (
+    BatchResult,
+    ExecutionPlan,
+    batched_golden_outputs,
+    compile_plan,
+    run_batch,
+    sample_input_matrix,
+)
 from repro.core.checker import (
     DEFAULT_CHECKER_COSTS,
     CheckerCostModel,
@@ -82,6 +90,13 @@ __all__ = [
     "EcimExecutor",
     "TrimExecutor",
     "ExecutionReport",
+    # batched trial engine
+    "ExecutionPlan",
+    "BatchResult",
+    "compile_plan",
+    "run_batch",
+    "sample_input_matrix",
+    "batched_golden_outputs",
     # SEP analysis
     "SepAnalysis",
     "FaultSite",

@@ -1,0 +1,641 @@
+"""Batched trial engine: compile netlist executions to instruction tapes and
+run thousands of Monte-Carlo trials as numpy bit-matrices.
+
+Architecture note
+-----------------
+The scalar executors (:mod:`repro.core.executor`) walk the full Python object
+model per trial — a cell dict per bit, a method call per gate output — which
+caps fault-injection campaigns at tens of trials per second.  The key
+observation is that their *control flow is data-independent*: for a fixed
+(netlist, scheme, gate style) the exact sequence of presets, gate firings,
+checker reads and check decisions is the same for every trial; only the cell
+values and injected faults differ.  This module exploits that in two stages:
+
+1. **Plan compiler** — :func:`compile_plan` instantiates the corresponding
+   scalar executor purely for its column layout and lowers its ``run()``
+   schedule into a flat tape of steps with precomputed site indices:
+
+   * :class:`GateStep` — one in-array gate firing (truth-table lookup via
+     :mod:`repro.pim.vector`), carrying the same global operation index the
+     scalar array would assign, so deterministic single-fault plans target
+     identical sites;
+   * :class:`PresetStep` / :class:`ReadStep` — architectural presets and
+     checker-transfer reads (the points where preset and idle-cell memory
+     errors strike);
+   * :class:`EcimCheckStep` — a batched GF(2) syndrome matvec
+     (``S = data @ A[: , :d]^T ⊕ parity``) plus a dense syndrome→position
+     lookup table derived from the code's parity-check matrix
+     (:mod:`repro.ecc`), applying single-bit corrections per trial;
+   * :class:`TrimCheckStep` — a popcount majority vote across the redundant
+     copies with per-trial correction write-back.
+
+2. **Interpreter** — :func:`run_batch` executes the tape once for B trials on
+   a ``(B, n_cols)`` uint8 state matrix.  Stochastic fault injection draws a
+   per-trial uniform stream from ``numpy.random.Philox`` keyed by the trial's
+   campaign seed, consumed in tape order — so each trial's outcome depends
+   only on its own seed, never on batch composition (the same trial lands in
+   the same place whether the shard holds 10 or 10,000 trials).
+
+Determinism contract: the **scalar** engine remains the bit-exact legacy
+path (``random.Random`` fault streams); the **batched** engine is exactly
+equivalent on fault-free and deterministic single-fault executions and
+statistically equivalent (same per-site Bernoulli model, Philox-seeded,
+reproducible for a fixed seed) on stochastic ones.  Input sampling is shared
+bit-for-bit with the scalar path via :func:`sample_input_matrix`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.netlist import Netlist
+from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
+from repro.errors import ProtectionError
+from repro.pim.faults import FaultModel
+from repro.pim.gates import GateType
+from repro.pim.vector import vector_gate_output
+
+__all__ = [
+    "GateStep",
+    "PresetStep",
+    "ReadStep",
+    "EcimCheckStep",
+    "TrimCheckStep",
+    "ExecutionPlan",
+    "BatchResult",
+    "compile_plan",
+    "run_batch",
+    "sample_input_matrix",
+    "batched_golden_outputs",
+]
+
+
+def _cols(columns: Sequence[int]) -> np.ndarray:
+    return np.asarray(list(columns), dtype=np.intp)
+
+
+@dataclass(eq=False, frozen=True)
+class GateStep:
+    """One in-array gate firing: evaluate, inject, commit."""
+
+    op_index: int
+    gate: str
+    input_cols: np.ndarray
+    output_cols: np.ndarray
+    threshold: Optional[int]
+    is_metadata: bool
+
+
+@dataclass(eq=False, frozen=True)
+class PresetStep:
+    """Architectural preset of explicit cells (ECiM parity-bank reset)."""
+
+    columns: np.ndarray
+    value: int
+
+
+@dataclass(eq=False, frozen=True)
+class ReadStep:
+    """Checker-transfer read: the point where memory errors strike stored
+    bits (corruption is committed back to the state, as in
+    :meth:`PimArray.read_row`)."""
+
+    columns: np.ndarray
+
+
+@dataclass(eq=False, frozen=True)
+class EcimCheckStep:
+    """Batched syndrome decode for one logic level.
+
+    ``a_t`` is ``A[:, :d]^T`` so the syndrome of the zero-padded shortened
+    codeword reduces to ``(data @ a_t + parity) mod 2``; ``lut`` maps packed
+    syndromes to the flipped codeword position (``-1`` = detected but
+    uncorrectable, exactly the collision semantics of
+    :class:`~repro.ecc.linear.SystematicLinearCode`)."""
+
+    data_cols: np.ndarray
+    parity_cols: np.ndarray
+    a_t: np.ndarray
+    weights: np.ndarray
+    lut: np.ndarray
+
+
+@dataclass(eq=False, frozen=True)
+class TrimCheckStep:
+    """Batched majority vote for one logic level."""
+
+    data_cols: np.ndarray
+    copy_col_groups: Tuple[np.ndarray, ...]
+    n_copies: int
+
+
+PlanStep = object  # GateStep | PresetStep | ReadStep | EcimCheckStep | TrimCheckStep
+
+
+@dataclass(eq=False, frozen=True)
+class ExecutionPlan:
+    """A compiled, scheme-specific instruction tape for one netlist."""
+
+    scheme: str
+    multi_output: bool
+    n_cols: int
+    netlist: Netlist
+    input_cols: np.ndarray
+    output_cols: np.ndarray
+    const1_col: int
+    steps: Tuple[PlanStep, ...]
+    n_gate_ops: int
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.input_cols.shape[0])
+
+    @property
+    def n_outputs(self) -> int:
+        return int(self.output_cols.shape[0])
+
+    def gate_fault_sites(self) -> List[Tuple[int, int]]:
+        """Every (operation index, output position) a single logic fault can
+        strike — the site enumeration exhaustive SEP sweeps iterate."""
+        sites = []
+        for step in self.steps:
+            if isinstance(step, GateStep):
+                for position in range(step.output_cols.shape[0]):
+                    sites.append((step.op_index, position))
+        return sites
+
+
+# ---------------------------------------------------------------------- #
+# Plan compilation
+# ---------------------------------------------------------------------- #
+def _base_plan_fields(executor) -> Dict[str, object]:
+    netlist = executor.netlist
+    return dict(
+        n_cols=executor.array.cols,
+        netlist=netlist,
+        input_cols=_cols(executor.column_of[s] for s in netlist.inputs),
+        output_cols=_cols(executor.column_of[s] for s in netlist.outputs),
+        const1_col=executor.const1_col,
+    )
+
+
+def _compile_unprotected(executor: UnprotectedExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
+    steps: List[PlanStep] = []
+    op = 0
+    for gate_indices in executor._levels:
+        for gate_index in gate_indices:
+            node = executor.netlist.gates[gate_index]
+            steps.append(
+                GateStep(
+                    op_index=op,
+                    gate=node.gate,
+                    input_cols=_cols(executor.column_of[s] for s in node.inputs),
+                    output_cols=_cols([executor.column_of[node.output]]),
+                    threshold=node.threshold,
+                    is_metadata=False,
+                )
+            )
+            op += 1
+    return tuple(steps), op
+
+
+def _ecim_check_step(code, data_cols: Sequence[int], parity_cols: Sequence[int]) -> EcimCheckStep:
+    d = len(data_cols)
+    r = code.n_parity
+    a_t = code.a_matrix[:, :d].T.astype(np.int64)
+    weights = (1 << np.arange(r, dtype=np.int64))
+    # Dense form of the code's own decode table: absent syndromes stay -1
+    # (detected but uncorrectable), so batched decoding inherits the scalar
+    # checker's semantics from the single implementation in repro.ecc.
+    lut = np.full(1 << r, -1, dtype=np.int64)
+    for syndrome, position in code.single_error_syndrome_table().items():
+        packed = sum(bit << j for j, bit in enumerate(syndrome))
+        lut[packed] = position
+    return EcimCheckStep(
+        data_cols=_cols(data_cols),
+        parity_cols=_cols(parity_cols),
+        a_t=a_t,
+        weights=weights,
+        lut=lut,
+    )
+
+
+def _compile_ecim(executor: EcimExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
+    netlist = executor.netlist
+    multi_output = executor.multi_output
+    steps: List[PlanStep] = []
+    op = 0
+    scratch1, scratch2 = executor._xor_scratch_cols()
+    for gate_indices in executor._levels:
+        nodes = [netlist.gates[i] for i in gate_indices]
+        code = executor._code_factory(max(1, len(nodes)))
+        r = code.n_parity
+        parity_bank = [0] * r
+        for i in range(r):
+            steps.append(
+                PresetStep(
+                    columns=_cols([executor._parity_col(0, i), executor._parity_col(1, i)]),
+                    value=0,
+                )
+            )
+        for data_bit, node in enumerate(nodes):
+            covered = code.parity_bits_affected_by(data_bit)
+            input_cols = [executor.column_of[s] for s in node.inputs]
+            data_col = executor.column_of[node.output]
+            if multi_output:
+                outputs = [data_col] + [executor._staging_col(i) for i in covered]
+                steps.append(
+                    GateStep(op, node.gate, _cols(input_cols), _cols(outputs), node.threshold, False)
+                )
+                op += 1
+            else:
+                steps.append(
+                    GateStep(op, node.gate, _cols(input_cols), _cols([data_col]), node.threshold, False)
+                )
+                op += 1
+                for i in covered:
+                    steps.append(
+                        GateStep(
+                            op, node.gate, _cols(input_cols),
+                            _cols([executor._staging_col(i)]), node.threshold, True,
+                        )
+                    )
+                    op += 1
+            for i in covered:
+                source_bank = parity_bank[i]
+                target_bank = 1 - source_bank
+                r_col = executor._staging_col(i)
+                parity_col = executor._parity_col(source_bank, i)
+                target_col = executor._parity_col(target_bank, i)
+                if multi_output:
+                    steps.append(
+                        GateStep(op, GateType.NOR, _cols([r_col, parity_col]),
+                                 _cols([scratch1, scratch2]), None, True)
+                    )
+                    op += 1
+                else:
+                    steps.append(
+                        GateStep(op, GateType.NOR, _cols([r_col, parity_col]),
+                                 _cols([scratch1]), None, True)
+                    )
+                    op += 1
+                    steps.append(
+                        GateStep(op, GateType.COPY, _cols([scratch1]), _cols([scratch2]), None, True)
+                    )
+                    op += 1
+                steps.append(
+                    GateStep(op, GateType.THR, _cols([r_col, parity_col, scratch1, scratch2]),
+                             _cols([target_col]), None, True)
+                )
+                op += 1
+                parity_bank[i] = target_bank
+        data_cols = [executor.column_of[node.output] for node in nodes]
+        parity_cols = [executor._parity_col(parity_bank[i], i) for i in range(r)]
+        steps.append(ReadStep(_cols(data_cols)))
+        steps.append(ReadStep(_cols(parity_cols)))
+        steps.append(_ecim_check_step(code, data_cols, parity_cols))
+    return tuple(steps), op
+
+
+def _compile_trim(executor: TrimExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
+    netlist = executor.netlist
+    multi_output = executor.multi_output
+    n_copies = executor.n_copies
+    steps: List[PlanStep] = []
+    op = 0
+    for gate_indices in executor._levels:
+        nodes = [netlist.gates[i] for i in gate_indices]
+        for position, node in enumerate(nodes):
+            input_cols = [executor.column_of[s] for s in node.inputs]
+            data_col = executor.column_of[node.output]
+            copy_cols = [executor._copy_col(c, position) for c in range(n_copies - 1)]
+            if multi_output:
+                steps.append(
+                    GateStep(op, node.gate, _cols(input_cols),
+                             _cols([data_col] + copy_cols), node.threshold, False)
+                )
+                op += 1
+            else:
+                steps.append(
+                    GateStep(op, node.gate, _cols(input_cols), _cols([data_col]),
+                             node.threshold, False)
+                )
+                op += 1
+                for col in copy_cols:
+                    steps.append(
+                        GateStep(op, node.gate, _cols(input_cols), _cols([col]),
+                                 node.threshold, True)
+                    )
+                    op += 1
+        data_cols = [executor.column_of[node.output] for node in nodes]
+        steps.append(ReadStep(_cols(data_cols)))
+        copy_groups = []
+        for c in range(n_copies - 1):
+            cols = [executor._copy_col(c, position) for position in range(len(nodes))]
+            steps.append(ReadStep(_cols(cols)))
+            copy_groups.append(_cols(cols))
+        steps.append(TrimCheckStep(_cols(data_cols), tuple(copy_groups), n_copies))
+    return tuple(steps), op
+
+
+def compile_plan(
+    netlist: Netlist,
+    scheme: str,
+    multi_output: bool = True,
+    code_factory=None,
+    n_copies: int = 3,
+) -> ExecutionPlan:
+    """Lower one (netlist, scheme, gate style) into an instruction tape.
+
+    The scalar executor is instantiated once to reuse its column layout and
+    level schedule verbatim; nothing is ever executed on its array.
+    """
+    scheme = scheme.strip().lower()
+    if scheme == "unprotected":
+        executor = UnprotectedExecutor(netlist)
+        steps, n_ops = _compile_unprotected(executor)
+    elif scheme == "ecim":
+        kwargs = {} if code_factory is None else {"code_factory": code_factory}
+        executor = EcimExecutor(netlist, multi_output=multi_output, **kwargs)
+        steps, n_ops = _compile_ecim(executor)
+    elif scheme == "trim":
+        executor = TrimExecutor(netlist, multi_output=multi_output, n_copies=n_copies)
+        steps, n_ops = _compile_trim(executor)
+    else:
+        raise ProtectionError(f"unknown protection scheme {scheme!r}")
+    return ExecutionPlan(
+        scheme=scheme,
+        multi_output=multi_output,
+        steps=steps,
+        n_gate_ops=n_ops,
+        **_base_plan_fields(executor),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Batched golden model
+# ---------------------------------------------------------------------- #
+def batched_golden_outputs(netlist: Netlist, input_matrix: np.ndarray) -> np.ndarray:
+    """Fault-free netlist outputs for all B trials: the batched counterpart
+    of :meth:`Netlist.evaluate_outputs`."""
+    batch = input_matrix.shape[0]
+    values: Dict[int, np.ndarray] = {
+        Netlist.CONST_ZERO: np.zeros(batch, dtype=np.uint8),
+        Netlist.CONST_ONE: np.ones(batch, dtype=np.uint8),
+    }
+    for position, signal in enumerate(netlist.inputs):
+        values[signal] = np.ascontiguousarray(input_matrix[:, position], dtype=np.uint8)
+    for node in netlist.gates:
+        operands = np.stack([values[s] for s in node.inputs], axis=1)
+        values[node.output] = vector_gate_output(node.gate, operands, node.threshold)
+    return np.stack([values[s] for s in netlist.outputs], axis=1)
+
+
+# ---------------------------------------------------------------------- #
+# Input sampling
+# ---------------------------------------------------------------------- #
+def sample_input_matrix(netlist: Netlist, seeds: Sequence[int]) -> np.ndarray:
+    """Per-trial uniform input assignments, bit-identical to the scalar
+    path's :func:`repro.campaign.workloads.sample_inputs` for the same
+    per-trial seeds."""
+    matrix = np.empty((len(seeds), len(netlist.inputs)), dtype=np.uint8)
+    for row, seed in enumerate(seeds):
+        rng = random.Random(seed)
+        for position in range(matrix.shape[1]):
+            matrix[row, position] = rng.getrandbits(1)
+    return matrix
+
+
+# ---------------------------------------------------------------------- #
+# Batch interpretation
+# ---------------------------------------------------------------------- #
+@dataclass(eq=False, frozen=True)
+class BatchResult:
+    """Per-trial outcome vectors of one interpreted batch."""
+
+    outputs: np.ndarray              # (B, n_outputs) uint8
+    golden: np.ndarray               # (B, n_outputs) uint8
+    detected: np.ndarray             # (B,) bool — any check fired
+    corrections: np.ndarray          # (B,) int64 — checker write-back count
+    uncorrectable_levels: np.ndarray  # (B,) int64
+    faults_injected: np.ndarray      # (B,) int64
+
+    @property
+    def n_trials(self) -> int:
+        return int(self.outputs.shape[0])
+
+    @property
+    def outputs_correct(self) -> np.ndarray:
+        return (self.outputs == self.golden).all(axis=1)
+
+    def counts(self) -> Dict[str, int]:
+        """Summed outcome counters, schema-identical to
+        ``repro.campaign.aggregate.COUNT_KEYS`` (kept import-free to preserve
+        the core → campaign layering)."""
+        correct = self.outputs_correct
+        detected = self.detected
+        return {
+            "trials": self.n_trials,
+            "correct": int(correct.sum()),
+            "clean": int((correct & ~detected).sum()),
+            "recovered": int((correct & detected).sum()),
+            "detected": int(detected.sum()),
+            "detected_corruption": int((~correct & detected).sum()),
+            "silent_corruption": int((~correct & ~detected).sum()),
+            "corrections": int(self.corrections.sum()),
+            "uncorrectable_levels": int(self.uncorrectable_levels.sum()),
+            "faults_injected": int(self.faults_injected.sum()),
+            "faulty_trials": int((self.faults_injected > 0).sum()),
+        }
+
+
+def _step_draws(step: PlanStep, model: FaultModel) -> int:
+    """Uniform draws one trial consumes on this step (fixed per plan+model)."""
+    if isinstance(step, GateStep):
+        n_outputs = step.output_cols.shape[0]
+        draws = n_outputs if model.preset_error_rate > 0.0 else 0
+        rate = model.effective_metadata_error_rate if step.is_metadata else model.gate_error_rate
+        if rate > 0.0:
+            draws += n_outputs
+        return draws
+    if isinstance(step, PresetStep):
+        return step.columns.shape[0] if model.preset_error_rate > 0.0 else 0
+    if isinstance(step, ReadStep):
+        return step.columns.shape[0] if model.memory_error_rate > 0.0 else 0
+    return 0
+
+
+def _uniform_streams(seeds: Sequence[int], n_draws: int) -> np.ndarray:
+    """One Philox-generated uniform stream per trial.
+
+    Each row is generated from its own counter-based generator keyed by the
+    trial seed, so a trial's fault stream is invariant to batch composition
+    (shard size, trial order, neighbours)."""
+    streams = np.empty((len(seeds), n_draws), dtype=np.float64)
+    for row, seed in enumerate(seeds):
+        generator = np.random.Generator(np.random.Philox(key=int(seed)))
+        streams[row] = generator.random(n_draws)
+    return streams
+
+
+def _deterministic_targets(
+    fault_plan: Sequence[Mapping[int, int]],
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Regroup per-trial {op_index: output position} plans by operation."""
+    by_op: Dict[int, Tuple[List[int], List[int]]] = {}
+    for trial, targets in enumerate(fault_plan):
+        for op_index, position in (targets or {}).items():
+            rows, positions = by_op.setdefault(int(op_index), ([], []))
+            rows.append(trial)
+            positions.append(int(position))
+    return {
+        op: (np.asarray(rows, dtype=np.intp), np.asarray(positions, dtype=np.intp))
+        for op, (rows, positions) in by_op.items()
+    }
+
+
+def run_batch(
+    plan: ExecutionPlan,
+    input_matrix: np.ndarray,
+    model: Optional[FaultModel] = None,
+    fault_seeds: Optional[Sequence[int]] = None,
+    fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+) -> BatchResult:
+    """Interpret the tape for all B trials at once.
+
+    ``input_matrix`` is a ``(B, n_inputs)`` bit matrix in ``netlist.inputs``
+    order.  ``model`` configures per-site Bernoulli fault injection; when any
+    rate is non-zero, ``fault_seeds`` must supply one Philox key per trial.
+    ``fault_plan`` optionally injects deterministic faults — per trial a
+    mapping of global gate-operation index to the zero-based output position
+    to flip, matching
+    :class:`~repro.pim.faults.DeterministicFaultInjector` semantics.
+    """
+    model = model if model is not None else FaultModel()
+    matrix = np.asarray(input_matrix, dtype=np.uint8)
+    if matrix.ndim != 2 or matrix.shape[1] != plan.n_inputs:
+        raise ProtectionError(
+            f"input matrix must be (B, {plan.n_inputs}), got shape {matrix.shape}"
+        )
+    batch = matrix.shape[0]
+    if batch == 0:
+        raise ProtectionError("a batch needs at least one trial")
+
+    n_draws = sum(_step_draws(step, model) for step in plan.steps)
+    if n_draws:
+        if fault_seeds is None or len(fault_seeds) != batch:
+            raise ProtectionError(
+                "stochastic fault injection needs one fault seed per trial "
+                f"(got {None if fault_seeds is None else len(fault_seeds)} for {batch} trials)"
+            )
+        streams = _uniform_streams(fault_seeds, n_draws)
+    else:
+        streams = None
+    targets = _deterministic_targets(fault_plan) if fault_plan is not None else {}
+    if fault_plan is not None and len(fault_plan) != batch:
+        raise ProtectionError("fault_plan must supply one entry per trial")
+
+    state = np.zeros((batch, plan.n_cols), dtype=np.uint8)
+    state[:, plan.const1_col] = 1
+    state[:, plan.input_cols] = matrix
+
+    detected = np.zeros(batch, dtype=bool)
+    corrections = np.zeros(batch, dtype=np.int64)
+    uncorrectable = np.zeros(batch, dtype=np.int64)
+    faults = np.zeros(batch, dtype=np.int64)
+    cursor = 0
+
+    def draw_mask(n_sites: int, rate: float) -> Optional[np.ndarray]:
+        nonlocal cursor
+        if rate <= 0.0:
+            return None
+        mask = streams[:, cursor:cursor + n_sites] < rate
+        cursor += n_sites
+        return mask
+
+    for step in plan.steps:
+        if isinstance(step, GateStep):
+            n_outputs = step.output_cols.shape[0]
+            preset_mask = draw_mask(n_outputs, model.preset_error_rate)
+            if preset_mask is not None:
+                # Gate presets are overwritten by the firing itself; they
+                # only contribute fault events, never state.
+                faults += preset_mask.sum(axis=1)
+            ideal = vector_gate_output(step.gate, state[:, step.input_cols], step.threshold)
+            rate = (
+                model.effective_metadata_error_rate
+                if step.is_metadata
+                else model.gate_error_rate
+            )
+            flip_mask = draw_mask(n_outputs, rate)
+            det = targets.get(step.op_index)
+            if flip_mask is None and det is None:
+                state[:, step.output_cols] = ideal[:, None]
+                continue
+            out = np.repeat(ideal[:, None], n_outputs, axis=1)
+            if det is not None:
+                rows, positions = det
+                # Out-of-range positions inject nothing, matching the scalar
+                # DeterministicFaultInjector's position counter semantics
+                # (a negative index must not wrap to the last output).
+                valid = (positions >= 0) & (positions < n_outputs)
+                rows, positions = rows[valid], positions[valid]
+                out[rows, positions] ^= 1
+                faults[rows] += 1
+            if flip_mask is not None:
+                out ^= flip_mask
+                faults += flip_mask.sum(axis=1)
+            state[:, step.output_cols] = out
+        elif isinstance(step, PresetStep):
+            mask = draw_mask(step.columns.shape[0], model.preset_error_rate)
+            if mask is None:
+                state[:, step.columns] = step.value
+            else:
+                state[:, step.columns] = step.value ^ mask.astype(np.uint8)
+                faults += mask.sum(axis=1)
+        elif isinstance(step, ReadStep):
+            mask = draw_mask(step.columns.shape[0], model.memory_error_rate)
+            if mask is not None:
+                state[:, step.columns] ^= mask.astype(np.uint8)
+                faults += mask.sum(axis=1)
+        elif isinstance(step, EcimCheckStep):
+            data = state[:, step.data_cols].astype(np.int64)
+            parity = state[:, step.parity_cols].astype(np.int64)
+            syndrome = (data @ step.a_t + parity) & 1
+            packed = syndrome @ step.weights
+            fired = packed != 0
+            detected |= fired
+            position = step.lut[packed]
+            uncorrectable += fired & (position < 0)
+            d = step.data_cols.shape[0]
+            correctable = fired & (position >= 0) & (position < d)
+            rows = np.flatnonzero(correctable)
+            if rows.size:
+                state[rows, step.data_cols[position[rows]]] ^= 1
+                corrections[rows] += 1
+        elif isinstance(step, TrimCheckStep):
+            copies = np.stack(
+                [state[:, step.data_cols]]
+                + [state[:, cols] for cols in step.copy_col_groups]
+            )
+            total = copies.sum(axis=0, dtype=np.int64)
+            voted = (total * 2 > step.n_copies).astype(np.uint8)
+            disagree = (total != 0) & (total != step.n_copies)
+            detected |= disagree.any(axis=1)
+            corrections += (copies[0] != voted).sum(axis=1, dtype=np.int64)
+            state[:, step.data_cols] = voted
+        else:  # pragma: no cover - defensive
+            raise ProtectionError(f"unknown plan step {type(step).__name__}")
+
+    return BatchResult(
+        outputs=state[:, plan.output_cols].copy(),
+        golden=batched_golden_outputs(plan.netlist, matrix),
+        detected=detected,
+        corrections=corrections,
+        uncorrectable_levels=uncorrectable,
+        faults_injected=faults,
+    )

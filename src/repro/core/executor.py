@@ -74,6 +74,37 @@ class ExecutionReport:
     def errors_detected(self) -> int:
         return sum(1 for c in self.checks if c.error_detected)
 
+    # ------------------------------------------------------------------ #
+    # Outcome classification (each run falls in exactly one category —
+    # the taxonomy campaign aggregation and the paper's coverage
+    # discussion are built on).
+    # ------------------------------------------------------------------ #
+    @property
+    def detected(self) -> bool:
+        """True when at least one logic-level check fired."""
+        return self.errors_detected > 0
+
+    @property
+    def clean(self) -> bool:
+        """Correct outputs and no check ever fired."""
+        return self.outputs_correct and not self.detected
+
+    @property
+    def recovered(self) -> bool:
+        """Correct outputs after at least one detection."""
+        return self.outputs_correct and self.detected
+
+    @property
+    def detected_corruption(self) -> bool:
+        """Wrong outputs, but the scheme knew: some check fired."""
+        return not self.outputs_correct and self.detected
+
+    @property
+    def silent_corruption(self) -> bool:
+        """Wrong outputs and no check fired — the failure mode ECiM/TRiM
+        exist to eliminate."""
+        return not self.outputs_correct and not self.detected
+
 
 class _BaseExecutor:
     """Shared column-layout and gate-firing machinery."""
@@ -420,6 +451,10 @@ class TrimExecutor(_BaseExecutor):
                     self._fire_gate(node, level_number)
                     input_cols = [self.column_of[s] for s in node.inputs]
                     for col in copy_cols:
+                        # threshold must travel with the re-execution: a THR
+                        # gate copied at a different threshold is not a copy,
+                        # and the majority vote would write its wrong value
+                        # back over the correct primary.
                         self.array.execute_gate(
                             node.gate,
                             self.row,
@@ -427,6 +462,7 @@ class TrimExecutor(_BaseExecutor):
                             [col],
                             logic_level=level_number,
                             is_metadata=True,
+                            threshold=node.threshold,
                         )
 
             # Logic-level vote.

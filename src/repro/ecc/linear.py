@@ -148,6 +148,18 @@ class SystematicLinearCode:
         """The (n−k) × k submatrix A (copy)."""
         return self._a.copy()
 
+    def single_error_syndrome_table(self) -> Dict[Tuple[int, ...], int]:
+        """Syndrome → flipped-position map for every correctable single-bit
+        error (copy).
+
+        Syndromes that collide between positions are absent — decoding them
+        reports "detected but uncorrectable".  This is the exact table
+        :meth:`decode` consults, exposed so alternative decoders (the batched
+        trial engine's dense LUT) derive from one implementation instead of
+        re-deriving the collision semantics.
+        """
+        return dict(self._syndrome_table)
+
     def is_single_error_correcting(self) -> bool:
         """True if every single-bit error has a unique, non-zero syndrome."""
         if len(self._syndrome_table) != self._n:

@@ -70,6 +70,7 @@ from repro.pim.reliability import (
     reram_state_confusion_rate,
     write_error_rate,
 )
+from repro.pim.vector import TABLE_MAX_INPUTS, truth_table, vector_gate_output
 from repro.pim.technology import (
     RERAM,
     SOT_SHE_MRAM,
@@ -103,6 +104,10 @@ __all__ = [
     "xor_three_step",
     "xor_reference",
     "table1_rows",
+    # vectorized gates
+    "vector_gate_output",
+    "truth_table",
+    "TABLE_MAX_INPUTS",
     # technology
     "TechnologyParameters",
     "ResistiveFamily",

@@ -1,0 +1,209 @@
+"""Campaign integration of the batched trial engine.
+
+Covers the spec/CLI surface (``engine`` field, hash back-compat), the
+worker dispatch, exact scalar equality on fault-free cells, statistical
+scalar agreement on stochastic cells, and the SEP acceptance sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    run_campaign,
+    run_shard,
+)
+from repro.campaign.aggregate import COUNT_KEYS
+from repro.campaign.spec import CAMPAIGN_ENGINES, ShardTask
+from repro.campaign.worker import clear_executor_cache
+from repro.campaign.workloads import get_campaign_workload
+from repro.core.batched import compile_plan, run_batch, sample_input_matrix
+from repro.errors import EvaluationError
+
+
+def spec(engine="batched", **overrides):
+    defaults = dict(
+        workloads=("and2",),
+        schemes=("unprotected", "ecim", "trim"),
+        technologies=("stt",),
+        gate_error_rates=(1e-2,),
+        trials=60,
+        shard_size=20,
+        seed=7,
+        engine=engine,
+        name="batched-engine-test",
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestSpecSurface:
+    def test_engines_constant(self):
+        assert CAMPAIGN_ENGINES == ("scalar", "batched")
+
+    def test_default_engine_is_scalar(self):
+        assert CampaignSpec(workloads=("and2",)).engine == "scalar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EvaluationError):
+            CampaignSpec(workloads=("and2",), engine="vectorised")
+        with pytest.raises(EvaluationError):
+            ShardTask(
+                cell=spec().cells()[0], shard_index=0, start_trial=0,
+                n_trials=1, campaign_seed=0, engine="vectorised",
+            )
+
+    def test_engine_propagates_to_shards(self):
+        assert all(task.engine == "batched" for task in spec().shards())
+        assert all(task.engine == "scalar" for task in spec(engine="scalar").shards())
+
+    def test_scalar_hash_unchanged_by_engine_field(self):
+        # Pre-engine checkpoints must stay resumable: a default-engine spec
+        # hashes as if the field did not exist.
+        base = spec(engine="scalar")
+        data = base.to_dict()
+        assert data["engine"] == "scalar"
+        del data["engine"]
+        assert CampaignSpec.from_dict(data).spec_hash() == base.spec_hash()
+
+    def test_batched_hash_differs_from_scalar(self):
+        assert spec().spec_hash() != spec(engine="scalar").spec_hash()
+
+    def test_engine_round_trips_through_json(self):
+        assert CampaignSpec.from_json(spec().to_json()).engine == "batched"
+
+
+class TestWorkerDispatch:
+    def test_unknown_technology_rejected_like_scalar(self):
+        # The batched plan never consumes technology parameters, but a
+        # typo'd --technologies must not silently succeed on one engine
+        # and fail on the other.
+        from repro.errors import TechnologyError
+
+        clear_executor_cache()
+        cell = spec().cells()[0]
+        bogus = type(cell)(
+            workload=cell.workload, scheme=cell.scheme, technology="sst",
+            gate_error_rate=cell.gate_error_rate,
+        )
+        task = ShardTask(
+            cell=bogus, shard_index=0, start_trial=0, n_trials=5,
+            campaign_seed=0, engine="batched",
+        )
+        with pytest.raises(TechnologyError):
+            run_shard(task)
+
+    def test_counts_schema_matches_campaign_keys(self):
+        task = spec().shards()[0]
+        result = run_shard(task)
+        assert set(result.counts) == set(COUNT_KEYS)
+        assert result.counts["trials"] == task.n_trials
+
+    def test_batched_shard_deterministic(self):
+        task = spec().shards()[0]
+        clear_executor_cache()
+        first = run_shard(task)
+        again = run_shard(task)  # now served by the cached plan
+        assert first == again
+
+    def test_shard_size_does_not_change_batched_aggregates(self):
+        coarse = run_campaign(spec(shard_size=60), workers=0)
+        fine = run_campaign(spec(shard_size=7), workers=0)
+        assert coarse.counts_by_cell == fine.counts_by_cell
+
+    def test_serial_matches_two_workers(self):
+        serial = run_campaign(spec(), workers=0)
+        parallel = run_campaign(spec(), workers=2)
+        assert serial.counts_by_cell == parallel.counts_by_cell
+
+
+class TestScalarAgreement:
+    def test_fault_free_cells_match_scalar_exactly(self):
+        # With no faults both engines are deterministic functions of the
+        # shared input sampler, so every counter must agree bit-for-bit.
+        kwargs = dict(gate_error_rates=(0.0,), trials=40, shard_size=10)
+        batched = run_campaign(spec(**kwargs), workers=0)
+        scalar = run_campaign(spec(engine="scalar", **kwargs), workers=0)
+        assert batched.counts_by_cell == scalar.counts_by_cell
+        for report in batched.reports:
+            assert report.counts["correct"] == report.counts["trials"]
+
+    def test_stochastic_cells_agree_statistically(self):
+        # Different RNG streams, same Bernoulli model: expected faults per
+        # trial are identical, so the realised totals over 300 trials must
+        # agree within a generous band (fixed seeds keep this deterministic).
+        kwargs = dict(
+            workloads=("dot2",), schemes=("ecim",), gate_error_rates=(1e-2,),
+            trials=300, shard_size=100,
+        )
+        batched = run_campaign(spec(**kwargs), workers=0).reports[0]
+        scalar = run_campaign(spec(engine="scalar", **kwargs), workers=0).reports[0]
+        assert batched.counts["faults_injected"] > 0
+        ratio = batched.counts["faults_injected"] / scalar.counts["faults_injected"]
+        assert 0.8 < ratio < 1.25
+        assert abs(batched.coverage - scalar.coverage) < 0.12
+        assert abs(batched.detected_rate - scalar.detected_rate) < 0.12
+
+
+class TestSepAcceptance:
+    def test_dot2_grid_zero_silent_corruption_under_protection(self):
+        # The acceptance sweep: ECiM and TRiM on dot2 across the swept error
+        # rates, batched engine — silent corruption must be zero everywhere,
+        # while the unprotected baseline shows why protection is needed.
+        result = run_campaign(
+            spec(
+                workloads=("dot2",),
+                schemes=("unprotected", "ecim", "trim"),
+                gate_error_rates=(1e-3, 1e-2),
+                trials=200,
+                shard_size=100,
+            ),
+            workers=0,
+        )
+        for report in result.reports:
+            if report.cell.scheme in ("ecim", "trim"):
+                assert report.counts["silent_corruption"] == 0, report.cell
+            else:
+                assert report.counts["detected"] == 0
+        unprotected_hi = [
+            r for r in result.reports
+            if r.cell.scheme == "unprotected" and r.cell.gate_error_rate == 1e-2
+        ][0]
+        assert unprotected_hi.counts["silent_corruption"] > 0
+
+
+class TestCheckpointInterop:
+    def test_batched_campaign_resumes_own_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        full = run_campaign(spec(), workers=0, checkpoint=path)
+        assert full.resumed_shards == 0
+        again = run_campaign(spec(), workers=0, checkpoint=path)
+        assert again.resumed_shards == len(spec().shards())
+        assert again.counts_by_cell == full.counts_by_cell
+
+    def test_batched_checkpoint_not_consumed_by_scalar_run(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_campaign(spec(), workers=0, checkpoint=path)
+        scalar = run_campaign(spec(engine="scalar"), workers=0, checkpoint=path)
+        assert scalar.resumed_shards == 0
+
+
+class TestBatchedMemoryErrors:
+    def test_memory_rate_changes_outcomes_only_for_checked_schemes(self):
+        # Memory errors strike checker-transfer reads; the unprotected
+        # executor performs none, so its batched counters must be invariant.
+        netlist = get_campaign_workload("dot2").netlist
+        seeds = list(range(80))
+        matrix = sample_input_matrix(netlist, seeds)
+        from repro.pim.faults import FaultModel
+
+        plan_u = compile_plan(netlist, "unprotected")
+        clean = run_batch(plan_u, matrix, FaultModel(), None)
+        noisy = run_batch(plan_u, matrix, FaultModel(memory_error_rate=0.05), seeds)
+        assert np.array_equal(clean.outputs, noisy.outputs)
+        assert noisy.counts()["faults_injected"] == 0
+
+        plan_e = compile_plan(netlist, "ecim")
+        noisy_e = run_batch(plan_e, matrix, FaultModel(memory_error_rate=0.05), seeds)
+        assert noisy_e.counts()["faults_injected"] > 0
+        assert noisy_e.counts()["detected"] > 0

@@ -178,6 +178,24 @@ class TestTrimExecutor:
         with pytest.raises(ProtectionError):
             TrimExecutor(netlist, n_copies=2)
 
+    def test_single_output_copies_honour_gate_threshold(self):
+        # Regression: the single-output path used to re-fire copies without
+        # forwarding node.threshold, so a THR(threshold=2) gate's copies were
+        # evaluated at the default threshold 3, disagreed systematically, and
+        # the majority vote wrote the wrong value back on fault-free runs.
+        from repro.compiler.netlist import Netlist
+        from repro.pim.gates import GateType
+
+        netlist = Netlist("thr2")
+        a, b, c = netlist.add_inputs(3)
+        out = netlist.add_gate(GateType.THR, [a, b, c], threshold=2)
+        netlist.mark_output(out)
+        # Exactly two zeros: fires at threshold 2, not at threshold 3.
+        inputs = {a: 0, b: 0, c: 1}
+        report = TrimExecutor(netlist, multi_output=False).run(inputs)
+        assert report.outputs_correct
+        assert report.errors_detected == 0
+
 
 class TestCrossSchemeConsistency:
     def test_all_executors_agree_with_golden_model(self):
