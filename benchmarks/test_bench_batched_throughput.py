@@ -36,7 +36,7 @@ def _trials_per_second(benchmark, result):
 
 
 def test_scalar_engine_throughput(benchmark):
-    spec = CampaignSpec(engine="scalar", trials=SCALAR_TRIALS, shard_size=SCALAR_TRIALS, **_CELL)
+    spec = CampaignSpec(backend="scalar", trials=SCALAR_TRIALS, shard_size=SCALAR_TRIALS, **_CELL)
     clear_executor_cache()
     result = benchmark.pedantic(
         run_campaign, args=(spec,), kwargs={"workers": 0}, rounds=1, iterations=1
@@ -48,7 +48,7 @@ def test_scalar_engine_throughput(benchmark):
 
 def test_batched_engine_throughput(benchmark):
     spec = CampaignSpec(
-        engine="batched", trials=BATCHED_TRIALS, shard_size=BATCHED_TRIALS, **_CELL
+        backend="batched", trials=BATCHED_TRIALS, shard_size=BATCHED_TRIALS, **_CELL
     )
     clear_executor_cache()
     result = benchmark.pedantic(

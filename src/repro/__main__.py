@@ -16,16 +16,29 @@ Commands
 ``campaign``
     Run a (sharded, resumable) Monte-Carlo fault-injection campaign and
     print per-cell coverage rates with Wilson confidence intervals.
+
+Execution-bound commands take ``--backend {scalar,batched}``: ``scalar``
+(default) walks the behavioural array per trial — the bit-exact legacy path —
+while ``batched`` interprets a compiled instruction tape for all trials (or
+all fault sites) at once (see :mod:`repro.core.backend`).  ``campaign``
+keeps ``--engine`` as a deprecated alias of ``--backend``.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+import warnings
 from typing import List, Optional
 
-from repro.eval.experiments import available_experiments, run_experiment
+from repro.core.backend import BACKEND_NAMES
+from repro.eval.experiments import EXPERIMENTS, available_experiments, run_experiment
 from repro.eval.report import format_table
+
+#: The execution-backend choice set, shared by every subcommand that runs
+#: netlists (argparse rejects a typo'd name at parse time with this list).
+BACKEND_CHOICES = list(BACKEND_NAMES)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -41,7 +54,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"available: {available_experiments()}", file=sys.stderr)
         return 1
     for name in args.experiments:
-        result = run_experiment(name)
+        kwargs = {}
+        if args.backend is not None:
+            runner = EXPERIMENTS[name.lower()]
+            if "backend" in inspect.signature(runner).parameters:
+                kwargs["backend"] = args.backend
+            else:
+                print(
+                    f"note: experiment {name!r} is analytic — --backend ignored",
+                    file=sys.stderr,
+                )
+        result = run_experiment(name, **kwargs)
         print(result["rendered"])
         print()
     return 0
@@ -80,8 +103,8 @@ def _cmd_technologies(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sep(_args: argparse.Namespace) -> int:
-    result = run_experiment("fig6")
+def _cmd_sep(args: argparse.Namespace) -> int:
+    result = run_experiment("fig6", backend=args.backend)
     print(result["rendered"])
     print()
     verdict = "holds" if result["ecim_sep"] and result["trim_sep"] else "VIOLATED"
@@ -100,10 +123,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     from repro.errors import ReproError
 
+    backend = args.backend
+    if args.engine is not None:
+        warnings.warn(
+            "--engine is deprecated; use --backend", DeprecationWarning, stacklevel=2
+        )
+        if backend is not None and backend != args.engine:
+            print(
+                f"conflicting flags: --backend {backend} vs --engine {args.engine}",
+                file=sys.stderr,
+            )
+            return 1
+        backend = args.engine
+
     try:
         if args.spec is not None:
             with open(args.spec, "r", encoding="utf-8") as handle:
                 spec = CampaignSpec.from_json(handle.read())
+            if backend is not None and backend != spec.backend:
+                # An explicit flag overrides the spec file's backend (the
+                # file may predate the backend field entirely).
+                spec = CampaignSpec.from_dict({**spec.to_dict(), "backend": backend})
         else:
             spec = CampaignSpec(
                 workloads=tuple(args.workloads),
@@ -115,7 +155,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 shard_size=args.shard_size,
                 multi_output=not args.single_output,
-                engine=args.engine,
+                backend=backend,
                 name=args.name,
             )
         for workload in spec.workloads:
@@ -171,6 +211,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="regenerate one or more experiments")
     run_parser.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
+    run_parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help=(
+            "execution backend for experiments that run netlists "
+            "(fig6, ablations, coverage, campaign); analytic experiments "
+            "ignore it"
+        ),
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     subparsers.add_parser("workloads", help="show the registered benchmarks").set_defaults(
@@ -179,7 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("technologies", help="print the Table III parameters").set_defaults(
         func=_cmd_technologies
     )
-    subparsers.add_parser("sep", help="run the Fig. 6 SEP analysis").set_defaults(func=_cmd_sep)
+    sep_parser = subparsers.add_parser("sep", help="run the Fig. 6 SEP analysis")
+    sep_parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="scalar",
+        help=(
+            "execution backend for the exhaustive sweep: 'scalar' (default) "
+            "re-runs the object model once per fault site, 'batched' runs "
+            "every site as one row of a single tape interpretation"
+        ),
+    )
+    sep_parser.set_defaults(func=_cmd_sep)
 
     campaign_parser = subparsers.add_parser(
         "campaign",
@@ -194,7 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_parser.add_argument(
         "--spec", metavar="FILE", default=None,
-        help="JSON campaign spec file (overrides the grid flags below)",
+        help=(
+            "JSON campaign spec file (overrides the grid flags below; "
+            "an explicit --backend still applies on top)"
+        ),
     )
     campaign_parser.add_argument(
         "--workloads", nargs="+", default=["dot2"], metavar="NAME",
@@ -237,14 +297,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="use single-output gates instead of multi-output gates",
     )
     campaign_parser.add_argument(
-        "--engine", choices=["scalar", "batched"], default="scalar",
+        "--backend", choices=BACKEND_CHOICES, default=None,
         help=(
-            "trial engine: 'scalar' walks the behavioural array per trial "
-            "(bit-exact legacy results), 'batched' compiles the cell to an "
-            "instruction tape and runs each shard as one numpy bit-matrix "
-            "(~2 orders of magnitude faster; Philox-seeded, reproducible "
-            "for a fixed seed)"
+            "execution backend: 'scalar' walks the behavioural array per "
+            "trial (bit-exact legacy results, the default), 'batched' "
+            "compiles the cell to an instruction tape and runs each shard "
+            "as one numpy bit-matrix (~2 orders of magnitude faster; "
+            "Philox-seeded, reproducible for a fixed seed)"
         ),
+    )
+    campaign_parser.add_argument(
+        "--engine", choices=BACKEND_CHOICES, default=None,
+        help="deprecated alias for --backend",
     )
     campaign_parser.add_argument(
         "--name", default="cli-campaign", help="campaign name (cosmetic, shown in the table title)"

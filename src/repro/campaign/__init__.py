@@ -28,6 +28,7 @@ from repro.campaign.aggregate import (
 from repro.campaign.checkpoint import CheckpointStore
 from repro.campaign.runner import CampaignResult, run_campaign
 from repro.campaign.spec import (
+    CAMPAIGN_BACKENDS,
     CAMPAIGN_ENGINES,
     CAMPAIGN_SCHEMES,
     CampaignCell,
@@ -45,6 +46,7 @@ from repro.campaign.workloads import (
 )
 
 __all__ = [
+    "CAMPAIGN_BACKENDS",
     "CAMPAIGN_ENGINES",
     "CAMPAIGN_SCHEMES",
     "CAMPAIGN_WORKLOADS",

@@ -23,13 +23,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.core.backend import BACKEND_NAMES, derive_seed
 from repro.errors import EvaluationError
 
 __all__ = [
     "CAMPAIGN_SCHEMES",
+    "CAMPAIGN_BACKENDS",
     "CAMPAIGN_ENGINES",
     "CampaignCell",
     "ShardTask",
@@ -40,21 +43,58 @@ __all__ = [
 #: Protection schemes a campaign can exercise (executor per scheme).
 CAMPAIGN_SCHEMES = ("unprotected", "ecim", "trim")
 
-#: Trial execution engines: ``scalar`` walks the behavioural array per trial
+#: Trial execution backends: ``scalar`` walks the behavioural array per trial
 #: (the bit-exact legacy path), ``batched`` interprets a compiled instruction
-#: tape for a whole shard at once (:mod:`repro.core.batched`).
-CAMPAIGN_ENGINES = ("scalar", "batched")
+#: tape for a whole shard at once — the campaign view of
+#: :data:`repro.core.backend.BACKEND_NAMES`.
+CAMPAIGN_BACKENDS = BACKEND_NAMES
+
+#: Deprecated alias (pre-backend name of the same choice set); kept so old
+#: imports and spec files keep working.
+CAMPAIGN_ENGINES = CAMPAIGN_BACKENDS
+
+
+def _resolve_backend(backend: Optional[str], engine: Optional[str], owner: str) -> str:
+    """Map the deprecated ``engine`` alias onto ``backend`` and validate.
+
+    ``backend`` defaults to None rather than "scalar" so that an *explicitly*
+    requested backend is distinguishable from the default: a stale ``engine``
+    keyword must never silently override an explicit ``backend`` in either
+    direction.
+    """
+    backend = None if backend is None else str(backend).strip().lower()
+    if engine is not None:
+        warnings.warn(
+            f"{owner}.engine is deprecated; use {owner}.backend",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        engine = str(engine).strip().lower()
+        if backend is not None and backend != engine:
+            raise EvaluationError(
+                f"conflicting execution backends: engine={engine!r} "
+                f"vs backend={backend!r}"
+            )
+        backend = engine
+    if backend is None:
+        backend = "scalar"
+    if backend not in CAMPAIGN_BACKENDS:
+        raise EvaluationError(
+            f"unknown backend {backend!r}; expected one of {CAMPAIGN_BACKENDS}"
+        )
+    return backend
 
 
 def trial_seed(campaign_seed: int, cell_key: str, trial_index: int, stream: str) -> int:
     """Deterministic 64-bit seed for one trial's named randomness stream.
 
-    SHA-256 keyed on the full trial identity: stable across processes,
-    platforms and ``PYTHONHASHSEED``, and statistically independent between
+    SHA-256 keyed on the full trial identity (via the shared
+    :func:`repro.core.backend.derive_seed` primitive, which preserves this
+    function's historical byte layout): stable across processes, platforms
+    and ``PYTHONHASHSEED``, and statistically independent between
     neighbouring trials, cells and streams.
     """
-    payload = f"{campaign_seed}|{cell_key}|{trial_index}|{stream}".encode()
-    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+    return derive_seed(campaign_seed, cell_key, trial_index, stream)
 
 
 @dataclass(frozen=True)
@@ -97,17 +137,17 @@ class ShardTask:
     start_trial: int
     n_trials: int
     campaign_seed: int
-    engine: str = "scalar"
+    backend: Optional[str] = None  # resolves to "scalar" when unset
+    engine: Optional[str] = None  # deprecated alias for ``backend``
 
     def __post_init__(self) -> None:
         if self.n_trials <= 0:
             raise EvaluationError("a shard must contain at least one trial")
         if self.start_trial < 0 or self.shard_index < 0:
             raise EvaluationError("shard indices must be non-negative")
-        if self.engine not in CAMPAIGN_ENGINES:
-            raise EvaluationError(
-                f"unknown engine {self.engine!r}; expected one of {CAMPAIGN_ENGINES}"
-            )
+        backend = _resolve_backend(self.backend, self.engine, "ShardTask")
+        object.__setattr__(self, "backend", backend)
+        object.__setattr__(self, "engine", backend)
 
     @property
     def trial_indices(self) -> range:
@@ -135,18 +175,19 @@ class CampaignSpec:
     seed: int = 0
     shard_size: int = 250
     multi_output: bool = True
-    engine: str = "scalar"
+    backend: Optional[str] = None  # resolves to "scalar" when unset
     name: str = "campaign"
+    engine: Optional[str] = None  # deprecated alias for ``backend``
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", _lowered(self.workloads))
         object.__setattr__(self, "schemes", _lowered(self.schemes))
         object.__setattr__(self, "technologies", _lowered(self.technologies))
-        object.__setattr__(self, "engine", str(self.engine).strip().lower())
-        if self.engine not in CAMPAIGN_ENGINES:
-            raise EvaluationError(
-                f"unknown engine {self.engine!r}; expected one of {CAMPAIGN_ENGINES}"
-            )
+        backend = _resolve_backend(self.backend, self.engine, "CampaignSpec")
+        object.__setattr__(self, "backend", backend)
+        # The alias mirrors the resolved backend so legacy readers of
+        # ``spec.engine`` keep working; ``to_dict`` drops it.
+        object.__setattr__(self, "engine", backend)
         # Coerce numeric fields (a JSON spec file may carry "100" for 100);
         # coercion also keeps spec_hash() canonical, so an int-seed spec and
         # its string-seed twin resume each other's checkpoints.
@@ -220,7 +261,7 @@ class CampaignSpec:
                         start_trial=start,
                         n_trials=min(self.shard_size, self.trials - start),
                         campaign_seed=self.seed,
-                        engine=self.engine,
+                        backend=self.backend,
                     )
                 )
         return tasks
@@ -236,6 +277,9 @@ class CampaignSpec:
         data = asdict(self)
         for key in ("workloads", "schemes", "technologies", "gate_error_rates"):
             data[key] = list(data[key])
+        # The deprecated alias always mirrors ``backend``; serialising it
+        # would make every round trip re-trigger the deprecation path.
+        data.pop("engine", None)
         return data
 
     @classmethod
@@ -262,14 +306,17 @@ class CampaignSpec:
         changing any field that affects trial outcomes or shard boundaries
         (including the seed) makes old shard results unusable, and the hash is
         how the store knows.  The cosmetic ``name`` is excluded, and so is
-        ``engine`` while it holds its default (``scalar``) — keeping every
-        pre-engine checkpoint resumable — whereas ``batched`` runs hash
+        the backend while it holds its default (``scalar``) — keeping every
+        pre-backend checkpoint resumable — whereas ``batched`` runs hash
         differently because their fault streams are Philox- rather than
-        ``random.Random``-derived.
+        ``random.Random``-derived.  The canonical form keeps the field's
+        historical ``engine`` key so checkpoints written before the rename
+        resume under either spelling.
         """
         data = self.to_dict()
         data.pop("name", None)
-        if data.get("engine") == "scalar":
+        data["engine"] = data.pop("backend")
+        if data["engine"] == "scalar":
             data.pop("engine")
         canonical = json.dumps(data, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]

@@ -8,107 +8,109 @@ for 1 or N workers" a structural property rather than a testing aspiration:
 * per-trial randomness comes from :func:`~repro.campaign.spec.trial_seed`
   (input sampling and fault injection as independent named streams), never
   from process-local state;
-* the **scalar** engine builds one executor per cell configuration per
-  process and reuses it through
-  :meth:`~repro.core.executor._BaseExecutor.reset`, so a trial costs one
-  netlist execution — no recompilation, no column-layout rebuild;
-* the **batched** engine (:mod:`repro.core.batched`) compiles one
-  instruction tape per cell configuration and interprets the whole shard as
-  a ``(n_trials, n_cols)`` bit matrix in a handful of numpy passes;
-* the executor's array gets a :class:`~repro.pim.operations.NullTrace`
-  because campaigns only consume outcome counters, not timing/energy traces.
+* trial execution goes through the
+  :class:`~repro.core.backend.ExecutionBackend` protocol — the **scalar**
+  backend reuses one executor per cell configuration through the ``reset``
+  fast path, the **batched** backend interprets one compiled instruction
+  tape per cell configuration over the whole shard at once — so the engine
+  dispatch lives in :func:`repro.core.backend.make_backend`, not here;
+* scalar backends get a :class:`~repro.pim.operations.NullTrace` because
+  campaigns only consume outcome counters, not timing/energy traces.
 
 Both per-process caches are bounded LRU maps (:data:`CACHE_LIMIT` entries):
 a long campaign sweeping many (workload, scheme, technology, gate-style)
-combinations recycles the least-recently-used executor/plan instead of
+combinations recycles the least-recently-used backend instead of
 accumulating one per distinct cell configuration for the life of the worker.
 """
 
 from __future__ import annotations
 
-import random
-from collections import OrderedDict
-from typing import Dict, Tuple
+from typing import Tuple
 
-from repro.campaign.aggregate import ShardResult, accumulate_report, zeroed_counts
+from repro.campaign.aggregate import ShardResult
 from repro.campaign.spec import CampaignCell, ShardTask, trial_seed
-from repro.campaign.workloads import get_campaign_workload, sample_inputs
-from repro.core.batched import compile_plan, run_batch, sample_input_matrix
-from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
-from repro.errors import EvaluationError
-from repro.pim.faults import FaultModel, StochasticFaultInjector
-from repro.pim.operations import NullTrace
+from repro.campaign.workloads import get_campaign_workload
+from repro.core.backend import BoundedCache, ExecutionBackend, make_backend
+from repro.core.batched import sample_input_matrix
+from repro.pim.faults import FaultModel
 from repro.pim.technology import get_technology
 
 __all__ = ["CACHE_LIMIT", "build_executor", "build_plan", "run_shard", "clear_executor_cache"]
 
-#: Upper bound on cached executors / compiled plans per worker process.
+#: Upper bound on cached backends per engine per worker process.
 CACHE_LIMIT = 8
 
-#: Per-process executor reuse: one executor per distinct cell configuration,
-#: least-recently-used entries evicted beyond CACHE_LIMIT.
-_EXECUTOR_CACHE: "OrderedDict[Tuple[str, str, str, bool], object]" = OrderedDict()
+#: Per-process scalar backends: one reusable executor per distinct cell
+#: configuration, least-recently-used entries evicted beyond CACHE_LIMIT.
+_EXECUTOR_CACHE: "BoundedCache" = BoundedCache(CACHE_LIMIT)
 
-#: Per-process compiled instruction tapes for the batched engine.  Plans are
+#: Per-process batched backends (compiled instruction tapes).  Plans are
 #: technology-independent (timing/energy never enter trial outcomes), hence
 #: the shorter key.
-_PLAN_CACHE: "OrderedDict[Tuple[str, str, bool], object]" = OrderedDict()
+_PLAN_CACHE: "BoundedCache" = BoundedCache(CACHE_LIMIT)
 
 
 def build_executor(cell: CampaignCell):
-    """Construct a fresh executor for ``cell`` (no cache)."""
+    """Construct a fresh scalar executor for ``cell`` (no cache)."""
     netlist = get_campaign_workload(cell.workload).netlist
-    technology = get_technology(cell.technology)
-    if cell.scheme == "unprotected":
-        return UnprotectedExecutor(netlist, technology=technology)
-    if cell.scheme == "ecim":
-        return EcimExecutor(netlist, technology=technology, multi_output=cell.multi_output)
-    if cell.scheme == "trim":
-        return TrimExecutor(netlist, technology=technology, multi_output=cell.multi_output)
-    raise EvaluationError(f"unknown scheme {cell.scheme!r}")
+    return make_backend(
+        "scalar",
+        netlist,
+        cell.scheme,
+        multi_output=cell.multi_output,
+        technology=cell.technology,
+    ).executor
 
 
 def build_plan(cell: CampaignCell):
     """Compile a fresh batched execution plan for ``cell`` (no cache)."""
     netlist = get_campaign_workload(cell.workload).netlist
-    return compile_plan(netlist, cell.scheme, multi_output=cell.multi_output)
+    return make_backend(
+        "batched", netlist, cell.scheme, multi_output=cell.multi_output
+    ).plan
 
 
-def _cache_lookup(cache: OrderedDict, key, build):
-    entry = cache.get(key)
-    if entry is None:
-        entry = build()
-        cache[key] = entry
-        while len(cache) > CACHE_LIMIT:
-            cache.popitem(last=False)
-    else:
-        cache.move_to_end(key)
-    return entry
-
-
-def _executor_for(cell: CampaignCell):
+def _executor_for(cell: CampaignCell) -> ExecutionBackend:
     key = (cell.workload, cell.scheme, cell.technology, cell.multi_output)
 
     def build():
-        executor = build_executor(cell)
-        executor.array.trace = NullTrace()
-        return executor
+        netlist = get_campaign_workload(cell.workload).netlist
+        return make_backend(
+            "scalar",
+            netlist,
+            cell.scheme,
+            multi_output=cell.multi_output,
+            technology=cell.technology,
+            null_trace=True,
+        )
 
-    return _cache_lookup(_EXECUTOR_CACHE, key, build)
+    return _EXECUTOR_CACHE.lookup(key, build)
 
 
-def _plan_for(cell: CampaignCell):
+def _plan_for(cell: CampaignCell) -> ExecutionBackend:
     # Plans are technology-independent (timing/energy never enter trial
     # outcomes), but an unknown technology must fail here just like the
-    # scalar engine's executor construction does — and before the cache,
+    # scalar backend's executor construction does — and before the cache,
     # which keys without technology.
     get_technology(cell.technology)
     key = (cell.workload, cell.scheme, cell.multi_output)
-    return _cache_lookup(_PLAN_CACHE, key, lambda: build_plan(cell))
+
+    def build():
+        netlist = get_campaign_workload(cell.workload).netlist
+        return make_backend(
+            "batched", netlist, cell.scheme, multi_output=cell.multi_output
+        )
+
+    return _PLAN_CACHE.lookup(key, build)
+
+
+def _backend_for(cell: CampaignCell, backend: str) -> ExecutionBackend:
+    """The cached, cell-bound backend serving this shard."""
+    return _plan_for(cell) if backend == "batched" else _executor_for(cell)
 
 
 def clear_executor_cache() -> None:
-    """Drop cached executors and plans (tests exercising cold-start paths)."""
+    """Drop cached backends (tests exercising cold-start paths)."""
     _EXECUTOR_CACHE.clear()
     _PLAN_CACHE.clear()
 
@@ -120,26 +122,10 @@ def _fault_model(cell: CampaignCell) -> FaultModel:
     )
 
 
-def _run_shard_scalar(task: ShardTask) -> ShardResult:
+def run_shard(task: ShardTask) -> ShardResult:
+    """Execute every trial of one shard and return its summed counters."""
     cell = task.cell
-    executor = _executor_for(cell)
-    netlist = executor.netlist
-    model = _fault_model(cell)
-    counts = zeroed_counts()
-    for trial in task.trial_indices:
-        input_rng = random.Random(trial_seed(task.campaign_seed, cell.key, trial, "inputs"))
-        injector = StochasticFaultInjector(
-            model, seed=trial_seed(task.campaign_seed, cell.key, trial, "faults")
-        )
-        executor.reset(fault_injector=injector)
-        report = executor.run(sample_inputs(netlist, input_rng))
-        accumulate_report(counts, report, faults_injected=injector.log.count())
-    return ShardResult(cell_key=cell.key, shard_index=task.shard_index, counts=counts)
-
-
-def _run_shard_batched(task: ShardTask) -> ShardResult:
-    cell = task.cell
-    plan = _plan_for(cell)
+    backend = _backend_for(cell, task.backend)
     input_seeds = [
         trial_seed(task.campaign_seed, cell.key, trial, "inputs")
         for trial in task.trial_indices
@@ -148,19 +134,11 @@ def _run_shard_batched(task: ShardTask) -> ShardResult:
         trial_seed(task.campaign_seed, cell.key, trial, "faults")
         for trial in task.trial_indices
     ]
-    result = run_batch(
-        plan,
-        sample_input_matrix(plan.netlist, input_seeds),
+    outcomes = backend.run_trials(
+        sample_input_matrix(backend.netlist, input_seeds),
         model=_fault_model(cell),
         fault_seeds=fault_seeds,
     )
     return ShardResult(
-        cell_key=cell.key, shard_index=task.shard_index, counts=result.counts()
+        cell_key=cell.key, shard_index=task.shard_index, counts=outcomes.counts()
     )
-
-
-def run_shard(task: ShardTask) -> ShardResult:
-    """Execute every trial of one shard and return its summed counters."""
-    if task.engine == "batched":
-        return _run_shard_batched(task)
-    return _run_shard_scalar(task)

@@ -9,6 +9,17 @@ from repro.core.area import (
     reclaim_cost_bits,
     scratch_capacity,
 )
+from repro.core.backend import (
+    BACKEND_NAMES,
+    BatchedBackend,
+    ExecutionBackend,
+    FaultSite,
+    ScalarBackend,
+    TrialOutcomes,
+    as_backend,
+    derive_seed,
+    make_backend,
+)
 from repro.core.batched import (
     BatchResult,
     ExecutionPlan,
@@ -62,7 +73,6 @@ from repro.core.protection import (
 )
 from repro.core.sep import (
     FaultOutcome,
-    FaultSite,
     SepAnalysis,
     and_gate_example_netlist,
     circuit_granularity_counterexample,
@@ -90,6 +100,15 @@ __all__ = [
     "EcimExecutor",
     "TrimExecutor",
     "ExecutionReport",
+    # execution backends
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ScalarBackend",
+    "BatchedBackend",
+    "TrialOutcomes",
+    "make_backend",
+    "as_backend",
+    "derive_seed",
     # batched trial engine
     "ExecutionPlan",
     "BatchResult",

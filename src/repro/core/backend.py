@@ -1,0 +1,559 @@
+"""Unified execution backends: one protocol over the scalar object model and
+the batched tape interpreter.
+
+Before this module, every consumer of netlist execution picked its engine by
+construction: the exhaustive SEP sweep (:mod:`repro.core.sep`) and the
+Monte-Carlo coverage loop (:mod:`repro.core.coverage`) built scalar
+executors one trial at a time, while the ~200x batched tape interpreter
+(:mod:`repro.core.batched`) was reachable only from the campaign worker.
+:class:`ExecutionBackend` is the common substrate: a backend is bound to one
+(netlist, scheme, gate style) configuration and runs *batches of trials* —
+fault free, under deterministic per-trial fault plans, or under the
+stochastic fault model — returning per-trial outcome vectors
+(:class:`TrialOutcomes`) with the campaign's counter schema.
+
+Two implementations:
+
+* :class:`ScalarBackend` — wraps the executor object model
+  (:class:`~repro.core.executor.EcimExecutor` and friends).  One executor is
+  built per backend and reused across trials through the ``reset()`` fast
+  path; fault streams are the bit-exact legacy ``random.Random`` ones, so
+  every artefact produced through this backend is byte-identical to the
+  pre-protocol code.
+* :class:`BatchedBackend` — wraps the compiled instruction tape of
+  :func:`~repro.core.batched.compile_plan` / ``run_batch``.  A whole trial
+  batch is one numpy pass; deterministic fault plans map each batch row to a
+  single ``{operation index: output position}`` flip, which is what lets the
+  exhaustive single-fault sweep run with *fault site as the batch dimension*.
+
+Equivalence contract (enforced by ``tests/core/test_sep.py`` and
+``tests/core/test_backend.py``): fault-free and deterministic single-fault
+executions are exactly equal between backends, per trial and per site;
+stochastic executions are statistically equivalent (same per-site Bernoulli
+model, different RNG streams) and reproducible for a fixed seed on both.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.compiler.netlist import Netlist
+from repro.core.batched import ExecutionPlan, GateStep, compile_plan, run_batch
+from repro.core.executor import EXECUTORS_BY_SCHEME, ExecutionReport
+from repro.errors import ProtectionError
+from repro.pim.faults import (
+    DeterministicFaultInjector,
+    FaultModel,
+    NoFaultInjector,
+    StochasticFaultInjector,
+)
+from repro.pim.operations import NullTrace, OperationKind, OperationTrace
+from repro.pim.technology import TechnologyParameters, get_technology
+
+__all__ = [
+    "BACKEND_NAMES",
+    "FaultSite",
+    "TrialOutcomes",
+    "ExecutionBackend",
+    "ScalarBackend",
+    "BatchedBackend",
+    "make_backend",
+    "as_backend",
+    "derive_seed",
+]
+
+#: Registered execution backends, in default-first order.  ``scalar`` is the
+#: bit-exact legacy path and stays the default everywhere.
+BACKEND_NAMES = ("scalar", "batched")
+
+#: One trial's input assignment: either a ``{signal: bit}`` mapping (the
+#: executor vocabulary) or a row of a ``(B, n_inputs)`` bit matrix (the tape
+#: vocabulary).  Backends accept both and convert.
+TrialInputs = Union[np.ndarray, Sequence[Mapping[int, int]]]
+
+
+def derive_seed(*components: object) -> int:
+    """Deterministic 64-bit seed from named components, via SHA-256.
+
+    The single seed-derivation primitive shared by the campaign
+    (``trial_seed(campaign_seed, cell_key, trial, stream)``) and the coverage
+    loop: stable across processes, platforms and ``PYTHONHASHSEED``, and
+    statistically independent between any two distinct component tuples.
+    """
+    payload = "|".join(str(component) for component in components).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One injectable fault site: a specific output cell of a gate firing.
+
+    ``operation_index`` is the global in-array gate-operation index (shared
+    verbatim between the scalar array and the compiled tape), and
+    ``output_position`` the zero-based output cell within that firing — the
+    pair both :class:`~repro.pim.faults.DeterministicFaultInjector` and the
+    batched ``fault_plan`` target.
+    """
+
+    operation_index: int
+    output_position: int
+    gate: str
+    is_metadata: bool
+    logic_level: int
+    column: int
+
+
+@dataclass(eq=False, frozen=True)
+class TrialOutcomes:
+    """Per-trial outcome vectors of one backend batch (the protocol result).
+
+    The scalar backend derives these from per-trial
+    :class:`~repro.core.executor.ExecutionReport` objects; the batched
+    backend from a :class:`~repro.core.batched.BatchResult`.  Either way the
+    classification taxonomy is the campaign's four-way split.
+    """
+
+    outputs_correct: np.ndarray      # (B,) bool
+    detected: np.ndarray             # (B,) bool — any logic-level check fired
+    corrections: np.ndarray          # (B,) int64 — checker write-back count
+    uncorrectable_levels: np.ndarray  # (B,) int64
+    faults_injected: np.ndarray      # (B,) int64
+
+    @property
+    def n_trials(self) -> int:
+        return int(self.outputs_correct.shape[0])
+
+    def classification(self, trial: int) -> str:
+        """The SEP sweep's three-way per-trial verdict: ``corrected`` (final
+        outputs correct), ``detected`` (wrong but some check fired) or
+        ``silent`` (wrong and no check fired)."""
+        if bool(self.outputs_correct[trial]):
+            return "corrected"
+        return "detected" if bool(self.detected[trial]) else "silent"
+
+    def classifications(self) -> List[str]:
+        return [self.classification(trial) for trial in range(self.n_trials)]
+
+    def counts(self) -> Dict[str, int]:
+        """Summed outcome counters, schema-identical to
+        ``repro.campaign.aggregate.COUNT_KEYS`` (kept import-free to preserve
+        the core -> campaign layering)."""
+        correct = self.outputs_correct
+        detected = self.detected
+        return {
+            "trials": self.n_trials,
+            "correct": int(correct.sum()),
+            "clean": int((correct & ~detected).sum()),
+            "recovered": int((correct & detected).sum()),
+            "detected": int(detected.sum()),
+            "detected_corruption": int((~correct & detected).sum()),
+            "silent_corruption": int((~correct & ~detected).sum()),
+            "corrections": int(self.corrections.sum()),
+            "uncorrectable_levels": int(self.uncorrectable_levels.sum()),
+            "faults_injected": int(self.faults_injected.sum()),
+            "faulty_trials": int((self.faults_injected > 0).sum()),
+        }
+
+
+class ExecutionBackend(abc.ABC):
+    """Protocol every execution engine implements.
+
+    A backend is bound to one (netlist, scheme, gate-style) configuration at
+    construction; :meth:`run_trials` then executes whole batches of trials
+    against it.  Exactly one fault source may be active per batch: a
+    deterministic ``fault_plan`` (one ``{op index: output position}`` mapping
+    per trial — the exhaustive-sweep form) or a stochastic ``model`` with one
+    ``fault_seeds`` entry per trial (the Monte-Carlo form); neither means
+    fault-free execution.
+    """
+
+    name: ClassVar[str]
+
+    netlist: Netlist
+    scheme: str
+    multi_output: bool
+
+    @abc.abstractmethod
+    def run_trials(
+        self,
+        inputs: TrialInputs,
+        *,
+        fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+        model: Optional[FaultModel] = None,
+        fault_seeds: Optional[Sequence[int]] = None,
+    ) -> TrialOutcomes:
+        """Execute one trial per input row and return per-trial outcomes."""
+
+    @abc.abstractmethod
+    def enumerate_sites(
+        self, input_values: Optional[Mapping[int, int]] = None
+    ) -> List[FaultSite]:
+        """Every injectable gate-output site of one execution, in firing
+        order (the exhaustive SEP sweep's site list)."""
+
+    # ------------------------------------------------------------------ #
+    # Shared input plumbing
+    # ------------------------------------------------------------------ #
+    def _validate_fault_args(
+        self,
+        n_trials: int,
+        fault_plan: Optional[Sequence[Mapping[int, int]]],
+        model: Optional[FaultModel],
+        fault_seeds: Optional[Sequence[int]],
+    ) -> None:
+        if fault_plan is not None and model is not None and not model.is_error_free:
+            raise ProtectionError(
+                "a batch takes one fault source: a deterministic fault_plan "
+                "or a stochastic model, not both"
+            )
+        if fault_plan is not None and len(fault_plan) != n_trials:
+            raise ProtectionError(
+                f"fault_plan must supply one entry per trial "
+                f"(got {len(fault_plan)} for {n_trials} trials)"
+            )
+        if fault_seeds is not None and model is None:
+            # Seeds only drive a stochastic model; accepting them alone would
+            # silently run fault-free (a forgotten model= kwarg must not
+            # masquerade as 100% coverage).
+            raise ProtectionError(
+                "fault_seeds have no effect without a stochastic fault model; "
+                "pass model=FaultModel(...) alongside them"
+            )
+        if model is not None and not model.is_error_free:
+            if fault_seeds is None or len(fault_seeds) != n_trials:
+                raise ProtectionError(
+                    "stochastic fault injection needs one fault seed per trial "
+                    f"(got {None if fault_seeds is None else len(fault_seeds)} "
+                    f"for {n_trials} trials)"
+                )
+
+    def _input_rows(self, inputs: TrialInputs) -> List[Dict[int, int]]:
+        """Normalise ``inputs`` to one ``{signal: bit}`` dict per trial."""
+        if isinstance(inputs, np.ndarray):
+            if inputs.ndim != 2 or inputs.shape[1] != len(self.netlist.inputs):
+                raise ProtectionError(
+                    f"input matrix must be (B, {len(self.netlist.inputs)}), "
+                    f"got shape {inputs.shape}"
+                )
+            return [
+                dict(zip(self.netlist.inputs, (int(bit) for bit in row)))
+                for row in inputs
+            ]
+        return [dict(row) for row in inputs]
+
+    def _input_matrix(self, inputs: TrialInputs) -> np.ndarray:
+        """Normalise ``inputs`` to a ``(B, n_inputs)`` bit matrix."""
+        if isinstance(inputs, np.ndarray):
+            return inputs
+        signals = self.netlist.inputs
+        matrix = np.empty((len(inputs), len(signals)), dtype=np.uint8)
+        for row, values in enumerate(inputs):
+            for position, signal in enumerate(signals):
+                if signal not in values:
+                    raise ProtectionError(f"missing value for input signal {signal}")
+                matrix[row, position] = int(values[signal])
+        return matrix
+
+
+class ScalarBackend(ExecutionBackend):
+    """The executor object model behind the backend protocol (bit-exact
+    legacy path: ``random.Random`` fault streams, one behavioural-array run
+    per trial, executor reuse through ``reset()``)."""
+
+    name = "scalar"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        scheme: str,
+        multi_output: bool = True,
+        technology: Union[TechnologyParameters, str, None] = None,
+        make_executor: Optional[Callable[[Optional[object]], object]] = None,
+        null_trace: bool = False,
+    ) -> None:
+        """``make_executor(fault_injector)`` overrides default executor
+        construction — the escape hatch for configurations the protocol
+        vocabulary does not name (custom ``code_factory``, ``n_copies``,
+        pre-built arrays).  ``null_trace`` swaps in a
+        :class:`~repro.pim.operations.NullTrace` for trial throughput
+        (campaigns consume counters, not traces)."""
+        scheme = scheme.strip().lower()
+        if make_executor is None and scheme not in EXECUTORS_BY_SCHEME:
+            raise ProtectionError(f"unknown protection scheme {scheme!r}")
+        self.netlist = netlist
+        self.scheme = scheme
+        self.multi_output = multi_output
+        self._technology = (
+            get_technology(technology) if isinstance(technology, str) else technology
+        )
+        self._make_executor = make_executor
+        self._null_trace = null_trace
+        self._executor: Optional[object] = None
+
+    # -------------------------------------------------------------- #
+    # Executor lifecycle
+    # -------------------------------------------------------------- #
+    def _build_executor(self, injector) -> object:
+        if self._make_executor is not None:
+            return self._make_executor(injector)
+        cls = EXECUTORS_BY_SCHEME[self.scheme]
+        kwargs = {"fault_injector": injector}
+        if self._technology is not None:
+            kwargs["technology"] = self._technology
+        if self.scheme != "unprotected":
+            kwargs["multi_output"] = self.multi_output
+        return cls(self.netlist, **kwargs)
+
+    @property
+    def executor(self) -> object:
+        """The backend's (lazily built, reused) executor."""
+        if self._executor is None:
+            self._executor = self._build_executor(NoFaultInjector())
+            if self._make_executor is not None:
+                self.netlist = self._executor.netlist
+            if self._null_trace:
+                self._executor.array.trace = NullTrace()
+        return self._executor
+
+    # -------------------------------------------------------------- #
+    # Protocol
+    # -------------------------------------------------------------- #
+    def run_trials(
+        self,
+        inputs: TrialInputs,
+        *,
+        fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+        model: Optional[FaultModel] = None,
+        fault_seeds: Optional[Sequence[int]] = None,
+    ) -> TrialOutcomes:
+        executor = self.executor  # before input handling: resolves the
+        # netlist when this backend wraps a legacy factory
+        rows = self._input_rows(inputs)
+        if not rows:
+            raise ProtectionError("a batch needs at least one trial")
+        self._validate_fault_args(len(rows), fault_plan, model, fault_seeds)
+        stochastic = model is not None and not model.is_error_free
+        outputs_correct = np.zeros(len(rows), dtype=bool)
+        detected = np.zeros(len(rows), dtype=bool)
+        corrections = np.zeros(len(rows), dtype=np.int64)
+        uncorrectable = np.zeros(len(rows), dtype=np.int64)
+        faults = np.zeros(len(rows), dtype=np.int64)
+        for trial, input_values in enumerate(rows):
+            if fault_plan is not None:
+                injector = DeterministicFaultInjector(
+                    target_output_positions=dict(fault_plan[trial] or {})
+                )
+            elif stochastic:
+                injector = StochasticFaultInjector(model, seed=fault_seeds[trial])
+            else:
+                injector = NoFaultInjector()
+            executor.reset(fault_injector=injector)
+            report: ExecutionReport = executor.run(dict(input_values))
+            outputs_correct[trial] = report.outputs_correct
+            detected[trial] = report.detected
+            corrections[trial] = report.corrections
+            uncorrectable[trial] = report.uncorrectable_levels
+            faults[trial] = injector.log.count()
+        return TrialOutcomes(
+            outputs_correct=outputs_correct,
+            detected=detected,
+            corrections=corrections,
+            uncorrectable_levels=uncorrectable,
+            faults_injected=faults,
+        )
+
+    def enumerate_sites(
+        self, input_values: Optional[Mapping[int, int]] = None
+    ) -> List[FaultSite]:
+        """Dry-run one fault-free execution and walk its operation trace."""
+        executor = self.executor
+        if input_values is None:
+            input_values = {signal: 0 for signal in self.netlist.inputs}
+        saved_trace = executor.array.trace
+        executor.array.trace = OperationTrace()
+        try:
+            executor.reset(fault_injector=NoFaultInjector())
+            executor.run(dict(input_values))
+            sites: List[FaultSite] = []
+            op_index = 0
+            for record in executor.array.trace:
+                if record.kind != OperationKind.GATE:
+                    continue
+                for position, column in enumerate(record.outputs):
+                    sites.append(
+                        FaultSite(
+                            operation_index=op_index,
+                            output_position=position,
+                            gate=record.gate,
+                            is_metadata=record.is_metadata,
+                            logic_level=record.logic_level,
+                            column=column,
+                        )
+                    )
+                op_index += 1
+            return sites
+        finally:
+            executor.array.trace = saved_trace
+
+
+class BatchedBackend(ExecutionBackend):
+    """The compiled instruction tape behind the backend protocol (numpy
+    bit-matrix interpretation, Philox fault streams)."""
+
+    name = "batched"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        scheme: str,
+        multi_output: bool = True,
+        plan: Optional[ExecutionPlan] = None,
+    ) -> None:
+        scheme = scheme.strip().lower()
+        if scheme not in EXECUTORS_BY_SCHEME:
+            # Same vocabulary as compile_plan, checked eagerly so a typo'd
+            # scheme fails at backend construction on either backend.
+            raise ProtectionError(f"unknown protection scheme {scheme!r}")
+        self.netlist = netlist
+        self.scheme = scheme
+        self.multi_output = multi_output
+        self._plan = plan
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The backend's (lazily compiled, reused) instruction tape."""
+        if self._plan is None:
+            self._plan = compile_plan(
+                self.netlist, self.scheme, multi_output=self.multi_output
+            )
+        return self._plan
+
+    def run_trials(
+        self,
+        inputs: TrialInputs,
+        *,
+        fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+        model: Optional[FaultModel] = None,
+        fault_seeds: Optional[Sequence[int]] = None,
+    ) -> TrialOutcomes:
+        matrix = self._input_matrix(inputs)
+        self._validate_fault_args(matrix.shape[0], fault_plan, model, fault_seeds)
+        result = run_batch(
+            self.plan,
+            matrix,
+            model=model,
+            fault_seeds=fault_seeds,
+            fault_plan=fault_plan,
+        )
+        return TrialOutcomes(
+            outputs_correct=result.outputs_correct,
+            detected=result.detected,
+            corrections=result.corrections,
+            uncorrectable_levels=result.uncorrectable_levels,
+            faults_injected=result.faults_injected,
+        )
+
+    def enumerate_sites(
+        self, input_values: Optional[Mapping[int, int]] = None
+    ) -> List[FaultSite]:
+        """Walk the compiled tape — the schedule is input-independent, so no
+        execution is needed (``input_values`` is accepted for protocol
+        symmetry and ignored)."""
+        sites: List[FaultSite] = []
+        for step in self.plan.steps:
+            if not isinstance(step, GateStep):
+                continue
+            for position in range(step.output_cols.shape[0]):
+                sites.append(
+                    FaultSite(
+                        operation_index=step.op_index,
+                        output_position=position,
+                        gate=step.gate,
+                        is_metadata=step.is_metadata,
+                        logic_level=step.logic_level,
+                        column=int(step.output_cols[position]),
+                    )
+                )
+        return sites
+
+
+_BACKENDS = {
+    ScalarBackend.name: ScalarBackend,
+    BatchedBackend.name: BatchedBackend,
+}
+
+
+def make_backend(
+    name: str,
+    netlist: Netlist,
+    scheme: str,
+    multi_output: bool = True,
+    **kwargs,
+) -> ExecutionBackend:
+    """Construct a backend by name — the single engine-dispatch point.
+
+    An unknown name fails fast with the list of valid choices (the CLI and
+    the campaign spec both funnel through here).
+    """
+    key = str(name).strip().lower()
+    if key not in _BACKENDS:
+        raise ProtectionError(
+            f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return _BACKENDS[key](netlist, scheme, multi_output=multi_output, **kwargs)
+
+
+def as_backend(target: object) -> ExecutionBackend:
+    """Adapt ``target`` to the backend protocol.
+
+    Accepts an :class:`ExecutionBackend` (returned as-is) or a legacy
+    ``make_executor(fault_injector)`` scalar factory, which is wrapped in a
+    :class:`ScalarBackend` — the bridge that lets pre-protocol call sites
+    (and executor configurations the protocol vocabulary does not name) keep
+    working unchanged.
+    """
+    if isinstance(target, ExecutionBackend):
+        return target
+    if callable(target):
+        # The netlist is resolved from the factory's executor on first use.
+        return ScalarBackend(None, "custom", make_executor=target)
+    raise ProtectionError(
+        f"cannot interpret {target!r} as an execution backend: expected an "
+        f"ExecutionBackend or a make_executor(fault_injector) callable"
+    )
+
+
+class BoundedCache(OrderedDict):
+    """A tiny LRU map: at most ``limit`` entries, least-recently-used first
+    out.  Shared by the campaign worker's per-process backend caches."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__()
+        self.limit = limit
+
+    def lookup(self, key, build):
+        entry = self.get(key)
+        if entry is None:
+            entry = build()
+            self[key] = entry
+            while len(self) > self.limit:
+                self.popitem(last=False)
+        else:
+            self.move_to_end(key)
+        return entry

@@ -57,7 +57,7 @@ from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
 from repro.errors import ProtectionError
 from repro.pim.faults import FaultModel
 from repro.pim.gates import GateType
-from repro.pim.vector import vector_gate_output
+from repro.pim.vector import apply_deterministic_flips, vector_gate_output
 
 __all__ = [
     "GateStep",
@@ -88,6 +88,7 @@ class GateStep:
     output_cols: np.ndarray
     threshold: Optional[int]
     is_metadata: bool
+    logic_level: int = 0
 
 
 @dataclass(eq=False, frozen=True)
@@ -186,7 +187,7 @@ def _base_plan_fields(executor) -> Dict[str, object]:
 def _compile_unprotected(executor: UnprotectedExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
     steps: List[PlanStep] = []
     op = 0
-    for gate_indices in executor._levels:
+    for level, gate_indices in enumerate(executor._levels, start=1):
         for gate_index in gate_indices:
             node = executor.netlist.gates[gate_index]
             steps.append(
@@ -197,6 +198,7 @@ def _compile_unprotected(executor: UnprotectedExecutor) -> Tuple[Tuple[PlanStep,
                     output_cols=_cols([executor.column_of[node.output]]),
                     threshold=node.threshold,
                     is_metadata=False,
+                    logic_level=level,
                 )
             )
             op += 1
@@ -230,7 +232,7 @@ def _compile_ecim(executor: EcimExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
     steps: List[PlanStep] = []
     op = 0
     scratch1, scratch2 = executor._xor_scratch_cols()
-    for gate_indices in executor._levels:
+    for level, gate_indices in enumerate(executor._levels, start=1):
         nodes = [netlist.gates[i] for i in gate_indices]
         code = executor._code_factory(max(1, len(nodes)))
         r = code.n_parity
@@ -249,19 +251,21 @@ def _compile_ecim(executor: EcimExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
             if multi_output:
                 outputs = [data_col] + [executor._staging_col(i) for i in covered]
                 steps.append(
-                    GateStep(op, node.gate, _cols(input_cols), _cols(outputs), node.threshold, False)
+                    GateStep(op, node.gate, _cols(input_cols), _cols(outputs),
+                             node.threshold, False, level)
                 )
                 op += 1
             else:
                 steps.append(
-                    GateStep(op, node.gate, _cols(input_cols), _cols([data_col]), node.threshold, False)
+                    GateStep(op, node.gate, _cols(input_cols), _cols([data_col]),
+                             node.threshold, False, level)
                 )
                 op += 1
                 for i in covered:
                     steps.append(
                         GateStep(
                             op, node.gate, _cols(input_cols),
-                            _cols([executor._staging_col(i)]), node.threshold, True,
+                            _cols([executor._staging_col(i)]), node.threshold, True, level,
                         )
                     )
                     op += 1
@@ -274,22 +278,23 @@ def _compile_ecim(executor: EcimExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
                 if multi_output:
                     steps.append(
                         GateStep(op, GateType.NOR, _cols([r_col, parity_col]),
-                                 _cols([scratch1, scratch2]), None, True)
+                                 _cols([scratch1, scratch2]), None, True, level)
                     )
                     op += 1
                 else:
                     steps.append(
                         GateStep(op, GateType.NOR, _cols([r_col, parity_col]),
-                                 _cols([scratch1]), None, True)
+                                 _cols([scratch1]), None, True, level)
                     )
                     op += 1
                     steps.append(
-                        GateStep(op, GateType.COPY, _cols([scratch1]), _cols([scratch2]), None, True)
+                        GateStep(op, GateType.COPY, _cols([scratch1]), _cols([scratch2]),
+                                 None, True, level)
                     )
                     op += 1
                 steps.append(
                     GateStep(op, GateType.THR, _cols([r_col, parity_col, scratch1, scratch2]),
-                             _cols([target_col]), None, True)
+                             _cols([target_col]), None, True, level)
                 )
                 op += 1
                 parity_bank[i] = target_bank
@@ -307,7 +312,7 @@ def _compile_trim(executor: TrimExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
     n_copies = executor.n_copies
     steps: List[PlanStep] = []
     op = 0
-    for gate_indices in executor._levels:
+    for level, gate_indices in enumerate(executor._levels, start=1):
         nodes = [netlist.gates[i] for i in gate_indices]
         for position, node in enumerate(nodes):
             input_cols = [executor.column_of[s] for s in node.inputs]
@@ -316,19 +321,19 @@ def _compile_trim(executor: TrimExecutor) -> Tuple[Tuple[PlanStep, ...], int]:
             if multi_output:
                 steps.append(
                     GateStep(op, node.gate, _cols(input_cols),
-                             _cols([data_col] + copy_cols), node.threshold, False)
+                             _cols([data_col] + copy_cols), node.threshold, False, level)
                 )
                 op += 1
             else:
                 steps.append(
                     GateStep(op, node.gate, _cols(input_cols), _cols([data_col]),
-                             node.threshold, False)
+                             node.threshold, False, level)
                 )
                 op += 1
                 for col in copy_cols:
                     steps.append(
                         GateStep(op, node.gate, _cols(input_cols), _cols([col]),
-                                 node.threshold, True)
+                                 node.threshold, True, level)
                     )
                     op += 1
         data_cols = [executor.column_of[node.output] for node in nodes]
@@ -579,13 +584,8 @@ def run_batch(
             out = np.repeat(ideal[:, None], n_outputs, axis=1)
             if det is not None:
                 rows, positions = det
-                # Out-of-range positions inject nothing, matching the scalar
-                # DeterministicFaultInjector's position counter semantics
-                # (a negative index must not wrap to the last output).
-                valid = (positions >= 0) & (positions < n_outputs)
-                rows, positions = rows[valid], positions[valid]
-                out[rows, positions] ^= 1
-                faults[rows] += 1
+                flipped = apply_deterministic_flips(out, rows, positions)
+                faults[flipped] += 1
             if flip_mask is not None:
                 out ^= flip_mask
                 faults += flip_mask.sum(axis=1)

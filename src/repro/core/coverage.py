@@ -14,9 +14,11 @@ This module quantifies that trade-off two ways:
   code's correction capability ``t`` is a closed-form tail sum
   (:func:`level_failure_probability`), and a whole run survives when every
   level stays within budget (:func:`run_survival_probability`).
-* **Empirically** — Monte-Carlo fault injection on the bit-exact executors
-  (:func:`monte_carlo_coverage`), which also captures effects the analytic
-  model ignores (metadata errors, logical masking, miscorrection).
+* **Empirically** — Monte-Carlo fault injection through any
+  :class:`~repro.core.backend.ExecutionBackend` (:func:`monte_carlo_coverage`
+  runs the scalar object model or the batched tape interpreter behind the
+  same protocol), which also captures effects the analytic model ignores
+  (metadata errors, logical masking, miscorrection).
 
 :func:`coverage_table` sweeps gate error rates and correction strengths into
 the kind of coverage-vs-rate table a designer would use to pick between
@@ -30,8 +32,9 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.backend import as_backend, derive_seed
 from repro.errors import EvaluationError
-from repro.pim.faults import FaultModel, StochasticFaultInjector
+from repro.pim.faults import FaultModel
 
 __all__ = [
     "binomial_tail",
@@ -126,37 +129,46 @@ class MonteCarloCoverage:
 
 
 def monte_carlo_coverage(
-    make_executor: Callable[[object], object],
+    target: object,
     make_inputs: Callable[[random.Random], Dict[int, int]],
     gate_error_rate: float,
     trials: int = 50,
     seed: int = 0,
+    model: Optional[FaultModel] = None,
 ) -> MonteCarloCoverage:
     """Monte-Carlo fault injection over whole executions.
 
-    ``make_executor(fault_injector)`` builds a fresh executor around the
-    supplied injector; ``make_inputs(rng)`` draws an input assignment.  Every
-    trial uses an independent stochastic injector seeded deterministically
-    from ``seed``.
+    ``target`` is an :class:`~repro.core.backend.ExecutionBackend` (scalar or
+    batched) or a legacy ``make_executor(fault_injector)`` factory;
+    ``make_inputs(rng)`` draws one input assignment from a private generator.
+    Seeding follows the campaign's discipline: every trial's input sampling
+    and fault injection derive from ``(seed, trial index, stream name)``
+    through SHA-256 (:func:`~repro.core.backend.derive_seed`) as independent
+    named streams, so a coverage run is reproducible from the single ``seed``
+    on either backend, and trial *i*'s randomness never depends on how much
+    entropy earlier trials consumed.  ``model`` overrides the fault model
+    (defaults to gate errors only, at ``gate_error_rate``).
     """
     if trials <= 0:
         raise EvaluationError("trials must be positive")
-    rng = random.Random(seed)
-    result = MonteCarloCoverage()
-    for trial in range(trials):
-        injector = StochasticFaultInjector(
-            FaultModel(gate_error_rate=gate_error_rate), seed=seed * 7919 + trial
-        )
-        executor = make_executor(injector)
-        report = executor.run(make_inputs(rng))
-        result.trials += 1
-        result.correct_runs += int(report.outputs_correct)
-        result.runs_with_detections += int(
-            any(check.error_detected for check in report.checks)
-        )
-        result.total_faults_injected += injector.log.count()
-        result.total_corrections += report.corrections
-    return result
+    backend = as_backend(target)
+    if model is None:
+        model = FaultModel(gate_error_rate=gate_error_rate)
+    input_rows = [
+        make_inputs(random.Random(derive_seed(seed, "coverage", trial, "inputs")))
+        for trial in range(trials)
+    ]
+    fault_seeds = [
+        derive_seed(seed, "coverage", trial, "faults") for trial in range(trials)
+    ]
+    outcomes = backend.run_trials(input_rows, model=model, fault_seeds=fault_seeds)
+    return MonteCarloCoverage(
+        trials=outcomes.n_trials,
+        correct_runs=int(outcomes.outputs_correct.sum()),
+        runs_with_detections=int(outcomes.detected.sum()),
+        total_faults_injected=int(outcomes.faults_injected.sum()),
+        total_corrections=int(outcomes.corrections.sum()),
+    )
 
 
 def coverage_table(

@@ -53,6 +53,7 @@ __all__ = [
     "UnprotectedExecutor",
     "EcimExecutor",
     "TrimExecutor",
+    "EXECUTORS_BY_SCHEME",
 ]
 
 
@@ -484,3 +485,13 @@ class TrimExecutor(_BaseExecutor):
 
         report.outputs = self._read_outputs()
         return report
+
+
+#: Executor class per protection-scheme name — the scheme vocabulary shared
+#: by the execution backends (:mod:`repro.core.backend`), the tape compiler
+#: (:func:`repro.core.batched.compile_plan`) and the campaign grid.
+EXECUTORS_BY_SCHEME = {
+    "unprotected": UnprotectedExecutor,
+    "ecim": EcimExecutor,
+    "trim": TrimExecutor,
+}

@@ -22,19 +22,26 @@ This module provides:
 * :func:`circuit_granularity_counterexample` — show that with checks deferred
   to circuit granularity a single fault does escape correction, i.e. the
   logic-level granularity is necessary, not just convenient.
+
+All three analyses speak the :class:`~repro.core.backend.ExecutionBackend`
+protocol: pass an :class:`~repro.core.backend.ExecutionBackend` (scalar or
+batched) or, for backward compatibility, a legacy
+``make_executor(fault_injector)`` factory, which is adapted through
+:func:`~repro.core.backend.as_backend`.  The exhaustive sweep is vectorised
+with *fault site as the batch dimension*: one batch row per enumerated site,
+each carrying a single-bit deterministic flip plan — on the batched backend
+the whole Fig. 6 sweep is a single tape interpretation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import product
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.netlist import Netlist
 from repro.compiler.synthesis import CircuitBuilder
+from repro.core.backend import FaultSite, as_backend
 from repro.errors import ProtectionError
-from repro.pim.faults import DeterministicFaultInjector, FaultLog, NoFaultInjector
-from repro.pim.operations import OperationKind
 
 __all__ = [
     "FaultSite",
@@ -49,18 +56,6 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class FaultSite:
-    """One injectable fault site: a specific output cell of a gate firing."""
-
-    operation_index: int
-    output_position: int
-    gate: str
-    is_metadata: bool
-    logic_level: int
-    column: int
-
-
-@dataclass(frozen=True)
 class FaultOutcome:
     """Result of injecting a single fault at one site."""
 
@@ -69,6 +64,13 @@ class FaultOutcome:
     error_detected: bool
     corrections: int
     uncorrectable_levels: int
+
+    @property
+    def classification(self) -> str:
+        """``corrected`` / ``detected`` / ``silent`` — the sweep's verdict."""
+        if self.final_outputs_correct:
+            return "corrected"
+        return "detected" if self.error_detected else "silent"
 
 
 @dataclass
@@ -129,74 +131,66 @@ def and_gate_example_netlist() -> Netlist:
 
 
 def enumerate_fault_sites(
-    make_executor: Callable[[Optional[object]], object],
+    target: object,
     input_values: Dict[int, int],
 ) -> List[FaultSite]:
-    """Dry-run an execution and enumerate every injectable gate-output site.
+    """Enumerate every injectable gate-output site of one execution.
 
-    ``make_executor(fault_injector)`` must build a fresh executor whose array
-    uses the given injector (``None`` → fault free).  The dry run records one
-    :class:`FaultSite` per output cell of every gate firing, in execution
-    order, so the exhaustive sweep can target each site individually.
+    ``target`` is an :class:`~repro.core.backend.ExecutionBackend` or a
+    legacy ``make_executor(fault_injector)`` factory.  The scalar backend
+    dry-runs the execution and walks its trace; the batched backend walks
+    the compiled tape.  Either way, one :class:`FaultSite` per output cell
+    of every gate firing, in execution order.
     """
-    executor = make_executor(NoFaultInjector())
-    executor.run(dict(input_values))
-    sites: List[FaultSite] = []
-    op_index = 0
-    for record in executor.array.trace:
-        if record.kind != OperationKind.GATE:
-            continue
-        for position, column in enumerate(record.outputs):
-            sites.append(
-                FaultSite(
-                    operation_index=op_index,
-                    output_position=position,
-                    gate=record.gate,
-                    is_metadata=record.is_metadata,
-                    logic_level=record.logic_level,
-                    column=column,
-                )
-            )
-        op_index += 1
-    return sites
+    return as_backend(target).enumerate_sites(input_values)
 
 
 def exhaustive_single_fault_injection(
-    make_executor: Callable[[Optional[object]], object],
+    target: object,
     input_values: Dict[int, int],
     sites: Optional[Sequence[FaultSite]] = None,
 ) -> SepAnalysis:
-    """Inject one fault per run, at every enumerated site, and collect outcomes."""
+    """Inject one fault per trial, at every enumerated site, and collect
+    outcomes.
+
+    The sweep runs as a single backend batch with fault site as the batch
+    dimension: row *i* executes ``input_values`` under a deterministic
+    single-bit flip at ``sites[i]``.
+    """
+    backend = as_backend(target)
     if sites is None:
-        sites = enumerate_fault_sites(make_executor, input_values)
+        sites = backend.enumerate_sites(input_values)
     analysis = SepAnalysis()
-    for site in sites:
-        injector = DeterministicFaultInjector(
-            target_output_positions={site.operation_index: site.output_position}
-        )
-        executor = make_executor(injector)
-        report = executor.run(dict(input_values))
-        if injector.log.count() == 0:
+    if not sites:
+        return analysis
+    outcomes = backend.run_trials(
+        [input_values] * len(sites),
+        fault_plan=[
+            {site.operation_index: site.output_position} for site in sites
+        ],
+    )
+    for trial, site in enumerate(sites):
+        if outcomes.faults_injected[trial] == 0:
             # The site was never reached (should not happen for a
-            # deterministic schedule); record it as unprotected so the
-            # discrepancy is visible rather than silently ignored.
+            # deterministic schedule); fail loudly so the discrepancy is
+            # visible rather than silently ignored.
             raise ProtectionError(
                 f"fault site {site} was not exercised during re-execution"
             )
         analysis.outcomes.append(
             FaultOutcome(
                 site=site,
-                final_outputs_correct=report.outputs_correct,
-                error_detected=any(c.error_detected for c in report.checks),
-                corrections=report.corrections,
-                uncorrectable_levels=report.uncorrectable_levels,
+                final_outputs_correct=bool(outcomes.outputs_correct[trial]),
+                error_detected=bool(outcomes.detected[trial]),
+                corrections=int(outcomes.corrections[trial]),
+                uncorrectable_levels=int(outcomes.uncorrectable_levels[trial]),
             )
         )
     return analysis
 
 
 def fig6_case_table(
-    make_executor: Callable[[Optional[object]], object],
+    target: object,
     input_values: Optional[Dict[int, int]] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce the case analysis of Fig. 6 on the AND example.
@@ -209,13 +203,9 @@ def fig6_case_table(
     netlist = and_gate_example_netlist()
     if input_values is None:
         input_values = {netlist.inputs[0]: 1, netlist.inputs[1]: 1}
-    sites = enumerate_fault_sites(make_executor, input_values)
-    analysis = exhaustive_single_fault_injection(make_executor, input_values, sites)
-
-    level_of_gate: Dict[int, int] = {}
-    for level_number, gate_indices in enumerate(netlist.levelize(), start=1):
-        for gate_index in gate_indices:
-            level_of_gate[gate_index] = level_number
+    backend = as_backend(target)
+    sites = backend.enumerate_sites(input_values)
+    analysis = exhaustive_single_fault_injection(backend, input_values, sites)
 
     def category(site: FaultSite) -> str:
         if not site.is_metadata and site.output_position == 0:
@@ -250,7 +240,7 @@ def fig6_case_table(
 
 
 def circuit_granularity_counterexample(
-    make_unprotected_executor: Callable[[Optional[object]], object],
+    unprotected_target: object,
     input_values: Optional[Dict[int, int]] = None,
 ) -> bool:
     """Show that deferring checks to circuit granularity loses SEP.
@@ -264,7 +254,6 @@ def circuit_granularity_counterexample(
     netlist = and_gate_example_netlist()
     if input_values is None:
         input_values = {netlist.inputs[0]: 1, netlist.inputs[1]: 1}
-    injector = DeterministicFaultInjector(target_operations={0: 1})
-    executor = make_unprotected_executor(injector)
-    report = executor.run(dict(input_values))
-    return not report.outputs_correct
+    backend = as_backend(unprotected_target)
+    outcomes = backend.run_trials([input_values], fault_plan=[{0: 0}])
+    return not bool(outcomes.outputs_correct[0])

@@ -27,8 +27,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.backend import make_backend
 from repro.core.design_space import design_space_table
-from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
 from repro.core.pipeline import ParityUpdatePipeline
 from repro.core.protection import EcimScheme, TrimScheme, UnprotectedScheme
 from repro.core.sep import (
@@ -222,24 +222,24 @@ def experiment_table5(
 # ---------------------------------------------------------------------- #
 # Fig. 6 — SEP guarantee
 # ---------------------------------------------------------------------- #
-def experiment_fig6() -> Dict[str, object]:
-    """Fig. 6: exhaustive single-fault analysis of the Hamming(7,4) AND example."""
+def experiment_fig6(backend: str = "scalar") -> Dict[str, object]:
+    """Fig. 6: exhaustive single-fault analysis of the Hamming(7,4) AND example.
+
+    ``backend`` picks the execution substrate for the sweep (``scalar`` — the
+    default, byte-identical to the legacy artefact — or ``batched``); the
+    per-site outcomes are identical on both, which the test suite enforces.
+    """
     netlist = and_gate_example_netlist()
     inputs = {netlist.inputs[0]: 1, netlist.inputs[1]: 1}
 
-    def make_ecim(injector):
-        return EcimExecutor(and_gate_example_netlist(), fault_injector=injector)
+    ecim = make_backend(backend, netlist, "ecim")
+    trim = make_backend(backend, netlist, "trim")
+    unprotected = make_backend(backend, netlist, "unprotected")
 
-    def make_trim(injector):
-        return TrimExecutor(and_gate_example_netlist(), fault_injector=injector)
-
-    def make_unprotected(injector):
-        return UnprotectedExecutor(and_gate_example_netlist(), fault_injector=injector)
-
-    ecim_analysis = exhaustive_single_fault_injection(make_ecim, inputs)
-    trim_analysis = exhaustive_single_fault_injection(make_trim, inputs)
-    case_table = fig6_case_table(make_ecim, inputs)
-    escaped_without_checks = circuit_granularity_counterexample(make_unprotected, inputs)
+    ecim_analysis = exhaustive_single_fault_injection(ecim, inputs)
+    trim_analysis = exhaustive_single_fault_injection(trim, inputs)
+    case_table = fig6_case_table(ecim, inputs)
+    escaped_without_checks = circuit_granularity_counterexample(unprotected, inputs)
 
     rendered = format_table(
         ["error site", "sites", "errors in level output", "final outcome"],
@@ -254,6 +254,7 @@ def experiment_fig6() -> Dict[str, object]:
         ),
     )
     return {
+        "backend": backend,
         "case_table": case_table,
         "ecim_sites": ecim_analysis.total_sites,
         "ecim_protected": ecim_analysis.protected_sites,
@@ -350,7 +351,7 @@ def experiment_fig9(max_outputs: int = 10) -> Dict[str, object]:
 # ---------------------------------------------------------------------- #
 # Ablations
 # ---------------------------------------------------------------------- #
-def experiment_ablation_granularity() -> Dict[str, object]:
+def experiment_ablation_granularity(backend: str = "scalar") -> Dict[str, object]:
     """Check-granularity ablation: gate vs logic level vs circuit.
 
     Quantifies Table II's conclusion operationally: SEP holds at gate and
@@ -360,14 +361,12 @@ def experiment_ablation_granularity() -> Dict[str, object]:
     netlist = and_gate_example_netlist()
     inputs = {netlist.inputs[0]: 1, netlist.inputs[1]: 1}
 
-    def make_ecim(injector):
-        return EcimExecutor(and_gate_example_netlist(), fault_injector=injector)
-
-    def make_unprotected(injector):
-        return UnprotectedExecutor(and_gate_example_netlist(), fault_injector=injector)
-
-    logic_level = exhaustive_single_fault_injection(make_ecim, inputs)
-    escapes = circuit_granularity_counterexample(make_unprotected, inputs)
+    logic_level = exhaustive_single_fault_injection(
+        make_backend(backend, netlist, "ecim"), inputs
+    )
+    escapes = circuit_granularity_counterexample(
+        make_backend(backend, netlist, "unprotected"), inputs
+    )
     rows = [
         ["logic level (ECiM)", logic_level.total_sites, logic_level.protected_sites, logic_level.sep_guaranteed],
         ["circuit (no per-level check)", 1, 0 if escapes else 1, not escapes],
@@ -417,6 +416,10 @@ def experiment_coverage(
     benchmark: str = "mm8",
     gate_error_rates: Sequence[float] = (1e-6, 1e-5, 1e-4, 1e-3),
     correction_strengths: Sequence[int] = (1, 2, 3),
+    backend: Optional[str] = None,
+    empirical_workload: str = "dot2",
+    empirical_trials: int = 300,
+    seed: int = 0,
 ) -> Dict[str, object]:
     """Coverage extension: run-survival probability vs gate error rate.
 
@@ -425,8 +428,15 @@ def experiment_coverage(
     the code's per-level correction budget, for Hamming (t = 1) and BCH
     (t = 2, 3) protection, using the binomial per-level error model over the
     workload's actual logic-level widths.
+
+    When ``backend`` is given, the analytic table is complemented by an
+    *empirical* Monte-Carlo coverage sweep of the same gate error rates on
+    ``empirical_workload`` (a bit-exact campaign unit block under ECiM),
+    executed through that :mod:`~repro.core.backend` — the operational
+    cross-check the default (analytic-only, byte-identical) artefact omits.
     """
-    from repro.core.coverage import coverage_table
+    from repro.campaign.workloads import get_campaign_workload, sample_inputs
+    from repro.core.coverage import coverage_table, monte_carlo_coverage
 
     spec = _workload(benchmark)
     sites_per_level: List[int] = []
@@ -443,12 +453,49 @@ def experiment_coverage(
         title=f"Coverage extension: run-survival probability for {benchmark} "
         f"({len(sites_per_level)} logic levels)",
     )
-    return {
+    result: Dict[str, object] = {
         "benchmark": benchmark,
         "n_levels": len(sites_per_level),
         "rows": rows,
         "rendered": rendered,
     }
+    if backend is not None:
+        netlist = get_campaign_workload(empirical_workload).netlist
+        ecim = make_backend(backend, netlist, "ecim")
+        empirical_rows = []
+        for rate in gate_error_rates:
+            coverage = monte_carlo_coverage(
+                ecim,
+                lambda rng: sample_inputs(netlist, rng),
+                gate_error_rate=float(rate),
+                trials=empirical_trials,
+                seed=seed,
+            )
+            empirical_rows.append(
+                {
+                    "gate_error_rate": float(rate),
+                    "coverage": coverage.coverage,
+                    "average_faults_per_run": coverage.average_faults_per_run,
+                    "corrections": coverage.total_corrections,
+                }
+            )
+        empirical_rendered = format_series(
+            "gate error rate",
+            [f"{row['gate_error_rate']:.0e}" for row in empirical_rows],
+            {
+                "empirical coverage": [round(r["coverage"], 4) for r in empirical_rows],
+                "faults/run": [round(r["average_faults_per_run"], 3) for r in empirical_rows],
+            },
+            title=(
+                f"Empirical complement: Monte-Carlo coverage of "
+                f"{empirical_workload} + ECiM ({empirical_trials} trials/rate, "
+                f"{backend} backend, seed {seed})"
+            ),
+        )
+        result["backend"] = backend
+        result["empirical_rows"] = empirical_rows
+        result["rendered"] = rendered + "\n\n" + empirical_rendered
+    return result
 
 
 def experiment_ablation_codes(
@@ -500,6 +547,7 @@ def experiment_campaign(
     shard_size: int = 100,
     workers: int = 0,
     checkpoint: Optional[str] = None,
+    backend: str = "scalar",
 ) -> Dict[str, object]:
     """Monte-Carlo coverage campaign: the empirical complement of Fig. 6.
 
@@ -521,6 +569,7 @@ def experiment_campaign(
         trials=trials,
         seed=seed,
         shard_size=shard_size,
+        backend=backend,
         name="experiment-campaign",
     )
     result = run_campaign(spec, workers=workers, checkpoint=checkpoint)

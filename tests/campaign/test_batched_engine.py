@@ -1,8 +1,9 @@
-"""Campaign integration of the batched trial engine.
+"""Campaign integration of the batched execution backend.
 
-Covers the spec/CLI surface (``engine`` field, hash back-compat), the
-worker dispatch, exact scalar equality on fault-free cells, statistical
-scalar agreement on stochastic cells, and the SEP acceptance sweep.
+Covers the spec/CLI surface (``backend`` field, deprecated ``engine`` alias,
+hash back-compat), the worker dispatch, exact scalar equality on fault-free
+cells, statistical scalar agreement on stochastic cells, and the SEP
+acceptance sweep.
 """
 
 import numpy as np
@@ -14,14 +15,14 @@ from repro.campaign import (
     run_shard,
 )
 from repro.campaign.aggregate import COUNT_KEYS
-from repro.campaign.spec import CAMPAIGN_ENGINES, ShardTask
+from repro.campaign.spec import CAMPAIGN_BACKENDS, CAMPAIGN_ENGINES, ShardTask
 from repro.campaign.worker import clear_executor_cache
 from repro.campaign.workloads import get_campaign_workload
 from repro.core.batched import compile_plan, run_batch, sample_input_matrix
 from repro.errors import EvaluationError
 
 
-def spec(engine="batched", **overrides):
+def spec(backend="batched", **overrides):
     defaults = dict(
         workloads=("and2",),
         schemes=("unprotected", "ecim", "trim"),
@@ -30,53 +31,116 @@ def spec(engine="batched", **overrides):
         trials=60,
         shard_size=20,
         seed=7,
-        engine=engine,
-        name="batched-engine-test",
+        backend=backend,
+        name="batched-backend-test",
     )
     defaults.update(overrides)
     return CampaignSpec(**defaults)
 
 
 class TestSpecSurface:
-    def test_engines_constant(self):
-        assert CAMPAIGN_ENGINES == ("scalar", "batched")
+    def test_backends_constant(self):
+        assert CAMPAIGN_BACKENDS == ("scalar", "batched")
+        # The deprecated alias names the same choice set.
+        assert CAMPAIGN_ENGINES == CAMPAIGN_BACKENDS
 
-    def test_default_engine_is_scalar(self):
-        assert CampaignSpec(workloads=("and2",)).engine == "scalar"
+    def test_default_backend_is_scalar(self):
+        assert CampaignSpec(workloads=("and2",)).backend == "scalar"
 
-    def test_unknown_engine_rejected(self):
+    def test_unknown_backend_rejected(self):
         with pytest.raises(EvaluationError):
-            CampaignSpec(workloads=("and2",), engine="vectorised")
+            CampaignSpec(workloads=("and2",), backend="vectorised")
         with pytest.raises(EvaluationError):
             ShardTask(
                 cell=spec().cells()[0], shard_index=0, start_trial=0,
-                n_trials=1, campaign_seed=0, engine="vectorised",
+                n_trials=1, campaign_seed=0, backend="vectorised",
             )
 
-    def test_engine_propagates_to_shards(self):
-        assert all(task.engine == "batched" for task in spec().shards())
-        assert all(task.engine == "scalar" for task in spec(engine="scalar").shards())
+    def test_backend_propagates_to_shards(self):
+        assert all(task.backend == "batched" for task in spec().shards())
+        assert all(task.backend == "scalar" for task in spec(backend="scalar").shards())
 
-    def test_scalar_hash_unchanged_by_engine_field(self):
-        # Pre-engine checkpoints must stay resumable: a default-engine spec
+    def test_scalar_hash_unchanged_by_backend_field(self):
+        # Pre-backend checkpoints must stay resumable: a default-backend spec
         # hashes as if the field did not exist.
-        base = spec(engine="scalar")
+        base = spec(backend="scalar")
         data = base.to_dict()
-        assert data["engine"] == "scalar"
-        del data["engine"]
+        assert data["backend"] == "scalar"
+        del data["backend"]
         assert CampaignSpec.from_dict(data).spec_hash() == base.spec_hash()
 
     def test_batched_hash_differs_from_scalar(self):
-        assert spec().spec_hash() != spec(engine="scalar").spec_hash()
+        assert spec().spec_hash() != spec(backend="scalar").spec_hash()
 
-    def test_engine_round_trips_through_json(self):
-        assert CampaignSpec.from_json(spec().to_json()).engine == "batched"
+    def test_backend_round_trips_through_json(self):
+        assert CampaignSpec.from_json(spec().to_json()).backend == "batched"
+
+
+class TestEngineDeprecationShim:
+    def test_engine_kwarg_maps_to_backend_with_warning(self):
+        with pytest.deprecated_call():
+            legacy = CampaignSpec(workloads=("and2",), engine="batched")
+        assert legacy.backend == "batched"
+        # The alias mirrors the resolved backend for legacy readers.
+        assert legacy.engine == "batched"
+
+    def test_engine_spec_hash_matches_backend_spec_hash(self):
+        # A pre-rename batched checkpoint must resume under the new field.
+        with pytest.deprecated_call():
+            legacy = CampaignSpec(workloads=("and2",), engine="batched")
+        assert legacy.spec_hash() == CampaignSpec(
+            workloads=("and2",), backend="batched"
+        ).spec_hash()
+
+    def test_engine_json_spec_files_still_load(self):
+        with pytest.deprecated_call():
+            loaded = CampaignSpec.from_dict(
+                {"workloads": ["and2"], "engine": "batched"}
+            )
+        assert loaded.backend == "batched"
+
+    def test_engine_key_not_serialised(self):
+        with pytest.deprecated_call():
+            legacy = CampaignSpec(workloads=("and2",), engine="batched")
+        data = legacy.to_dict()
+        assert "engine" not in data
+        assert data["backend"] == "batched"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.deprecated_call(), pytest.raises(EvaluationError):
+            CampaignSpec(workloads=("and2",), engine="vectorised")
+
+    def test_conflicting_engine_and_backend_rejected(self):
+        with pytest.deprecated_call(), pytest.raises(EvaluationError):
+            CampaignSpec(workloads=("and2",), backend="batched", engine="scalar")
+
+    def test_stale_engine_cannot_override_explicit_scalar_backend(self):
+        # An *explicit* backend="scalar" is a pin, not a default: a stale
+        # engine kwarg must conflict loudly instead of silently switching
+        # the campaign onto Philox streams and the batched hash namespace.
+        with pytest.deprecated_call(), pytest.raises(EvaluationError):
+            CampaignSpec(workloads=("and2",), backend="scalar", engine="batched")
+
+    def test_shard_task_engine_alias(self):
+        task = spec().shards()[0]
+        assert task.engine == task.backend == "batched"
+
+    def test_shard_task_engine_kwarg_still_constructs(self):
+        # PR-2 era code built ShardTask(engine=...) directly; the keyword
+        # must keep working through the same deprecation shim.
+        with pytest.deprecated_call():
+            task = ShardTask(
+                cell=spec().cells()[0], shard_index=0, start_trial=0,
+                n_trials=5, campaign_seed=0, engine="batched",
+            )
+        assert task.backend == "batched"
+        assert run_shard(task).counts["trials"] == 5
 
 
 class TestWorkerDispatch:
     def test_unknown_technology_rejected_like_scalar(self):
         # The batched plan never consumes technology parameters, but a
-        # typo'd --technologies must not silently succeed on one engine
+        # typo'd --technologies must not silently succeed on one backend
         # and fail on the other.
         from repro.errors import TechnologyError
 
@@ -88,7 +152,7 @@ class TestWorkerDispatch:
         )
         task = ShardTask(
             cell=bogus, shard_index=0, start_trial=0, n_trials=5,
-            campaign_seed=0, engine="batched",
+            campaign_seed=0, backend="batched",
         )
         with pytest.raises(TechnologyError):
             run_shard(task)
@@ -119,11 +183,11 @@ class TestWorkerDispatch:
 
 class TestScalarAgreement:
     def test_fault_free_cells_match_scalar_exactly(self):
-        # With no faults both engines are deterministic functions of the
+        # With no faults both backends are deterministic functions of the
         # shared input sampler, so every counter must agree bit-for-bit.
         kwargs = dict(gate_error_rates=(0.0,), trials=40, shard_size=10)
         batched = run_campaign(spec(**kwargs), workers=0)
-        scalar = run_campaign(spec(engine="scalar", **kwargs), workers=0)
+        scalar = run_campaign(spec(backend="scalar", **kwargs), workers=0)
         assert batched.counts_by_cell == scalar.counts_by_cell
         for report in batched.reports:
             assert report.counts["correct"] == report.counts["trials"]
@@ -137,7 +201,7 @@ class TestScalarAgreement:
             trials=300, shard_size=100,
         )
         batched = run_campaign(spec(**kwargs), workers=0).reports[0]
-        scalar = run_campaign(spec(engine="scalar", **kwargs), workers=0).reports[0]
+        scalar = run_campaign(spec(backend="scalar", **kwargs), workers=0).reports[0]
         assert batched.counts["faults_injected"] > 0
         ratio = batched.counts["faults_injected"] / scalar.counts["faults_injected"]
         assert 0.8 < ratio < 1.25
@@ -148,7 +212,7 @@ class TestScalarAgreement:
 class TestSepAcceptance:
     def test_dot2_grid_zero_silent_corruption_under_protection(self):
         # The acceptance sweep: ECiM and TRiM on dot2 across the swept error
-        # rates, batched engine — silent corruption must be zero everywhere,
+        # rates, batched backend — silent corruption must be zero everywhere,
         # while the unprotected baseline shows why protection is needed.
         result = run_campaign(
             spec(
@@ -184,7 +248,7 @@ class TestCheckpointInterop:
     def test_batched_checkpoint_not_consumed_by_scalar_run(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"
         run_campaign(spec(), workers=0, checkpoint=path)
-        scalar = run_campaign(spec(engine="scalar"), workers=0, checkpoint=path)
+        scalar = run_campaign(spec(backend="scalar"), workers=0, checkpoint=path)
         assert scalar.resumed_shards == 0
 
 

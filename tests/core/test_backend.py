@@ -1,0 +1,250 @@
+"""The ExecutionBackend protocol: dispatch, adaptation, outcome schema, and
+scalar/batched equivalence at the SEP layer.
+
+The load-bearing contract (ISSUE 3 acceptance): every enumerated fault site
+on the Fig. 6 AND netlist and on a synthesized workload netlist must
+classify identically (corrected / detected / silent) under both backends,
+for both ECiM and TRiM.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.spec import trial_seed
+from repro.campaign.workloads import get_campaign_workload, sample_inputs
+from repro.core.backend import (
+    BACKEND_NAMES,
+    BatchedBackend,
+    ExecutionBackend,
+    ScalarBackend,
+    as_backend,
+    derive_seed,
+    make_backend,
+)
+from repro.core.executor import EcimExecutor
+from repro.core.sep import and_gate_example_netlist, exhaustive_single_fault_injection
+from repro.errors import ProtectionError
+from repro.pim.faults import FaultModel
+
+AND2 = and_gate_example_netlist()
+AND2_INPUTS = {AND2.inputs[0]: 1, AND2.inputs[1]: 1}
+
+
+class TestDispatch:
+    def test_backend_names(self):
+        assert BACKEND_NAMES == ("scalar", "batched")
+
+    @pytest.mark.parametrize("name,cls", [("scalar", ScalarBackend), ("batched", BatchedBackend)])
+    def test_make_backend_builds_the_named_backend(self, name, cls):
+        backend = make_backend(name, AND2, "ecim")
+        assert isinstance(backend, cls)
+        assert backend.name == name
+        assert backend.scheme == "ecim"
+
+    def test_unknown_backend_fails_fast_with_choices(self):
+        with pytest.raises(ProtectionError, match=r"scalar.*batched"):
+            make_backend("vectorised", AND2, "ecim")
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_unknown_scheme_rejected_at_construction(self, name):
+        with pytest.raises(ProtectionError):
+            make_backend(name, AND2, "parity")
+
+    def test_as_backend_passes_backends_through(self):
+        backend = make_backend("batched", AND2, "trim")
+        assert as_backend(backend) is backend
+
+    def test_as_backend_adapts_legacy_factories(self):
+        backend = as_backend(lambda injector: EcimExecutor(AND2, fault_injector=injector))
+        assert isinstance(backend, ScalarBackend)
+        outcomes = backend.run_trials([AND2_INPUTS])
+        assert outcomes.n_trials == 1
+        assert bool(outcomes.outputs_correct[0])
+        # The netlist is resolved from the factory's executor.
+        assert backend.netlist is AND2
+
+    def test_as_backend_rejects_non_callables(self):
+        with pytest.raises(ProtectionError):
+            as_backend(42)
+
+
+class TestDerivedSeeds:
+    def test_deterministic_and_distinct_per_component(self):
+        assert derive_seed(1, "x", 2, "inputs") == derive_seed(1, "x", 2, "inputs")
+        assert derive_seed(1, "x", 2, "inputs") != derive_seed(1, "x", 2, "faults")
+        assert derive_seed(1, "x", 2, "inputs") != derive_seed(1, "x", 3, "inputs")
+
+    def test_campaign_trial_seed_byte_layout_preserved(self):
+        # trial_seed delegates to derive_seed; the historical SHA-256 payload
+        # must be unchanged or every existing checkpoint would orphan.
+        import hashlib
+
+        expected = int.from_bytes(
+            hashlib.sha256("7|cellkey|41|faults".encode()).digest()[:8], "big"
+        )
+        assert trial_seed(7, "cellkey", 41, "faults") == expected
+        assert derive_seed(7, "cellkey", 41, "faults") == expected
+
+
+class TestRunTrialsSurface:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_dict_rows_and_matrix_inputs_agree(self, name):
+        backend = make_backend(name, AND2, "ecim")
+        rows = [{AND2.inputs[0]: a, AND2.inputs[1]: b} for a in (0, 1) for b in (0, 1)]
+        matrix = np.array([[r[s] for s in AND2.inputs] for r in rows], dtype=np.uint8)
+        from_rows = backend.run_trials(rows)
+        from_matrix = backend.run_trials(matrix)
+        assert np.array_equal(from_rows.outputs_correct, from_matrix.outputs_correct)
+        assert from_rows.counts() == from_matrix.counts()
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_empty_batch_rejected(self, name):
+        backend = make_backend(name, AND2, "ecim")
+        with pytest.raises(ProtectionError):
+            backend.run_trials([])
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_stochastic_model_requires_per_trial_seeds(self, name):
+        backend = make_backend(name, AND2, "ecim")
+        with pytest.raises(ProtectionError):
+            backend.run_trials([AND2_INPUTS], model=FaultModel(gate_error_rate=0.1))
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_fault_seeds_without_model_rejected(self, name):
+        # A forgotten model= kwarg must not silently run fault-free.
+        backend = make_backend(name, AND2, "ecim")
+        with pytest.raises(ProtectionError):
+            backend.run_trials([AND2_INPUTS], fault_seeds=[1])
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_error_free_model_with_seeds_is_allowed(self, name):
+        # The zero-rate point of a coverage sweep passes seeds alongside an
+        # all-zero model; that stays valid (and fault free).
+        backend = make_backend(name, AND2, "ecim")
+        outcomes = backend.run_trials([AND2_INPUTS], model=FaultModel(), fault_seeds=[1])
+        assert outcomes.faults_injected.sum() == 0
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_fault_plan_and_stochastic_model_are_exclusive(self, name):
+        backend = make_backend(name, AND2, "ecim")
+        with pytest.raises(ProtectionError):
+            backend.run_trials(
+                [AND2_INPUTS],
+                fault_plan=[{0: 0}],
+                model=FaultModel(gate_error_rate=0.1),
+                fault_seeds=[1],
+            )
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_counts_schema_matches_campaign_keys(self, name):
+        from repro.campaign.aggregate import COUNT_KEYS
+
+        backend = make_backend(name, AND2, "trim")
+        counts = backend.run_trials([AND2_INPUTS] * 3).counts()
+        assert set(counts) == set(COUNT_KEYS)
+        assert counts["trials"] == 3
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_classifications_vocabulary(self, name):
+        backend = make_backend(name, AND2, "unprotected")
+        outcomes = backend.run_trials(
+            [AND2_INPUTS] * 2, fault_plan=[{}, {2: 0}]
+        )
+        # No fault -> correct; flipping the final AND output on (1, 1) is a
+        # silent corruption on the unprotected baseline.
+        assert outcomes.classifications() == ["corrected", "silent"]
+
+
+class TestSiteEnumerationEquivalence:
+    @pytest.mark.parametrize("workload", ["and2", "dot2"])
+    @pytest.mark.parametrize(
+        "scheme,multi_output",
+        [("ecim", True), ("ecim", False), ("trim", True), ("trim", False)],
+    )
+    def test_both_backends_enumerate_identical_sites(self, workload, scheme, multi_output):
+        netlist = get_campaign_workload(workload).netlist
+        inputs = {signal: 1 for signal in netlist.inputs}
+        scalar_sites = make_backend(
+            "scalar", netlist, scheme, multi_output=multi_output
+        ).enumerate_sites(inputs)
+        batched_sites = make_backend(
+            "batched", netlist, scheme, multi_output=multi_output
+        ).enumerate_sites(inputs)
+        # Full FaultSite equality: op index, position, gate, metadata flag,
+        # logic level and physical column all agree, in firing order.
+        assert scalar_sites == batched_sites
+        assert scalar_sites
+
+
+def _synthesized_dot_netlist():
+    """The smallest synthesized mm-family unit block (2-term dot product,
+    1-bit operands): 60 gates — big enough to exercise multi-level parity
+    banks, small enough for a full scalar sweep in tier-1 time."""
+    from repro.workloads.matmul import dot_product_netlist
+
+    return dot_product_netlist(2, 1)
+
+
+class TestSepEquivalence:
+    """Acceptance: per-site outcome equality between backends, exhaustively —
+    on the Fig. 6 AND example and on a synthesized workload netlist."""
+
+    @pytest.mark.parametrize("workload", ["and2", "dot-2x1"])
+    @pytest.mark.parametrize("scheme", ["ecim", "trim"])
+    def test_every_site_classifies_identically(self, workload, scheme):
+        netlist = (
+            get_campaign_workload("and2").netlist
+            if workload == "and2"
+            else _synthesized_dot_netlist()
+        )
+        import random
+
+        inputs = sample_inputs(netlist, random.Random(13))
+        scalar = exhaustive_single_fault_injection(
+            make_backend("scalar", netlist, scheme), inputs
+        )
+        batched = exhaustive_single_fault_injection(
+            make_backend("batched", netlist, scheme), inputs
+        )
+        assert scalar.total_sites == batched.total_sites > 0
+        for s, b in zip(scalar.outcomes, batched.outcomes):
+            assert s.site == b.site
+            assert s.classification == b.classification, s.site
+            assert (s.final_outputs_correct, s.error_detected, s.corrections,
+                    s.uncorrectable_levels) == (
+                b.final_outputs_correct, b.error_detected, b.corrections,
+                b.uncorrectable_levels), s.site
+        # And SEP itself holds on the protected schemes.
+        assert scalar.sep_guaranteed and batched.sep_guaranteed
+
+    def test_unprotected_classifications_also_agree(self):
+        netlist = get_campaign_workload("and2").netlist
+        inputs = {netlist.inputs[0]: 1, netlist.inputs[1]: 1}
+        scalar = exhaustive_single_fault_injection(
+            make_backend("scalar", netlist, "unprotected"), inputs
+        )
+        batched = exhaustive_single_fault_injection(
+            make_backend("batched", netlist, "unprotected"), inputs
+        )
+        assert [o.classification for o in scalar.outcomes] == [
+            o.classification for o in batched.outcomes
+        ]
+        assert not scalar.sep_guaranteed and not batched.sep_guaranteed
+
+
+class TestStochasticEquivalence:
+    def test_fixed_seeds_reproduce_on_both_backends(self):
+        netlist = get_campaign_workload("dot2").netlist
+        model = FaultModel(gate_error_rate=5e-3)
+        seeds = [derive_seed(3, t, "faults") for t in range(50)]
+        rows = [sample_inputs(netlist, __import__("random").Random(t)) for t in range(50)]
+        for name in BACKEND_NAMES:
+            backend = make_backend(name, netlist, "ecim")
+            first = backend.run_trials(rows, model=model, fault_seeds=seeds)
+            again = backend.run_trials(rows, model=model, fault_seeds=seeds)
+            assert first.counts() == again.counts()
+            assert np.array_equal(first.faults_injected, again.faults_injected)
+
+    def test_protocol_is_abstract(self):
+        with pytest.raises(TypeError):
+            ExecutionBackend()

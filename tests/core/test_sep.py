@@ -1,7 +1,15 @@
-"""Tests for the SEP guarantee analysis (Fig. 6)."""
+"""Tests for the SEP guarantee analysis (Fig. 6).
+
+The analyses accept either a legacy ``make_executor`` factory (adapted into
+a :class:`~repro.core.backend.ScalarBackend`) or any
+:class:`~repro.core.backend.ExecutionBackend`; the factory-based tests below
+exercise the adaptation path, :class:`TestBackendParity` the protocol path
+on both backends.
+"""
 
 import pytest
 
+from repro.core.backend import BACKEND_NAMES, make_backend
 from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
 from repro.core.sep import (
     and_gate_example_netlist,
@@ -117,3 +125,48 @@ class TestGranularityRequirement:
         # A single early fault propagates to the final output when no
         # per-level correction happens (Section IV-F).
         assert circuit_granularity_counterexample(make_unprotected)
+
+
+class TestBackendParity:
+    """The same analyses through the ExecutionBackend protocol, per backend."""
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("inputs", ALL_INPUT_VECTORS)
+    def test_ecim_sep_on_every_backend(self, backend, inputs):
+        analysis = exhaustive_single_fault_injection(
+            make_backend(backend, and_gate_example_netlist(), "ecim"), inputs
+        )
+        assert analysis.sep_guaranteed, analysis.unprotected_sites
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_trim_sep_on_every_backend(self, backend):
+        analysis = exhaustive_single_fault_injection(
+            make_backend(backend, and_gate_example_netlist(), "trim"),
+            ALL_INPUT_VECTORS[3],
+        )
+        assert analysis.sep_guaranteed
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_case_table_identical_across_backends(self, backend):
+        # The acceptance criterion's operational form: the Fig. 6 case table
+        # must be *equal* to the factory-based scalar reference, row for row.
+        reference = fig6_case_table(make_ecim)
+        table = fig6_case_table(make_backend(backend, and_gate_example_netlist(), "ecim"))
+        assert table == reference
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_circuit_granularity_counterexample_on_every_backend(self, backend):
+        assert circuit_granularity_counterexample(
+            make_backend(backend, and_gate_example_netlist(), "unprotected")
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_fault_outcome_classification_vocabulary(self, backend):
+        analysis = exhaustive_single_fault_injection(
+            make_backend(backend, and_gate_example_netlist(), "unprotected"),
+            ALL_INPUT_VECTORS[3],
+        )
+        assert {o.classification for o in analysis.outcomes} <= {
+            "corrected", "detected", "silent"
+        }
+        assert any(o.classification == "silent" for o in analysis.outcomes)

@@ -87,10 +87,21 @@ class TestTableExperiments:
 class TestFigureExperiments:
     def test_fig6_sep_holds(self):
         result = experiment_fig6()
+        assert result["backend"] == "scalar"
         assert result["ecim_sep"] is True
         assert result["trim_sep"] is True
         assert result["ecim_protected"] == result["ecim_sites"]
         assert result["error_escapes_without_checks"] is True
+
+    def test_fig6_batched_backend_reproduces_scalar_artefact(self):
+        # The acceptance criterion: per-site outcome equality means the whole
+        # rendered Fig. 6 case table is identical across backends.
+        scalar = experiment_fig6(backend="scalar")
+        batched = experiment_fig6(backend="batched")
+        assert batched["case_table"] == scalar["case_table"]
+        assert batched["rendered"] == scalar["rendered"]
+        for key in ("ecim_sites", "ecim_protected", "trim_sites", "trim_protected"):
+            assert batched[key] == scalar[key]
 
     def test_fig7_time_overheads_in_band(self):
         result = experiment_fig7(benchmarks=SUBSET)
@@ -130,8 +141,22 @@ class TestAblationExperiments:
     def test_coverage_extension_experiment(self):
         result = run_experiment("coverage", benchmark="mm8", gate_error_rates=(1e-5, 1e-3))
         assert result["n_levels"] > 0
+        assert "empirical_rows" not in result  # analytic-only by default
         for row in result["rows"]:
             assert row["survival_t1"] <= row["survival_t3"]
+
+    def test_coverage_empirical_complement_with_backend(self):
+        result = run_experiment(
+            "coverage",
+            benchmark="mm8",
+            gate_error_rates=(1e-4, 1e-3),
+            backend="batched",
+            empirical_trials=120,
+        )
+        rows = result["empirical_rows"]
+        assert [row["gate_error_rate"] for row in rows] == [1e-4, 1e-3]
+        assert all(0.0 <= row["coverage"] <= 1.0 for row in rows)
+        assert "Empirical complement" in result["rendered"]
 
 
 class TestRenderedOutput:

@@ -44,6 +44,28 @@ class TestCommands:
         assert main(["sep"]) == 0
         assert "Single error protection: holds" in capsys.readouterr().out
 
+    def test_sep_batched_backend_reproduces_scalar_output(self, capsys):
+        assert main(["sep"]) == 0
+        scalar = capsys.readouterr().out
+        assert main(["sep", "--backend", "batched"]) == 0
+        assert capsys.readouterr().out == scalar
+
+    def test_sep_unknown_backend_fails_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sep", "--backend", "vectorised"])
+        err = capsys.readouterr().err
+        assert "scalar" in err and "batched" in err
+
+    def test_run_backend_forwarded_to_execution_experiments(self, capsys):
+        assert main(["run", "ablation_granularity", "--backend", "batched"]) == 0
+        assert "Ablation: check granularity" in capsys.readouterr().out
+
+    def test_run_backend_ignored_for_analytic_experiments(self, capsys):
+        assert main(["run", "table1", "--backend", "batched"]) == 0
+        captured = capsys.readouterr()
+        assert "Table I" in captured.out
+        assert "analytic" in captured.err
+
 
 CAMPAIGN_ARGS = [
     "campaign",
@@ -94,3 +116,44 @@ class TestCampaignCommand:
         path.write_text('{"workloads": ["and2"], "gpu_count": 8}')
         assert main(["campaign", "--spec", str(path), "--quiet"]) == 1
         assert "invalid campaign spec" in capsys.readouterr().err
+
+    def test_backend_flag_selects_batched(self, capsys):
+        assert main(CAMPAIGN_ARGS + ["--backend", "batched"]) == 0
+        assert "36 trials across 3 cells" in capsys.readouterr().out
+
+    def test_engine_flag_is_a_deprecated_alias(self, capsys):
+        with pytest.deprecated_call():
+            assert main(CAMPAIGN_ARGS + ["--engine", "batched"]) == 0
+        assert "36 trials across 3 cells" in capsys.readouterr().out
+
+    def test_conflicting_backend_and_engine_fail(self, capsys):
+        with pytest.deprecated_call():
+            assert main(
+                CAMPAIGN_ARGS + ["--backend", "scalar", "--engine", "batched"]
+            ) == 1
+        assert "conflicting flags" in capsys.readouterr().err
+
+    def test_unknown_backend_fails_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--backend", "vectorised", "--quiet"])
+        err = capsys.readouterr().err
+        assert "scalar" in err and "batched" in err
+
+    def test_backend_flag_overrides_spec_file(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec
+
+        spec = CampaignSpec(
+            workloads=("and2",), schemes=("ecim",), gate_error_rates=(1e-2,),
+            trials=8, shard_size=8, name="spec-backend-override",
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        batched_hash = CampaignSpec.from_dict(
+            {**spec.to_dict(), "backend": "batched"}
+        ).spec_hash()
+        assert main(
+            ["campaign", "--spec", str(path), "--backend", "batched",
+             "--workers", "0", "--quiet"]
+        ) == 0
+        # The run reports the batched spec hash, proving the override applied.
+        assert batched_hash in capsys.readouterr().out
