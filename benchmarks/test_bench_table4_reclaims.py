@@ -32,7 +32,11 @@ def test_table4_area_reclaims(benchmark):
         assert counts["trim"] >= 2.5 * counts["ecim"]
 
     # Growth with problem size within each family.
-    for family, sizes in (("mm", (8, 16, 32, 64)), ("mnist", (1, 2, 3, 4)), ("fft", (8, 16, 32, 64))):
+    for family, sizes in (
+        ("mm", (8, 16, 32, 64)),
+        ("mnist", (1, 2, 3, 4)),
+        ("fft", (8, 16, 32, 64)),
+    ):
         series = [reclaims[f"{family}{size}"]["ecim"] for size in sizes]
         assert series == sorted(series)
         assert series[-1] > series[0]

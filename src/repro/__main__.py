@@ -12,7 +12,9 @@ Commands
     Print the Table III technology parameter sets.
 ``sep``
     Run the exhaustive single-fault SEP analysis of Fig. 6 and print the
-    per-category outcome.
+    per-category outcome; with ``--max-faults K`` run the exhaustive
+    k-simultaneous-fault sweep instead and print the per-k coverage table
+    (Hamming vs BCH-t ECiM).
 ``campaign``
     Run a (sharded, resumable) Monte-Carlo fault-injection campaign and
     print per-cell coverage rates with Wilson confidence intervals.
@@ -104,13 +106,33 @@ def _cmd_technologies(_args: argparse.Namespace) -> int:
 
 
 def _cmd_sep(args: argparse.Namespace) -> int:
-    result = run_experiment("fig6", backend=args.backend)
+    if args.max_faults < 1:
+        print("--max-faults must be >= 1", file=sys.stderr)
+        return 1
+    if args.max_faults == 1:
+        result = run_experiment("fig6", backend=args.backend)
+        print(result["rendered"])
+        print()
+        verdict = "holds" if result["ecim_sep"] and result["trim_sep"] else "VIOLATED"
+        print(f"Single error protection: {verdict} "
+              f"(ECiM {result['ecim_protected']}/{result['ecim_sites']} sites, "
+              f"TRiM {result['trim_protected']}/{result['trim_sites']} sites).")
+        return 0
+    result = run_experiment(
+        "multifault",
+        workload=args.workload,
+        max_faults=args.max_faults,
+        backend=args.backend,
+        bch_t=args.bch_t,
+    )
     print(result["rendered"])
     print()
-    verdict = "holds" if result["ecim_sep"] and result["trim_sep"] else "VIOLATED"
-    print(f"Single error protection: {verdict} "
-          f"(ECiM {result['ecim_protected']}/{result['ecim_sites']} sites, "
-          f"TRiM {result['trim_protected']}/{result['trim_sites']} sites).")
+    violations = result["budget_violations"]
+    verdict = "holds" if violations == 0 else f"VIOLATED ({violations} combinations)"
+    print(
+        f"Per-level correction budget: {verdict} — every combination with at "
+        "most t simultaneous faults per logic level was corrected."
+    )
     return 0
 
 
@@ -157,6 +179,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 multi_output=not args.single_output,
                 backend=backend,
                 name=args.name,
+                faults_per_trial=args.faults_per_trial,
             )
         for workload in spec.workloads:
             get_campaign_workload(workload)
@@ -227,7 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("technologies", help="print the Table III parameters").set_defaults(
         func=_cmd_technologies
     )
-    sep_parser = subparsers.add_parser("sep", help="run the Fig. 6 SEP analysis")
+    sep_parser = subparsers.add_parser(
+        "sep", help="run the Fig. 6 SEP analysis (or a k-fault sweep with --max-faults)"
+    )
     sep_parser.add_argument(
         "--backend", choices=BACKEND_CHOICES, default="scalar",
         help=(
@@ -235,6 +260,22 @@ def build_parser() -> argparse.ArgumentParser:
             "re-runs the object model once per fault site, 'batched' runs "
             "every site as one row of a single tape interpretation"
         ),
+    )
+    sep_parser.add_argument(
+        "--max-faults", type=int, default=1, metavar="K",
+        help=(
+            "sweep every (sites choose k) combination of simultaneous flips "
+            "for k = 1..K and print the per-k coverage table (Hamming vs "
+            "BCH-t ECiM); K = 1 (default) prints the classic Fig. 6 analysis"
+        ),
+    )
+    sep_parser.add_argument(
+        "--workload", default="and2", metavar="NAME",
+        help="campaign workload netlist for the multi-fault sweep (default: and2)",
+    )
+    sep_parser.add_argument(
+        "--bch-t", type=int, default=2, metavar="T",
+        help="correction strength of the BCH comparison scheme (default: 2)",
     )
     sep_parser.set_defaults(func=_cmd_sep)
 
@@ -275,6 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--memory-rate", type=float, default=0.0, metavar="P",
         help="idle-cell memory error rate per read window (default: 0)",
+    )
+    campaign_parser.add_argument(
+        "--faults-per-trial", type=int, default=None, metavar="K",
+        help=(
+            "inject exactly K simultaneous flips per trial at uniformly "
+            "drawn fault sites (deterministic k-flip plans, bit-identical "
+            "across backends) instead of the stochastic rate model"
+        ),
     )
     campaign_parser.add_argument(
         "--trials", type=int, default=1000, help="trials per grid cell (default: 1000)"

@@ -107,6 +107,7 @@ class CampaignCell:
     gate_error_rate: float
     memory_error_rate: float = 0.0
     multi_output: bool = True
+    faults_per_trial: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in CAMPAIGN_SCHEMES:
@@ -117,15 +118,26 @@ class CampaignCell:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise EvaluationError(f"{name} must be a probability, got {rate}")
+        if self.faults_per_trial is not None:
+            object.__setattr__(self, "faults_per_trial", int(self.faults_per_trial))
+            if self.faults_per_trial < 1:
+                raise EvaluationError("faults_per_trial must be >= 1 when set")
 
     @property
     def key(self) -> str:
-        """Stable identifier used for seeding, checkpointing and merging."""
+        """Stable identifier used for seeding, checkpointing and merging.
+
+        The ``faults_per_trial`` suffix appears only when the field is set,
+        so every pre-multi-fault checkpoint keeps its historical cell keys.
+        """
         style = "mo" if self.multi_output else "so"
-        return (
+        key = (
             f"{self.workload}|{self.scheme}|{self.technology}"
             f"|g{self.gate_error_rate:.9e}|m{self.memory_error_rate:.9e}|{style}"
         )
+        if self.faults_per_trial is not None:
+            key += f"|f{self.faults_per_trial}"
+        return key
 
 
 @dataclass(frozen=True)
@@ -178,6 +190,11 @@ class CampaignSpec:
     backend: Optional[str] = None  # resolves to "scalar" when unset
     name: str = "campaign"
     engine: Optional[str] = None  # deprecated alias for ``backend``
+    #: When set, every trial injects exactly this many simultaneous flips at
+    #: uniformly drawn fault sites (deterministic k-flip plans derived from
+    #: the trial's fault seed) instead of the stochastic rate model; the
+    #: gate/memory error rates then only label the grid cell.
+    faults_per_trial: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", _lowered(self.workloads))
@@ -200,8 +217,12 @@ class CampaignSpec:
             object.__setattr__(self, "memory_error_rate", float(self.memory_error_rate))
             for field_name in ("trials", "seed", "shard_size"):
                 object.__setattr__(self, field_name, int(getattr(self, field_name)))
+            if self.faults_per_trial is not None:
+                object.__setattr__(self, "faults_per_trial", int(self.faults_per_trial))
         except (TypeError, ValueError) as error:
             raise EvaluationError(f"malformed campaign spec value: {error}") from None
+        if self.faults_per_trial is not None and self.faults_per_trial < 1:
+            raise EvaluationError("faults_per_trial must be >= 1 when set")
         if not self.workloads:
             raise EvaluationError("a campaign needs at least one workload")
         if not self.schemes or not self.technologies or not self.gate_error_rates:
@@ -234,6 +255,7 @@ class CampaignSpec:
                 gate_error_rate=rate,
                 memory_error_rate=self.memory_error_rate,
                 multi_output=self.multi_output,
+                faults_per_trial=self.faults_per_trial,
             )
             for workload in self.workloads
             for scheme in self.schemes
@@ -280,6 +302,11 @@ class CampaignSpec:
         # The deprecated alias always mirrors ``backend``; serialising it
         # would make every round trip re-trigger the deprecation path.
         data.pop("engine", None)
+        # faults_per_trial serialises only when set: the canonical dict (and
+        # hence spec_hash) of every pre-multi-fault spec is unchanged, so old
+        # checkpoints and spec files stay resumable.
+        if data.get("faults_per_trial") is None:
+            data.pop("faults_per_trial", None)
         return data
 
     @classmethod

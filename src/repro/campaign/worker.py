@@ -25,13 +25,15 @@ accumulating one per distinct cell configuration for the life of the worker.
 
 from __future__ import annotations
 
-from typing import Tuple
+import random
+from typing import Dict, List, Sequence, Tuple
 
 from repro.campaign.aggregate import ShardResult
 from repro.campaign.spec import CampaignCell, ShardTask, trial_seed
 from repro.campaign.workloads import get_campaign_workload
-from repro.core.backend import BoundedCache, ExecutionBackend, make_backend
+from repro.core.backend import BoundedCache, ExecutionBackend, FaultSite, make_backend
 from repro.core.batched import sample_input_matrix
+from repro.errors import EvaluationError
 from repro.pim.faults import FaultModel
 from repro.pim.technology import get_technology
 
@@ -122,6 +124,32 @@ def _fault_model(cell: CampaignCell) -> FaultModel:
     )
 
 
+def _multi_fault_plan(
+    sites: Sequence[FaultSite], fault_seeds: Sequence[int], k: int
+) -> List[Dict[int, Tuple[int, ...]]]:
+    """One deterministic k-flip plan per trial, drawn from its fault seed.
+
+    Sites are sampled uniformly without replacement from the backend's
+    enumeration; because both backends enumerate sites identically (a PR-3
+    invariant) and k-flip plans execute bit-exactly on both, a
+    ``faults_per_trial`` campaign produces byte-identical counters on the
+    scalar and batched backends.
+    """
+    if k > len(sites):
+        raise EvaluationError(
+            f"faults_per_trial={k} exceeds the {len(sites)} injectable sites"
+        )
+    plans: List[Dict[int, Tuple[int, ...]]] = []
+    for seed in fault_seeds:
+        chosen = random.Random(seed).sample(range(len(sites)), k)
+        entry: Dict[int, List[int]] = {}
+        for index in chosen:
+            site = sites[index]
+            entry.setdefault(site.operation_index, []).append(site.output_position)
+        plans.append({op: tuple(positions) for op, positions in entry.items()})
+    return plans
+
+
 def run_shard(task: ShardTask) -> ShardResult:
     """Execute every trial of one shard and return its summed counters."""
     cell = task.cell
@@ -134,11 +162,20 @@ def run_shard(task: ShardTask) -> ShardResult:
         trial_seed(task.campaign_seed, cell.key, trial, "faults")
         for trial in task.trial_indices
     ]
-    outcomes = backend.run_trials(
-        sample_input_matrix(backend.netlist, input_seeds),
-        model=_fault_model(cell),
-        fault_seeds=fault_seeds,
-    )
+    inputs = sample_input_matrix(backend.netlist, input_seeds)
+    if cell.faults_per_trial is not None:
+        outcomes = backend.run_trials(
+            inputs,
+            fault_plan=_multi_fault_plan(
+                backend.enumerate_sites(), fault_seeds, cell.faults_per_trial
+            ),
+        )
+    else:
+        outcomes = backend.run_trials(
+            inputs,
+            model=_fault_model(cell),
+            fault_seeds=fault_seeds,
+        )
     return ShardResult(
         cell_key=cell.key, shard_index=task.shard_index, counts=outcomes.counts()
     )

@@ -27,7 +27,7 @@ drives the reclaim energy/time charges) and the peak occupancy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.compiler.netlist import GateNode, Netlist

@@ -27,8 +27,8 @@ results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.compiler.netlist import Netlist
 from repro.compiler.synthesis import CircuitBuilder, Word

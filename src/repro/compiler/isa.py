@@ -15,7 +15,7 @@ integer encoding, so tests can check that the translation is invertible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.compiler.netlist import Netlist
 from repro.compiler.scheduler import RowSchedule

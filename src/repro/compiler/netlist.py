@@ -15,8 +15,8 @@ greedy scratch allocator needs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SynthesisError
 from repro.pim.gates import GateType, gate_output
@@ -275,7 +275,7 @@ class Netlist:
             n_gates=len(self._gates),
             n_levels=len(levels),
             gates_by_type=gates_by_type,
-            max_level_width=max((len(l) for l in levels), default=0),
+            max_level_width=max((len(level) for level in levels), default=0),
             total_gate_outputs=sum(n.n_outputs for n in self._gates),
             levels=tuple(level_stats),
         )

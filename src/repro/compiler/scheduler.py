@@ -17,10 +17,10 @@ layers, which simply replicate the per-row schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-from repro.compiler.netlist import GateNode, Netlist
+from repro.compiler.netlist import Netlist
 from repro.errors import SchedulingError
 
 __all__ = ["ScheduledStep", "RowSchedule", "RowScheduler"]

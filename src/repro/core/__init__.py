@@ -73,12 +73,16 @@ from repro.core.protection import (
 )
 from repro.core.sep import (
     FaultOutcome,
+    MultiFaultAnalysis,
+    MultiFaultOutcome,
     SepAnalysis,
     and_gate_example_netlist,
     circuit_granularity_counterexample,
     enumerate_fault_sites,
+    exhaustive_multi_fault_injection,
     exhaustive_single_fault_injection,
     fig6_case_table,
+    multi_fault_coverage_table,
 )
 
 __all__ = [
@@ -118,11 +122,15 @@ __all__ = [
     "batched_golden_outputs",
     # SEP analysis
     "SepAnalysis",
+    "MultiFaultAnalysis",
+    "MultiFaultOutcome",
     "FaultSite",
     "FaultOutcome",
     "and_gate_example_netlist",
     "enumerate_fault_sites",
     "exhaustive_single_fault_injection",
+    "exhaustive_multi_fault_injection",
+    "multi_fault_coverage_table",
     "fig6_case_table",
     "circuit_granularity_counterexample",
     # coverage analysis

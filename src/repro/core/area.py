@@ -24,7 +24,6 @@ This module turns a workload's per-row resource demand into reclaim counts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.compiler.allocator import reclaim_count_for_demand
 from repro.core.protection import ProtectionScheme

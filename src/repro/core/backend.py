@@ -39,17 +39,7 @@ import abc
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import (
-    Callable,
-    ClassVar,
-    Dict,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from typing import Callable, ClassVar, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -69,6 +59,7 @@ from repro.pim.technology import TechnologyParameters, get_technology
 __all__ = [
     "BACKEND_NAMES",
     "FaultSite",
+    "classify_outcome",
     "TrialOutcomes",
     "ExecutionBackend",
     "ScalarBackend",
@@ -86,6 +77,23 @@ BACKEND_NAMES = ("scalar", "batched")
 #: executor vocabulary) or a row of a ``(B, n_inputs)`` bit matrix (the tape
 #: vocabulary).  Backends accept both and convert.
 TrialInputs = Union[np.ndarray, Sequence[Mapping[int, int]]]
+
+#: One trial's deterministic fault plan: global gate-operation index to the
+#: zero-based output position(s) to flip — a single int (the historical
+#: single-fault form) or an iterable of positions (the k-flip form used by
+#: the exhaustive multi-fault sweeps).  Both backends normalise through
+#: :func:`repro.pim.faults.normalize_flip_positions`.
+FaultPlanEntry = Mapping[int, object]
+
+
+def classify_outcome(outputs_correct: bool, detected: bool) -> str:
+    """The sweeps' three-way per-trial verdict, defined once for every
+    consumer: ``corrected`` (final outputs correct), ``detected`` (wrong but
+    some logic-level check fired) or ``silent`` (wrong and no check fired).
+    """
+    if outputs_correct:
+        return "corrected"
+    return "detected" if detected else "silent"
 
 
 def derive_seed(*components: object) -> int:
@@ -140,12 +148,11 @@ class TrialOutcomes:
         return int(self.outputs_correct.shape[0])
 
     def classification(self, trial: int) -> str:
-        """The SEP sweep's three-way per-trial verdict: ``corrected`` (final
-        outputs correct), ``detected`` (wrong but some check fired) or
-        ``silent`` (wrong and no check fired)."""
-        if bool(self.outputs_correct[trial]):
-            return "corrected"
-        return "detected" if bool(self.detected[trial]) else "silent"
+        """The SEP sweep's three-way per-trial verdict (see
+        :func:`classify_outcome`)."""
+        return classify_outcome(
+            bool(self.outputs_correct[trial]), bool(self.detected[trial])
+        )
 
     def classifications(self) -> List[str]:
         return [self.classification(trial) for trial in range(self.n_trials)]
@@ -177,9 +184,10 @@ class ExecutionBackend(abc.ABC):
     A backend is bound to one (netlist, scheme, gate-style) configuration at
     construction; :meth:`run_trials` then executes whole batches of trials
     against it.  Exactly one fault source may be active per batch: a
-    deterministic ``fault_plan`` (one ``{op index: output position}`` mapping
-    per trial — the exhaustive-sweep form) or a stochastic ``model`` with one
-    ``fault_seeds`` entry per trial (the Monte-Carlo form); neither means
+    deterministic ``fault_plan`` (one ``{op index: output position(s)}``
+    mapping per trial — single-int values for the classic single-fault sweep,
+    position lists for k simultaneous flips) or a stochastic ``model`` with
+    one ``fault_seeds`` entry per trial (the Monte-Carlo form); neither means
     fault-free execution.
     """
 
@@ -194,7 +202,7 @@ class ExecutionBackend(abc.ABC):
         self,
         inputs: TrialInputs,
         *,
-        fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+        fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
     ) -> TrialOutcomes:
@@ -213,7 +221,7 @@ class ExecutionBackend(abc.ABC):
     def _validate_fault_args(
         self,
         n_trials: int,
-        fault_plan: Optional[Sequence[Mapping[int, int]]],
+        fault_plan: Optional[Sequence[FaultPlanEntry]],
         model: Optional[FaultModel],
         fault_seeds: Optional[Sequence[int]],
     ) -> None:
@@ -224,7 +232,7 @@ class ExecutionBackend(abc.ABC):
             )
         if fault_plan is not None and len(fault_plan) != n_trials:
             raise ProtectionError(
-                f"fault_plan must supply one entry per trial "
+                "fault_plan must supply one entry per trial "
                 f"(got {len(fault_plan)} for {n_trials} trials)"
             )
         if fault_seeds is not None and model is None:
@@ -286,16 +294,21 @@ class ScalarBackend(ExecutionBackend):
         technology: Union[TechnologyParameters, str, None] = None,
         make_executor: Optional[Callable[[Optional[object]], object]] = None,
         null_trace: bool = False,
+        code_factory: Optional[Callable[[int], object]] = None,
     ) -> None:
         """``make_executor(fault_injector)`` overrides default executor
         construction — the escape hatch for configurations the protocol
-        vocabulary does not name (custom ``code_factory``, ``n_copies``,
-        pre-built arrays).  ``null_trace`` swaps in a
+        vocabulary does not name (custom ``n_copies``, pre-built arrays).
+        ``code_factory`` (ECiM only) overrides the per-level code — e.g.
+        :func:`repro.ecc.bch.bch_code_factory` for BCH-t protection.
+        ``null_trace`` swaps in a
         :class:`~repro.pim.operations.NullTrace` for trial throughput
         (campaigns consume counters, not traces)."""
         scheme = scheme.strip().lower()
         if make_executor is None and scheme not in EXECUTORS_BY_SCHEME:
             raise ProtectionError(f"unknown protection scheme {scheme!r}")
+        if code_factory is not None and scheme != "ecim":
+            raise ProtectionError("code_factory only applies to the ecim scheme")
         self.netlist = netlist
         self.scheme = scheme
         self.multi_output = multi_output
@@ -304,6 +317,7 @@ class ScalarBackend(ExecutionBackend):
         )
         self._make_executor = make_executor
         self._null_trace = null_trace
+        self._code_factory = code_factory
         self._executor: Optional[object] = None
 
     # -------------------------------------------------------------- #
@@ -318,6 +332,8 @@ class ScalarBackend(ExecutionBackend):
             kwargs["technology"] = self._technology
         if self.scheme != "unprotected":
             kwargs["multi_output"] = self.multi_output
+        if self._code_factory is not None:
+            kwargs["code_factory"] = self._code_factory
         return cls(self.netlist, **kwargs)
 
     @property
@@ -338,7 +354,7 @@ class ScalarBackend(ExecutionBackend):
         self,
         inputs: TrialInputs,
         *,
-        fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+        fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
     ) -> TrialOutcomes:
@@ -424,23 +440,30 @@ class BatchedBackend(ExecutionBackend):
         scheme: str,
         multi_output: bool = True,
         plan: Optional[ExecutionPlan] = None,
+        code_factory: Optional[Callable[[int], object]] = None,
     ) -> None:
         scheme = scheme.strip().lower()
         if scheme not in EXECUTORS_BY_SCHEME:
             # Same vocabulary as compile_plan, checked eagerly so a typo'd
             # scheme fails at backend construction on either backend.
             raise ProtectionError(f"unknown protection scheme {scheme!r}")
+        if code_factory is not None and scheme != "ecim":
+            raise ProtectionError("code_factory only applies to the ecim scheme")
         self.netlist = netlist
         self.scheme = scheme
         self.multi_output = multi_output
         self._plan = plan
+        self._code_factory = code_factory
 
     @property
     def plan(self) -> ExecutionPlan:
         """The backend's (lazily compiled, reused) instruction tape."""
         if self._plan is None:
+            kwargs = {}
+            if self._code_factory is not None:
+                kwargs["code_factory"] = self._code_factory
             self._plan = compile_plan(
-                self.netlist, self.scheme, multi_output=self.multi_output
+                self.netlist, self.scheme, multi_output=self.multi_output, **kwargs
             )
         return self._plan
 
@@ -448,7 +471,7 @@ class BatchedBackend(ExecutionBackend):
         self,
         inputs: TrialInputs,
         *,
-        fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+        fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
     ) -> TrialOutcomes:
@@ -535,7 +558,7 @@ def as_backend(target: object) -> ExecutionBackend:
         return ScalarBackend(None, "custom", make_executor=target)
     raise ProtectionError(
         f"cannot interpret {target!r} as an execution backend: expected an "
-        f"ExecutionBackend or a make_executor(fault_injector) callable"
+        "ExecutionBackend or a make_executor(fault_injector) callable"
     )
 
 

@@ -55,7 +55,7 @@ import numpy as np
 from repro.compiler.netlist import Netlist
 from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
 from repro.errors import ProtectionError
-from repro.pim.faults import FaultModel
+from repro.pim.faults import FaultModel, normalize_flip_positions
 from repro.pim.gates import GateType
 from repro.pim.vector import apply_deterministic_flips, vector_gate_output
 
@@ -113,10 +113,13 @@ class EcimCheckStep:
     """Batched syndrome decode for one logic level.
 
     ``a_t`` is ``A[:, :d]^T`` so the syndrome of the zero-padded shortened
-    codeword reduces to ``(data @ a_t + parity) mod 2``; ``lut`` maps packed
-    syndromes to the flipped codeword position (``-1`` = detected but
-    uncorrectable, exactly the collision semantics of
-    :class:`~repro.ecc.linear.SystematicLinearCode`)."""
+    codeword reduces to ``(data @ a_t + parity) mod 2``.  ``lut`` is the
+    dense decode table: row ``s`` lists the codeword positions the decoder
+    flips for packed syndrome ``s``, padded with ``-1`` — one column for a
+    single-error code (Hamming), ``t`` columns for a t-error-correcting code
+    (BCH-t), whose rows hold full error *patterns*.  An all ``-1`` row for a
+    non-zero syndrome means detected-but-uncorrectable, exactly the
+    semantics of the scalar decoders in :mod:`repro.ecc`."""
 
     data_cols: np.ndarray
     parity_cols: np.ndarray
@@ -205,18 +208,68 @@ def _compile_unprotected(executor: UnprotectedExecutor) -> Tuple[Tuple[PlanStep,
     return tuple(steps), op
 
 
+def _code_correction_capability(code) -> int:
+    """Correctable errors per codeword: ``t`` for BCH-style codes, 1 for
+    plain single-error-correcting linear codes."""
+    capability = getattr(code, "correctable_errors", None)
+    return int(capability()) if callable(capability) else 1
+
+
+def _multi_error_decode_lut(code, t: int) -> np.ndarray:
+    """Dense syndrome → error-pattern table for all patterns of weight <= t.
+
+    Row ``s`` holds the codeword positions flipped for packed binary
+    syndrome ``s`` (padded with -1).  Because a t-error-correcting code has
+    designed distance >= 2t + 1, every weight-<=t pattern has a distinct
+    syndrome, so this lookup is exactly bounded-distance decoding — the same
+    correction the algebraic :meth:`~repro.ecc.bch.BchCode.decode` performs.
+    Colliding syndromes (a code weaker than advertised) are dropped back to
+    -1, inheriting the collision semantics of
+    :class:`~repro.ecc.linear.SystematicLinearCode`.
+    """
+    from itertools import combinations
+
+    r = code.n_parity
+    n = code.k + r
+    # Column syndromes of H = [A | I_r], packed as integers.
+    a = code.a_matrix.astype(np.int64)
+    column_syndromes = [
+        int(sum(int(a[i, p]) << i for i in range(r))) if p < code.k else 1 << (p - code.k)
+        for p in range(n)
+    ]
+    lut = np.full((1 << r, t), -1, dtype=np.int64)
+    collided = set()
+    for weight in range(1, t + 1):
+        for pattern in combinations(range(n), weight):
+            packed = 0
+            for position in pattern:
+                packed ^= column_syndromes[position]
+            if packed == 0 or packed in collided:
+                continue
+            if lut[packed, 0] >= 0:
+                lut[packed] = -1
+                collided.add(packed)
+                continue
+            lut[packed, :weight] = pattern
+    return lut
+
+
 def _ecim_check_step(code, data_cols: Sequence[int], parity_cols: Sequence[int]) -> EcimCheckStep:
     d = len(data_cols)
     r = code.n_parity
+    t = _code_correction_capability(code)
     a_t = code.a_matrix[:, :d].T.astype(np.int64)
     weights = (1 << np.arange(r, dtype=np.int64))
     # Dense form of the code's own decode table: absent syndromes stay -1
     # (detected but uncorrectable), so batched decoding inherits the scalar
     # checker's semantics from the single implementation in repro.ecc.
-    lut = np.full(1 << r, -1, dtype=np.int64)
-    for syndrome, position in code.single_error_syndrome_table().items():
-        packed = sum(bit << j for j, bit in enumerate(syndrome))
-        lut[packed] = position
+    if t == 1 and hasattr(code, "single_error_syndrome_table"):
+        lut = np.full((1 << r, 1), -1, dtype=np.int64)
+        for syndrome, position in code.single_error_syndrome_table().items():
+            packed = sum(bit << j for j, bit in enumerate(syndrome))
+            lut[packed, 0] = position
+    else:
+        lut = _multi_error_decode_lut(code, t)
     return EcimCheckStep(
         data_cols=_cols(data_cols),
         parity_cols=_cols(parity_cols),
@@ -488,15 +541,22 @@ def _uniform_streams(seeds: Sequence[int], n_draws: int) -> np.ndarray:
 
 
 def _deterministic_targets(
-    fault_plan: Sequence[Mapping[int, int]],
+    fault_plan: Sequence[Mapping[int, object]],
 ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
-    """Regroup per-trial {op_index: output position} plans by operation."""
+    """Regroup per-trial {op_index: position(s)} plans by operation.
+
+    Each plan entry value is a single output position or an iterable of
+    positions (the k-flip form); positions are de-duplicated per (trial,
+    operation) through :func:`~repro.pim.faults.normalize_flip_positions`,
+    matching the scalar injector's one-flip-per-site semantics.
+    """
     by_op: Dict[int, Tuple[List[int], List[int]]] = {}
     for trial, targets in enumerate(fault_plan):
-        for op_index, position in (targets or {}).items():
+        for op_index, entry in (targets or {}).items():
             rows, positions = by_op.setdefault(int(op_index), ([], []))
-            rows.append(trial)
-            positions.append(int(position))
+            for position in sorted(normalize_flip_positions(entry)):
+                rows.append(trial)
+                positions.append(position)
     return {
         op: (np.asarray(rows, dtype=np.intp), np.asarray(positions, dtype=np.intp))
         for op, (rows, positions) in by_op.items()
@@ -516,8 +576,9 @@ def run_batch(
     order.  ``model`` configures per-site Bernoulli fault injection; when any
     rate is non-zero, ``fault_seeds`` must supply one Philox key per trial.
     ``fault_plan`` optionally injects deterministic faults — per trial a
-    mapping of global gate-operation index to the zero-based output position
-    to flip, matching
+    mapping of global gate-operation index to the zero-based output
+    position(s) to flip (a single int or an iterable of positions, the
+    k-flip form), matching
     :class:`~repro.pim.faults.DeterministicFaultInjector` semantics.
     """
     model = model if model is not None else FaultModel()
@@ -585,7 +646,10 @@ def run_batch(
             if det is not None:
                 rows, positions = det
                 flipped = apply_deterministic_flips(out, rows, positions)
-                faults[flipped] += 1
+                # A k-flip plan can strike one trial several times within the
+                # same operation; buffered fancy indexing would count those
+                # once, so accumulate unbuffered.
+                np.add.at(faults, flipped, 1)
             if flip_mask is not None:
                 out ^= flip_mask
                 faults += flip_mask.sum(axis=1)
@@ -609,14 +673,18 @@ def run_batch(
             packed = syndrome @ step.weights
             fired = packed != 0
             detected |= fired
-            position = step.lut[packed]
-            uncorrectable += fired & (position < 0)
+            patterns = step.lut[packed]  # (B, t) positions, -1 padded
+            valid = patterns >= 0
+            # A non-zero syndrome matching no weight-<=t pattern is detected
+            # but uncorrectable; pattern positions beyond the level's data
+            # width (zero-padding or parity bits) correct nothing visible.
+            uncorrectable += fired & ~valid.any(axis=1)
             d = step.data_cols.shape[0]
-            correctable = fired & (position >= 0) & (position < d)
-            rows = np.flatnonzero(correctable)
+            is_data = valid & (patterns < d)
+            corrections += is_data.sum(axis=1, dtype=np.int64)
+            rows, slots = np.nonzero(is_data)
             if rows.size:
-                state[rows, step.data_cols[position[rows]]] ^= 1
-                corrections[rows] += 1
+                state[rows, step.data_cols[patterns[rows, slots]]] ^= 1
         elif isinstance(step, TrimCheckStep):
             copies = np.stack(
                 [state[:, step.data_cols]]

@@ -23,14 +23,13 @@ blocks" — enters the evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ecc.linear import SystematicLinearCode
 from repro.ecc.redundancy import majority_vote_word
 from repro.errors import CheckerError
-from repro.pim.technology import TechnologyParameters
 
 __all__ = [
     "CheckerCostModel",

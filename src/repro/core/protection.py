@@ -27,7 +27,7 @@ the same schemes bit-accurately on the behavioural array.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional
 
 from repro.core.checker import (
     DEFAULT_CHECKER_COSTS,

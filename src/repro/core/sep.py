@@ -14,6 +14,13 @@ This module provides:
   possible gate-output site of an execution (every output cell of every gate
   firing, metadata included) and verify the final circuit outputs; this is
   the operational statement of the SEP guarantee.
+* :func:`exhaustive_multi_fault_injection` /
+  :func:`multi_fault_coverage_table` — the k-simultaneous-flip
+  generalisation: sweep every (sites choose k) combination in bounded
+  shards and split the outcomes into SEP-guaranteed / code-corrected /
+  detected / silent, quantifying where the single-error budget breaks and
+  what a stronger (BCH-t) code recovers — the Fig. 8 extension as a
+  computed artefact.
 * :func:`fig6_case_table` — categorise the fault sites of the AND example
   like the table in Fig. 6 (error in a level-1 data output, in the level-2
   output, or in a redundant ``r_ij`` / parity cell) and report, for each
@@ -35,21 +42,27 @@ the whole Fig. 6 sweep is a single tape interpretation.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from itertools import combinations, islice
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.compiler.netlist import Netlist
 from repro.compiler.synthesis import CircuitBuilder
-from repro.core.backend import FaultSite, as_backend
+from repro.core.backend import FaultSite, as_backend, classify_outcome
 from repro.errors import ProtectionError
 
 __all__ = [
     "FaultSite",
     "FaultOutcome",
     "SepAnalysis",
+    "MultiFaultOutcome",
+    "MultiFaultAnalysis",
     "and_gate_example_netlist",
     "enumerate_fault_sites",
     "exhaustive_single_fault_injection",
+    "exhaustive_multi_fault_injection",
+    "multi_fault_coverage_table",
     "fig6_case_table",
     "circuit_granularity_counterexample",
 ]
@@ -68,9 +81,7 @@ class FaultOutcome:
     @property
     def classification(self) -> str:
         """``corrected`` / ``detected`` / ``silent`` — the sweep's verdict."""
-        if self.final_outputs_correct:
-            return "corrected"
-        return "detected" if self.error_detected else "silent"
+        return classify_outcome(self.final_outputs_correct, self.error_detected)
 
 
 @dataclass
@@ -187,6 +198,266 @@ def exhaustive_single_fault_injection(
             )
         )
     return analysis
+
+
+@dataclass(frozen=True)
+class MultiFaultOutcome:
+    """Result of injecting k simultaneous faults at one site combination."""
+
+    sites: Tuple[FaultSite, ...]
+    final_outputs_correct: bool
+    error_detected: bool
+    corrections: int
+    uncorrectable_levels: int
+
+    @property
+    def k(self) -> int:
+        return len(self.sites)
+
+    @property
+    def classification(self) -> str:
+        """``corrected`` / ``detected`` / ``silent`` — the sweep's verdict."""
+        return classify_outcome(self.final_outputs_correct, self.error_detected)
+
+    @property
+    def faults_per_level(self) -> Dict[int, int]:
+        """Injected fault count per logic level (checked region)."""
+        return dict(Counter(site.logic_level for site in self.sites))
+
+    @property
+    def max_faults_per_level(self) -> int:
+        """The worst simultaneous load on any one checked region — the
+        quantity the per-level correction budget is measured against."""
+        if not self.sites:
+            return 0
+        return max(self.faults_per_level.values())
+
+    def within_budget(self, budget: int = 1) -> bool:
+        """True when no checked region receives more faults than the code
+        corrects — the region where the (generalised) SEP guarantee applies."""
+        return self.max_faults_per_level <= budget
+
+
+@dataclass
+class MultiFaultAnalysis:
+    """Aggregate result of an exhaustive k-simultaneous-fault sweep.
+
+    Counters are always maintained (the sweep streams combination shards
+    through the backend, so combination counts can far exceed what a stored
+    outcome list should hold); the per-combination ``outcomes`` list is kept
+    only when the sweep ran with ``keep_outcomes=True``.
+
+    ``correction_budget`` is the per-checked-region correction capability
+    ``t`` of the scheme under test (1 for Hamming-protected ECiM and TRiM,
+    ``t`` for BCH-t ECiM): combinations whose worst per-level fault load
+    stays within it are *guaranteed* corrected — the k-fault generalisation
+    of the SEP statement — and the four-way coverage split below measures
+    exactly where that budget breaks and what the code recovers beyond it.
+    """
+
+    k: int
+    correction_budget: int = 1
+    outcomes: List[MultiFaultOutcome] = field(default_factory=list)
+    total_combinations: int = 0
+    corrected_combinations: int = 0
+    detected_combinations: int = 0
+    silent_combinations: int = 0
+    sep_guaranteed_combinations: int = 0
+    code_corrected_combinations: int = 0
+    budget_violations: int = 0
+
+    def record(self, outcome: MultiFaultOutcome, keep_outcome: bool = True) -> None:
+        """Fold one combination's outcome into the aggregate counters."""
+        self.total_combinations += 1
+        within = outcome.within_budget(self.correction_budget)
+        if outcome.final_outputs_correct:
+            self.corrected_combinations += 1
+            if within:
+                self.sep_guaranteed_combinations += 1
+            else:
+                self.code_corrected_combinations += 1
+        else:
+            if within:
+                # A within-budget combination that still corrupted the
+                # outputs falsifies the claimed guarantee; count it so tests
+                # can assert the guarantee computationally.
+                self.budget_violations += 1
+            if outcome.error_detected:
+                self.detected_combinations += 1
+            else:
+                self.silent_combinations += 1
+        if keep_outcome:
+            self.outcomes.append(outcome)
+
+    @property
+    def coverage(self) -> float:
+        if not self.total_combinations:
+            return 0.0
+        return self.corrected_combinations / self.total_combinations
+
+    @property
+    def sep_guaranteed(self) -> bool:
+        """True when every combination left the final outputs correct."""
+        return bool(self.total_combinations) and (
+            self.corrected_combinations == self.total_combinations
+        )
+
+    def coverage_row(self) -> Dict[str, object]:
+        """One row of the per-k coverage table (the Fig. 8 budget-vs-t
+        artefact): the four-way split of all (sites choose k) combinations."""
+        return {
+            "k": self.k,
+            "combinations": self.total_combinations,
+            "sep_guaranteed": self.sep_guaranteed_combinations,
+            "code_corrected": self.code_corrected_combinations,
+            "detected": self.detected_combinations,
+            "silent": self.silent_combinations,
+            "coverage": self.coverage,
+            "budget_violations": self.budget_violations,
+        }
+
+    def as_single_fault_analysis(self) -> SepAnalysis:
+        """Project a k=1 sweep onto the legacy :class:`SepAnalysis` form.
+
+        The result is byte-for-byte comparable with
+        :func:`exhaustive_single_fault_injection` on the same backend — the
+        equivalence the multi-fault tests pin down.
+        """
+        if self.k != 1:
+            raise ProtectionError(
+                f"only a k=1 sweep projects onto SepAnalysis (k={self.k})"
+            )
+        if len(self.outcomes) != self.total_combinations:
+            raise ProtectionError(
+                "outcome list incomplete; run the sweep with keep_outcomes=True"
+            )
+        return SepAnalysis(
+            outcomes=[
+                FaultOutcome(
+                    site=outcome.sites[0],
+                    final_outputs_correct=outcome.final_outputs_correct,
+                    error_detected=outcome.error_detected,
+                    corrections=outcome.corrections,
+                    uncorrectable_levels=outcome.uncorrectable_levels,
+                )
+                for outcome in self.outcomes
+            ]
+        )
+
+
+def _combination_fault_plan(sites: Sequence[FaultSite]) -> Dict[int, Tuple[int, ...]]:
+    """Merge one site combination into a backend fault-plan entry.
+
+    Sites sharing a gate operation fold into one multi-position entry, which
+    is what lets k faults land inside a single firing.
+    """
+    plan: Dict[int, List[int]] = {}
+    for site in sites:
+        plan.setdefault(site.operation_index, []).append(site.output_position)
+    return {op: tuple(positions) for op, positions in plan.items()}
+
+
+def _chunked(iterator: Iterator, size: int) -> Iterator[list]:
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def exhaustive_multi_fault_injection(
+    target: object,
+    input_values: Dict[int, int],
+    k: int = 2,
+    sites: Optional[Sequence[FaultSite]] = None,
+    chunk_size: int = 4096,
+    correction_budget: int = 1,
+    keep_outcomes: bool = True,
+) -> MultiFaultAnalysis:
+    """Inject every (sites choose k) combination of simultaneous faults.
+
+    The generalisation of :func:`exhaustive_single_fault_injection` to k
+    flips per trial: combinations are enumerated lazily and streamed through
+    the backend in bounded shards of ``chunk_size`` trials (a dot-product
+    block at k=2 is tens of thousands of combinations — on the batched
+    backend each shard is one tape interpretation, so the whole sweep stays
+    a handful of numpy passes).  ``correction_budget`` is the scheme's
+    per-level correction capability ``t``; pass ``keep_outcomes=False`` on
+    large sweeps to retain only the aggregate counters.
+    """
+    if k < 1:
+        raise ProtectionError(f"k must be >= 1, got {k}")
+    if chunk_size < 1:
+        raise ProtectionError(f"chunk_size must be >= 1, got {chunk_size}")
+    backend = as_backend(target)
+    if sites is None:
+        sites = backend.enumerate_sites(input_values)
+    if k > len(sites):
+        # An empty sweep must not masquerade as one: a coverage of 0/0 reads
+        # as "0% covered" (and a budget verdict of "holds") from no evidence.
+        raise ProtectionError(
+            f"cannot choose {k} simultaneous faults from {len(sites)} sites"
+        )
+    analysis = MultiFaultAnalysis(k=k, correction_budget=correction_budget)
+    for chunk in _chunked(combinations(sites, k), chunk_size):
+        outcomes = backend.run_trials(
+            [input_values] * len(chunk),
+            fault_plan=[_combination_fault_plan(combo) for combo in chunk],
+        )
+        for trial, combo in enumerate(chunk):
+            if int(outcomes.faults_injected[trial]) != k:
+                # Every site of a deterministic schedule is reached exactly
+                # once; fail loudly on any discrepancy rather than folding a
+                # partially injected combination into the coverage counters.
+                raise ProtectionError(
+                    f"combination {combo} injected "
+                    f"{int(outcomes.faults_injected[trial])} of {k} faults"
+                )
+            analysis.record(
+                MultiFaultOutcome(
+                    sites=tuple(combo),
+                    final_outputs_correct=bool(outcomes.outputs_correct[trial]),
+                    error_detected=bool(outcomes.detected[trial]),
+                    corrections=int(outcomes.corrections[trial]),
+                    uncorrectable_levels=int(outcomes.uncorrectable_levels[trial]),
+                ),
+                keep_outcome=keep_outcomes,
+            )
+    return analysis
+
+
+def multi_fault_coverage_table(
+    target: object,
+    input_values: Dict[int, int],
+    max_faults: int = 2,
+    correction_budget: int = 1,
+    sites: Optional[Sequence[FaultSite]] = None,
+    chunk_size: int = 4096,
+    keep_outcomes: bool = False,
+) -> List[MultiFaultAnalysis]:
+    """Run the exhaustive k-fault sweep for every k in 1..``max_faults``.
+
+    Returns one :class:`MultiFaultAnalysis` per k (its
+    :meth:`~MultiFaultAnalysis.coverage_row` rows form the per-k coverage
+    table); the k=1 analysis reproduces the single-fault sweep exactly.
+    """
+    if max_faults < 1:
+        raise ProtectionError(f"max_faults must be >= 1, got {max_faults}")
+    backend = as_backend(target)
+    if sites is None:
+        sites = backend.enumerate_sites(input_values)
+    return [
+        exhaustive_multi_fault_injection(
+            backend,
+            input_values,
+            k=k,
+            sites=sites,
+            chunk_size=chunk_size,
+            correction_budget=correction_budget,
+            keep_outcomes=keep_outcomes,
+        )
+        for k in range(1, max_faults + 1)
+    ]
 
 
 def fig6_case_table(

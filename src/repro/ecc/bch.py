@@ -22,6 +22,7 @@ This module provides:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,18 +30,19 @@ import numpy as np
 from repro.ecc import gf2
 from repro.ecc.gf2m import (
     GF2m,
-    cyclotomic_cosets,
     minimal_polynomial,
     poly_degree,
     poly_mod_gf2,
     poly_mul_gf2,
 )
-from repro.errors import CodeConstructionError, DecodingError
+from repro.errors import CodeConstructionError
 
 __all__ = [
     "BchCode",
     "bch_parity_bits",
     "bch_dimension",
+    "bch_code_factory",
+    "smallest_bch_code",
     "parity_bits_vs_correctable_errors",
 ]
 
@@ -62,7 +64,7 @@ def bch_parity_bits(n: int, t: int) -> int:
     """
     if t < 1:
         raise CodeConstructionError("t must be >= 1")
-    m = _m_for_length(n)
+    _m_for_length(n)  # validates n = 2^m - 1
     if 2 * t >= n:
         raise CodeConstructionError(
             f"BCH({n}) cannot be designed for t={t}: designed distance 2t+1 exceeds n"
@@ -102,6 +104,53 @@ def parity_bits_vs_correctable_errors(
         parity = bch_parity_bits(n, t)
         rows.append({"t": int(t), "parity_bits": int(parity), "k": int(n - parity)})
     return rows
+
+
+@lru_cache(maxsize=None)
+def _cached_bch_code(n: int, t: int) -> "BchCode":
+    return BchCode(n, t)
+
+
+def smallest_bch_code(width: int, t: int, max_m: int = 10) -> "BchCode":
+    """The shortest primitive BCH code correcting ``t`` errors over at least
+    ``width`` data bits.
+
+    Scans ``n = 2^m − 1`` upward and returns the (process-cached) first code
+    with ``k >= width`` — the shortened-code view ECiM uses per logic level,
+    mirroring how :class:`~repro.ecc.hamming.HammingCode` sizes itself.
+    """
+    if width < 1:
+        raise CodeConstructionError("width must be positive")
+    for m in range(2, max_m + 1):
+        n = (1 << m) - 1
+        if 2 * t >= n:
+            continue
+        try:
+            if bch_dimension(n, t) >= width:
+                return _cached_bch_code(n, t)
+        except CodeConstructionError:
+            continue
+    raise CodeConstructionError(
+        f"no BCH code with t={t} protects {width} data bits within n <= 2^{max_m} - 1"
+    )
+
+
+def bch_code_factory(t: int, max_m: int = 10):
+    """An ECiM ``code_factory`` maintaining BCH-t parity per logic level.
+
+    Drop-in replacement for the default
+    :class:`~repro.ecc.hamming.HammingCode` factory: called with a level's
+    gate count, returns the smallest BCH code of that correction strength
+    covering it — the executable form of the paper's Fig. 8 extension to
+    higher-coverage codes.
+    """
+    if t < 1:
+        raise CodeConstructionError("t must be >= 1")
+
+    def factory(width: int) -> "BchCode":
+        return smallest_bch_code(width, t, max_m=max_m)
+
+    return factory
 
 
 class BchCode:
@@ -231,13 +280,13 @@ class BchCode:
         field = self.field
         sigma = [1]
         prev_sigma = [1]
-        l = 0
+        lfsr_length = 0
         shift = 1
         b = 1
         for step, syndrome in enumerate(syndromes):
             # Discrepancy.
             delta = syndrome
-            for i in range(1, l + 1):
+            for i in range(1, lfsr_length + 1):
                 if i < len(sigma):
                     delta = field.add(delta, field.mul(sigma[i], syndromes[step - i]))
             if delta == 0:
@@ -246,10 +295,10 @@ class BchCode:
             correction = field.poly_scale(prev_sigma, field.div(delta, b))
             correction = ([0] * shift) + correction
             new_sigma = field.poly_add(sigma, correction)
-            if 2 * l <= step:
+            if 2 * lfsr_length <= step:
                 prev_sigma = sigma
                 b = delta
-                l = step + 1 - l
+                lfsr_length = step + 1 - lfsr_length
                 shift = 1
             else:
                 shift += 1

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil, log2
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.ecc import gf2
 from repro.errors import CodeConstructionError

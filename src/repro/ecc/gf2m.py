@@ -12,7 +12,7 @@ of Fig. 8).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set
 
 from repro.errors import CodeConstructionError
 

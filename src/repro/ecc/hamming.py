@@ -18,7 +18,6 @@ excess data columns.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional
 
 import numpy as np

@@ -18,12 +18,12 @@ which parity bits must be toggled when data bit ``j`` changes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ecc import gf2
-from repro.errors import CodeConstructionError, DecodingError
+from repro.errors import CodeConstructionError
 
 __all__ = ["DecodeResult", "SystematicLinearCode"]
 

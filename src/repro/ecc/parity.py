@@ -18,7 +18,7 @@ quantify what the prior-art schemes do and do not cover.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

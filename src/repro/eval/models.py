@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.core.area import ArrayBudget, area_reclaims, reclaim_cost_bits
 from repro.core.protection import (
@@ -190,7 +190,6 @@ class EvaluationModel:
         reclaim_steps_total = reclaim_accesses
 
         levels = self._collapse_levels(spec)
-        n_levels = spec.n_levels
 
         timing_levels: List[LevelTimingStats] = []
         energy_levels: List[LevelEnergyStats] = []

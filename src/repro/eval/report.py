@@ -7,7 +7,7 @@ EXPERIMENTS.md all show identical tables.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_mapping", "format_series", "indent"]
 

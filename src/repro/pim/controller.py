@@ -13,7 +13,7 @@ lives in :mod:`repro.core.executor`; this controller is protection-agnostic.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import PimError, SchedulingError
 from repro.pim.array import DEFAULT_ARRAY_COLS, DEFAULT_ARRAY_ROWS, PimArray

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import PimError
 
@@ -41,6 +41,7 @@ __all__ = [
     "StuckAtFaultInjector",
     "FaultLog",
     "SeedLike",
+    "normalize_flip_positions",
     "resolve_rng",
 ]
 
@@ -62,6 +63,25 @@ def resolve_rng(seed: SeedLike) -> random.Random:
     if seed is not None and not isinstance(seed, int):
         raise PimError(f"seed must be an int, random.Random or None, got {seed!r}")
     return random.Random(seed)
+
+
+def normalize_flip_positions(positions: object) -> frozenset:
+    """Canonicalise one fault-plan entry value to a set of output positions.
+
+    A deterministic fault plan maps a gate-operation index to either a single
+    zero-based output position (the historical single-fault form) or an
+    iterable of positions (the k-flip form).  Both the scalar injector and
+    the batched interpreter normalise through here, so a duplicate position
+    means one flip — never an XOR-twice no-op — on every backend.
+    """
+    if isinstance(positions, int):
+        return frozenset((positions,))
+    try:
+        return frozenset(int(p) for p in positions)
+    except TypeError:
+        # Anything non-iterable that also is not an int (numpy integers land
+        # in the int() branch below).
+        return frozenset((int(positions),))
 
 
 class FaultKind:
@@ -260,25 +280,31 @@ class DeterministicFaultInjector(FaultInjector):
     ``target_operations`` maps a global gate-operation index to the number of
     output bits of that operation to flip (normally 1, flipping the first
     output).  ``target_output_positions`` instead maps an operation index to
-    the zero-based *position* of the single output cell to flip, which lets
-    the exhaustive SEP sweep target, e.g., the redundant ``r_ij`` copy of a
-    multi-output gate rather than its data output.  ``target_cells`` is a
-    collection of ``(array, row, column)`` sites whose stored value is
-    flipped on the next touch (modelling a memory error at a known location).
+    the zero-based *position(s)* of the output cells to flip — a single int
+    (the historical single-fault form) or an iterable of positions (the
+    multi-fault form the exhaustive k-flip sweeps use; duplicates collapse to
+    one flip).  This lets a sweep target, e.g., the redundant ``r_ij`` copy
+    of a multi-output gate rather than its data output, or several output
+    cells of the same firing at once.  ``target_cells`` is a collection of
+    ``(array, row, column)`` sites whose stored value is flipped on the next
+    touch (modelling a memory error at a known location).
     """
 
     def __init__(
         self,
         target_operations: Optional[Dict[int, int]] = None,
         target_cells: Optional[Iterable[Tuple[int, int, int]]] = None,
-        target_output_positions: Optional[Dict[int, int]] = None,
+        target_output_positions: Optional[Dict[int, object]] = None,
         log: Optional[FaultLog] = None,
     ) -> None:
         super().__init__(log)
         self._targets = dict(target_operations or {})
         self._remaining = dict(self._targets)
         self._cells = set(target_cells or ())
-        self._positions = dict(target_output_positions or {})
+        self._positions: Dict[int, frozenset] = {
+            op: normalize_flip_positions(positions)
+            for op, positions in (target_output_positions or {}).items()
+        }
         self._seen_outputs: Dict[int, int] = {}
 
     def corrupt_gate_output(self, value, site, operation_index, is_metadata=False):
@@ -286,7 +312,7 @@ class DeterministicFaultInjector(FaultInjector):
         if operation_index in self._positions:
             position = self._seen_outputs.get(operation_index, 0)
             self._seen_outputs[operation_index] = position + 1
-            if position == self._positions[operation_index]:
+            if position in self._positions[operation_index]:
                 return self._flip(kind, value, site, operation_index)
             return value
         remaining = self._remaining.get(operation_index, 0)

@@ -22,7 +22,7 @@ benchmarks are evaluated from analytical circuit statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Sequence
 
 from repro.errors import PimError
 from repro.pim.operations import OperationKind, OperationTrace

@@ -22,8 +22,8 @@ workload's structure.  :func:`block_level_profiles` performs that measurement
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.compiler.netlist import Netlist
 from repro.core.area import RowFootprint

@@ -15,7 +15,7 @@ Everything is seeded and pure-NumPy; no files are read or written.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

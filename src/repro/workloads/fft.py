@@ -23,14 +23,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.compiler.netlist import Netlist
 from repro.compiler.synthesis import CircuitBuilder, Word
 from repro.core.area import RowFootprint
 from repro.errors import UnknownWorkloadError
 from repro.workloads.base import (
-    LevelGroup,
     WorkloadSpec,
     block_level_profiles,
     block_summary,

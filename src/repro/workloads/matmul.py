@@ -20,16 +20,15 @@ This module provides
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.compiler.netlist import Netlist
-from repro.compiler.synthesis import CircuitBuilder, Word
+from repro.compiler.synthesis import CircuitBuilder
 from repro.core.area import RowFootprint
 from repro.errors import UnknownWorkloadError
 from repro.workloads.base import (
-    LevelGroup,
     WorkloadSpec,
     block_level_profiles,
     block_summary,

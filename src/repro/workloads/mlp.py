@@ -16,7 +16,6 @@ bit-exact executors can run true end-to-end inferences, and
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,7 +25,6 @@ from repro.compiler.synthesis import CircuitBuilder, Word
 from repro.core.area import RowFootprint
 from repro.errors import UnknownWorkloadError
 from repro.workloads.base import (
-    LevelGroup,
     WorkloadSpec,
     block_level_profiles,
     block_summary,

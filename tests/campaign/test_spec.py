@@ -163,3 +163,44 @@ def test_malformed_numeric_field_raises_cleanly():
         small_spec(trials="ten")
     with pytest.raises(EvaluationError):
         small_spec(seed=None)
+
+
+class TestFaultsPerTrial:
+    def test_default_is_none_and_absent_from_dict(self):
+        spec = small_spec()
+        assert spec.faults_per_trial is None
+        assert "faults_per_trial" not in spec.to_dict()
+
+    def test_hash_back_compat_when_unset(self):
+        # The canonical form of a spec without faults_per_trial is unchanged,
+        # so pre-multi-fault checkpoints remain resumable.
+        assert small_spec().spec_hash() == small_spec(name="other").spec_hash()
+        assert "faults_per_trial" not in small_spec().to_json()
+
+    def test_set_value_round_trips_and_rehashes(self):
+        spec = small_spec(faults_per_trial=2)
+        assert spec.faults_per_trial == 2
+        round_tripped = CampaignSpec.from_json(spec.to_json())
+        assert round_tripped.faults_per_trial == 2
+        assert round_tripped.spec_hash() == spec.spec_hash()
+        assert spec.spec_hash() != small_spec().spec_hash()
+
+    def test_cells_carry_faults_per_trial_with_key_suffix(self):
+        for cell in small_spec(faults_per_trial=3).cells():
+            assert cell.faults_per_trial == 3
+            assert cell.key.endswith("|f3")
+        for cell in small_spec().cells():
+            assert cell.faults_per_trial is None
+            assert "|f" not in cell.key
+
+    def test_string_value_is_coerced(self):
+        assert small_spec(faults_per_trial="2").faults_per_trial == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(EvaluationError):
+            small_spec(faults_per_trial=0)
+        with pytest.raises(EvaluationError):
+            CampaignCell(
+                workload="and2", scheme="ecim", technology="stt",
+                gate_error_rate=1e-3, faults_per_trial=0,
+            )

@@ -9,7 +9,7 @@ from repro.core.protection import (
     UnprotectedScheme,
 )
 from repro.ecc.bch import BchCode
-from repro.ecc.hamming import HAMMING_7_4, HammingCode
+from repro.ecc.hamming import HAMMING_7_4
 from repro.errors import CoverageError, ProtectionError
 
 LEVEL = LevelProfile(n_nor_gates=20, n_thr_gates=4)

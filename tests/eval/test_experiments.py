@@ -17,7 +17,6 @@ from repro.eval.experiments import (
     experiment_table5,
     run_experiment,
 )
-from repro.workloads import PAPER_BENCHMARKS
 
 # Small benchmark subset so the experiment tests stay quick.
 SUBSET = ("mm8", "mnist1", "fft8")
@@ -35,6 +34,9 @@ class TestRegistry:
 
     def test_campaign_registered(self):
         assert "campaign" in EXPERIMENTS
+
+    def test_multifault_registered(self):
+        assert "multifault" in EXPERIMENTS
 
     def test_available_experiments_sorted(self):
         assert available_experiments() == sorted(available_experiments())
@@ -190,3 +192,21 @@ class TestCampaignExperiment:
             run_experiment("campaign", **kwargs)["cells"]
             == run_experiment("campaign", **kwargs)["cells"]
         )
+
+
+class TestMultifaultExperiment:
+    def test_per_k_coverage_table(self):
+        from repro.eval.experiments import experiment_multifault
+
+        result = experiment_multifault(workload="and2", max_faults=2, backend="batched")
+        assert result["budget_violations"] == 0
+        hamming = result["coverage_rows"]["ecim/hamming"]
+        bch = result["coverage_rows"]["ecim/bch-t2"]
+        assert [row["k"] for row in hamming] == [1, 2]
+        # k = 1: full coverage on both schemes (the classic SEP guarantee).
+        assert hamming[0]["coverage"] == bch[0]["coverage"] == 1.0
+        # k = 2: the Hamming budget breaks, BCH t=2 restores full coverage.
+        assert hamming[1]["coverage"] < 1.0
+        assert bch[1]["coverage"] == 1.0
+        assert bch[1]["sep_guaranteed"] == bch[1]["combinations"]
+        assert "Multi-fault sweep" in result["rendered"]

@@ -139,6 +139,14 @@ class TestCampaignCommand:
         err = capsys.readouterr().err
         assert "scalar" in err and "batched" in err
 
+    def test_faults_per_trial_flag(self, capsys):
+        assert main([
+            "campaign", "--workloads", "and2", "--rates", "1e-3",
+            "--trials", "12", "--shard-size", "6", "--workers", "0",
+            "--faults-per-trial", "2", "--quiet",
+        ]) == 0
+        assert "coverage" in capsys.readouterr().out
+
     def test_backend_flag_overrides_spec_file(self, capsys, tmp_path):
         from repro.campaign import CampaignSpec
 
@@ -157,3 +165,42 @@ class TestCampaignCommand:
         ) == 0
         # The run reports the batched spec hash, proving the override applied.
         assert batched_hash in capsys.readouterr().out
+
+
+class TestMultiFaultSweepCommand:
+    def test_max_faults_table(self, capsys):
+        assert main(["sep", "--max-faults", "2", "--backend", "batched"]) == 0
+        output = capsys.readouterr().out
+        assert "Multi-fault sweep" in output
+        assert "ecim/hamming" in output and "ecim/bch-t2" in output
+        assert "budget: holds" in output
+
+    def test_max_faults_k1_rows_match_single_fault_sweep(self, capsys):
+        from repro.core.backend import make_backend
+        from repro.core.sep import (
+            and_gate_example_netlist,
+            exhaustive_single_fault_injection,
+        )
+
+        netlist = and_gate_example_netlist()
+        inputs = {signal: 1 for signal in netlist.inputs}
+        single = exhaustive_single_fault_injection(
+            make_backend("batched", netlist, "ecim"), inputs
+        )
+        assert main(["sep", "--max-faults", "2", "--backend", "batched"]) == 0
+        output = capsys.readouterr().out
+        k1_row = next(
+            line for line in output.splitlines()
+            if line.startswith("ecim/hamming") and line.split()[1] == "1"
+        )
+        columns = k1_row.split()
+        assert int(columns[2]) == single.total_sites
+        assert int(columns[3]) == single.protected_sites
+
+    def test_max_faults_rejects_nonpositive(self, capsys):
+        assert main(["sep", "--max-faults", "0"]) == 1
+        assert "--max-faults" in capsys.readouterr().err
+
+    def test_default_still_prints_fig6(self, capsys):
+        assert main(["sep"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out
