@@ -18,6 +18,10 @@ Commands
 ``campaign``
     Run a (sharded, resumable) Monte-Carlo fault-injection campaign and
     print per-cell coverage rates with Wilson confidence intervals.
+    ``--fault-model`` swaps the independent-flip error model for a
+    declarative one (``burst:length=3,window=8``,
+    ``stuck-at:cells=4+17,value=1``, ...) that runs byte-identically on
+    either backend.
 
 Execution-bound commands take ``--backend {scalar,batched}``: ``scalar``
 (default) walks the behavioural array per trial — the bit-exact legacy path —
@@ -166,6 +170,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 # An explicit flag overrides the spec file's backend (the
                 # file may predate the backend field entirely).
                 spec = CampaignSpec.from_dict({**spec.to_dict(), "backend": backend})
+            if args.fault_model is not None:
+                # Same for the fault model: the flag wins over the file.
+                spec = CampaignSpec.from_dict(
+                    {**spec.to_dict(), "fault_model": args.fault_model}
+                )
         else:
             spec = CampaignSpec(
                 workloads=tuple(args.workloads),
@@ -180,6 +189,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 backend=backend,
                 name=args.name,
                 faults_per_trial=args.faults_per_trial,
+                fault_model=args.fault_model,
             )
         for workload in spec.workloads:
             get_campaign_workload(workload)
@@ -323,6 +333,19 @@ def build_parser() -> argparse.ArgumentParser:
             "inject exactly K simultaneous flips per trial at uniformly "
             "drawn fault sites (deterministic k-flip plans, bit-identical "
             "across backends) instead of the stochastic rate model"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--fault-model", metavar="SPEC", default=None,
+        help=(
+            "declarative fault model, kind[:key=value,...]: "
+            "'burst:length=3,window=8' (correlated bursts; trigger rate "
+            "inherits --rates), 'stuck-at:cells=4+17,value=1' (permanent "
+            "faults on the listed row columns), or 'stochastic[:preset=1e-4,"
+            "metadata=1e-3]' (independent flips with extra knobs). Unset "
+            "rates inherit each grid cell's swept gate/memory rates; trials "
+            "are byte-identical across backends. Default: the legacy "
+            "independent-flip model"
         ),
     )
     campaign_parser.add_argument(

@@ -28,7 +28,8 @@ from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.backend import BACKEND_NAMES, derive_seed
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, PimError
+from repro.pim.faults import parse_fault_model
 
 __all__ = [
     "CAMPAIGN_SCHEMES",
@@ -97,6 +98,21 @@ def trial_seed(campaign_seed: int, cell_key: str, trial_index: int, stream: str)
     return derive_seed(campaign_seed, cell_key, trial_index, stream)
 
 
+def _canonical_fault_model(value: Optional[str], owner: str) -> Optional[str]:
+    """Validate and canonicalise a ``fault_model`` grammar string.
+
+    The canonical form (``FaultModelSpec.to_string()``) is what gets stored,
+    keyed and hashed, so equivalent spellings (``stuckat:cells=7+3`` vs
+    ``stuck-at:cells=3+7,value=0``) land in the same checkpoint namespace.
+    """
+    if value is None:
+        return None
+    try:
+        return parse_fault_model(value).to_string()
+    except PimError as error:
+        raise EvaluationError(f"invalid {owner}.fault_model: {error}") from None
+
+
 @dataclass(frozen=True)
 class CampaignCell:
     """One grid cell: a (workload, scheme, technology, error-rate) combination."""
@@ -108,6 +124,7 @@ class CampaignCell:
     memory_error_rate: float = 0.0
     multi_output: bool = True
     faults_per_trial: Optional[int] = None
+    fault_model: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in CAMPAIGN_SCHEMES:
@@ -122,13 +139,22 @@ class CampaignCell:
             object.__setattr__(self, "faults_per_trial", int(self.faults_per_trial))
             if self.faults_per_trial < 1:
                 raise EvaluationError("faults_per_trial must be >= 1 when set")
+        object.__setattr__(
+            self, "fault_model", _canonical_fault_model(self.fault_model, "CampaignCell")
+        )
+        if self.fault_model is not None and self.faults_per_trial is not None:
+            raise EvaluationError(
+                "a cell takes one fault source: fault_model and "
+                "faults_per_trial are exclusive"
+            )
 
     @property
     def key(self) -> str:
         """Stable identifier used for seeding, checkpointing and merging.
 
-        The ``faults_per_trial`` suffix appears only when the field is set,
-        so every pre-multi-fault checkpoint keeps its historical cell keys.
+        The ``faults_per_trial`` / ``fault_model`` suffixes appear only when
+        the fields are set, so every pre-existing checkpoint keeps its
+        historical cell keys.
         """
         style = "mo" if self.multi_output else "so"
         key = (
@@ -137,6 +163,8 @@ class CampaignCell:
         )
         if self.faults_per_trial is not None:
             key += f"|f{self.faults_per_trial}"
+        if self.fault_model is not None:
+            key += f"|fm={self.fault_model}"
         return key
 
 
@@ -195,6 +223,15 @@ class CampaignSpec:
     #: the trial's fault seed) instead of the stochastic rate model; the
     #: gate/memory error rates then only label the grid cell.
     faults_per_trial: Optional[int] = None
+    #: Declarative fault model (``kind[:key=value,...]`` grammar, see
+    #: :func:`repro.pim.faults.parse_fault_model`): ``burst:length=3`` /
+    #: ``stuck-at:cells=4+17,value=1`` / ``stochastic:preset=1e-4`` ...
+    #: Rates the string leaves unset inherit each grid cell's swept
+    #: gate/memory rates.  Unset means the legacy independent-flip model —
+    #: and, like ``faults_per_trial``, the field is omitted from the
+    #: canonical dict when unset, so old checkpoints and spec files resume
+    #: unchanged.  Fault-model trials are byte-identical across backends.
+    fault_model: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", _lowered(self.workloads))
@@ -223,6 +260,14 @@ class CampaignSpec:
             raise EvaluationError(f"malformed campaign spec value: {error}") from None
         if self.faults_per_trial is not None and self.faults_per_trial < 1:
             raise EvaluationError("faults_per_trial must be >= 1 when set")
+        object.__setattr__(
+            self, "fault_model", _canonical_fault_model(self.fault_model, "CampaignSpec")
+        )
+        if self.fault_model is not None and self.faults_per_trial is not None:
+            raise EvaluationError(
+                "a campaign takes one fault source: fault_model and "
+                "faults_per_trial are exclusive"
+            )
         if not self.workloads:
             raise EvaluationError("a campaign needs at least one workload")
         if not self.schemes or not self.technologies or not self.gate_error_rates:
@@ -256,6 +301,7 @@ class CampaignSpec:
                 memory_error_rate=self.memory_error_rate,
                 multi_output=self.multi_output,
                 faults_per_trial=self.faults_per_trial,
+                fault_model=self.fault_model,
             )
             for workload in self.workloads
             for scheme in self.schemes
@@ -302,11 +348,13 @@ class CampaignSpec:
         # The deprecated alias always mirrors ``backend``; serialising it
         # would make every round trip re-trigger the deprecation path.
         data.pop("engine", None)
-        # faults_per_trial serialises only when set: the canonical dict (and
-        # hence spec_hash) of every pre-multi-fault spec is unchanged, so old
-        # checkpoints and spec files stay resumable.
+        # faults_per_trial / fault_model serialise only when set: the
+        # canonical dict (and hence spec_hash) of every pre-existing spec is
+        # unchanged, so old checkpoints and spec files stay resumable.
         if data.get("faults_per_trial") is None:
             data.pop("faults_per_trial", None)
+        if data.get("fault_model") is None:
+            data.pop("fault_model", None)
         return data
 
     @classmethod

@@ -8,6 +8,11 @@ for 1 or N workers" a structural property rather than a testing aspiration:
 * per-trial randomness comes from :func:`~repro.campaign.spec.trial_seed`
   (input sampling and fault injection as independent named streams), never
   from process-local state;
+* the fault source follows the cell: ``faults_per_trial`` builds
+  deterministic k-flip plans, ``fault_model`` runs the declarative
+  :class:`~repro.pim.faults.FaultModelSpec` layer (byte-identical across
+  backends; rates the grammar leaves unset inherit the cell's swept rates),
+  and otherwise the legacy per-cell stochastic :class:`FaultModel` applies;
 * trial execution goes through the
   :class:`~repro.core.backend.ExecutionBackend` protocol — the **scalar**
   backend reuses one executor per cell configuration through the ``reset``
@@ -34,7 +39,7 @@ from repro.campaign.workloads import get_campaign_workload
 from repro.core.backend import BoundedCache, ExecutionBackend, FaultSite, make_backend
 from repro.core.batched import sample_input_matrix
 from repro.errors import EvaluationError
-from repro.pim.faults import FaultModel
+from repro.pim.faults import FaultModel, FaultModelSpec, parse_fault_model
 from repro.pim.technology import get_technology
 
 __all__ = ["CACHE_LIMIT", "build_executor", "build_plan", "run_shard", "clear_executor_cache"]
@@ -124,6 +129,15 @@ def _fault_model(cell: CampaignCell) -> FaultModel:
     )
 
 
+def _fault_model_spec(cell: CampaignCell) -> FaultModelSpec:
+    """The cell's declarative fault model, with rates the grammar string left
+    unset inherited from the cell's swept gate/memory rates."""
+    return parse_fault_model(cell.fault_model).resolved(
+        gate_error_rate=cell.gate_error_rate,
+        memory_error_rate=cell.memory_error_rate,
+    )
+
+
 def _multi_fault_plan(
     sites: Sequence[FaultSite], fault_seeds: Sequence[int], k: int
 ) -> List[Dict[int, Tuple[int, ...]]]:
@@ -169,6 +183,13 @@ def run_shard(task: ShardTask) -> ShardResult:
             fault_plan=_multi_fault_plan(
                 backend.enumerate_sites(), fault_seeds, cell.faults_per_trial
             ),
+        )
+    elif cell.fault_model is not None:
+        spec = _fault_model_spec(cell)
+        outcomes = backend.run_trials(
+            inputs,
+            fault_model=spec,
+            fault_seeds=fault_seeds if spec.needs_seeds else None,
         )
     else:
         outcomes = backend.run_trials(

@@ -46,10 +46,11 @@ import numpy as np
 from repro.compiler.netlist import Netlist
 from repro.core.batched import ExecutionPlan, GateStep, compile_plan, run_batch
 from repro.core.executor import EXECUTORS_BY_SCHEME, ExecutionReport
-from repro.errors import ProtectionError
+from repro.errors import PimError, ProtectionError
 from repro.pim.faults import (
     DeterministicFaultInjector,
     FaultModel,
+    FaultModelSpec,
     NoFaultInjector,
     StochasticFaultInjector,
 )
@@ -103,6 +104,29 @@ def derive_seed(*components: object) -> int:
     (``trial_seed(campaign_seed, cell_key, trial, stream)``) and the coverage
     loop: stable across processes, platforms and ``PYTHONHASHSEED``, and
     statistically independent between any two distinct component tuples.
+
+    RNG contract — which randomness each named stream keys
+    -------------------------------------------------------
+    Every per-trial stream derives from ``(seed, context, trial, stream)``
+    with the ``stream`` name as the last component; the two shipped names
+    are:
+
+    * ``"inputs"`` — input sampling only
+      (:func:`repro.campaign.workloads.sample_inputs` /
+      :func:`repro.core.batched.sample_input_matrix`).  Never consumed by
+      any injector, so a trial's inputs are invariant to the fault model.
+    * ``"faults"`` — *everything* fault-related for that trial: stochastic
+      Bernoulli draws (positions of independent flips), burst trigger draws
+      (hence burst start offsets; burst continuation flips consume no
+      draws, mirroring the scalar injector), and the uniform fault-site
+      choice of ``faults_per_trial`` k-flip plans.  Stuck-at models are
+      purely deterministic — their afflicted cells come from the
+      :class:`~repro.pim.faults.FaultModelSpec`, never from a stream.
+
+    Because the two names hash to independent seeds, changing the fault
+    model (or injecting no faults at all) never perturbs input sampling and
+    vice versa — ``tests/differential/test_rng_contract.py`` asserts this
+    stream independence on both backends.
     """
     payload = "|".join(str(component) for component in components).encode()
     return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
@@ -183,12 +207,22 @@ class ExecutionBackend(abc.ABC):
 
     A backend is bound to one (netlist, scheme, gate-style) configuration at
     construction; :meth:`run_trials` then executes whole batches of trials
-    against it.  Exactly one fault source may be active per batch: a
-    deterministic ``fault_plan`` (one ``{op index: output position(s)}``
-    mapping per trial — single-int values for the classic single-fault sweep,
-    position lists for k simultaneous flips) or a stochastic ``model`` with
-    one ``fault_seeds`` entry per trial (the Monte-Carlo form); neither means
-    fault-free execution.
+    against it.  Exactly one fault source may be active per batch:
+
+    * a deterministic ``fault_plan`` (one ``{op index: output position(s)}``
+      mapping per trial — single-int values for the classic single-fault
+      sweep, position lists for k simultaneous flips);
+    * a stochastic ``model`` with one ``fault_seeds`` entry per trial (the
+      legacy Monte-Carlo form: bit-exact ``random.Random`` streams on the
+      scalar backend, Philox on the batched one — statistically, not
+      byte-wise, equivalent);
+    * a declarative ``fault_model``
+      (:class:`~repro.pim.faults.FaultModelSpec`: stochastic, burst or
+      stuck-at), with ``fault_seeds`` whenever the model draws
+      (``spec.needs_seeds``) — the unified fault-model layer, byte-identical
+      across backends from shared trial seeds.
+
+    None of the three means fault-free execution.
     """
 
     name: ClassVar[str]
@@ -205,6 +239,7 @@ class ExecutionBackend(abc.ABC):
         fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
+        fault_model: Optional[FaultModelSpec] = None,
     ) -> TrialOutcomes:
         """Execute one trial per input row and return per-trial outcomes."""
 
@@ -224,7 +259,15 @@ class ExecutionBackend(abc.ABC):
         fault_plan: Optional[Sequence[FaultPlanEntry]],
         model: Optional[FaultModel],
         fault_seeds: Optional[Sequence[int]],
+        fault_model: Optional[FaultModelSpec] = None,
     ) -> None:
+        if fault_model is not None and (
+            fault_plan is not None or (model is not None and not model.is_error_free)
+        ):
+            raise ProtectionError(
+                "a batch takes one fault source: a declarative fault_model is "
+                "exclusive with both fault_plan and a stochastic model"
+            )
         if fault_plan is not None and model is not None and not model.is_error_free:
             raise ProtectionError(
                 "a batch takes one fault source: a deterministic fault_plan "
@@ -235,7 +278,7 @@ class ExecutionBackend(abc.ABC):
                 "fault_plan must supply one entry per trial "
                 f"(got {len(fault_plan)} for {n_trials} trials)"
             )
-        if fault_seeds is not None and model is None:
+        if fault_seeds is not None and model is None and fault_model is None:
             # Seeds only drive a stochastic model; accepting them alone would
             # silently run fault-free (a forgotten model= kwarg must not
             # masquerade as 100% coverage).
@@ -243,7 +286,21 @@ class ExecutionBackend(abc.ABC):
                 "fault_seeds have no effect without a stochastic fault model; "
                 "pass model=FaultModel(...) alongside them"
             )
-        if model is not None and not model.is_error_free:
+        if fault_seeds is not None and fault_model is not None and not fault_model.needs_seeds:
+            # Same masquerade guard for the declarative layer: seeds next to
+            # a model that draws nothing usually means the spec's rates were
+            # left as None-"inherit" and nobody called .resolved() — that
+            # batch would silently run fault-free (or, for stuck-at, ignore
+            # the seeds), not what the caller asked for.
+            raise ProtectionError(
+                "fault_seeds have no effect on this fault model "
+                f"({fault_model.to_string()!r} draws nothing); resolve its "
+                "inherited rates or drop the seeds"
+            )
+        needs_seeds = (model is not None and not model.is_error_free) or (
+            fault_model is not None and fault_model.needs_seeds
+        )
+        if needs_seeds:
             if fault_seeds is None or len(fault_seeds) != n_trials:
                 raise ProtectionError(
                     "stochastic fault injection needs one fault seed per trial "
@@ -357,13 +414,24 @@ class ScalarBackend(ExecutionBackend):
         fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
+        fault_model: Optional[FaultModelSpec] = None,
     ) -> TrialOutcomes:
         executor = self.executor  # before input handling: resolves the
         # netlist when this backend wraps a legacy factory
         rows = self._input_rows(inputs)
         if not rows:
             raise ProtectionError("a batch needs at least one trial")
-        self._validate_fault_args(len(rows), fault_plan, model, fault_seeds)
+        self._validate_fault_args(len(rows), fault_plan, model, fault_seeds, fault_model)
+        if fault_model is not None and fault_model.is_error_free:
+            fault_model = None
+        if fault_model is not None:
+            # One shared bounds rule with the batched interpreter: a stuck
+            # cell the execution never touches must fail fast, not
+            # masquerade as fault-free coverage.
+            try:
+                fault_model.validate_columns(executor.array.cols, layout="executor row")
+            except PimError as error:
+                raise ProtectionError(str(error)) from None
         stochastic = model is not None and not model.is_error_free
         outputs_correct = np.zeros(len(rows), dtype=bool)
         detected = np.zeros(len(rows), dtype=bool)
@@ -374,6 +442,10 @@ class ScalarBackend(ExecutionBackend):
             if fault_plan is not None:
                 injector = DeterministicFaultInjector(
                     target_output_positions=dict(fault_plan[trial] or {})
+                )
+            elif fault_model is not None:
+                injector = fault_model.make_injector(
+                    seed=fault_seeds[trial] if fault_model.needs_seeds else None
                 )
             elif stochastic:
                 injector = StochasticFaultInjector(model, seed=fault_seeds[trial])
@@ -474,15 +546,19 @@ class BatchedBackend(ExecutionBackend):
         fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
+        fault_model: Optional[FaultModelSpec] = None,
     ) -> TrialOutcomes:
         matrix = self._input_matrix(inputs)
-        self._validate_fault_args(matrix.shape[0], fault_plan, model, fault_seeds)
+        self._validate_fault_args(matrix.shape[0], fault_plan, model, fault_seeds, fault_model)
+        if fault_model is not None and fault_model.is_error_free:
+            fault_model = None
         result = run_batch(
             self.plan,
             matrix,
             model=model,
             fault_seeds=fault_seeds,
             fault_plan=fault_plan,
+            fault_model=fault_model,
         )
         return TrialOutcomes(
             outputs_correct=result.outputs_correct,

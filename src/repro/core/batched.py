@@ -38,10 +38,16 @@ values and injected faults differ.  This module exploits that in two stages:
 
 Determinism contract: the **scalar** engine remains the bit-exact legacy
 path (``random.Random`` fault streams); the **batched** engine is exactly
-equivalent on fault-free and deterministic single-fault executions and
+equivalent on fault-free and deterministic fault-plan executions and
 statistically equivalent (same per-site Bernoulli model, Philox-seeded,
-reproducible for a fixed seed) on stochastic ones.  Input sampling is shared
-bit-for-bit with the scalar path via :func:`sample_input_matrix`.
+reproducible for a fixed seed) on legacy ``model=FaultModel(...)`` stochastic
+ones.  Executions under the unified fault-model layer
+(``fault_model=FaultModelSpec(...)``: stochastic, burst, stuck-at) are
+**byte-identical** to the scalar injectors on shared per-trial seeds, because
+both sides consume one Philox stream per trial in tape order (see
+:class:`~repro.pim.faults.FaultModelSpec` and ``tests/differential``).
+Input sampling is shared bit-for-bit with the scalar path via
+:func:`sample_input_matrix`.
 """
 
 from __future__ import annotations
@@ -54,8 +60,8 @@ import numpy as np
 
 from repro.compiler.netlist import Netlist
 from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
-from repro.errors import ProtectionError
-from repro.pim.faults import FaultModel, normalize_flip_positions
+from repro.errors import PimError, ProtectionError
+from repro.pim.faults import FaultModel, FaultModelSpec, normalize_flip_positions
 from repro.pim.gates import GateType
 from repro.pim.vector import apply_deterministic_flips, vector_gate_output
 
@@ -540,6 +546,117 @@ def _uniform_streams(seeds: Sequence[int], n_draws: int) -> np.ndarray:
     return streams
 
 
+def _burst_step_draws(step: PlanStep, spec: FaultModelSpec) -> int:
+    """Worst-case uniform draws one trial consumes on this step under the
+    burst model (a trial inside a burst skips its gate-output draws, so this
+    is the stream *capacity*, consumed through per-trial cursors)."""
+    if isinstance(step, GateStep):
+        # The scalar burst injector draws from one stream for every gate
+        # output, metadata included (it folds metadata into the gate rate),
+        # and never corrupts presets.
+        return step.output_cols.shape[0] if (spec.gate_error_rate or 0.0) > 0.0 else 0
+    if isinstance(step, ReadStep):
+        return step.columns.shape[0] if (spec.memory_error_rate or 0.0) > 0.0 else 0
+    return 0
+
+
+class _BurstInjection:
+    """Vectorised :class:`~repro.pim.faults.BurstFaultInjector` semantics.
+
+    Per-trial state mirrors the scalar injector exactly: ``remaining`` burst
+    flips, the operation index the burst ``expires`` at, and a per-trial
+    ``cursor`` into that trial's Philox stream — cursors diverge across
+    trials because a trial inside a burst flips *without drawing*, exactly
+    like the scalar injector's lazy draws.  Bursts wrap across gate firings
+    (and hence across the row's output cells) the same way the scalar
+    injector carries ``_burst_remaining`` into subsequent operations until
+    the correlation window expires.
+    """
+
+    def __init__(self, spec: FaultModelSpec, streams: np.ndarray) -> None:
+        batch = streams.shape[0]
+        self.rate = spec.gate_error_rate or 0.0
+        self.memory_rate = spec.memory_error_rate or 0.0
+        self.burst_length = spec.burst_length
+        self.window = spec.correlation_window
+        self.streams = streams
+        self.cursor = np.zeros(batch, dtype=np.intp)
+        self.remaining = np.zeros(batch, dtype=np.int64)
+        self.expires = np.full(batch, -1, dtype=np.int64)
+
+    def corrupt_gate_outputs(self, op_index: int, out: np.ndarray) -> np.ndarray:
+        """Flip burst victims in the ``(B, n_outputs)`` output block in
+        place; returns the per-trial flip counts.  Output cells of one firing
+        are visited in order, so a burst started on one output continues into
+        the remaining outputs of the same operation."""
+        flips = np.zeros(out.shape[0], dtype=np.int64)
+        for position in range(out.shape[1]):
+            in_burst = (self.remaining > 0) & (op_index <= self.expires)
+            flip = in_burst.copy()
+            self.remaining[in_burst] -= 1
+            if self.rate > 0.0:
+                idle = np.nonzero(~in_burst)[0]
+                if idle.size:
+                    draws = self.streams[idle, self.cursor[idle]]
+                    self.cursor[idle] += 1
+                    started = idle[draws < self.rate]
+                    if started.size:
+                        self.remaining[started] = self.burst_length - 1
+                        self.expires[started] = op_index + self.window
+                        flip[started] = True
+            out[flip, position] ^= 1
+            flips += flip
+        return flips
+
+    def corrupt_stored_bits(self, state: np.ndarray, columns: np.ndarray) -> np.ndarray:
+        """Independent memory errors on a checker-transfer read (bursts only
+        correlate *gate* outputs, as in the scalar injector)."""
+        batch = state.shape[0]
+        if self.memory_rate <= 0.0 or columns.shape[0] == 0:
+            return np.zeros(batch, dtype=np.int64)
+        n = columns.shape[0]
+        rows = np.arange(batch)[:, None]
+        draws = self.streams[rows, self.cursor[:, None] + np.arange(n)[None, :]]
+        self.cursor += n
+        mask = draws < self.memory_rate
+        state[:, columns] ^= mask.astype(np.uint8)
+        return mask.sum(axis=1, dtype=np.int64)
+
+
+class _StuckCells:
+    """Vectorised :class:`~repro.pim.faults.StuckAtFaultInjector` semantics.
+
+    The stuck value re-applies at exactly the scalar injector's touch
+    points: after every gate-output commit to an afflicted cell and at every
+    checker-transfer read (which writes the stuck value back, like
+    :meth:`PimArray.read_row`).  Architectural presets and checker
+    correction write-backs bypass the injector on both backends.
+    """
+
+    def __init__(self, spec: FaultModelSpec, n_cols: int) -> None:
+        try:
+            # The one shared bounds rule with the scalar backend.
+            spec.validate_columns(n_cols, layout="plan")
+        except PimError as error:
+            raise ProtectionError(str(error)) from None
+        columns = np.asarray(spec.stuck_columns, dtype=np.intp)
+        self.value = int(spec.stuck_polarity)
+        self.is_stuck = np.zeros(n_cols, dtype=bool)
+        self.is_stuck[columns] = True
+
+    def apply(self, state: np.ndarray, columns: np.ndarray) -> np.ndarray:
+        """Force afflicted cells among ``columns`` to the stuck value;
+        returns per-trial counts of cells that actually changed (the scalar
+        injector logs a fault event only when the stored bit disagrees)."""
+        hit = self.is_stuck[columns]
+        if not hit.any():
+            return np.zeros(state.shape[0], dtype=np.int64)
+        stuck_cols = columns[hit]
+        flips = (state[:, stuck_cols] != self.value).sum(axis=1, dtype=np.int64)
+        state[:, stuck_cols] = self.value
+        return flips
+
+
 def _deterministic_targets(
     fault_plan: Sequence[Mapping[int, object]],
 ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
@@ -569,6 +686,7 @@ def run_batch(
     model: Optional[FaultModel] = None,
     fault_seeds: Optional[Sequence[int]] = None,
     fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+    fault_model: Optional[FaultModelSpec] = None,
 ) -> BatchResult:
     """Interpret the tape for all B trials at once.
 
@@ -580,8 +698,19 @@ def run_batch(
     position(s) to flip (a single int or an iterable of positions, the
     k-flip form), matching
     :class:`~repro.pim.faults.DeterministicFaultInjector` semantics.
+
+    ``fault_model`` instead names a declarative
+    :class:`~repro.pim.faults.FaultModelSpec` (stochastic / burst /
+    stuck-at) and is exclusive with both ``model`` and ``fault_plan``.  The
+    stochastic kind reduces to ``model``; burst runs correlated-mask
+    injection through per-trial Philox cursors; stuck-at re-applies the
+    stuck value after every gate write to an afflicted cell and at every
+    checker-transfer read.  All three are byte-identical to the scalar
+    injectors built by :meth:`FaultModelSpec.make_injector` from the same
+    per-trial seeds.
     """
-    model = model if model is not None else FaultModel()
+    burst: Optional[_BurstInjection] = None
+    stuck: Optional[_StuckCells] = None
     matrix = np.asarray(input_matrix, dtype=np.uint8)
     if matrix.ndim != 2 or matrix.shape[1] != plan.n_inputs:
         raise ProtectionError(
@@ -590,6 +719,26 @@ def run_batch(
     batch = matrix.shape[0]
     if batch == 0:
         raise ProtectionError("a batch needs at least one trial")
+    if fault_model is not None:
+        if (model is not None and not model.is_error_free) or fault_plan is not None:
+            raise ProtectionError(
+                "a batch takes one fault source: fault_model is exclusive "
+                "with model and fault_plan"
+            )
+        if fault_model.kind == "stochastic":
+            model = fault_model.rate_model()
+        elif fault_model.kind == "stuck-at":
+            stuck = _StuckCells(fault_model, plan.n_cols)
+        elif not fault_model.is_error_free:  # burst
+            burst_draws = sum(_burst_step_draws(step, fault_model) for step in plan.steps)
+            if fault_seeds is None or len(fault_seeds) != batch:
+                raise ProtectionError(
+                    "burst fault injection needs one fault seed per trial "
+                    f"(got {None if fault_seeds is None else len(fault_seeds)} "
+                    f"for {batch} trials)"
+                )
+            burst = _BurstInjection(fault_model, _uniform_streams(fault_seeds, burst_draws))
+    model = model if model is not None else FaultModel()
 
     n_draws = sum(_step_draws(step, model) for step in plan.steps)
     if n_draws:
@@ -626,6 +775,17 @@ def run_batch(
     for step in plan.steps:
         if isinstance(step, GateStep):
             n_outputs = step.output_cols.shape[0]
+            if burst is not None:
+                ideal = vector_gate_output(step.gate, state[:, step.input_cols], step.threshold)
+                out = np.repeat(ideal[:, None], n_outputs, axis=1)
+                faults += burst.corrupt_gate_outputs(step.op_index, out)
+                state[:, step.output_cols] = out
+                continue
+            if stuck is not None:
+                ideal = vector_gate_output(step.gate, state[:, step.input_cols], step.threshold)
+                state[:, step.output_cols] = ideal[:, None]
+                faults += stuck.apply(state, step.output_cols)
+                continue
             preset_mask = draw_mask(n_outputs, model.preset_error_rate)
             if preset_mask is not None:
                 # Gate presets are overwritten by the firing itself; they
@@ -662,10 +822,15 @@ def run_batch(
                 state[:, step.columns] = step.value ^ mask.astype(np.uint8)
                 faults += mask.sum(axis=1)
         elif isinstance(step, ReadStep):
-            mask = draw_mask(step.columns.shape[0], model.memory_error_rate)
-            if mask is not None:
-                state[:, step.columns] ^= mask.astype(np.uint8)
-                faults += mask.sum(axis=1)
+            if burst is not None:
+                faults += burst.corrupt_stored_bits(state, step.columns)
+            elif stuck is not None:
+                faults += stuck.apply(state, step.columns)
+            else:
+                mask = draw_mask(step.columns.shape[0], model.memory_error_rate)
+                if mask is not None:
+                    state[:, step.columns] ^= mask.astype(np.uint8)
+                    faults += mask.sum(axis=1)
         elif isinstance(step, EcimCheckStep):
             data = state[:, step.data_cols].astype(np.int64)
             parity = state[:, step.parity_cols].astype(np.int64)

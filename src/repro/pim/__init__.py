@@ -25,6 +25,7 @@ from repro.pim.electrical import (
 )
 from repro.pim.energy import EnergyBreakdown, EnergyModel, LevelEnergyStats
 from repro.pim.faults import (
+    FAULT_MODEL_KINDS,
     BurstFaultInjector,
     DeterministicFaultInjector,
     FaultEvent,
@@ -32,9 +33,12 @@ from repro.pim.faults import (
     FaultKind,
     FaultLog,
     FaultModel,
+    FaultModelSpec,
     NoFaultInjector,
+    PhiloxRandom,
     StochasticFaultInjector,
     StuckAtFaultInjector,
+    parse_fault_model,
     resolve_rng,
 )
 from repro.pim.gates import (
@@ -137,6 +141,10 @@ __all__ = [
     "FaultEvent",
     "FaultLog",
     "FaultModel",
+    "FaultModelSpec",
+    "FAULT_MODEL_KINDS",
+    "parse_fault_model",
+    "PhiloxRandom",
     "FaultInjector",
     "NoFaultInjector",
     "StochasticFaultInjector",

@@ -24,7 +24,7 @@ correlated bursts discussed in Section IV-E.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import PimError
@@ -33,6 +33,9 @@ __all__ = [
     "FaultKind",
     "FaultEvent",
     "FaultModel",
+    "FaultModelSpec",
+    "FAULT_MODEL_KINDS",
+    "parse_fault_model",
     "FaultInjector",
     "NoFaultInjector",
     "StochasticFaultInjector",
@@ -40,6 +43,7 @@ __all__ = [
     "BurstFaultInjector",
     "StuckAtFaultInjector",
     "FaultLog",
+    "PhiloxRandom",
     "SeedLike",
     "normalize_flip_positions",
     "resolve_rng",
@@ -63,6 +67,45 @@ def resolve_rng(seed: SeedLike) -> random.Random:
     if seed is not None and not isinstance(seed, int):
         raise PimError(f"seed must be an int, random.Random or None, got {seed!r}")
     return random.Random(seed)
+
+
+class PhiloxRandom(random.Random):
+    """A ``random.Random`` facade over a counter-based ``numpy`` Philox stream.
+
+    The batched tape interpreter draws each trial's fault stream from
+    ``numpy.random.Generator(numpy.random.Philox(key=seed))`` in tape order.
+    Handing a scalar injector a ``PhiloxRandom(seed)`` makes it consume the
+    *identical* uniform sequence (``Generator.random(n)`` equals ``n``
+    successive ``Generator.random()`` calls), which is what lets the unified
+    fault-model layer produce byte-identical trial outcomes on both backends
+    from one shared trial seed.
+
+    Only :meth:`random` and :meth:`getrandbits` are rebased onto the Philox
+    stream; the injectors consume nothing else.
+    """
+
+    def __init__(self, seed: int) -> None:
+        import numpy as np
+
+        self._generator = np.random.Generator(np.random.Philox(key=int(seed)))
+        super().__init__(0)
+
+    def random(self) -> float:  # noqa: A003 - mirrors random.Random.random
+        return float(self._generator.random())
+
+    def getrandbits(self, k: int) -> int:
+        if k < 0:
+            raise ValueError("number of bits must be non-negative")
+        if k == 0:
+            return 0
+        n_bytes = (k + 7) // 8
+        raw = int.from_bytes(self._generator.bytes(n_bytes), "little")
+        return raw >> (n_bytes * 8 - k)
+
+    def seed(self, *args, **kwargs) -> None:  # noqa: D102 - facade
+        # random.Random.__init__ seeds the (unused) Mersenne state; the
+        # Philox stream itself is keyed once, at construction.
+        super().seed(0)
 
 
 def normalize_flip_positions(positions: object) -> frozenset:
@@ -176,6 +219,391 @@ class FaultModel:
             and self.preset_error_rate == 0.0
             and (self.metadata_error_rate in (None, 0.0))
         )
+
+
+#: Declarative fault-model kinds the unified fault-model layer names.  The
+#: fourth model of the differential test matrix — the deterministic per-trial
+#: ``fault_plan`` — is per-trial *data* rather than a model, and travels
+#: through the backends' ``fault_plan`` argument instead.
+FAULT_MODEL_KINDS = ("stochastic", "burst", "stuck-at")
+
+#: Accepted spellings per canonical kind (CLI / spec-file convenience).
+_KIND_ALIASES = {
+    "stochastic": "stochastic",
+    "burst": "burst",
+    "stuck-at": "stuck-at",
+    "stuckat": "stuck-at",
+    "stuck_at": "stuck-at",
+}
+
+
+def _validate_optional_rate(name: str, rate: Optional[float]) -> Optional[float]:
+    if rate is None:
+        return None
+    rate = float(rate)
+    if not 0.0 <= rate <= 1.0:
+        raise PimError(f"{name} must be a probability, got {rate}")
+    return rate
+
+
+@dataclass(frozen=True)
+class FaultModelSpec:
+    """Declarative description of one fault model, shared by both backends.
+
+    Where :class:`FaultModel` is the rate configuration of the *stochastic*
+    injector alone, a spec names the model **kind** and carries every knob the
+    corresponding scalar injector class takes — it is the serialisable form
+    the campaign grid, the CLI (``--fault-model``) and the differential test
+    harness all speak:
+
+    * ``stochastic`` — independent Bernoulli flips
+      (:class:`StochasticFaultInjector`): ``gate_error_rate``,
+      ``memory_error_rate``, ``preset_error_rate``, ``metadata_error_rate``.
+    * ``burst`` — spatially/temporally correlated bursts
+      (:class:`BurstFaultInjector`): ``gate_error_rate`` (the burst trigger),
+      ``memory_error_rate``, ``burst_length``, ``correlation_window``.
+      Presets are never corrupted and metadata outputs share the gate rate,
+      exactly like the scalar injector.
+    * ``stuck-at`` — permanent (hard) faults (:class:`StuckAtFaultInjector`):
+      ``stuck_columns`` (cell columns of the execution row) all stuck at
+      ``stuck_polarity``.  Purely deterministic — no rates, no seeds.
+
+    Rates left as ``None`` mean "inherit from the surrounding grid cell":
+    :meth:`resolved` fills them in from a campaign cell's swept rates.  A
+    spec that reaches a backend with still-``None`` rates reads them as
+    ``0.0`` (:meth:`rate_model`) — with the one :class:`FaultModel`
+    exception that a ``None`` *metadata* rate inherits the gate rate, on
+    both backends alike.  Passing ``fault_seeds`` alongside such an
+    error-free spec is rejected, so an unresolved model can never
+    masquerade as 100% coverage.
+
+    Equivalence contract: for one spec and one per-trial seed, the scalar
+    injector built by :meth:`make_injector` (Philox-backed via
+    :class:`PhiloxRandom`) and the batched interpreter's per-trial Philox
+    stream consume identical uniform draws in identical order, so trial
+    outcomes are **byte-identical** across backends — the property
+    ``tests/differential`` enforces for every kind.
+    """
+
+    kind: str = "stochastic"
+    gate_error_rate: Optional[float] = None
+    memory_error_rate: Optional[float] = None
+    preset_error_rate: Optional[float] = None
+    metadata_error_rate: Optional[float] = None
+    burst_length: int = 2
+    correlation_window: int = 4
+    stuck_polarity: int = 0
+    stuck_columns: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        kind = _KIND_ALIASES.get(str(self.kind).strip().lower())
+        if kind is None:
+            raise PimError(
+                f"unknown fault-model kind {self.kind!r}; "
+                f"expected one of {FAULT_MODEL_KINDS}"
+            )
+        object.__setattr__(self, "kind", kind)
+        for name in (
+            "gate_error_rate",
+            "memory_error_rate",
+            "preset_error_rate",
+            "metadata_error_rate",
+        ):
+            object.__setattr__(self, name, _validate_optional_rate(name, getattr(self, name)))
+        object.__setattr__(self, "burst_length", int(self.burst_length))
+        object.__setattr__(self, "correlation_window", int(self.correlation_window))
+        if self.burst_length < 1:
+            raise PimError("burst_length must be >= 1")
+        if self.correlation_window < 1:
+            raise PimError("correlation_window must be >= 1")
+        if self.stuck_polarity not in (0, 1):
+            raise PimError(f"stuck_polarity must be a bit, got {self.stuck_polarity!r}")
+        columns = tuple(sorted({int(c) for c in self.stuck_columns}))
+        if any(c < 0 for c in columns):
+            raise PimError("stuck_columns must be non-negative column indices")
+        object.__setattr__(self, "stuck_columns", columns)
+        if self.kind == "stuck-at":
+            if not columns:
+                raise PimError("a stuck-at model needs at least one stuck column")
+            if any(
+                rate not in (None, 0.0)
+                for rate in (
+                    self.gate_error_rate,
+                    self.memory_error_rate,
+                    self.preset_error_rate,
+                    self.metadata_error_rate,
+                )
+            ):
+                raise PimError(
+                    "stuck-at models are purely deterministic; error rates "
+                    "belong to the stochastic and burst kinds"
+                )
+        else:
+            if columns:
+                raise PimError("stuck_columns only apply to the stuck-at kind")
+        if self.kind == "burst" and any(
+            rate not in (None, 0.0)
+            for rate in (self.preset_error_rate, self.metadata_error_rate)
+        ):
+            raise PimError(
+                "the burst injector never corrupts presets and folds metadata "
+                "into the gate rate; preset/metadata rates only apply to the "
+                "stochastic kind"
+            )
+        if self.kind != "burst" and (self.burst_length, self.correlation_window) != (2, 4):
+            # Reject rather than silently drop: a typo'd kind must not turn a
+            # burst configuration into independent flips.
+            raise PimError("burst_length/correlation_window only apply to the burst kind")
+        if self.kind != "stuck-at" and self.stuck_polarity != 0:
+            raise PimError("stuck_polarity only applies to the stuck-at kind")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def stochastic(
+        cls,
+        gate_error_rate: Optional[float] = None,
+        memory_error_rate: Optional[float] = None,
+        preset_error_rate: Optional[float] = None,
+        metadata_error_rate: Optional[float] = None,
+    ) -> "FaultModelSpec":
+        return cls(
+            kind="stochastic",
+            gate_error_rate=gate_error_rate,
+            memory_error_rate=memory_error_rate,
+            preset_error_rate=preset_error_rate,
+            metadata_error_rate=metadata_error_rate,
+        )
+
+    @classmethod
+    def burst(
+        cls,
+        burst_length: int = 2,
+        correlation_window: int = 4,
+        gate_error_rate: Optional[float] = None,
+        memory_error_rate: Optional[float] = None,
+    ) -> "FaultModelSpec":
+        return cls(
+            kind="burst",
+            burst_length=burst_length,
+            correlation_window=correlation_window,
+            gate_error_rate=gate_error_rate,
+            memory_error_rate=memory_error_rate,
+        )
+
+    @classmethod
+    def stuck_at(cls, stuck_columns: Iterable[int], stuck_polarity: int = 0) -> "FaultModelSpec":
+        return cls(
+            kind="stuck-at",
+            stuck_columns=tuple(stuck_columns),
+            stuck_polarity=stuck_polarity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def needs_seeds(self) -> bool:
+        """Whether trials under this model consume per-trial fault seeds."""
+        return self.kind in ("stochastic", "burst") and not self.is_error_free
+
+    @property
+    def is_error_free(self) -> bool:
+        if self.kind == "stuck-at":
+            return not self.stuck_columns
+        return all(
+            rate in (None, 0.0)
+            for rate in (
+                self.gate_error_rate,
+                self.memory_error_rate,
+                self.preset_error_rate,
+                self.metadata_error_rate,
+            )
+        )
+
+    def resolved(self, gate_error_rate: float = 0.0, memory_error_rate: float = 0.0) -> "FaultModelSpec":
+        """Fill unset (inherited) rates from the surrounding grid cell."""
+        if self.kind == "stuck-at":
+            return self
+        updates = {}
+        if self.gate_error_rate is None:
+            updates["gate_error_rate"] = float(gate_error_rate)
+        if self.memory_error_rate is None:
+            updates["memory_error_rate"] = float(memory_error_rate)
+        return replace(self, **updates) if updates else self
+
+    def rate_model(self) -> FaultModel:
+        """The spec's Bernoulli rates as a plain :class:`FaultModel` — the
+        batched interpreter's draw schedule.  ``None`` gate/memory/preset
+        rates read as 0.0; a ``None`` metadata rate is passed through, where
+        :class:`FaultModel` makes it inherit the gate rate (the scalar
+        injector's semantics, which batched must mirror byte-for-byte)."""
+        return FaultModel(
+            gate_error_rate=self.gate_error_rate or 0.0,
+            memory_error_rate=self.memory_error_rate or 0.0,
+            preset_error_rate=self.preset_error_rate or 0.0,
+            metadata_error_rate=self.metadata_error_rate,
+        )
+
+    def stuck_cells(self, array_id: int = 0, row: int = 0) -> Dict[Tuple[int, int, int], int]:
+        """The stuck column set as the scalar injector's site→value map."""
+        return {(array_id, row, column): self.stuck_polarity for column in self.stuck_columns}
+
+    def validate_columns(self, n_cols: int, layout: str = "execution") -> None:
+        """Reject stuck columns outside the ``n_cols``-wide row layout.
+
+        Both backends funnel through here (the scalar backend against its
+        executor's array width, the batched interpreter against the plan
+        width), so a fault model naming a cell the execution never touches
+        fails fast identically everywhere instead of silently injecting
+        nothing — which would masquerade as fault-free coverage.
+        """
+        if self.stuck_columns and self.stuck_columns[-1] >= n_cols:
+            raise PimError(
+                f"stuck column {self.stuck_columns[-1]} outside the "
+                f"{layout}'s {n_cols} columns"
+            )
+
+    def make_injector(
+        self, seed: Optional[int] = None, log: Optional[FaultLog] = None
+    ) -> FaultInjector:
+        """Build the scalar injector realising this model for one trial.
+
+        Stochastic and burst injectors are handed a :class:`PhiloxRandom`
+        keyed by ``seed`` — the same counter-based stream the batched
+        interpreter derives from the same trial seed, which is what makes
+        the two backends byte-identical under this layer.
+        """
+        if self.kind == "stuck-at":
+            return StuckAtFaultInjector(self.stuck_cells(), log=log)
+        if self.needs_seeds and seed is None:
+            raise PimError(f"a {self.kind} fault model needs a per-trial seed")
+        rng = PhiloxRandom(seed) if seed is not None else None
+        if self.kind == "burst":
+            return BurstFaultInjector(
+                self.rate_model(),
+                burst_length=self.burst_length,
+                correlation_window=self.correlation_window,
+                seed=rng,
+                log=log,
+            )
+        return StochasticFaultInjector(self.rate_model(), seed=rng, log=log)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (campaign spec field / CLI flag)
+    # ------------------------------------------------------------------ #
+    def to_string(self) -> str:
+        """Canonical ``kind:key=value,...`` form (parse → to_string is a
+        fixed point, so equivalent spellings hash identically in campaign
+        specs)."""
+        params: List[str] = []
+        if self.kind in ("stochastic", "burst"):
+            for key, rate in (
+                ("gate", self.gate_error_rate),
+                ("memory", self.memory_error_rate),
+                ("preset", self.preset_error_rate),
+                ("metadata", self.metadata_error_rate),
+            ):
+                if rate is not None:
+                    # repr() is the shortest round-trip float form: the
+                    # canonical string re-parses to the exact same rate (%g
+                    # would silently round to 6 significant digits).
+                    params.append(f"{key}={rate!r}")
+        if self.kind == "burst":
+            params.append(f"length={self.burst_length}")
+            params.append(f"window={self.correlation_window}")
+        if self.kind == "stuck-at":
+            params.append("cells=" + "+".join(str(c) for c in self.stuck_columns))
+            params.append(f"value={self.stuck_polarity}")
+        return self.kind if not params else f"{self.kind}:{','.join(params)}"
+
+    @classmethod
+    def from_string(cls, text: str) -> "FaultModelSpec":
+        return parse_fault_model(text)
+
+
+#: ``parse_fault_model`` key → FaultModelSpec field, per kind.
+_PARAM_FIELDS = {
+    "gate": "gate_error_rate",
+    "rate": "gate_error_rate",  # burst-trigger alias: burst:rate=1e-3
+    "memory": "memory_error_rate",
+    "preset": "preset_error_rate",
+    "metadata": "metadata_error_rate",
+    "length": "burst_length",
+    "window": "correlation_window",
+    "value": "stuck_polarity",
+    "polarity": "stuck_polarity",
+    "cells": "stuck_columns",
+}
+
+#: Keys each kind accepts.  A key outside its kind is rejected rather than
+#: silently dropped — a typo'd kind must not quietly change the model (e.g.
+#: ``stochastic:length=5`` running independent flips where the user meant a
+#: burst).
+_KIND_PARAMS = {
+    "stochastic": frozenset({"gate", "rate", "memory", "preset", "metadata"}),
+    "burst": frozenset({"gate", "rate", "memory", "length", "window"}),
+    "stuck-at": frozenset({"cells", "value", "polarity"}),
+}
+
+
+def parse_fault_model(text: str) -> FaultModelSpec:
+    """Parse the CLI / spec-file grammar ``kind[:key=value,...]``.
+
+    Examples: ``stochastic``, ``stochastic:gate=1e-3,memory=1e-4``,
+    ``burst:length=3,window=6,rate=1e-3``, ``stuck-at:cells=4+17,value=1``.
+    Stuck columns are ``+``-separated.  Unknown kinds and keys fail fast.
+    """
+    if isinstance(text, FaultModelSpec):
+        return text
+    text = str(text).strip()
+    if not text:
+        raise PimError("empty fault-model description")
+    kind, _, params_text = text.partition(":")
+    canonical_kind = _KIND_ALIASES.get(kind.strip().lower())
+    if canonical_kind is None:
+        raise PimError(
+            f"unknown fault-model kind {kind!r}; expected one of {FAULT_MODEL_KINDS}"
+        )
+    allowed = _KIND_PARAMS[canonical_kind]
+    fields: Dict[str, object] = {"kind": canonical_kind}
+    if params_text.strip():
+        for item in params_text.split(","):
+            key, separator, value = item.partition("=")
+            key = key.strip().lower()
+            if not separator or key not in _PARAM_FIELDS:
+                raise PimError(
+                    f"malformed fault-model parameter {item!r}; "
+                    f"expected key=value with key in {sorted(set(_PARAM_FIELDS))}"
+                )
+            if key not in allowed:
+                raise PimError(
+                    f"fault-model parameter {key!r} does not apply to the "
+                    f"{canonical_kind!r} kind (accepted: {sorted(allowed)})"
+                )
+            field_name = _PARAM_FIELDS[key]
+            if field_name in fields:
+                # Reject rather than last-wins: duplicates and colliding
+                # aliases (rate/gate, value/polarity) must not silently
+                # discard one of the user's values.
+                raise PimError(
+                    f"fault-model parameter {key!r} assigns {field_name} twice"
+                )
+            value = value.strip()
+            try:
+                if field_name == "stuck_columns":
+                    fields[field_name] = tuple(int(c) for c in value.split("+") if c)
+                elif field_name in ("burst_length", "correlation_window", "stuck_polarity"):
+                    fields[field_name] = int(value)
+                else:
+                    fields[field_name] = float(value)
+            except ValueError:
+                raise PimError(f"malformed fault-model value {item!r}") from None
+    try:
+        return FaultModelSpec(**fields)
+    except TypeError as error:  # pragma: no cover - defensive
+        raise PimError(f"malformed fault-model {text!r}: {error}") from None
 
 
 class FaultInjector:

@@ -1,0 +1,21 @@
+"""Fixtures of the cross-backend differential harness.
+
+The grid, backend factories and cell cache live in
+``differential_harness.py`` (a uniquely named sibling module, so the import
+below never collides with another directory's ``conftest``); this file only
+binds the session-scoped ``cell`` fixture pytest injects into the tests.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from differential_harness import GRID, DifferentialCell, _grid_id, get_cell  # noqa: E402
+
+
+@pytest.fixture(params=GRID, ids=_grid_id, scope="session")
+def cell(request) -> DifferentialCell:
+    return get_cell(*request.param)

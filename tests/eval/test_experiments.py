@@ -210,3 +210,61 @@ class TestMultifaultExperiment:
         assert bch[1]["coverage"] == 1.0
         assert bch[1]["sep_guaranteed"] == bch[1]["combinations"]
         assert "Multi-fault sweep" in result["rendered"]
+
+
+class TestBurstExperiment:
+    def test_burst_sweep_rows_and_series(self):
+        from repro.eval.experiments import experiment_burst
+
+        result = experiment_burst(
+            workload="dot2",
+            schemes=("ecim", "trim"),
+            burst_lengths=(1, 3),
+            gate_error_rate=5e-3,
+            trials=120,
+            seed=2,
+            backend="batched",
+        )
+        assert result["burst_lengths"] == [1, 3]
+        rows = result["rows"]
+        assert len(rows) == 4  # two schemes x two lengths
+        for row in rows:
+            assert 0.0 <= row["silent_corruption_rate"] <= 1.0
+            assert row["counts"]["trials"] == 120
+            assert row["counts"]["faults_injected"] > 0
+        assert "Burst sweep" in result["rendered"]
+        assert "ecim silent rate" in result["rendered"]
+
+    def test_burst_experiment_registered_and_backendable(self):
+        import inspect
+
+        from repro.eval.experiments import EXPERIMENTS
+
+        assert "burst" in EXPERIMENTS
+        assert "backend" in inspect.signature(EXPERIMENTS["burst"]).parameters
+
+    def test_burst_length_one_reduces_to_independent_flips(self):
+        # A burst of one is the stochastic baseline: byte-identical to the
+        # stochastic fault model at the same trigger rate and seeds.
+        from repro.campaign.workloads import get_campaign_workload
+        from repro.core.backend import derive_seed, make_backend
+        from repro.core.batched import sample_input_matrix
+        from repro.pim.faults import FaultModelSpec
+
+        netlist = get_campaign_workload("dot2").netlist
+        backend = make_backend("batched", netlist, "ecim")
+        seeds = [derive_seed(4, t, "faults") for t in range(60)]
+        inputs = sample_input_matrix(
+            netlist, [derive_seed(4, t, "inputs") for t in range(60)]
+        )
+        burst = backend.run_trials(
+            inputs,
+            fault_model=FaultModelSpec.burst(1, 4, gate_error_rate=5e-3),
+            fault_seeds=seeds,
+        )
+        stochastic = backend.run_trials(
+            inputs,
+            fault_model=FaultModelSpec.stochastic(gate_error_rate=5e-3),
+            fault_seeds=seeds,
+        )
+        assert burst.counts() == stochastic.counts()

@@ -1,0 +1,7 @@
+"""Make the uniquely named sibling ``golden_store`` module importable from
+the golden regression tests regardless of pytest's rootdir handling."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,5 +1,7 @@
 """Tests for the fault models and injectors (Section II-C error model)."""
 
+import random
+
 import pytest
 
 from repro.errors import PimError
@@ -10,9 +12,12 @@ from repro.pim.faults import (
     FaultKind,
     FaultLog,
     FaultModel,
+    FaultModelSpec,
     NoFaultInjector,
+    PhiloxRandom,
     StochasticFaultInjector,
     StuckAtFaultInjector,
+    parse_fault_model,
     resolve_rng,
 )
 
@@ -240,3 +245,221 @@ class TestSeedInjection:
         by_seed = BurstFaultInjector(model, seed=77)
         by_rng = BurstFaultInjector(model, seed=random.Random(77))
         assert self.draws(by_seed) == self.draws(by_rng)
+
+
+class _CountingRandom(random.Random):
+    """A generator that counts its uniform draws (zero-rate early-exit probe)."""
+
+    def __init__(self, seed=0):
+        super().__init__(seed)
+        self.draws = 0
+
+    def random(self):
+        self.draws += 1
+        return super().random()
+
+
+class TestScalarInjectorEdgeCases:
+    """ISSUE 5 satellite: burst wrap / overlong bursts, stuck preset targets,
+    zero-rate early exits."""
+
+    def test_burst_spans_row_end_into_next_operations(self):
+        # A burst triggered on the last output of one firing wraps into the
+        # following operations' outputs (the "row end" of a multi-output
+        # gate), as long as the correlation window allows.
+        injector = BurstFaultInjector(
+            FaultModel(gate_error_rate=1.0), burst_length=3, correlation_window=4, seed=0
+        )
+        # op 5: one output — triggers and flips; ops 6, 7: burst continues.
+        first = injector.corrupt_gate_output(0, SITE, 5)
+        second = injector.corrupt_gate_output(0, SITE, 6)
+        third = injector.corrupt_gate_output(0, SITE, 7)
+        assert (first, second, third) == (1, 1, 1)
+        kinds = {event.kind for event in injector.log.events}
+        assert kinds == {FaultKind.LOGIC}
+
+    def test_burst_length_exceeding_row_width_stops_at_window(self):
+        # burst_length far beyond the outputs available inside the window:
+        # remaining flips are silently dropped once the window closes, and
+        # later operations draw afresh instead of inheriting stale flips.
+        injector = BurstFaultInjector(
+            FaultModel(gate_error_rate=1.0), burst_length=100, correlation_window=2, seed=3
+        )
+        assert injector.corrupt_gate_output(0, SITE, 0) == 1  # trigger
+        assert injector.corrupt_gate_output(0, SITE, 1) == 1  # in window
+        assert injector.corrupt_gate_output(0, SITE, 2) == 1  # window edge
+        # op 10 is far outside the window: the stale remaining budget must
+        # not flip; with rate 1.0 a *fresh* trigger fires instead, which the
+        # log distinguishes (4 events so far, all flips are new bursts).
+        assert injector.corrupt_gate_output(0, SITE, 10) == 1
+        assert injector.log.count() == 4
+
+    def test_burst_window_expiry_leaves_stale_budget_inert(self):
+        injector = BurstFaultInjector(
+            FaultModel(gate_error_rate=1.0), burst_length=5, correlation_window=1, seed=1
+        )
+        assert injector.corrupt_gate_output(0, SITE, 0) == 1  # trigger, budget 4
+        # Jump past the window with rate forced to zero: the stale budget
+        # alone must not flip anything.
+        injector.model = FaultModel(gate_error_rate=0.0)
+        assert injector.corrupt_gate_output(0, SITE, 7) == 0
+
+    def test_stuck_at_on_a_preset_target_cell(self):
+        # Presets bypass the injector (corrupt_preset default), but the gate
+        # output written into the same cell re-applies the stuck value: the
+        # architectural behaviour "stuck-at re-applies after every write".
+        from repro.pim.array import PimArray
+
+        injector = StuckAtFaultInjector({(0, 0, 4): 1})
+        array = PimArray(rows=2, cols=8, fault_injector=injector)
+        array.preset_cells(0, [4], 0)
+        assert array.read_cell(0, 4) == 0  # preset landed raw: not yet stuck
+        array.write_cell(0, 1, 1)
+        array.write_cell(0, 2, 1)
+        array.execute_gate("nor", 0, [1, 2], [4])  # NOR(1,1) = 0 -> stuck 1
+        assert array.read_cell(0, 4) == 1
+        assert injector.log.count(FaultKind.STUCK_AT) == 1
+        # And an architectural read of the cell re-applies (and commits) it.
+        array._cells[0, 4] = 0
+        assert array.read_row(0, [4]) == [1]
+        assert array.read_cell(0, 4) == 1
+
+    def test_zero_rate_stochastic_consumes_no_draws(self):
+        rng = _CountingRandom(5)
+        injector = StochasticFaultInjector(FaultModel(), seed=rng)
+        for op in range(50):
+            assert injector.corrupt_gate_output(1, SITE, op) == 1
+            assert injector.corrupt_stored_bit(0, SITE) == 0
+            assert injector.corrupt_preset(0, SITE, op) == 0
+        assert rng.draws == 0
+        assert injector.log.count() == 0
+
+    def test_zero_rate_burst_consumes_no_draws(self):
+        rng = _CountingRandom(5)
+        injector = BurstFaultInjector(FaultModel(), seed=rng)
+        for op in range(50):
+            assert injector.corrupt_gate_output(0, SITE, op) == 0
+            assert injector.corrupt_stored_bit(1, SITE) == 1
+        assert rng.draws == 0
+
+
+class TestFaultModelSpec:
+    """The declarative fault-model layer (ISSUE 5 tentpole)."""
+
+    def test_parse_roundtrip_is_canonical(self):
+        for text in (
+            "stochastic",
+            "stochastic:gate=0.001,memory=0.0001",
+            "burst:length=3,window=6,rate=0.001",
+            "stuck-at:cells=4+17,value=1",
+        ):
+            spec = parse_fault_model(text)
+            assert parse_fault_model(spec.to_string()) == spec
+            assert parse_fault_model(spec.to_string()).to_string() == spec.to_string()
+
+    def test_duplicate_and_alias_collisions_rejected(self):
+        # 'rate' and 'gate' are one knob; last-wins would silently discard a
+        # value the user typed.  Same for plain duplicates and value/polarity.
+        with pytest.raises(PimError, match="twice"):
+            parse_fault_model("burst:rate=1e-3,gate=1e-2")
+        with pytest.raises(PimError, match="twice"):
+            parse_fault_model("stochastic:gate=1e-3,gate=1e-4")
+        with pytest.raises(PimError, match="twice"):
+            parse_fault_model("stuck-at:cells=3,value=1,polarity=0")
+
+    def test_canonical_string_is_lossless_for_rates(self):
+        # repr-based formatting: rates survive the parse -> to_string ->
+        # parse round trip exactly, even beyond 6 significant digits.
+        spec = parse_fault_model("stochastic:gate=0.000123456789")
+        assert spec.gate_error_rate == 0.000123456789
+        assert parse_fault_model(spec.to_string()).gate_error_rate == 0.000123456789
+
+    def test_aliases_and_ordering_canonicalise(self):
+        a = parse_fault_model("stuckat:cells=17+4,polarity=1")
+        b = parse_fault_model("stuck-at:value=1,cells=4+17")
+        assert a == b
+        assert a.to_string() == b.to_string()
+        assert parse_fault_model("burst:rate=1e-3").gate_error_rate == pytest.approx(1e-3)
+
+    def test_unknown_kind_and_keys_fail_fast(self):
+        with pytest.raises(PimError):
+            parse_fault_model("gaussian")
+        with pytest.raises(PimError):
+            parse_fault_model("burst:burstiness=3")
+        with pytest.raises(PimError):
+            parse_fault_model("burst:length=abc")
+        with pytest.raises(PimError):
+            parse_fault_model("")
+
+    def test_kind_inapplicable_keys_rejected_not_dropped(self):
+        # A typo'd kind must not silently change the model: burst knobs on a
+        # stochastic spec (and vice versa) fail instead of being ignored.
+        with pytest.raises(PimError, match="does not apply"):
+            parse_fault_model("stochastic:length=5,gate=1e-3")
+        with pytest.raises(PimError, match="does not apply"):
+            parse_fault_model("stuck-at:cells=3,window=8")
+        with pytest.raises(PimError, match="does not apply"):
+            parse_fault_model("burst:value=1")
+        with pytest.raises(PimError, match="does not apply"):
+            parse_fault_model("burst:cells=3+4")
+        # And the constructor enforces the same rule for direct API use, so
+        # parse(to_string()) == spec holds for every constructible spec.
+        with pytest.raises(PimError):
+            FaultModelSpec(kind="stochastic", burst_length=5)
+        with pytest.raises(PimError):
+            FaultModelSpec(kind="stuck-at", stuck_columns=(1,), correlation_window=9)
+        with pytest.raises(PimError):
+            FaultModelSpec(kind="burst", stuck_polarity=1)
+
+    def test_kind_constraints(self):
+        with pytest.raises(PimError):
+            FaultModelSpec.stuck_at(())  # needs cells
+        with pytest.raises(PimError):
+            FaultModelSpec(kind="stuck-at", stuck_columns=(1,), gate_error_rate=0.1)
+        with pytest.raises(PimError):
+            FaultModelSpec(kind="burst", preset_error_rate=0.1)
+        with pytest.raises(PimError):
+            FaultModelSpec(kind="stochastic", stuck_columns=(1,))
+        with pytest.raises(PimError):
+            FaultModelSpec(kind="burst", burst_length=0)
+        with pytest.raises(PimError):
+            FaultModelSpec(kind="stuck-at", stuck_columns=(3,), stuck_polarity=2)
+
+    def test_resolved_fills_only_unset_rates(self):
+        spec = FaultModelSpec.burst(3, 6, gate_error_rate=0.01)
+        resolved = spec.resolved(gate_error_rate=0.5, memory_error_rate=0.25)
+        assert resolved.gate_error_rate == pytest.approx(0.01)  # explicit wins
+        assert resolved.memory_error_rate == pytest.approx(0.25)  # inherited
+        stuck = FaultModelSpec.stuck_at((3,))
+        assert stuck.resolved(0.5, 0.5) is stuck  # deterministic: no rates
+
+    def test_needs_seeds_and_error_free(self):
+        assert FaultModelSpec.stochastic(0.1).needs_seeds
+        assert FaultModelSpec.burst(2, 4, gate_error_rate=0.1).needs_seeds
+        assert not FaultModelSpec.stuck_at((1,)).needs_seeds
+        assert FaultModelSpec.stochastic().is_error_free
+        assert not FaultModelSpec.stochastic().needs_seeds
+
+    def test_make_injector_builds_the_matching_scalar_class(self):
+        assert isinstance(
+            FaultModelSpec.stochastic(0.1).make_injector(seed=1), StochasticFaultInjector
+        )
+        assert isinstance(
+            FaultModelSpec.burst(2, 4, gate_error_rate=0.1).make_injector(seed=1),
+            BurstFaultInjector,
+        )
+        assert isinstance(FaultModelSpec.stuck_at((1,)).make_injector(), StuckAtFaultInjector)
+        with pytest.raises(PimError):
+            FaultModelSpec.stochastic(0.1).make_injector()  # drawing model, no seed
+
+    def test_philox_random_matches_numpy_stream(self):
+        import numpy as np
+
+        generator = np.random.Generator(np.random.Philox(key=99))
+        rng = PhiloxRandom(99)
+        assert [rng.random() for _ in range(16)] == list(generator.random(16))
+
+    def test_stuck_cells_site_map(self):
+        spec = FaultModelSpec.stuck_at((2, 9), 1)
+        assert spec.stuck_cells() == {(0, 0, 2): 1, (0, 0, 9): 1}
+        assert spec.stuck_cells(array_id=3, row=1) == {(3, 1, 2): 1, (3, 1, 9): 1}

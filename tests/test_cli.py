@@ -147,6 +147,40 @@ class TestCampaignCommand:
         ]) == 0
         assert "coverage" in capsys.readouterr().out
 
+    def test_fault_model_flag(self, capsys):
+        assert main([
+            "campaign", "--workloads", "and2", "--rates", "5e-3",
+            "--trials", "12", "--shard-size", "6", "--workers", "0",
+            "--backend", "batched", "--fault-model", "burst:length=3,window=6",
+            "--quiet",
+        ]) == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_invalid_fault_model_fails_cleanly(self, capsys):
+        assert main([
+            "campaign", "--workloads", "and2", "--trials", "4",
+            "--fault-model", "gaussian:sigma=2", "--quiet",
+        ]) == 1
+        assert "invalid campaign spec" in capsys.readouterr().err
+
+    def test_fault_model_flag_applies_on_top_of_spec_file(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec
+
+        spec = CampaignSpec(
+            workloads=("and2",), schemes=("ecim",), gate_error_rates=(5e-3,),
+            trials=6, shard_size=6, name="spec-fault-model-override",
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        overridden_hash = CampaignSpec.from_dict(
+            {**spec.to_dict(), "fault_model": "stuck-at:cells=3,value=1"}
+        ).spec_hash()
+        assert main([
+            "campaign", "--spec", str(path), "--workers", "0", "--quiet",
+            "--fault-model", "stuckat:cells=3,polarity=1",
+        ]) == 0
+        assert overridden_hash in capsys.readouterr().out
+
     def test_backend_flag_overrides_spec_file(self, capsys, tmp_path):
         from repro.campaign import CampaignSpec
 
