@@ -21,7 +21,16 @@ Commands
     ``--fault-model`` swaps the independent-flip error model for a
     declarative one (``burst:length=3,window=8``,
     ``stuck-at:cells=4+17,value=1``, ...) that runs byte-identically on
-    either backend.
+    either backend.  ``--db`` additionally records every completed shard
+    into a persistent SQLite results store.
+``store``
+    Maintain the persistent results store: ``store ingest`` replays
+    checkpoint JSONL files into the database idempotently, ``store
+    campaigns`` lists every campaign the corpus has accumulated.
+``query``
+    Aggregate the results corpus: filter (``--scheme``, ``--workload``,
+    ``--fault-model``, ``--min-error-rate``, ...), group (``--group-by``),
+    and render rates with Wilson intervals as table, CSV or JSON.
 
 Execution-bound commands take ``--backend {scalar,batched}``: ``scalar``
 (default) walks the behavioural array per trial — the bit-exact legacy path —
@@ -204,7 +213,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     try:
         result = run_campaign(
-            spec, workers=args.workers, checkpoint=args.checkpoint, progress=progress
+            spec,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+            progress=progress,
+            db=args.db,
         )
     except (ReproError, OSError) as error:
         print(f"\ncampaign failed: {error}", file=sys.stderr)
@@ -230,6 +243,73 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{summary['resumed_shards']} resumed from checkpoint, "
         f"{summary['workers']} worker(s)."
     )
+    return 0
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec
+    from repro.errors import ReproError
+    from repro.store import ResultsStore, ingest_checkpoint
+
+    spec = None
+    try:
+        if args.spec is not None:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = CampaignSpec.from_json(handle.read())
+        with ResultsStore(args.db) as store:
+            total = 0
+            for path in args.checkpoints:
+                report = ingest_checkpoint(store, path, spec=spec, campaign_name=args.name)
+                total += report.ingested
+                print(report.summary())
+    except (ReproError, OSError, ValueError) as error:
+        print(f"ingest failed: {error}", file=sys.stderr)
+        return 1
+    print(f"{total} new shard(s) recorded in {args.db}")
+    return 0
+
+
+def _cmd_store_campaigns(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.store import ResultsStore, format_output
+
+    try:
+        with ResultsStore(args.db) as store:
+            rows = store.campaigns()
+    except (ReproError, OSError) as error:
+        print(f"store query failed: {error}", file=sys.stderr)
+        return 1
+    columns = [
+        "spec_hash", "name", "backend", "fault_model", "has_spec",
+        "cells", "shards", "trials", "repro_version", "created_at", "updated_at",
+    ]
+    print(format_output(rows, columns, args.format, title=f"Campaigns in {args.db}"))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.store import QueryFilters, ResultsStore, format_output, run_query
+
+    filters = QueryFilters(
+        workloads=tuple(args.workload or ()),
+        schemes=tuple(args.scheme or ()),
+        technologies=tuple(args.technology or ()),
+        fault_models=tuple(args.fault_model or ()),
+        spec_hashes=tuple(args.spec_hash or ()),
+        min_error_rate=args.min_error_rate,
+        max_error_rate=args.max_error_rate,
+    )
+    group_by = [column.strip() for column in args.group_by.split(",") if column.strip()]
+    try:
+        with ResultsStore(args.db) as store:
+            columns, rows = run_query(store, filters, group_by)
+    except (ReproError, OSError) as error:
+        print(f"query failed: {error}", file=sys.stderr)
+        return 1
+    print(format_output(rows, columns, args.format, title=f"Results corpus: {args.db}"))
+    if not rows and args.format == "table":
+        print("(no matching cells recorded)", file=sys.stderr)
     return 0
 
 
@@ -365,6 +445,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL checkpoint file: completed shards are recorded and resumed",
     )
     campaign_parser.add_argument(
+        "--db", metavar="FILE", default=None,
+        help=(
+            "SQLite results store: every completed shard is also recorded "
+            "(idempotently) into the persistent corpus served by "
+            "'python -m repro query'"
+        ),
+    )
+    campaign_parser.add_argument(
         "--single-output", action="store_true",
         help="use single-output gates instead of multi-output gates",
     )
@@ -389,6 +477,114 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the shard progress line on stderr"
     )
     campaign_parser.set_defaults(func=_cmd_campaign)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="maintain the persistent results store",
+        description=(
+            "Maintain the SQLite results corpus that accumulates completed campaign "
+            "shards across runs (WAL mode, advisory-locked writers, schema-versioned)."
+        ),
+    )
+    # Bare "store" prints its own help instead of crashing on a missing func.
+    store_parser.set_defaults(func=lambda _args: (store_parser.print_help(), 0)[1])
+    store_sub = store_parser.add_subparsers(dest="store_command")
+    ingest_parser = store_sub.add_parser(
+        "ingest", help="replay checkpoint JSONL files into the store (idempotent)"
+    )
+    ingest_parser.add_argument(
+        "checkpoints", nargs="+", metavar="CHECKPOINT",
+        help="campaign checkpoint JSONL file(s) to ingest",
+    )
+    ingest_parser.add_argument(
+        "--db", metavar="FILE", required=True, help="SQLite results store path"
+    )
+    ingest_parser.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help=(
+            "JSON campaign spec for the checkpoints: records full provenance "
+            "(canonical spec JSON) and restricts ingestion to that spec's hash"
+        ),
+    )
+    ingest_parser.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="campaign name for bare-checkpoint ingests (default: the file name)",
+    )
+    ingest_parser.set_defaults(func=_cmd_store_ingest)
+    campaigns_parser = store_sub.add_parser(
+        "campaigns", help="list every campaign recorded in the store"
+    )
+    campaigns_parser.add_argument(
+        "--db", metavar="FILE", required=True, help="SQLite results store path"
+    )
+    campaigns_parser.add_argument(
+        "--format", choices=["table", "csv", "json"], default="table",
+        help="output format (default: table)",
+    )
+    campaigns_parser.set_defaults(func=_cmd_store_campaigns)
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="aggregate the results corpus (filters, group-by, Wilson CIs)",
+        description=(
+            "Ask questions of every campaign ever recorded: filter cells, group them, "
+            "and render outcome rates with 95%% Wilson intervals. Rates are computed "
+            "at query time from the stored integer counters with the campaign "
+            "aggregator's exact arithmetic, so numbers match run output byte-for-byte."
+        ),
+    )
+    query_parser.add_argument(
+        "--db", metavar="FILE", required=True, help="SQLite results store path"
+    )
+    query_parser.add_argument(
+        "--workload", action="append", metavar="NAME", default=None,
+        help="only cells for this workload (repeatable)",
+    )
+    query_parser.add_argument(
+        "--scheme", action="append", metavar="SCHEME", default=None,
+        help="only cells for this protection scheme (repeatable)",
+    )
+    query_parser.add_argument(
+        "--technology", action="append", metavar="TECH", default=None,
+        help="only cells for this technology (repeatable)",
+    )
+    query_parser.add_argument(
+        "--fault-model", action="append", metavar="SPEC", default=None,
+        help=(
+            "only cells under this fault model: a full model string "
+            "(canonicalised before matching), a bare kind such as 'burst', "
+            "or 'none' for the legacy independent-flip model (repeatable)"
+        ),
+    )
+    query_parser.add_argument(
+        "--spec-hash", action="append", metavar="HASH", default=None,
+        help="only cells from this campaign spec hash (repeatable)",
+    )
+    query_parser.add_argument(
+        "--min-error-rate", type=float, default=None, metavar="P",
+        help="only cells with gate error rate >= P",
+    )
+    query_parser.add_argument(
+        "--max-error-rate", type=float, default=None, metavar="P",
+        help="only cells with gate error rate <= P",
+    )
+    query_parser.add_argument(
+        "--group-by", default=",".join(
+            ("workload", "scheme", "technology", "gate_error_rate")
+        ),
+        metavar="COL[,COL...]",
+        help=(
+            "aggregation key: comma-separated subset of workload, scheme, "
+            "technology, gate_error_rate, memory_error_rate, multi_output, "
+            "faults_per_trial, fault_model, spec_hash, campaign_name, backend "
+            "(default: the campaign-table cell identity)"
+        ),
+    )
+    query_parser.add_argument(
+        "--format", choices=["table", "csv", "json"], default="table",
+        help="output format; csv/json are schema-stable and golden-pinned (default: table)",
+    )
+    query_parser.set_defaults(func=_cmd_query)
     return parser
 
 

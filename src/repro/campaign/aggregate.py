@@ -21,12 +21,12 @@ collapses to zero width and the Wilson interval stays honest.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
 from repro.campaign.spec import CampaignCell
 from repro.errors import EvaluationError
+from repro.stats import wilson_interval
 
 __all__ = [
     "COUNT_KEYS",
@@ -54,38 +54,6 @@ COUNT_KEYS = (
     "faults_injected",
     "faulty_trials",
 )
-
-
-def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
-    """Wilson score interval for a binomial proportion.
-
-    Returns ``(low, high)`` for the true success probability at confidence
-    level ``z`` (1.96 -> 95%).  Well-behaved at the boundaries: 0 successes
-    yields a non-degenerate upper bound, which is what turns "no silent
-    corruption observed in N trials" into a defensible coverage claim.
-    """
-    if trials < 0 or successes < 0 or successes > trials:
-        raise EvaluationError(
-            f"need 0 <= successes <= trials, got {successes}/{trials}"
-        )
-    if z <= 0:
-        raise EvaluationError("z must be positive")
-    if trials == 0:
-        return (0.0, 1.0)
-    p = successes / trials
-    z2 = z * z
-    denominator = 1.0 + z2 / trials
-    centre = p + z2 / (2 * trials)
-    margin = z * math.sqrt(p * (1.0 - p) / trials + z2 / (4 * trials * trials))
-    low = (centre - margin) / denominator
-    high = (centre + margin) / denominator
-    # The exact bounds at the boundaries are 0 and 1; don't let floating-point
-    # rounding exclude the point estimate from its own interval.
-    if successes == 0:
-        low = 0.0
-    if successes == trials:
-        high = 1.0
-    return (max(0.0, low), min(1.0, high))
 
 
 def zeroed_counts() -> Dict[str, int]:

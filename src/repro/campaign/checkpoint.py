@@ -5,7 +5,8 @@ The store is an append-only file with one JSON object per completed shard::
     {"spec_hash": "...", "cell": "<cell key>", "shard": 3, "counts": {...}}
 
 Append-only JSONL is deliberately boring: a crash mid-write loses at most the
-final line (tolerated and skipped on load), completed shards are never
+final line (dropped on load, with a warning naming the line so the operator
+knows one shard will re-run), completed shards are never
 rewritten, and the file can be inspected / grepped / concatenated with
 standard tools.  Records are tagged with the owning spec's hash so a file can
 be reused across campaign definitions — records from other specs are simply
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Dict, Tuple, Union
 
 from repro.campaign.aggregate import ShardResult
@@ -50,19 +52,34 @@ class CheckpointStore:
         if not os.path.exists(self.path):
             return completed
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn tail from an interrupted append
+                    # Torn tail from an interrupted append (crash mid-write):
+                    # drop the partial record — its shard simply re-runs —
+                    # but say so, because a torn line anywhere *other* than
+                    # the tail means something else touched the file.
+                    warnings.warn(
+                        f"checkpoint {self.path}:{line_number}: dropping "
+                        "truncated record (interrupted append?); its shard "
+                        "will re-run",
+                        stacklevel=2,
+                    )
+                    continue
                 if record.get("spec_hash") != spec_hash:
                     continue
                 try:
                     result = ShardResult.from_dict(record)
-                except (EvaluationError, KeyError, TypeError, ValueError):
+                except (EvaluationError, KeyError, TypeError, ValueError) as error:
+                    warnings.warn(
+                        f"checkpoint {self.path}:{line_number}: dropping "
+                        f"unreadable record ({error}); its shard will re-run",
+                        stacklevel=2,
+                    )
                     continue  # schema drift / hand-edited record: re-run that shard
                 completed.setdefault((result.cell_key, result.shard_index), result)
         return completed

@@ -8,8 +8,9 @@ a :class:`CampaignResult`:
    and schedule only the remainder;
 3. execute pending shards — serially in-process (``workers <= 1``) or across
    a :class:`concurrent.futures.ProcessPoolExecutor` — recording each shard
-   into the checkpoint as it completes, so an interrupt at any point loses at
-   most the shards in flight;
+   into the checkpoint (and, with ``db``, the persistent
+   :class:`~repro.store.database.ResultsStore` corpus) as it completes, so
+   an interrupt at any point loses at most the shards in flight;
 4. merge all counters (order-independent integer sums) into per-cell reports
    with Wilson confidence intervals.
 
@@ -84,6 +85,7 @@ def run_campaign(
     workers: int = 0,
     checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    db: Optional[Union[str, "os.PathLike[str]"]] = None,
 ) -> CampaignResult:
     """Run (or resume) a campaign and aggregate its per-cell statistics.
 
@@ -91,38 +93,72 @@ def run_campaign(
     over a process pool of N workers; negative picks ``cpu_count - 1``.
     ``progress`` (optional) is called as ``progress(done, total)`` after each
     shard completes, counting resumed shards as already done.
+    ``db`` (optional) names a :class:`~repro.store.database.ResultsStore`
+    SQLite file: the campaign row is registered up front and every completed
+    shard (resumed ones included) is recorded live as it lands, so even an
+    interrupted run leaves its finished shards in the corpus.  Recording is
+    idempotent — re-running, resuming, or separately ingesting the same
+    checkpoint can never duplicate a shard.
     """
     if workers < 0:
         workers = _default_workers()
     shards = spec.shards()
     spec_hash = spec.spec_hash()
+    cells_by_key = {task.cell.key: task.cell for task in shards}
 
     store = CheckpointStore(checkpoint) if checkpoint is not None else None
-    completed: Dict[tuple, ShardResult] = store.load(spec_hash) if store else {}
-    results: List[ShardResult] = []
-    pending: List[ShardTask] = []
-    for task in shards:
-        done = completed.get((task.cell.key, task.shard_index))
-        if done is not None:
-            results.append(done)
-        else:
-            pending.append(task)
+    results_db = None
+    if db is not None:
+        from repro.store.database import ResultsStore
 
-    resumed = len(results)
-    total = len(shards)
-    done_count = resumed
-    if progress and resumed:
-        progress(done_count, total)
+        results_db = ResultsStore(db)
+        results_db.record_campaign(spec)
+    try:
+        completed: Dict[tuple, ShardResult] = store.load(spec_hash) if store else {}
+        results: List[ShardResult] = []
+        pending: List[ShardTask] = []
+        for task in shards:
+            done = completed.get((task.cell.key, task.shard_index))
+            if done is not None:
+                results.append(done)
+                if results_db is not None:
+                    results_db.record_shard(spec_hash, task.cell, done)
+            else:
+                pending.append(task)
 
-    def record(result: ShardResult) -> None:
-        nonlocal done_count
-        results.append(result)
-        if store:
-            store.append(spec_hash, result)
-        done_count += 1
-        if progress:
+        resumed = len(results)
+        total = len(shards)
+        done_count = resumed
+        if progress and resumed:
             progress(done_count, total)
 
+        def record(result: ShardResult) -> None:
+            nonlocal done_count
+            results.append(result)
+            if store:
+                store.append(spec_hash, result)
+            if results_db is not None:
+                results_db.record_shard(
+                    spec_hash, cells_by_key[result.cell_key], result
+                )
+            done_count += 1
+            if progress:
+                progress(done_count, total)
+
+        return _execute(spec, workers, pending, results, resumed, record)
+    finally:
+        if results_db is not None:
+            results_db.close()
+
+
+def _execute(
+    spec: CampaignSpec,
+    workers: int,
+    pending: List[ShardTask],
+    results: List[ShardResult],
+    resumed: int,
+    record: Callable[[ShardResult], None],
+) -> CampaignResult:
     if pending and workers > 1:
         # Bound in-flight futures so enormous campaigns don't materialise
         # their whole shard list in the pool's queue at once.

@@ -1,0 +1,60 @@
+"""Shared statistics primitives used across subsystems.
+
+:func:`wilson_interval` lived in :mod:`repro.campaign.aggregate` while the
+campaign engine was its only consumer; the results store's query views
+(:mod:`repro.store.query`) compute the very same intervals at query time, so
+the math now lives here and both import it.  Keeping a single implementation
+is not cosmetic: the acceptance contract between ``python -m repro query``
+and the in-process aggregator is *byte-for-byte* float equality, which only
+holds if both sides run the identical sequence of floating-point operations.
+
+Reference values (checked in ``tests/test_stats.py`` without scipy)::
+
+    wilson_interval(0, 10)      == (0.0,                 0.2775401687666165)
+    wilson_interval(10, 10)     == (0.7224598312333834,  1.0)
+    wilson_interval(5, 10)      == (0.2365895936154873,  0.7634104063845127)
+    wilson_interval(1, 100)     == (0.0017673865655472639, 0.05448752476093461)
+    wilson_interval(50, 1000, z=2.5758293035489004)   # 99% CI
+                                == (0.03502507572253244, 0.0709069726905337)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = ["wilson_interval"]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` for the true success probability at confidence
+    level ``z`` (1.96 -> 95%).  Well-behaved at the boundaries: 0 successes
+    yields a non-degenerate upper bound, which is what turns "no silent
+    corruption observed in N trials" into a defensible coverage claim.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise EvaluationError(
+            f"need 0 <= successes <= trials, got {successes}/{trials}"
+        )
+    if z <= 0:
+        raise EvaluationError("z must be positive")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = p + z2 / (2 * trials)
+    margin = z * math.sqrt(p * (1.0 - p) / trials + z2 / (4 * trials * trials))
+    low = (centre - margin) / denominator
+    high = (centre + margin) / denominator
+    # The exact bounds at the boundaries are 0 and 1; don't let floating-point
+    # rounding exclude the point estimate from its own interval.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return (max(0.0, low), min(1.0, high))

@@ -1,0 +1,135 @@
+"""Advisory file locking for multi-process writers.
+
+SQLite's WAL mode already serialises writers at the page level, but the
+results store needs *application-level* atomicity: "upsert the campaign row,
+the cell row and the shard row as one unit" spans several statements, and two
+concurrent ingests interleaving those statements could observe each other's
+half-written campaigns.  :class:`FileLock` wraps every write batch in an
+exclusive advisory lock on a sidecar ``<db>.lock`` file, so concurrent
+writers queue instead of interleave — the same discipline ``elogfetch``-style
+pipelines use for their shared result databases.
+
+POSIX systems use ``fcntl.flock`` (kernel-mediated, crash-safe: the lock
+dies with the process, so a killed writer never wedges the store).  Where
+``fcntl`` is unavailable the lock degrades to an ``O_CREAT | O_EXCL``
+spin-lock on the same sidecar path — weaker (a crashed holder leaves the
+file behind until ``timeout`` expires) but portable.
+
+The lock is reentrant within a process: :class:`~repro.store.database.
+ResultsStore` methods each acquire it, and a batch ingest holding it around
+a thousand upserts must not deadlock on its own nested acquisitions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.errors import EvaluationError
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "LockTimeoutError"]
+
+
+class LockTimeoutError(EvaluationError):
+    """The advisory lock could not be acquired within the timeout."""
+
+
+class FileLock:
+    """Reentrant exclusive advisory lock on ``path`` (a sidecar lock file).
+
+    Usage::
+
+        lock = FileLock(db_path + ".lock")
+        with lock:            # blocks (up to ``timeout``) until exclusive
+            ...write batch...
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0, poll_interval: float = 0.02) -> None:
+        self.path = os.fspath(path)
+        self.timeout = float(timeout)
+        self.poll_interval = float(poll_interval)
+        self._fd: Optional[int] = None
+        self._depth = 0
+
+    # ------------------------------------------------------------------ #
+    def acquire(self) -> None:
+        if self._depth > 0:  # reentrant: already held by this instance
+            self._depth += 1
+            return
+        if fcntl is not None:
+            self._acquire_flock()
+        else:  # pragma: no cover - non-POSIX fallback
+            self._acquire_spin()
+        self._depth = 1
+
+    def release(self) -> None:
+        if self._depth == 0:
+            raise EvaluationError(f"release of unheld lock {self.path!r}")
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        fd, self._fd = self._fd, None
+        if fcntl is not None:
+            assert fd is not None
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            if fd is not None:
+                os.close(fd)
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------ #
+    def _deadline(self) -> float:
+        return time.monotonic() + self.timeout
+
+    def _acquire_flock(self) -> None:
+        assert fcntl is not None
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        deadline = self._deadline()
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                self._fd = fd
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    raise LockTimeoutError(
+                        f"could not lock {self.path!r} within {self.timeout}s "
+                        "(another writer holds it)"
+                    ) from None
+                time.sleep(self.poll_interval)
+
+    def _acquire_spin(self) -> None:  # pragma: no cover - non-POSIX fallback
+        deadline = self._deadline()
+        while True:
+            try:
+                self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644)
+                return
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    raise LockTimeoutError(
+                        f"could not lock {self.path!r} within {self.timeout}s; "
+                        "if no writer is alive, delete the stale lock file"
+                    ) from None
+                time.sleep(self.poll_interval)

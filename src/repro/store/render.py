@@ -1,0 +1,61 @@
+"""Render query results as ``table`` / ``csv`` / ``json``.
+
+One entry point, :func:`format_output`, shared by every ``repro store`` /
+``repro query`` subcommand (the ``format_output`` idiom of experiment query
+CLIs).  The machine formats are exact: CSV and JSON serialise floats through
+``repr`` (Python's shortest round-trip form), so piping query output into a
+file and diffing it against a later run is a legitimate regression test —
+the golden pins under ``tests/golden/`` do exactly that.  The table format
+is for eyes: floats compact to 6 significant digits and NULLs render as
+``-``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import EvaluationError
+
+__all__ = ["OUTPUT_FORMATS", "format_output"]
+
+OUTPUT_FORMATS = ("table", "csv", "json")
+
+
+def _table_cell(value: object) -> object:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return value
+
+
+def format_output(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+    fmt: str = "table",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` (dicts keyed by ``columns``) in the requested format."""
+    if fmt == "table":
+        from repro.eval.report import format_table
+
+        rendered = [[_table_cell(row.get(column)) for column in columns] for row in rows]
+        return format_table(list(columns), rendered, title=title)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow(
+                ["" if row.get(column) is None else row.get(column) for column in columns]
+            )
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "json":
+        ordered: List[Dict[str, object]] = [
+            {column: row.get(column) for column in columns} for row in rows
+        ]
+        return json.dumps(ordered, indent=2)
+    raise EvaluationError(f"unknown output format {fmt!r}; expected one of {OUTPUT_FORMATS}")

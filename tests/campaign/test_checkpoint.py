@@ -1,6 +1,10 @@
 """Tests for the JSONL checkpoint store."""
 
+import contextlib
 import json
+import warnings
+
+import pytest
 
 from repro.campaign.aggregate import ShardResult, zeroed_counts
 from repro.campaign.checkpoint import CheckpointStore
@@ -10,6 +14,13 @@ def make_result(cell_key="cell-a", shard=0, trials=5, correct=5):
     counts = zeroed_counts()
     counts.update(trials=trials, correct=correct)
     return ShardResult(cell_key=cell_key, shard_index=shard, counts=counts)
+
+
+@contextlib.contextmanager
+def warnings_as_errors():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
 
 
 class TestCheckpointStore:
@@ -38,6 +49,27 @@ class TestCheckpointStore:
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"spec_hash": "abc", "cell": "cell-a", "sha')  # crash mid-write
         assert set(store.load("abc")) == {("cell-a", 0)}
+
+    def test_hand_truncated_trailing_line_warns_and_resumes(self, tmp_path):
+        # Regression: a file truncated mid-record (crash during the final
+        # append) must load the intact records, warn about the partial one,
+        # and never raise json.JSONDecodeError.
+        path = tmp_path / "c.jsonl"
+        store = CheckpointStore(path)
+        store.append("abc", make_result(shard=0))
+        store.append("abc", make_result(shard=1))
+        full = path.read_text()
+        assert full.endswith("\n")
+        path.write_text(full[: len(full) - len(full.splitlines()[-1]) // 2 - 1])
+        with pytest.warns(UserWarning, match="truncated record"):
+            loaded = store.load("abc")
+        assert set(loaded) == {("cell-a", 0)}
+
+    def test_intact_file_loads_without_warnings(self, tmp_path):
+        store = CheckpointStore(tmp_path / "c.jsonl")
+        store.append("abc", make_result(shard=0))
+        with warnings_as_errors():
+            assert set(store.load("abc")) == {("cell-a", 0)}
 
     def test_blank_lines_are_skipped(self, tmp_path):
         path = tmp_path / "c.jsonl"

@@ -1,0 +1,45 @@
+"""Golden regression tests: the ``repro query`` CSV/JSON output schema.
+
+These pin the *rendered bytes* of ``python -m repro query --format csv|json``
+over a deterministic corpus — the machine-readable query formats are an API
+that downstream analysis scripts parse, so column names, column order,
+float formatting and row ordering may only change deliberately (regenerate
+with ``PYTHONPATH=src python tests/golden/query_golden.py --write`` and say
+why in the commit message).
+"""
+
+import json
+
+import pytest
+
+import query_golden
+from repro.store import DEFAULT_GROUP_BY, DERIVED_COLUMNS
+
+
+@pytest.fixture(scope="module")
+def golden_db(tmp_path_factory):
+    db_path = tmp_path_factory.mktemp("golden_query") / "golden.sqlite"
+    query_golden.build_database(db_path)
+    return db_path
+
+
+@pytest.mark.parametrize("fmt", query_golden.FORMATS)
+def test_query_output_matches_golden_bytes(golden_db, fmt):
+    assert query_golden.render(golden_db, fmt) == query_golden.load_golden(fmt), (
+        f"query {fmt} output drifted: if this schema/number change is "
+        "intentional, regenerate with "
+        "PYTHONPATH=src python tests/golden/query_golden.py --write"
+    )
+
+
+def test_golden_json_carries_the_documented_schema():
+    rows = json.loads(query_golden.load_golden("json"))
+    expected_columns = list(DEFAULT_GROUP_BY) + list(DERIVED_COLUMNS)
+    assert rows, "golden corpus must not be empty"
+    for row in rows:
+        assert list(row) == expected_columns
+
+
+def test_golden_csv_header_matches_json_schema():
+    header = query_golden.load_golden("csv").splitlines()[0]
+    assert header.split(",") == list(DEFAULT_GROUP_BY) + list(DERIVED_COLUMNS)

@@ -1,0 +1,7 @@
+"""Make sibling test modules (shared fixtures in ``test_database``)
+importable regardless of pytest's rootdir handling."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -13,7 +13,9 @@ class TestParser:
     def test_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("list", "run", "workloads", "technologies", "sep", "campaign"):
+        for command in (
+            "list", "run", "workloads", "technologies", "sep", "campaign", "store", "query",
+        ):
             assert command in text
 
 
@@ -199,6 +201,114 @@ class TestCampaignCommand:
         ) == 0
         # The run reports the batched spec hash, proving the override applied.
         assert batched_hash in capsys.readouterr().out
+
+
+class TestStoreAndQueryCommands:
+    def run_campaign_with_db(self, tmp_path, extra=()):
+        db = str(tmp_path / "results.sqlite")
+        checkpoint = str(tmp_path / "ck.jsonl")
+        args = CAMPAIGN_ARGS + ["--db", db, "--checkpoint", checkpoint] + list(extra)
+        assert main(args) == 0
+        return db, checkpoint
+
+    def test_campaign_db_then_query_table(self, capsys, tmp_path):
+        db, _checkpoint = self.run_campaign_with_db(tmp_path)
+        capsys.readouterr()
+        assert main(["query", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "silent_corruption_rate" in out
+        assert "ecim" in out and "trim" in out and "unprotected" in out
+
+    def test_store_ingest_is_idempotent_after_live_recording(self, capsys, tmp_path):
+        db, checkpoint = self.run_campaign_with_db(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "ingest", "--db", db, checkpoint]) == 0
+        out = capsys.readouterr().out
+        assert "0 new shard(s)" in out
+        assert "9 duplicate(s)" in out
+
+    def test_query_json_matches_live_campaign_aggregates(self, capsys, tmp_path):
+        import json
+
+        from repro.campaign import CampaignSpec, build_cell_reports, run_campaign
+
+        db, _checkpoint = self.run_campaign_with_db(tmp_path)
+        capsys.readouterr()
+        assert main(["query", "--db", db, "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        spec = CampaignSpec(
+            workloads=("and2",), gate_error_rates=(1e-2,), trials=12,
+            shard_size=4, name="cli-campaign",
+        )
+        result = run_campaign(spec, workers=0)
+        reports = {
+            r.cell.scheme: r
+            for r in build_cell_reports(spec.cells(), result.counts_by_cell)
+        }
+        assert len(rows) == 3
+        for row in rows:
+            report = reports[row["scheme"]]
+            assert row["trials"] == report.trials
+            assert row["coverage"] == report.coverage
+            assert (row["coverage_ci_low"], row["coverage_ci_high"]) == report.coverage_interval
+            assert row["silent_corruption_rate"] == report.silent_corruption_rate
+
+    def test_query_filters_and_group_by(self, capsys, tmp_path):
+        import json
+
+        db, _checkpoint = self.run_campaign_with_db(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "query", "--db", db, "--scheme", "ecim", "--min-error-rate", "1e-3",
+            "--group-by", "scheme", "--format", "json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["scheme"] for row in rows] == ["ecim"]
+        assert rows[0]["trials"] == 12
+
+    def test_query_bad_group_by_fails_cleanly(self, capsys, tmp_path):
+        db, _checkpoint = self.run_campaign_with_db(tmp_path)
+        capsys.readouterr()
+        assert main(["query", "--db", db, "--group-by", "favourite_colour"]) == 1
+        assert "cannot group by" in capsys.readouterr().err
+
+    def test_store_campaigns_lists_recorded_campaign(self, capsys, tmp_path):
+        db, _checkpoint = self.run_campaign_with_db(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "campaigns", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "cli-campaign" in out and "spec_hash" in out
+
+    def test_store_ingest_with_spec_file(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec
+
+        db, checkpoint = self.run_campaign_with_db(tmp_path)
+        spec = CampaignSpec(
+            workloads=("and2",), gate_error_rates=(1e-2,), trials=12,
+            shard_size=4, name="cli-campaign",
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        fresh_db = str(tmp_path / "fresh.sqlite")
+        capsys.readouterr()
+        assert main([
+            "store", "ingest", "--db", fresh_db, checkpoint, "--spec", str(spec_path),
+        ]) == 0
+        assert "9 new shard(s)" in capsys.readouterr().out
+
+    def test_store_ingest_missing_file_fails_cleanly(self, capsys, tmp_path):
+        db = str(tmp_path / "results.sqlite")
+        assert main(["store", "ingest", "--db", db, str(tmp_path / "nope.jsonl")]) == 1
+        assert "ingest failed" in capsys.readouterr().err
+
+    def test_bare_store_prints_help(self, capsys):
+        assert main(["store"]) == 0
+        assert "ingest" in capsys.readouterr().out
+
+    def test_query_empty_store_reports_no_matches(self, capsys, tmp_path):
+        db = str(tmp_path / "empty.sqlite")
+        assert main(["query", "--db", db]) == 0
+        assert "no matching cells" in capsys.readouterr().err
 
 
 class TestMultiFaultSweepCommand:

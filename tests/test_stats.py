@@ -1,0 +1,71 @@
+"""Tests for the shared statistics helpers (``repro.stats``).
+
+The Wilson reference values below are *scipy-free*: computed once from the
+closed-form Wilson formula with exact inputs, written down as literals, and
+asserted to full float precision.  Both the campaign aggregator and the
+results-store query layer import this single implementation, so these pins
+also guard the byte-for-byte contract between ``python -m repro query`` and
+``run_campaign`` reports.
+"""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.stats import wilson_interval
+
+#: (successes, trials, z) -> exact (low, high) under IEEE-754 doubles.
+REFERENCE_VALUES = [
+    # 95% (z = 1.96), the campaign default.
+    ((0, 10, 1.96), (0.0, 0.2775401687666165)),
+    ((10, 10, 1.96), (0.7224598312333834, 1.0)),
+    ((5, 10, 1.96), (0.2365895936154873, 0.7634104063845127)),
+    ((1, 100, 1.96), (0.0017673865655472639, 0.05448752476093461)),
+    ((999, 1000, 1.96), (0.9943572970398397, 0.9998234581709428)),
+    # 99% (z = Phi^-1(0.995)).
+    ((50, 1000, 2.5758293035489004), (0.03502507572253244, 0.0709069726905337)),
+]
+
+
+class TestWilsonInterval:
+    @pytest.mark.parametrize("args,expected", REFERENCE_VALUES)
+    def test_reference_values_exact(self, args, expected):
+        assert wilson_interval(*args) == expected
+
+    def test_zero_trials_is_the_vacuous_interval(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_zero_successes_lower_bound_is_exactly_zero(self):
+        low, high = wilson_interval(0, 10_000)
+        assert low == 0.0
+        assert 0.0 < high < 1e-3  # non-degenerate: the defensible-claim bound
+
+    def test_all_successes_upper_bound_is_exactly_one(self):
+        low, high = wilson_interval(10_000, 10_000)
+        assert high == 1.0
+        assert 1.0 - 1e-3 < low < 1.0
+
+    def test_interval_contains_point_estimate(self):
+        for successes, trials in [(0, 7), (3, 7), (7, 7), (1, 1000)]:
+            low, high = wilson_interval(successes, trials)
+            assert low <= successes / trials <= high
+
+    def test_wider_z_widens_the_interval(self):
+        narrow = wilson_interval(40, 100, z=1.0)
+        wide = wilson_interval(40, 100, z=3.0)
+        assert wide[0] < narrow[0] and narrow[1] < wide[1]
+
+    @pytest.mark.parametrize("successes,trials", [(-1, 10), (11, 10), (1, -1)])
+    def test_invalid_counts_raise(self, successes, trials):
+        with pytest.raises(EvaluationError):
+            wilson_interval(successes, trials)
+
+    def test_nonpositive_z_raises(self):
+        with pytest.raises(EvaluationError):
+            wilson_interval(1, 10, z=0.0)
+
+    def test_aggregator_reexports_the_shared_implementation(self):
+        from repro.campaign import wilson_interval as campaign_wilson
+        from repro.campaign.aggregate import wilson_interval as aggregate_wilson
+
+        assert campaign_wilson is wilson_interval
+        assert aggregate_wilson is wilson_interval
