@@ -32,11 +32,12 @@ Commands
     ``--fault-model``, ``--min-error-rate``, ...), group (``--group-by``),
     and render rates with Wilson intervals as table, CSV or JSON.
 
-Execution-bound commands take ``--backend {scalar,batched}``: ``scalar``
-(default) walks the behavioural array per trial — the bit-exact legacy path —
-while ``batched`` interprets a compiled instruction tape for all trials (or
-all fault sites) at once (see :mod:`repro.core.backend`).  ``campaign``
-keeps ``--engine`` as a deprecated alias of ``--backend``.
+Execution-bound commands take ``--backend {scalar,batched,bitpacked}``:
+``scalar`` (default) walks the behavioural array per trial — the bit-exact
+legacy path — ``batched`` interprets a compiled instruction tape for all
+trials (or all fault sites) at once, and ``bitpacked`` interprets the same
+tape 64 trials per uint64 word (see :mod:`repro.core.backend`).
+``campaign`` keeps ``--engine`` as a deprecated alias of ``--backend``.
 """
 
 from __future__ import annotations
@@ -348,7 +349,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "execution backend for the exhaustive sweep: 'scalar' (default) "
             "re-runs the object model once per fault site, 'batched' runs "
-            "every site as one row of a single tape interpretation"
+            "every site as one row of a single tape interpretation, "
+            "'bitpacked' packs 64 sites per uint64 word of one tape pass"
         ),
     )
     sep_parser.add_argument(
@@ -463,7 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
             "trial (bit-exact legacy results, the default), 'batched' "
             "compiles the cell to an instruction tape and runs each shard "
             "as one numpy bit-matrix (~2 orders of magnitude faster; "
-            "Philox-seeded, reproducible for a fixed seed)"
+            "Philox-seeded, reproducible for a fixed seed), 'bitpacked' "
+            "interprets that tape as uint64 bitplanes, 64 trials per word "
+            "(fastest; skip-sampled fault streams, reproducible per seed)"
         ),
     )
     campaign_parser.add_argument(

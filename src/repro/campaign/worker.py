@@ -51,9 +51,9 @@ CACHE_LIMIT = 8
 #: configuration, least-recently-used entries evicted beyond CACHE_LIMIT.
 _EXECUTOR_CACHE: "BoundedCache" = BoundedCache(CACHE_LIMIT)
 
-#: Per-process batched backends (compiled instruction tapes).  Plans are
-#: technology-independent (timing/energy never enter trial outcomes), hence
-#: the shorter key.
+#: Per-process tape backends (batched uint8 and bitpacked uint64 engines,
+#: keyed by engine name).  Plans are technology-independent (timing/energy
+#: never enter trial outcomes), hence the shorter key.
 _PLAN_CACHE: "BoundedCache" = BoundedCache(CACHE_LIMIT)
 
 
@@ -94,18 +94,18 @@ def _executor_for(cell: CampaignCell) -> ExecutionBackend:
     return _EXECUTOR_CACHE.lookup(key, build)
 
 
-def _plan_for(cell: CampaignCell) -> ExecutionBackend:
+def _plan_for(cell: CampaignCell, backend: str = "batched") -> ExecutionBackend:
     # Plans are technology-independent (timing/energy never enter trial
     # outcomes), but an unknown technology must fail here just like the
     # scalar backend's executor construction does — and before the cache,
     # which keys without technology.
     get_technology(cell.technology)
-    key = (cell.workload, cell.scheme, cell.multi_output)
+    key = (backend, cell.workload, cell.scheme, cell.multi_output)
 
     def build():
         netlist = get_campaign_workload(cell.workload).netlist
         return make_backend(
-            "batched", netlist, cell.scheme, multi_output=cell.multi_output
+            backend, netlist, cell.scheme, multi_output=cell.multi_output
         )
 
     return _PLAN_CACHE.lookup(key, build)
@@ -113,7 +113,7 @@ def _plan_for(cell: CampaignCell) -> ExecutionBackend:
 
 def _backend_for(cell: CampaignCell, backend: str) -> ExecutionBackend:
     """The cached, cell-bound backend serving this shard."""
-    return _plan_for(cell) if backend == "batched" else _executor_for(cell)
+    return _executor_for(cell) if backend == "scalar" else _plan_for(cell, backend)
 
 
 def clear_executor_cache() -> None:

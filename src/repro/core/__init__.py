@@ -12,6 +12,7 @@ from repro.core.area import (
 from repro.core.backend import (
     BACKEND_NAMES,
     BatchedBackend,
+    BitpackedBackend,
     ExecutionBackend,
     FaultSite,
     ScalarBackend,
@@ -28,6 +29,13 @@ from repro.core.batched import (
     run_batch,
     sample_input_matrix,
 )
+from repro.core.bitpacked import (
+    bitpacked_golden_outputs,
+    pack_trials,
+    run_packed,
+    unpack_trials,
+)
+from repro.core.soa import SoaPlan, lower_plan
 from repro.core.checker import (
     DEFAULT_CHECKER_COSTS,
     CheckerCostModel,
@@ -109,6 +117,7 @@ __all__ = [
     "ExecutionBackend",
     "ScalarBackend",
     "BatchedBackend",
+    "BitpackedBackend",
     "TrialOutcomes",
     "make_backend",
     "as_backend",
@@ -120,6 +129,13 @@ __all__ = [
     "run_batch",
     "sample_input_matrix",
     "batched_golden_outputs",
+    # bit-packed trial engine
+    "SoaPlan",
+    "lower_plan",
+    "pack_trials",
+    "unpack_trials",
+    "run_packed",
+    "bitpacked_golden_outputs",
     # SEP analysis
     "SepAnalysis",
     "MultiFaultAnalysis",

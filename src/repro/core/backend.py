@@ -12,7 +12,7 @@ fault free, under deterministic per-trial fault plans, or under the
 stochastic fault model — returning per-trial outcome vectors
 (:class:`TrialOutcomes`) with the campaign's counter schema.
 
-Two implementations:
+Three implementations:
 
 * :class:`ScalarBackend` — wraps the executor object model
   (:class:`~repro.core.executor.EcimExecutor` and friends).  One executor is
@@ -25,12 +25,18 @@ Two implementations:
   batch is one numpy pass; deterministic fault plans map each batch row to a
   single ``{operation index: output position}`` flip, which is what lets the
   exhaustive single-fault sweep run with *fault site as the batch dimension*.
+* :class:`BitpackedBackend` — the same tape lowered to structure-of-arrays
+  form (:func:`~repro.core.soa.lower_plan`) and interpreted 64 trials per
+  ``uint64`` word (:func:`~repro.core.bitpacked.run_packed`); each gate
+  firing is a handful of branch-free bitwise word ops over the whole batch.
 
-Equivalence contract (enforced by ``tests/core/test_sep.py`` and
-``tests/core/test_backend.py``): fault-free and deterministic single-fault
-executions are exactly equal between backends, per trial and per site;
-stochastic executions are statistically equivalent (same per-site Bernoulli
-model, different RNG streams) and reproducible for a fixed seed on both.
+Equivalence contract (enforced by ``tests/core/test_sep.py``,
+``tests/core/test_backend.py`` and ``tests/differential/``): fault-free,
+deterministic fault-plan and declarative ``fault_model`` executions are
+exactly equal between all backends, per trial and per site; legacy
+``model=`` stochastic executions are statistically equivalent (same
+per-site Bernoulli model, backend-owned RNG streams) and reproducible for a
+fixed seed on each.
 """
 
 from __future__ import annotations
@@ -45,7 +51,9 @@ import numpy as np
 
 from repro.compiler.netlist import Netlist
 from repro.core.batched import ExecutionPlan, GateStep, compile_plan, run_batch
+from repro.core.bitpacked import run_packed
 from repro.core.executor import EXECUTORS_BY_SCHEME, ExecutionReport
+from repro.core.soa import SoaPlan, lower_plan
 from repro.errors import PimError, ProtectionError
 from repro.pim.faults import (
     DeterministicFaultInjector,
@@ -65,14 +73,11 @@ __all__ = [
     "ExecutionBackend",
     "ScalarBackend",
     "BatchedBackend",
+    "BitpackedBackend",
     "make_backend",
     "as_backend",
     "derive_seed",
 ]
-
-#: Registered execution backends, in default-first order.  ``scalar`` is the
-#: bit-exact legacy path and stays the default everywhere.
-BACKEND_NAMES = ("scalar", "batched")
 
 #: One trial's input assignment: either a ``{signal: bit}`` mapping (the
 #: executor vocabulary) or a row of a ``(B, n_inputs)`` bit matrix (the tape
@@ -592,10 +597,79 @@ class BatchedBackend(ExecutionBackend):
         return sites
 
 
+class BitpackedBackend(BatchedBackend):
+    """The structure-of-arrays tape interpreted 64 trials per uint64 word
+    (:mod:`repro.core.bitpacked`): branch-free word-op gates over bitplane
+    state, Philox-exact declarative fault masks, geometric skip-sampled
+    legacy streams.
+
+    Shares the batched backend's construction surface and compiled
+    :class:`ExecutionPlan` (the SoA form is lowered lazily from it), so site
+    enumeration and spec vocabulary are identical by construction.
+    """
+
+    name = "bitpacked"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        scheme: str,
+        multi_output: bool = True,
+        plan: Optional[ExecutionPlan] = None,
+        code_factory: Optional[Callable[[int], object]] = None,
+    ) -> None:
+        super().__init__(
+            netlist, scheme, multi_output=multi_output, plan=plan,
+            code_factory=code_factory,
+        )
+        self._soa: Optional[SoaPlan] = None
+
+    @property
+    def soa(self) -> SoaPlan:
+        """The backend's (lazily lowered, reused) structure-of-arrays tape."""
+        if self._soa is None:
+            self._soa = lower_plan(self.plan)
+        return self._soa
+
+    def run_trials(
+        self,
+        inputs: TrialInputs,
+        *,
+        fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
+        model: Optional[FaultModel] = None,
+        fault_seeds: Optional[Sequence[int]] = None,
+        fault_model: Optional[FaultModelSpec] = None,
+    ) -> TrialOutcomes:
+        matrix = self._input_matrix(inputs)
+        self._validate_fault_args(matrix.shape[0], fault_plan, model, fault_seeds, fault_model)
+        if fault_model is not None and fault_model.is_error_free:
+            fault_model = None
+        result = run_packed(
+            self.soa,
+            matrix,
+            model=model,
+            fault_seeds=fault_seeds,
+            fault_plan=fault_plan,
+            fault_model=fault_model,
+        )
+        return TrialOutcomes(
+            outputs_correct=result.outputs_correct,
+            detected=result.detected,
+            corrections=result.corrections,
+            uncorrectable_levels=result.uncorrectable_levels,
+            faults_injected=result.faults_injected,
+        )
+
+
+#: Registered execution backends, in default-first order.  ``scalar`` is the
+#: bit-exact legacy path and stays the default everywhere; adding a backend
+#: here is the one-line registration that wires it into ``make_backend``,
+#: every ``--backend`` CLI choice and the differential/golden harnesses.
 _BACKENDS = {
-    ScalarBackend.name: ScalarBackend,
-    BatchedBackend.name: BatchedBackend,
+    cls.name: cls for cls in (ScalarBackend, BatchedBackend, BitpackedBackend)
 }
+
+BACKEND_NAMES = tuple(_BACKENDS)
 
 
 def make_backend(
@@ -612,8 +686,9 @@ def make_backend(
     """
     key = str(name).strip().lower()
     if key not in _BACKENDS:
+        choices = ", ".join(repr(known) for known in _BACKENDS)
         raise ProtectionError(
-            f"unknown execution backend {name!r}; expected one of {BACKEND_NAMES}"
+            f"unknown execution backend {name!r}; registered backends: {choices}"
         )
     return _BACKENDS[key](netlist, scheme, multi_output=multi_output, **kwargs)
 

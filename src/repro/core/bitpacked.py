@@ -1,0 +1,718 @@
+"""Bit-packed trial engine: 64 trials per uint64 word over the SoA tape.
+
+The uint8 batched interpreter (:mod:`repro.core.batched`) spends one byte
+per logical bit, so large Monte-Carlo cells and multi-fault sweeps are
+memory-bandwidth-bound long before they are compute-bound.  This engine
+packs the ``(B, n_cols)`` trial state into uint64 **bitplanes** of shape
+``(ceil(B/64), n_cols)`` — trial ``t`` lives at bit ``t & 63`` of word
+``t >> 6`` in every column — and evaluates each gate firing as a handful of
+branch-free AND/OR/XOR/NOT word ops over all 64 trials of a word at once.
+The interpreter dispatches on the dense :class:`~repro.core.soa.SoaPlan`
+buffers, not on Python step objects.
+
+Equivalence contract (mirrors the batched engine's, enforced by
+``tests/differential/`` and ``tests/golden/``):
+
+* fault-free, deterministic ``fault_plan`` and declarative ``fault_model``
+  executions (stochastic / burst / stuck-at) are **byte-identical** to the
+  scalar and batched backends from shared per-trial seeds — stochastic
+  masks are drawn from the very same per-trial Philox streams in tape
+  order and packed with :func:`pack_trials`; burst flip decisions are
+  data-independent, so they are replayed through the batched
+  :class:`~repro.core.batched._BurstInjection` state machine verbatim;
+* legacy ``model=FaultModel(...)`` executions are *statistically*
+  equivalent and reproducible per trial seed (the same contract batched
+  already has vs scalar: each backend owns its legacy stream discipline).
+  Here the discipline is **geometric skip-sampling**: per trial, per fault
+  class, a ``random.Random(seed)`` walk emits the gaps between Bernoulli
+  hits directly (``gap = floor(log1p(-u) / log1p(-p))``), so a campaign
+  cell at rate 1e-3 samples ~2 flips instead of ~1700 uniforms per trial —
+  which is what keeps the engine compute-bound instead of RNG-bound.
+
+Tail lanes (trial indices >= B in the last word) hold whatever the word
+ops produce; every per-trial reduction unpacks through
+:func:`unpack_trials`, which slices them away, and packed fault masks are
+zero there, so they can never leak into outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.netlist import Netlist
+from repro.core.batched import (
+    BatchResult,
+    _BurstInjection,
+    _deterministic_targets,
+    _StuckCells,
+    _uniform_streams,
+)
+from repro.core.soa import (
+    KIND_ECIM,
+    KIND_GATE,
+    KIND_PRESET,
+    KIND_READ,
+    KIND_TRIM,
+    SoaPlan,
+)
+from repro.errors import ProtectionError
+from repro.pim.faults import FaultModel, FaultModelSpec
+from repro.pim.gates import GateType
+from repro.pim.vector import TABLE_MAX_INPUTS, truth_table, vector_gate_output
+
+__all__ = [
+    "WORD_BITS",
+    "n_words",
+    "lane_mask",
+    "pack_trials",
+    "unpack_trials",
+    "bitpacked_golden_outputs",
+    "run_packed",
+]
+
+#: Trials per state word.
+WORD_BITS = 64
+
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ONE = np.uint64(1)
+
+
+# ---------------------------------------------------------------------- #
+# Pack / unpack transposition helpers
+# ---------------------------------------------------------------------- #
+def n_words(batch: int) -> int:
+    """Words needed to hold one bit per trial of a B-trial batch."""
+    return (int(batch) + WORD_BITS - 1) // WORD_BITS
+
+
+def lane_mask(batch: int) -> np.ndarray:
+    """Per-word valid-lane mask of a B-trial batch: bit ``t & 63`` of word
+    ``t >> 6`` is set iff trial ``t < B`` — all-ones except (for ragged B)
+    the tail of the last word."""
+    if batch < 1:
+        raise ProtectionError("a batch needs at least one trial")
+    mask = np.full(n_words(batch), _FULL, dtype=np.uint64)
+    tail = batch % WORD_BITS
+    if tail:
+        mask[-1] = (_ONE << np.uint64(tail)) - _ONE
+    return mask
+
+def pack_trials(bits: np.ndarray) -> np.ndarray:
+    """Transpose a ``(B, k)`` 0/1 uint8 matrix into ``(ceil(B/64), k)``
+    uint64 bitplanes (trial ``t`` → bit ``t & 63`` of word ``t >> 6``).
+
+    Tail lanes of a ragged batch (B % 64 != 0) are zero-filled, so packed
+    fault masks never corrupt them.  Exact inverse of :func:`unpack_trials`
+    for any B.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2:
+        raise ProtectionError(f"expected a (B, k) bit matrix, got shape {bits.shape}")
+    batch = bits.shape[0]
+    words = n_words(batch)
+    # packbits(axis=0, little): byte b of a column holds trials 8b..8b+7 at
+    # bits 0..7 — already the low-to-high lane order within each word.
+    packed_bytes = np.packbits(bits, axis=0, bitorder="little")
+    padded = np.zeros((words * 8, bits.shape[1]), dtype=np.uint8)
+    padded[: packed_bytes.shape[0]] = packed_bytes
+    # Assemble 8 consecutive bytes little-endian into each word without
+    # assuming host endianness.
+    planes = np.zeros((words, bits.shape[1]), dtype=np.uint64)
+    for byte in range(8):
+        planes |= padded[byte::8].astype(np.uint64) << np.uint64(8 * byte)
+    return planes
+
+
+def unpack_trials(planes: np.ndarray, batch: int) -> np.ndarray:
+    """Transpose ``(W, k)`` uint64 bitplanes back to a ``(batch, k)`` 0/1
+    uint8 matrix, dropping the tail lanes beyond ``batch``."""
+    planes = np.asarray(planes, dtype=np.uint64)
+    if planes.ndim != 2:
+        raise ProtectionError(f"expected (W, k) bitplanes, got shape {planes.shape}")
+    if batch > planes.shape[0] * WORD_BITS:
+        raise ProtectionError(
+            f"{planes.shape[0]} words hold {planes.shape[0] * WORD_BITS} trials, "
+            f"not {batch}"
+        )
+    as_bytes = np.empty((planes.shape[0] * 8, planes.shape[1]), dtype=np.uint8)
+    for byte in range(8):
+        as_bytes[byte::8] = (planes >> np.uint64(8 * byte)).astype(np.uint8)
+    return np.unpackbits(as_bytes, axis=0, bitorder="little")[:batch]
+
+
+def _unpack_flags(word_column: np.ndarray, batch: int) -> np.ndarray:
+    """One (W,) word column → (batch,) bool vector."""
+    return unpack_trials(word_column[:, None], batch)[:, 0].astype(bool)
+
+
+# ---------------------------------------------------------------------- #
+# Gate firings as word-op programs
+# ---------------------------------------------------------------------- #
+_PROGRAMS: Dict[Tuple[str, int, Optional[int]], Callable] = {}
+
+
+def _minterm_program(gate: str, n_inputs: int, threshold: Optional[int]) -> Callable:
+    """Generic branch-free form of one truth table: OR of AND-minterms over
+    the (complemented) operand planes, inverting via the complement table
+    when that halves the term count.  Exact for every native gate because
+    the table itself comes from the scalar gate model."""
+    table = truth_table(gate, n_inputs, threshold)
+    invert = int(table.sum()) > table.size // 2
+    minterms = np.nonzero(table == 0 if invert else table != 0)[0]
+
+    def program(operands: np.ndarray) -> np.ndarray:
+        acc: Optional[np.ndarray] = None
+        for index in minterms:
+            term: Optional[np.ndarray] = None
+            for j in range(n_inputs):
+                plane = operands[:, j] if (index >> j) & 1 else ~operands[:, j]
+                term = plane if term is None else term & plane
+            acc = term if acc is None else acc | term
+        if acc is None:
+            acc = np.zeros(operands.shape[0], dtype=np.uint64)
+        return ~acc if invert else acc
+
+    return program
+
+
+def _wide_gate_program(gate: str, threshold: Optional[int]) -> Callable:
+    """Fallback for firings wider than TABLE_MAX_INPUTS: bounce through the
+    uint8 vector semantics (identical by construction, never hit by the
+    shipped netlists)."""
+
+    def program(operands: np.ndarray) -> np.ndarray:
+        lanes = operands.shape[0] * WORD_BITS
+        bits = unpack_trials(operands, lanes)
+        return pack_trials(vector_gate_output(gate, bits, threshold)[:, None])[:, 0]
+
+    return program
+
+
+def _word_program(gate: str, n_inputs: int, threshold: Optional[int]) -> Callable:
+    """Compile (and cache) one gate firing as a word-op program mapping
+    ``(W, n_inputs)`` operand planes to the ``(W,)`` output plane."""
+    key = (gate, n_inputs, threshold)
+    program = _PROGRAMS.get(key)
+    if program is not None:
+        return program
+    if n_inputs > TABLE_MAX_INPUTS:
+        program = _wide_gate_program(gate, threshold)
+    elif gate == GateType.COPY:
+        program = lambda operands: operands[:, 0]  # noqa: E731
+    elif gate == GateType.NOT:
+        program = lambda operands: ~operands[:, 0]  # noqa: E731
+    elif gate == GateType.NOR:
+        program = lambda operands: ~np.bitwise_or.reduce(operands, axis=1)  # noqa: E731
+    elif gate == GateType.NAND:
+        program = lambda operands: ~np.bitwise_and.reduce(operands, axis=1)  # noqa: E731
+    elif gate == GateType.MAJ and n_inputs == 3:
+        program = lambda o: (  # noqa: E731
+            (o[:, 0] & o[:, 1]) | (o[:, 0] & o[:, 2]) | (o[:, 1] & o[:, 2])
+        )
+    else:
+        program = _minterm_program(gate, n_inputs, threshold)
+    _PROGRAMS[key] = program
+    return program
+
+
+def _gate_words(gate: str, operands: np.ndarray, threshold: Optional[int]) -> np.ndarray:
+    """Evaluate one firing on packed operand planes (THR normalising its
+    default threshold exactly like :func:`~repro.pim.vector.truth_table`)."""
+    if gate == GateType.THR:
+        threshold = 3 if threshold is None else int(threshold)
+    else:
+        threshold = None
+    return _word_program(gate, operands.shape[1], threshold)(operands)
+
+
+# ---------------------------------------------------------------------- #
+# Packed golden model
+# ---------------------------------------------------------------------- #
+def bitpacked_golden_outputs(
+    netlist: Netlist, input_planes: np.ndarray, batch: int
+) -> np.ndarray:
+    """Fault-free netlist outputs for all B trials, evaluated entirely in
+    the packed domain — byte-identical to
+    :func:`~repro.core.batched.batched_golden_outputs` because both reduce
+    to the same truth tables."""
+    words = input_planes.shape[0]
+    values: Dict[int, np.ndarray] = {
+        Netlist.CONST_ZERO: np.zeros(words, dtype=np.uint64),
+        Netlist.CONST_ONE: np.full(words, _FULL, dtype=np.uint64),
+    }
+    for position, signal in enumerate(netlist.inputs):
+        values[signal] = input_planes[:, position]
+    for node in netlist.gates:
+        operands = np.stack([values[s] for s in node.inputs], axis=1)
+        values[node.output] = _gate_words(node.gate, operands, node.threshold)
+    golden_planes = np.stack([values[s] for s in netlist.outputs], axis=1)
+    return unpack_trials(golden_planes, batch)
+
+
+# ---------------------------------------------------------------------- #
+# Fault-injection schedules
+# ---------------------------------------------------------------------- #
+class _StepEvents:
+    """Sparse per-step flip events in packed coordinates."""
+
+    __slots__ = ("words", "lanes", "bits")
+
+    def __init__(self, trials: np.ndarray, lanes: np.ndarray) -> None:
+        self.words = (trials >> 6).astype(np.intp)
+        self.lanes = lanes.astype(np.intp)
+        self.bits = _ONE << (trials.astype(np.uint64) & np.uint64(63))
+
+    def apply(self, planes: np.ndarray) -> None:
+        np.bitwise_xor.at(planes, (self.words, self.lanes), self.bits)
+
+
+def _require_seeds(kind: str, fault_seeds, batch: int) -> None:
+    if fault_seeds is None or len(fault_seeds) != batch:
+        raise ProtectionError(
+            f"{kind} fault injection needs one fault seed per trial "
+            f"(got {None if fault_seeds is None else len(fault_seeds)} "
+            f"for {batch} trials)"
+        )
+
+
+def _exact_stochastic_schedule(
+    soa: SoaPlan, model: FaultModel, streams: np.ndarray
+) -> Tuple[Dict[int, np.ndarray], np.ndarray]:
+    """Per-step packed XOR masks from the shared per-trial Philox streams,
+    consumed in exactly the batched interpreter's draw order — the
+    byte-identity path of the declarative stochastic model."""
+    batch = streams.shape[0]
+    faults = np.zeros(batch, dtype=np.int64)
+    masks: Dict[int, np.ndarray] = {}
+    cursor = 0
+
+    def draw(n_sites: int, rate: float) -> Optional[np.ndarray]:
+        nonlocal cursor
+        if rate <= 0.0:
+            return None
+        mask = streams[:, cursor:cursor + n_sites] < rate
+        cursor += n_sites
+        return mask
+
+    for index in range(soa.n_steps):
+        kind = soa.step_kind[index]
+        slot = soa.step_slot[index]
+        if kind == KIND_GATE:
+            n_out = int(soa.gate_out_ptr[slot + 1] - soa.gate_out_ptr[slot])
+            preset_mask = draw(n_out, model.preset_error_rate)
+            if preset_mask is not None:
+                # Gate presets are overwritten by the firing; count-only.
+                faults += preset_mask.sum(axis=1)
+            rate = (
+                model.effective_metadata_error_rate
+                if soa.gate_is_metadata[slot]
+                else model.gate_error_rate
+            )
+            flip_mask = draw(n_out, rate)
+        elif kind == KIND_PRESET:
+            n_cells = int(soa.preset_ptr[slot + 1] - soa.preset_ptr[slot])
+            flip_mask = draw(n_cells, model.preset_error_rate)
+        elif kind == KIND_READ:
+            n_cells = int(soa.read_ptr[slot + 1] - soa.read_ptr[slot])
+            flip_mask = draw(n_cells, model.memory_error_rate)
+        else:
+            continue
+        if flip_mask is not None:
+            faults += flip_mask.sum(axis=1)
+            if flip_mask.any():
+                masks[index] = pack_trials(flip_mask.astype(np.uint8))
+    return masks, faults
+
+
+def _burst_schedule(
+    soa: SoaPlan, spec: FaultModelSpec, fault_seeds: Sequence[int], batch: int
+) -> Tuple[Dict[int, np.ndarray], np.ndarray]:
+    """Pre-play the burst state machine against zero blocks: burst flip
+    decisions are data-independent (they depend only on the per-trial
+    streams and the operation schedule), so replaying the batched
+    :class:`_BurstInjection` verbatim yields byte-identical flip masks,
+    which the packed interpreter then applies as XOR planes."""
+    gate_rate = (spec.gate_error_rate or 0.0) > 0.0
+    memory_rate = (spec.memory_error_rate or 0.0) > 0.0
+    draws = 0
+    if gate_rate:
+        draws += soa.n_gate_output_sites
+    if memory_rate:
+        draws += int(soa.read_cols.shape[0])
+    _require_seeds("burst", fault_seeds, batch)
+    burst = _BurstInjection(spec, _uniform_streams(fault_seeds, draws))
+    faults = np.zeros(batch, dtype=np.int64)
+    masks: Dict[int, np.ndarray] = {}
+    scratch = np.zeros((batch, soa.n_cols), dtype=np.uint8)
+    for index in range(soa.n_steps):
+        kind = soa.step_kind[index]
+        slot = soa.step_slot[index]
+        if kind == KIND_GATE:
+            n_out = int(soa.gate_out_ptr[slot + 1] - soa.gate_out_ptr[slot])
+            block = np.zeros((batch, n_out), dtype=np.uint8)
+            faults += burst.corrupt_gate_outputs(int(soa.gate_op_index[slot]), block)
+            if block.any():
+                masks[index] = pack_trials(block)
+        elif kind == KIND_READ:
+            columns = soa.read_cols[soa.read_ptr[slot]:soa.read_ptr[slot + 1]]
+            faults += burst.corrupt_stored_bits(scratch, columns)
+            flips = scratch[:, columns]
+            if flips.any():
+                masks[index] = pack_trials(flips)
+                scratch[:, columns] = 0
+    return masks, faults
+
+
+#: Per-trial legacy fault classes, in the fixed sampling order one trial's
+#: ``random.Random(seed)`` walk consumes them.  Each entry names the site
+#: table (None = count-only) and the model rate it fires at.
+_LEGACY_CLASSES = (
+    ("gate", lambda m: m.gate_error_rate),
+    ("meta", lambda m: m.effective_metadata_error_rate),
+    (None, lambda m: m.preset_error_rate),       # presets on gate outputs
+    ("preset", lambda m: m.preset_error_rate),   # preset-step cells
+    ("read", lambda m: m.memory_error_rate),
+)
+
+
+def _skip_sample(rng: random.Random, n_sites: int, rate: float) -> List[int]:
+    """Positions of the Bernoulli(rate) hits among ``n_sites`` iid sites,
+    via geometric gaps — exact in distribution, O(hits) draws."""
+    if rate >= 1.0:
+        return list(range(n_sites))
+    hits: List[int] = []
+    log_miss = math.log1p(-rate)
+    position = 0
+    while True:
+        gap = int(math.log1p(-rng.random()) / log_miss)
+        position += gap
+        if position >= n_sites:
+            return hits
+        hits.append(position)
+        position += 1
+
+
+def _legacy_schedule(
+    soa: SoaPlan, model: FaultModel, fault_seeds: Sequence[int], batch: int
+) -> Tuple[Dict[int, _StepEvents], np.ndarray]:
+    """Sparse per-step flip events of the legacy stochastic model.
+
+    Statistically identical to the batched engine's dense Philox masks
+    (each site is an independent Bernoulli at its class rate) and equally
+    batch-composition-invariant — every trial's walk depends only on its
+    own seed — but different raw streams, matching the established
+    legacy-model contract (scalar, batched and bitpacked each own their
+    stream discipline; declarative models are the byte-identical layer).
+    """
+    site_tables = {
+        "gate": (soa.gate_site_step, soa.gate_site_lane),
+        "meta": (soa.meta_site_step, soa.meta_site_lane),
+        "preset": (soa.preset_site_step, soa.preset_site_lane),
+        "read": (soa.read_site_step, soa.read_site_lane),
+    }
+    faults = np.zeros(batch, dtype=np.int64)
+    hits: Dict[str, Tuple[List[int], List[int]]] = {
+        name: ([], []) for name in site_tables
+    }
+    class_rates = [(name, rate_of(model)) for name, rate_of in _LEGACY_CLASSES]
+    class_sizes = {
+        "gate": int(soa.gate_site_step.shape[0]),
+        "meta": int(soa.meta_site_step.shape[0]),
+        None: soa.n_gate_output_sites,
+        "preset": int(soa.preset_site_step.shape[0]),
+        "read": int(soa.read_site_step.shape[0]),
+    }
+    for trial, seed in enumerate(fault_seeds):
+        rng = random.Random(seed)
+        for name, rate in class_rates:
+            n_sites = class_sizes[name]
+            if n_sites == 0 or rate <= 0.0:
+                continue
+            positions = _skip_sample(rng, n_sites, rate)
+            if not positions:
+                continue
+            faults[trial] += len(positions)
+            if name is not None:
+                trials, sites = hits[name]
+                trials.extend([trial] * len(positions))
+                sites.extend(positions)
+    events: Dict[int, _StepEvents] = {}
+    for name, (trials, sites) in hits.items():
+        if not trials:
+            continue
+        step_of, lane_of = site_tables[name]
+        trials_arr = np.asarray(trials, dtype=np.int64)
+        sites_arr = np.asarray(sites, dtype=np.intp)
+        steps = step_of[sites_arr]
+        lanes = lane_of[sites_arr]
+        order = np.argsort(steps, kind="stable")
+        steps, trials_arr, lanes = steps[order], trials_arr[order], lanes[order]
+        boundaries = np.flatnonzero(np.diff(steps)) + 1
+        for chunk_trials, chunk_lanes, chunk_steps in zip(
+            np.split(trials_arr, boundaries),
+            np.split(lanes, boundaries),
+            np.split(steps, boundaries),
+        ):
+            events[int(chunk_steps[0])] = _StepEvents(chunk_trials, chunk_lanes)
+    return events, faults
+
+
+# ---------------------------------------------------------------------- #
+# Packed interpretation
+# ---------------------------------------------------------------------- #
+def _stuck_word_apply(
+    state: np.ndarray,
+    columns: np.ndarray,
+    is_stuck: np.ndarray,
+    value_word: np.uint64,
+    batch: int,
+) -> np.ndarray:
+    """Packed :class:`_StuckCells` semantics: force afflicted cells among
+    ``columns`` to the stuck value, returning per-trial counts of bits that
+    actually changed (only real trial lanes count)."""
+    hit = is_stuck[columns]
+    if not hit.any():
+        return np.zeros(batch, dtype=np.int64)
+    stuck_cols = columns[hit]
+    diff = state[:, stuck_cols] ^ value_word
+    counts = unpack_trials(diff, batch).sum(axis=1, dtype=np.int64)
+    state[:, stuck_cols] = value_word
+    return counts
+
+
+def run_packed(
+    soa: SoaPlan,
+    input_matrix: np.ndarray,
+    model: Optional[FaultModel] = None,
+    fault_seeds: Optional[Sequence[int]] = None,
+    fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+    fault_model: Optional[FaultModelSpec] = None,
+) -> BatchResult:
+    """Interpret the SoA tape for all B trials, 64 per word.
+
+    The argument surface and semantics mirror
+    :func:`~repro.core.batched.run_batch` exactly; see the module docstring
+    for which fault sources are byte-identical across backends and which
+    are statistically equivalent.
+    """
+    plan = soa.plan
+    matrix = np.asarray(input_matrix, dtype=np.uint8)
+    if matrix.ndim != 2 or matrix.shape[1] != plan.n_inputs:
+        raise ProtectionError(
+            f"input matrix must be (B, {plan.n_inputs}), got shape {matrix.shape}"
+        )
+    batch = matrix.shape[0]
+    if batch == 0:
+        raise ProtectionError("a batch needs at least one trial")
+
+    stuck: Optional[_StuckCells] = None
+    masks: Dict[int, np.ndarray] = {}
+    events: Dict[int, _StepEvents] = {}
+    faults = np.zeros(batch, dtype=np.int64)
+
+    if fault_model is not None:
+        if (model is not None and not model.is_error_free) or fault_plan is not None:
+            raise ProtectionError(
+                "a batch takes one fault source: fault_model is exclusive "
+                "with model and fault_plan"
+            )
+        if fault_model.kind == "stochastic":
+            rates = fault_model.rate_model()
+            n_draws = _exact_draw_count(soa, rates)
+            if n_draws:
+                # Same gate as run_batch: seeds are required exactly when the
+                # model draws on this plan.
+                _require_seeds("stochastic", fault_seeds, batch)
+                masks, faults = _exact_stochastic_schedule(
+                    soa, rates, _uniform_streams(fault_seeds, n_draws)
+                )
+        elif fault_model.kind == "stuck-at":
+            stuck = _StuckCells(fault_model, plan.n_cols)
+        elif not fault_model.is_error_free:  # burst
+            masks, faults = _burst_schedule(soa, fault_model, fault_seeds, batch)
+    elif model is not None and not model.is_error_free:
+        if _exact_draw_count(soa, model):
+            _require_seeds("stochastic", fault_seeds, batch)
+            events, faults = _legacy_schedule(soa, model, fault_seeds, batch)
+
+    targets = _deterministic_targets(fault_plan) if fault_plan is not None else {}
+    if fault_plan is not None and len(fault_plan) != batch:
+        raise ProtectionError("fault_plan must supply one entry per trial")
+
+    words = n_words(batch)
+    state = np.zeros((words, plan.n_cols), dtype=np.uint64)
+    state[:, plan.const1_col] = _FULL
+    input_planes = pack_trials(matrix)
+    state[:, plan.input_cols] = input_planes
+
+    detected = np.zeros(batch, dtype=bool)
+    corrections = np.zeros(batch, dtype=np.int64)
+    uncorrectable = np.zeros(batch, dtype=np.int64)
+    programs = [_word_program(*key) for key in soa.tables]
+    stuck_value = np.uint64(0)
+    if stuck is not None:
+        stuck_value = _FULL if stuck.value else np.uint64(0)
+
+    step_kind, step_slot = soa.step_kind, soa.step_slot
+    gate_in_ptr, gate_in_cols = soa.gate_in_ptr, soa.gate_in_cols
+    gate_out_ptr, gate_out_cols = soa.gate_out_ptr, soa.gate_out_cols
+
+    for index in range(soa.n_steps):
+        kind = step_kind[index]
+        slot = step_slot[index]
+        if kind == KIND_GATE:
+            in_cols = gate_in_cols[gate_in_ptr[slot]:gate_in_ptr[slot + 1]]
+            out_lo, out_hi = gate_out_ptr[slot], gate_out_ptr[slot + 1]
+            out_cols = gate_out_cols[out_lo:out_hi]
+            ideal = programs[soa.gate_table_id[slot]](state[:, in_cols])
+            if stuck is not None:
+                state[:, out_cols] = ideal[:, None]
+                faults += _stuck_word_apply(
+                    state, out_cols, stuck.is_stuck, stuck_value, batch
+                )
+                continue
+            mask = masks.get(index)
+            step_events = events.get(index)
+            det = targets.get(int(soa.gate_op_index[slot]))
+            if mask is None and step_events is None and det is None:
+                state[:, out_cols] = ideal[:, None]
+                continue
+            block = np.repeat(ideal[:, None], out_hi - out_lo, axis=1)
+            if det is not None:
+                rows, positions = det
+                valid = (positions >= 0) & (positions < block.shape[1])
+                rows, positions = rows[valid], positions[valid]
+                # A k-flip plan may strike one trial several times within
+                # one operation; accumulate unbuffered like the uint8 path.
+                np.add.at(faults, rows, 1)
+                _StepEvents(rows.astype(np.int64), positions).apply(block)
+            if mask is not None:
+                block ^= mask
+            if step_events is not None:
+                step_events.apply(block)
+            state[:, out_cols] = block
+        elif kind == KIND_PRESET:
+            columns = soa.preset_cols[soa.preset_ptr[slot]:soa.preset_ptr[slot + 1]]
+            value_word = _FULL if soa.preset_values[slot] else np.uint64(0)
+            state[:, columns] = value_word
+            mask = masks.get(index)
+            if mask is not None:
+                state[:, columns] ^= mask
+            step_events = events.get(index)
+            if step_events is not None:
+                np.bitwise_xor.at(
+                    state,
+                    (step_events.words, columns[step_events.lanes]),
+                    step_events.bits,
+                )
+        elif kind == KIND_READ:
+            columns = soa.read_cols[soa.read_ptr[slot]:soa.read_ptr[slot + 1]]
+            if stuck is not None:
+                faults += _stuck_word_apply(
+                    state, columns, stuck.is_stuck, stuck_value, batch
+                )
+                continue
+            mask = masks.get(index)
+            if mask is not None:
+                state[:, columns] ^= mask
+            step_events = events.get(index)
+            if step_events is not None:
+                np.bitwise_xor.at(
+                    state,
+                    (step_events.words, columns[step_events.lanes]),
+                    step_events.bits,
+                )
+        elif kind == KIND_ECIM:
+            data_cols = soa.ecim_data_cols[
+                soa.ecim_data_ptr[slot]:soa.ecim_data_ptr[slot + 1]
+            ]
+            parity_cols = soa.ecim_parity_cols[
+                soa.ecim_parity_ptr[slot]:soa.ecim_parity_ptr[slot + 1]
+            ]
+            a_t = soa.ecim_a_t[slot]
+            data_planes = state[:, data_cols]
+            syndrome_planes = state[:, parity_cols].copy()
+            for bit in range(syndrome_planes.shape[1]):
+                covering = np.flatnonzero(a_t[:, bit])
+                if covering.size:
+                    syndrome_planes[:, bit] ^= np.bitwise_xor.reduce(
+                        data_planes[:, covering], axis=1
+                    )
+            syndrome = unpack_trials(syndrome_planes, batch).astype(np.int64)
+            packed = syndrome @ soa.ecim_weights[slot]
+            fired = packed != 0
+            detected |= fired
+            patterns = soa.ecim_lut[soa.ecim_lut_offset[slot] + packed]
+            valid = patterns >= 0
+            uncorrectable += fired & ~valid.any(axis=1)
+            d = data_cols.shape[0]
+            is_data = valid & (patterns < d)
+            corrections += is_data.sum(axis=1, dtype=np.int64)
+            rows, pattern_slots = np.nonzero(is_data)
+            if rows.size:
+                np.bitwise_xor.at(
+                    state,
+                    ((rows >> 6).astype(np.intp), data_cols[patterns[rows, pattern_slots]]),
+                    _ONE << (rows.astype(np.uint64) & np.uint64(63)),
+                )
+        elif kind == KIND_TRIM:
+            data_cols = soa.trim_data_cols[
+                soa.trim_data_ptr[slot]:soa.trim_data_ptr[slot + 1]
+            ]
+            groups = soa.trim_copy_groups[slot]
+            n_copies = int(soa.trim_n_copies[slot])
+            data_planes = state[:, data_cols]
+            if n_copies == 3 and len(groups) == 2:
+                copy1 = state[:, groups[0]]
+                copy2 = state[:, groups[1]]
+                voted = (
+                    (data_planes & copy1) | (data_planes & copy2) | (copy1 & copy2)
+                )
+                disagree = (data_planes ^ copy1) | (data_planes ^ copy2)
+                detected |= _unpack_flags(
+                    np.bitwise_or.reduce(disagree, axis=1), batch
+                )
+                corrections += unpack_trials(data_planes ^ voted, batch).sum(
+                    axis=1, dtype=np.int64
+                )
+                state[:, data_cols] = voted
+            else:
+                copies = [unpack_trials(data_planes, batch)] + [
+                    unpack_trials(state[:, cols], batch) for cols in groups
+                ]
+                total = np.sum(copies, axis=0, dtype=np.int64)
+                voted_bits = (total * 2 > n_copies).astype(np.uint8)
+                disagree = (total != 0) & (total != n_copies)
+                detected |= disagree.any(axis=1)
+                corrections += (copies[0] != voted_bits).sum(axis=1, dtype=np.int64)
+                state[:, data_cols] = pack_trials(voted_bits)
+        else:  # pragma: no cover - defensive
+            raise ProtectionError(f"unknown SoA step kind {int(kind)}")
+
+    return BatchResult(
+        outputs=unpack_trials(state[:, plan.output_cols], batch),
+        golden=bitpacked_golden_outputs(plan.netlist, input_planes, batch),
+        detected=detected,
+        corrections=corrections,
+        uncorrectable_levels=uncorrectable,
+        faults_injected=faults,
+    )
+
+
+def _exact_draw_count(soa: SoaPlan, model: FaultModel) -> int:
+    """Stream capacity of the exact stochastic schedule — per trial, the
+    same draw count :func:`~repro.core.batched._step_draws` sums."""
+    draws = 0
+    if model.preset_error_rate > 0.0:
+        draws += soa.n_gate_output_sites + int(soa.preset_site_step.shape[0])
+    if model.gate_error_rate > 0.0:
+        draws += int(soa.gate_site_step.shape[0])
+    if model.effective_metadata_error_rate > 0.0:
+        draws += int(soa.meta_site_step.shape[0])
+    if model.memory_error_rate > 0.0:
+        draws += int(soa.read_site_step.shape[0])
+    return draws

@@ -40,7 +40,7 @@ def spec(backend="batched", **overrides):
 
 class TestSpecSurface:
     def test_backends_constant(self):
-        assert CAMPAIGN_BACKENDS == ("scalar", "batched")
+        assert CAMPAIGN_BACKENDS == ("scalar", "batched", "bitpacked")
         # The deprecated alias names the same choice set.
         assert CAMPAIGN_ENGINES == CAMPAIGN_BACKENDS
 

@@ -14,6 +14,7 @@ from repro.campaign.workloads import get_campaign_workload, sample_inputs
 from repro.core.backend import (
     BACKEND_NAMES,
     BatchedBackend,
+    BitpackedBackend,
     ExecutionBackend,
     ScalarBackend,
     as_backend,
@@ -31,9 +32,16 @@ AND2_INPUTS = {AND2.inputs[0]: 1, AND2.inputs[1]: 1}
 
 class TestDispatch:
     def test_backend_names(self):
-        assert BACKEND_NAMES == ("scalar", "batched")
+        assert BACKEND_NAMES == ("scalar", "batched", "bitpacked")
 
-    @pytest.mark.parametrize("name,cls", [("scalar", ScalarBackend), ("batched", BatchedBackend)])
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("scalar", ScalarBackend),
+            ("batched", BatchedBackend),
+            ("bitpacked", BitpackedBackend),
+        ],
+    )
     def test_make_backend_builds_the_named_backend(self, name, cls):
         backend = make_backend(name, AND2, "ecim")
         assert isinstance(backend, cls)
@@ -41,8 +49,18 @@ class TestDispatch:
         assert backend.scheme == "ecim"
 
     def test_unknown_backend_fails_fast_with_choices(self):
-        with pytest.raises(ProtectionError, match=r"scalar.*batched"):
+        # A --backend typo on any CLI funnels through here, so the error
+        # must name every registered backend.
+        with pytest.raises(ProtectionError, match=r"scalar.*batched.*bitpacked"):
             make_backend("vectorised", AND2, "ecim")
+
+    def test_unknown_backend_error_lists_every_registered_name(self):
+        with pytest.raises(ProtectionError) as excinfo:
+            make_backend("vectorised", AND2, "ecim")
+        message = str(excinfo.value)
+        assert "'vectorised'" in message
+        for name in BACKEND_NAMES:
+            assert repr(name) in message
 
     @pytest.mark.parametrize("name", BACKEND_NAMES)
     def test_unknown_scheme_rejected_at_construction(self, name):

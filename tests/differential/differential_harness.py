@@ -46,6 +46,9 @@ BACKEND_FACTORIES = {
     "batched": lambda netlist, scheme, multi_output: make_backend(
         "batched", netlist, scheme, multi_output=multi_output
     ),
+    "bitpacked": lambda netlist, scheme, multi_output: make_backend(
+        "bitpacked", netlist, scheme, multi_output=multi_output
+    ),
 }
 
 WORKLOADS = ("and2", "dot2")

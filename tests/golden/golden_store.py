@@ -13,8 +13,10 @@ because a test harness retuned its rates.  The stuck columns are derived
 from the compiled plan's column layout, so a layout change is *also* caught
 as drift (the columns are recorded in the payload for debuggability).
 
-Counters are computed on the batched backend (the differential harness
-separately proves scalar produces byte-identical outcomes for every kind).
+Counters are computed on the batched backend and re-verified against the
+same pins on every other byte-identical engine (``PINNED_BACKENDS``; the
+differential harness separately proves scalar produces byte-identical
+outcomes for every kind).
 
 Regenerate after an *intentional* semantic change with::
 
@@ -36,6 +38,9 @@ MODEL_KINDS = ("stochastic", "burst", "stuck-at", "plan")
 TRIALS = 32
 SEED = 7
 BACKEND = "batched"
+#: Backends whose counters must reproduce the stored pins byte-for-byte
+#: (all four golden kinds run the byte-identical declarative / plan paths).
+PINNED_BACKENDS = ("batched", "bitpacked")
 
 
 def golden_path(scheme: str) -> str:
@@ -48,12 +53,12 @@ def load_golden(scheme: str) -> dict:
         return json.load(handle)
 
 
-def _backend(scheme: str):
+def _backend(scheme: str, backend: str = BACKEND):
     from repro.campaign.workloads import get_campaign_workload
     from repro.core.backend import make_backend
 
     netlist = get_campaign_workload(WORKLOAD).netlist
-    return make_backend(BACKEND, netlist, scheme)
+    return make_backend(backend, netlist, scheme)
 
 
 def _seeds(stream: str):
@@ -109,13 +114,13 @@ def _run_kwargs(backend, kind: str) -> dict:
     raise ValueError(f"unknown golden fault-model kind {kind!r}")
 
 
-def compute_counts(scheme: str, kind: str) -> dict:
+def compute_counts(scheme: str, kind: str, backend: str = BACKEND) -> dict:
     """Current counters for one (scheme, fault model) golden cell."""
     from repro.core.batched import sample_input_matrix
 
-    backend = _backend(scheme)
-    inputs = sample_input_matrix(backend.netlist, _seeds("inputs"))
-    return backend.run_trials(inputs, **_run_kwargs(backend, kind)).counts()
+    engine = _backend(scheme, backend)
+    inputs = sample_input_matrix(engine.netlist, _seeds("inputs"))
+    return engine.run_trials(inputs, **_run_kwargs(engine, kind)).counts()
 
 
 def compute_payload(scheme: str) -> dict:

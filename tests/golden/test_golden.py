@@ -30,12 +30,14 @@ class TestGoldenCounters:
         assert set(payload["counters"]) == set(golden_store.MODEL_KINDS)
 
     @pytest.mark.parametrize("kind", golden_store.MODEL_KINDS)
-    def test_counters_match_golden(self, scheme, kind):
+    @pytest.mark.parametrize("backend", golden_store.PINNED_BACKENDS)
+    def test_counters_match_golden(self, scheme, kind, backend):
         stored = golden_store.load_golden(scheme)["counters"][kind]
-        computed = golden_store.compute_counts(scheme, kind)
+        computed = golden_store.compute_counts(scheme, kind, backend)
         assert computed == stored, (
-            f"golden drift in {scheme}/{kind}: if this change is intentional, "
-            "regenerate with PYTHONPATH=src python tests/golden/golden_store.py --write"
+            f"golden drift in {scheme}/{kind} on {backend}: if this change is "
+            "intentional, regenerate with "
+            "PYTHONPATH=src python tests/golden/golden_store.py --write"
         )
 
     def test_goldens_carry_the_campaign_counter_schema(self, scheme):
