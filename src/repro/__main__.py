@@ -138,6 +138,7 @@ def _cmd_sep(args: argparse.Namespace) -> int:
         max_faults=args.max_faults,
         backend=args.backend,
         bch_t=args.bch_t,
+        jobs=args.jobs,
     )
     print(result["rendered"])
     print()
@@ -368,6 +369,14 @@ def build_parser() -> argparse.ArgumentParser:
     sep_parser.add_argument(
         "--bch-t", type=int, default=2, metavar="T",
         help="correction strength of the BCH comparison scheme (default: 2)",
+    )
+    sep_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "worker processes for the multi-fault sweep shards; combination "
+            "unranking makes shard results identical for any job count "
+            "(default: 1 = in-process; negative: all cores but one)"
+        ),
     )
     sep_parser.set_defaults(func=_cmd_sep)
 

@@ -31,13 +31,16 @@ accumulating one per distinct cell configuration for the life of the worker.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence
+
+import numpy as np
 
 from repro.campaign.aggregate import ShardResult
 from repro.campaign.spec import CampaignCell, ShardTask, trial_seed
 from repro.campaign.workloads import get_campaign_workload
 from repro.core.backend import BoundedCache, ExecutionBackend, FaultSite, make_backend
 from repro.core.batched import sample_input_matrix
+from repro.core.faultplan import FaultPlanArrays
 from repro.errors import EvaluationError
 from repro.pim.faults import FaultModel, FaultModelSpec, parse_fault_model
 from repro.pim.technology import get_technology
@@ -140,7 +143,7 @@ def _fault_model_spec(cell: CampaignCell) -> FaultModelSpec:
 
 def _multi_fault_plan(
     sites: Sequence[FaultSite], fault_seeds: Sequence[int], k: int
-) -> List[Dict[int, Tuple[int, ...]]]:
+) -> FaultPlanArrays:
     """One deterministic k-flip plan per trial, drawn from its fault seed.
 
     Sites are sampled uniformly without replacement from the backend's
@@ -148,20 +151,26 @@ def _multi_fault_plan(
     invariant) and k-flip plans execute bit-exactly on both, a
     ``faults_per_trial`` campaign produces byte-identical counters on the
     scalar and batched backends.
+
+    The ``random.Random(seed).sample`` draws are a pinned invariant (the
+    golden campaign counters depend on them byte-for-byte); only the plan
+    *assembly* is array-native — the chosen site indices go straight into a
+    CSR :class:`~repro.core.faultplan.FaultPlanArrays` batch instead of one
+    dict per trial.
     """
     if k > len(sites):
         raise EvaluationError(
             f"faults_per_trial={k} exceeds the {len(sites)} injectable sites"
         )
-    plans: List[Dict[int, Tuple[int, ...]]] = []
-    for seed in fault_seeds:
-        chosen = random.Random(seed).sample(range(len(sites)), k)
-        entry: Dict[int, List[int]] = {}
-        for index in chosen:
-            site = sites[index]
-            entry.setdefault(site.operation_index, []).append(site.output_position)
-        plans.append({op: tuple(positions) for op, positions in entry.items()})
-    return plans
+    count = len(sites)
+    site_ops = np.fromiter((site.operation_index for site in sites), np.int64, count)
+    site_positions = np.fromiter(
+        (site.output_position for site in sites), np.int64, count
+    )
+    chosen = np.empty((len(fault_seeds), k), dtype=np.int64)
+    for trial, seed in enumerate(fault_seeds):
+        chosen[trial] = random.Random(seed).sample(range(count), k)
+    return FaultPlanArrays.from_site_matrix(chosen, site_ops, site_positions)
 
 
 def run_shard(task: ShardTask) -> ShardResult:

@@ -44,6 +44,7 @@ from __future__ import annotations
 import abc
 import hashlib
 from collections import OrderedDict
+from collections.abc import Mapping as AbstractMapping
 from dataclasses import dataclass
 from typing import Callable, ClassVar, Dict, List, Mapping, Optional, Sequence, Union
 
@@ -52,6 +53,7 @@ import numpy as np
 from repro.compiler.netlist import Netlist
 from repro.core.batched import ExecutionPlan, GateStep, compile_plan, run_batch
 from repro.core.bitpacked import run_packed
+from repro.core.faultplan import FaultPlanArrays
 from repro.core.executor import EXECUTORS_BY_SCHEME, ExecutionReport
 from repro.core.soa import SoaPlan, lower_plan
 from repro.errors import PimError, ProtectionError
@@ -79,17 +81,30 @@ __all__ = [
     "derive_seed",
 ]
 
-#: One trial's input assignment: either a ``{signal: bit}`` mapping (the
-#: executor vocabulary) or a row of a ``(B, n_inputs)`` bit matrix (the tape
-#: vocabulary).  Backends accept both and convert.
-TrialInputs = Union[np.ndarray, Sequence[Mapping[int, int]]]
+#: A batch's input assignments: a ``(B, n_inputs)`` bit matrix (the tape
+#: vocabulary), one ``{signal: bit}`` mapping per trial (the executor
+#: vocabulary), or — the broadcast fast path — a *single* mapping shared by
+#: every trial, with the batch size passed as ``run_trials(...,
+#: n_trials=B)``.  Backends accept all three and convert; the broadcast
+#: form never replicates the assignment per trial (the sweeps' hot path:
+#: one exhaustive fault sweep reuses one input vector across every site
+#: combination).
+TrialInputs = Union[np.ndarray, Sequence[Mapping[int, int]], Mapping[int, int]]
 
 #: One trial's deterministic fault plan: global gate-operation index to the
 #: zero-based output position(s) to flip — a single int (the historical
 #: single-fault form) or an iterable of positions (the k-flip form used by
 #: the exhaustive multi-fault sweeps).  Both backends normalise through
-#: :func:`repro.pim.faults.normalize_flip_positions`.
+#: :func:`repro.pim.faults.normalize_flip_positions`.  A whole batch of
+#: plans may equivalently be passed as one CSR
+#: :class:`~repro.core.faultplan.FaultPlanArrays` (the array-native form
+#: the vectorized sweeps build), which every backend consumes without
+#: per-trial Python work.
 FaultPlanEntry = Mapping[int, object]
+
+#: A batch's deterministic fault plans: one entry per trial, or the CSR
+#: array form.
+FaultPlans = Union[Sequence[FaultPlanEntry], FaultPlanArrays]
 
 
 def classify_outcome(outputs_correct: bool, detected: bool) -> str:
@@ -241,12 +256,18 @@ class ExecutionBackend(abc.ABC):
         self,
         inputs: TrialInputs,
         *,
-        fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
+        n_trials: Optional[int] = None,
+        fault_plan: Optional[FaultPlans] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
         fault_model: Optional[FaultModelSpec] = None,
     ) -> TrialOutcomes:
-        """Execute one trial per input row and return per-trial outcomes."""
+        """Execute one trial per input row and return per-trial outcomes.
+
+        ``n_trials`` is required exactly when ``inputs`` is a single shared
+        mapping (the broadcast fast path) and otherwise must match the
+        supplied row count.
+        """
 
     @abc.abstractmethod
     def enumerate_sites(
@@ -313,8 +334,35 @@ class ExecutionBackend(abc.ABC):
                     f"for {n_trials} trials)"
                 )
 
-    def _input_rows(self, inputs: TrialInputs) -> List[Dict[int, int]]:
+    def _check_broadcast(
+        self, inputs: TrialInputs, n_trials: Optional[int]
+    ) -> Optional[int]:
+        """Validate the ``n_trials`` broadcast argument against the shape of
+        ``inputs``; returns the broadcast count when ``inputs`` is a single
+        shared mapping, else None."""
+        if isinstance(inputs, AbstractMapping):
+            if n_trials is None:
+                raise ProtectionError(
+                    "a single input mapping needs an explicit trial count: "
+                    "pass run_trials(inputs, n_trials=B)"
+                )
+            if n_trials < 1:
+                raise ProtectionError(f"n_trials must be >= 1, got {n_trials}")
+            return int(n_trials)
+        if n_trials is not None and n_trials != len(inputs):
+            raise ProtectionError(
+                f"n_trials={n_trials} contradicts the {len(inputs)} supplied "
+                "input rows; pass one or the other"
+            )
+        return None
+
+    def _input_rows(
+        self, inputs: TrialInputs, n_trials: Optional[int] = None
+    ) -> List[Dict[int, int]]:
         """Normalise ``inputs`` to one ``{signal: bit}`` dict per trial."""
+        broadcast = self._check_broadcast(inputs, n_trials)
+        if broadcast is not None:
+            return [dict(inputs)] * broadcast
         if isinstance(inputs, np.ndarray):
             if inputs.ndim != 2 or inputs.shape[1] != len(self.netlist.inputs):
                 raise ProtectionError(
@@ -327,11 +375,24 @@ class ExecutionBackend(abc.ABC):
             ]
         return [dict(row) for row in inputs]
 
-    def _input_matrix(self, inputs: TrialInputs) -> np.ndarray:
-        """Normalise ``inputs`` to a ``(B, n_inputs)`` bit matrix."""
+    def _input_matrix(
+        self, inputs: TrialInputs, n_trials: Optional[int] = None
+    ) -> np.ndarray:
+        """Normalise ``inputs`` to a ``(B, n_inputs)`` bit matrix.
+
+        The broadcast form returns a read-only ``np.broadcast_to`` view of
+        one row — O(n_inputs) memory however large the batch."""
+        broadcast = self._check_broadcast(inputs, n_trials)
+        signals = self.netlist.inputs
+        if broadcast is not None:
+            row = np.empty((1, len(signals)), dtype=np.uint8)
+            for position, signal in enumerate(signals):
+                if signal not in inputs:
+                    raise ProtectionError(f"missing value for input signal {signal}")
+                row[0, position] = int(inputs[signal])
+            return np.broadcast_to(row, (broadcast, len(signals)))
         if isinstance(inputs, np.ndarray):
             return inputs
-        signals = self.netlist.inputs
         matrix = np.empty((len(inputs), len(signals)), dtype=np.uint8)
         for row, values in enumerate(inputs):
             for position, signal in enumerate(signals):
@@ -416,14 +477,15 @@ class ScalarBackend(ExecutionBackend):
         self,
         inputs: TrialInputs,
         *,
-        fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
+        n_trials: Optional[int] = None,
+        fault_plan: Optional[FaultPlans] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
         fault_model: Optional[FaultModelSpec] = None,
     ) -> TrialOutcomes:
         executor = self.executor  # before input handling: resolves the
         # netlist when this backend wraps a legacy factory
-        rows = self._input_rows(inputs)
+        rows = self._input_rows(inputs, n_trials)
         if not rows:
             raise ProtectionError("a batch needs at least one trial")
         self._validate_fault_args(len(rows), fault_plan, model, fault_seeds, fault_model)
@@ -548,12 +610,13 @@ class BatchedBackend(ExecutionBackend):
         self,
         inputs: TrialInputs,
         *,
-        fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
+        n_trials: Optional[int] = None,
+        fault_plan: Optional[FaultPlans] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
         fault_model: Optional[FaultModelSpec] = None,
     ) -> TrialOutcomes:
-        matrix = self._input_matrix(inputs)
+        matrix = self._input_matrix(inputs, n_trials)
         self._validate_fault_args(matrix.shape[0], fault_plan, model, fault_seeds, fault_model)
         if fault_model is not None and fault_model.is_error_free:
             fault_model = None
@@ -635,12 +698,13 @@ class BitpackedBackend(BatchedBackend):
         self,
         inputs: TrialInputs,
         *,
-        fault_plan: Optional[Sequence[FaultPlanEntry]] = None,
+        n_trials: Optional[int] = None,
+        fault_plan: Optional[FaultPlans] = None,
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
         fault_model: Optional[FaultModelSpec] = None,
     ) -> TrialOutcomes:
-        matrix = self._input_matrix(inputs)
+        matrix = self._input_matrix(inputs, n_trials)
         self._validate_fault_args(matrix.shape[0], fault_plan, model, fault_seeds, fault_model)
         if fault_model is not None and fault_model.is_error_free:
             fault_model = None

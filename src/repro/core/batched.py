@@ -54,12 +54,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.compiler.netlist import Netlist
 from repro.core.executor import EcimExecutor, TrimExecutor, UnprotectedExecutor
+from repro.core.faultplan import FaultPlanArrays
 from repro.errors import PimError, ProtectionError
 from repro.pim.faults import FaultModel, FaultModelSpec, normalize_flip_positions
 from repro.pim.gates import GateType
@@ -658,15 +659,18 @@ class _StuckCells:
 
 
 def _deterministic_targets(
-    fault_plan: Sequence[Mapping[int, object]],
+    fault_plan: Union[Sequence[Mapping[int, object]], FaultPlanArrays],
 ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
-    """Regroup per-trial {op_index: position(s)} plans by operation.
+    """Regroup a batch of deterministic plans by operation.
 
-    Each plan entry value is a single output position or an iterable of
-    positions (the k-flip form); positions are de-duplicated per (trial,
-    operation) through :func:`~repro.pim.faults.normalize_flip_positions`,
-    matching the scalar injector's one-flip-per-site semantics.
+    :class:`~repro.core.faultplan.FaultPlanArrays` batches group with one
+    stable argsort (no per-trial Python work); per-trial dict plans take
+    the historical loop, de-duplicating positions per (trial, operation)
+    through :func:`~repro.pim.faults.normalize_flip_positions` to match
+    the scalar injector's one-flip-per-site semantics.
     """
+    if isinstance(fault_plan, FaultPlanArrays):
+        return fault_plan.targets_by_op()
     by_op: Dict[int, Tuple[List[int], List[int]]] = {}
     for trial, targets in enumerate(fault_plan):
         for op_index, entry in (targets or {}).items():
@@ -685,7 +689,7 @@ def run_batch(
     input_matrix: np.ndarray,
     model: Optional[FaultModel] = None,
     fault_seeds: Optional[Sequence[int]] = None,
-    fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+    fault_plan: Union[Sequence[Mapping[int, int]], FaultPlanArrays, None] = None,
     fault_model: Optional[FaultModelSpec] = None,
 ) -> BatchResult:
     """Interpret the tape for all B trials at once.

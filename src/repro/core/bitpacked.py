@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,10 +47,10 @@ from repro.compiler.netlist import Netlist
 from repro.core.batched import (
     BatchResult,
     _BurstInjection,
-    _deterministic_targets,
     _StuckCells,
     _uniform_streams,
 )
+from repro.core.faultplan import FaultPlanArrays
 from repro.core.soa import (
     KIND_ECIM,
     KIND_GATE,
@@ -268,6 +268,43 @@ class _StepEvents:
 
     def apply(self, planes: np.ndarray) -> None:
         np.bitwise_xor.at(planes, (self.words, self.lanes), self.bits)
+
+
+def _deterministic_schedule(
+    soa: SoaPlan, plan_arrays: FaultPlanArrays, batch: int
+) -> Tuple[Dict[int, _StepEvents], np.ndarray]:
+    """Per-step packed XOR events of a whole batch of deterministic plans.
+
+    A handful of numpy passes replaces the dict path's per-step, per-entry
+    targeting: map plan operations to gate slots, drop unknown operations
+    and out-of-range positions (both inject nothing, exactly as on the
+    uint8 engine), count the surviving flips per trial with one bincount,
+    and group the events by tape step with one stable argsort.
+    """
+    trials = plan_arrays.trial_of_entry().astype(np.int64, copy=False)
+    ops = plan_arrays.op_index
+    positions = plan_arrays.position
+    slot_table = soa.gate_slot_of_op
+    known = (ops >= 0) & (ops < slot_table.shape[0])
+    slots = np.where(known, slot_table[np.where(known, ops, 0)], -1)
+    widths = np.diff(soa.gate_out_ptr)
+    valid = (slots >= 0) & (positions >= 0)
+    valid &= positions < widths[np.where(valid, slots, 0)]
+    trials, slots, positions = trials[valid], slots[valid], positions[valid]
+    faults = np.bincount(trials, minlength=batch).astype(np.int64, copy=False)
+    events: Dict[int, _StepEvents] = {}
+    steps = soa.gate_step_index[slots]
+    order = np.argsort(steps, kind="stable")
+    steps = steps[order]
+    boundaries = np.flatnonzero(np.diff(steps)) + 1
+    for step_group, trial_group, lane_group in zip(
+        np.split(steps, boundaries),
+        np.split(trials[order], boundaries),
+        np.split(positions[order], boundaries),
+    ):
+        if step_group.size:
+            events[int(step_group[0])] = _StepEvents(trial_group, lane_group)
+    return events, faults
 
 
 def _require_seeds(kind: str, fault_seeds, batch: int) -> None:
@@ -489,7 +526,7 @@ def run_packed(
     input_matrix: np.ndarray,
     model: Optional[FaultModel] = None,
     fault_seeds: Optional[Sequence[int]] = None,
-    fault_plan: Optional[Sequence[Mapping[int, int]]] = None,
+    fault_plan: "Union[Sequence[Mapping[int, int]], FaultPlanArrays, None]" = None,
     fault_model: Optional[FaultModelSpec] = None,
 ) -> BatchResult:
     """Interpret the SoA tape for all B trials, 64 per word.
@@ -539,9 +576,14 @@ def run_packed(
             _require_seeds("stochastic", fault_seeds, batch)
             events, faults = _legacy_schedule(soa, model, fault_seeds, batch)
 
-    targets = _deterministic_targets(fault_plan) if fault_plan is not None else {}
-    if fault_plan is not None and len(fault_plan) != batch:
-        raise ProtectionError("fault_plan must supply one entry per trial")
+    det_events: Dict[int, _StepEvents] = {}
+    if fault_plan is not None:
+        if len(fault_plan) != batch:
+            raise ProtectionError("fault_plan must supply one entry per trial")
+        det_events, det_faults = _deterministic_schedule(
+            soa, FaultPlanArrays.coerce(fault_plan), batch
+        )
+        faults += det_faults
 
     words = n_words(batch)
     state = np.zeros((words, plan.n_cols), dtype=np.uint64)
@@ -577,19 +619,13 @@ def run_packed(
                 continue
             mask = masks.get(index)
             step_events = events.get(index)
-            det = targets.get(int(soa.gate_op_index[slot]))
+            det = det_events.get(index)
             if mask is None and step_events is None and det is None:
                 state[:, out_cols] = ideal[:, None]
                 continue
             block = np.repeat(ideal[:, None], out_hi - out_lo, axis=1)
             if det is not None:
-                rows, positions = det
-                valid = (positions >= 0) & (positions < block.shape[1])
-                rows, positions = rows[valid], positions[valid]
-                # A k-flip plan may strike one trial several times within
-                # one operation; accumulate unbuffered like the uint8 path.
-                np.add.at(faults, rows, 1)
-                _StepEvents(rows.astype(np.int64), positions).apply(block)
+                det.apply(block)
             if mask is not None:
                 block ^= mask
             if step_events is not None:

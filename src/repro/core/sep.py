@@ -42,14 +42,19 @@ the whole Fig. 6 sweep is a single tape interpretation.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from itertools import combinations, islice
+from itertools import islice
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.compiler.netlist import Netlist
 from repro.compiler.synthesis import CircuitBuilder
-from repro.core.backend import FaultSite, as_backend, classify_outcome
+from repro.core.backend import ExecutionBackend, FaultSite, as_backend, classify_outcome
+from repro.core.faultplan import FaultPlanArrays, combination_count, unrank_combinations
 from repro.errors import ProtectionError
 
 __all__ = [
@@ -174,11 +179,13 @@ def exhaustive_single_fault_injection(
     analysis = SepAnalysis()
     if not sites:
         return analysis
+    site_ops, site_positions, _ = _site_index_arrays(sites)
     outcomes = backend.run_trials(
-        [input_values] * len(sites),
-        fault_plan=[
-            {site.operation_index: site.output_position} for site in sites
-        ],
+        input_values,
+        n_trials=len(sites),
+        fault_plan=FaultPlanArrays.from_site_matrix(
+            np.arange(len(sites), dtype=np.int64)[:, None], site_ops, site_positions
+        ),
     )
     for trial, site in enumerate(sites):
         if outcomes.faults_injected[trial] == 0:
@@ -349,7 +356,11 @@ def _combination_fault_plan(sites: Sequence[FaultSite]) -> Dict[int, Tuple[int, 
     """Merge one site combination into a backend fault-plan entry.
 
     Sites sharing a gate operation fold into one multi-position entry, which
-    is what lets k faults land inside a single firing.
+    is what lets k faults land inside a single firing.  The vectorized sweep
+    no longer builds per-combination dicts — this survives as the reference
+    implementation the dict-vs-array differential tests and the
+    ``benchmarks/test_bench_multifault_sweep.py`` speedup floor compare
+    against.
     """
     plan: Dict[int, List[int]] = {}
     for site in sites:
@@ -365,6 +376,108 @@ def _chunked(iterator: Iterator, size: int) -> Iterator[list]:
         yield chunk
 
 
+def _site_index_arrays(
+    sites: Sequence[FaultSite],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The sweep's parallel per-site arrays: operation index, output
+    position and logic level (the plan and budget vocabularies)."""
+    count = len(sites)
+    ops = np.fromiter((site.operation_index for site in sites), np.int64, count)
+    positions = np.fromiter((site.output_position for site in sites), np.int64, count)
+    levels = np.fromiter((site.logic_level for site in sites), np.int64, count)
+    return ops, positions, levels
+
+
+def _max_faults_per_level(level_matrix: np.ndarray) -> np.ndarray:
+    """Per-trial worst per-level fault load of a ``(B, k)`` level matrix —
+    the vectorized :attr:`MultiFaultOutcome.max_faults_per_level`: sort each
+    row, then the longest equal run is the answer (k - 1 numpy passes)."""
+    levels = np.sort(level_matrix, axis=1)
+    runs = np.ones(levels.shape, dtype=np.int64)
+    for column in range(1, levels.shape[1]):
+        same = levels[:, column] == levels[:, column - 1]
+        runs[:, column] = np.where(same, runs[:, column - 1] + 1, 1)
+    return runs.max(axis=1)
+
+
+#: Counter attributes of :class:`MultiFaultAnalysis` a sweep shard folds in,
+#: in declaration order — shard results are plain integer tuples so the
+#: multiprocess path ships no outcome objects.
+_SHARD_COUNTERS = (
+    "total_combinations",
+    "corrected_combinations",
+    "detected_combinations",
+    "silent_combinations",
+    "sep_guaranteed_combinations",
+    "code_corrected_combinations",
+    "budget_violations",
+)
+
+
+def _sweep_shard(
+    backend: ExecutionBackend,
+    input_values: Dict[int, int],
+    n_sites: int,
+    k: int,
+    site_ops: np.ndarray,
+    site_positions: np.ndarray,
+    site_levels: np.ndarray,
+    start: int,
+    count: int,
+    correction_budget: int,
+    keep_outcomes: bool,
+):
+    """Run combination ranks ``[start, start + count)`` of one exhaustive
+    sweep and reduce them to counter sums (plus raw per-trial vectors under
+    ``keep_outcomes``).
+
+    Unranking makes the shard self-addressing — no enumeration of preceding
+    combinations — so this function is the unit of ``jobs`` parallelism, and
+    the counters it returns are independent of how ranks were partitioned.
+    """
+    ranks = np.arange(start, start + count, dtype=np.int64)
+    matrix = unrank_combinations(n_sites, k, ranks)
+    plan = FaultPlanArrays.from_site_matrix(matrix, site_ops, site_positions)
+    outcomes = backend.run_trials(input_values, n_trials=count, fault_plan=plan)
+    injected = np.asarray(outcomes.faults_injected)
+    if np.any(injected != k):
+        # Every site of a deterministic schedule is reached exactly once;
+        # fail loudly on any discrepancy rather than folding a partially
+        # injected combination into the coverage counters.
+        bad = int(np.flatnonzero(injected != k)[0])
+        raise ProtectionError(
+            f"combination rank {start + bad} (sites {matrix[bad].tolist()}) "
+            f"injected {int(injected[bad])} of {k} faults"
+        )
+    correct = outcomes.outputs_correct.astype(bool, copy=False)
+    detected = outcomes.detected.astype(bool, copy=False)
+    within = _max_faults_per_level(site_levels[matrix]) <= correction_budget
+    counters = (
+        count,
+        int(correct.sum()),
+        int((~correct & detected).sum()),
+        int((~correct & ~detected).sum()),
+        int((correct & within).sum()),
+        int((correct & ~within).sum()),
+        int((~correct & within).sum()),
+    )
+    vectors = None
+    if keep_outcomes:
+        vectors = (
+            matrix,
+            correct,
+            detected,
+            np.asarray(outcomes.corrections),
+            np.asarray(outcomes.uncorrectable_levels),
+        )
+    return start, counters, vectors
+
+
+def _default_jobs() -> int:
+    """Mirror the campaign runner's worker default: all cores but one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
 def exhaustive_multi_fault_injection(
     target: object,
     input_values: Dict[int, int],
@@ -373,17 +486,25 @@ def exhaustive_multi_fault_injection(
     chunk_size: int = 4096,
     correction_budget: int = 1,
     keep_outcomes: bool = True,
+    jobs: int = 1,
 ) -> MultiFaultAnalysis:
     """Inject every (sites choose k) combination of simultaneous faults.
 
     The generalisation of :func:`exhaustive_single_fault_injection` to k
-    flips per trial: combinations are enumerated lazily and streamed through
-    the backend in bounded shards of ``chunk_size`` trials (a dot-product
-    block at k=2 is tens of thousands of combinations — on the batched
-    backend each shard is one tape interpretation, so the whole sweep stays
-    a handful of numpy passes).  ``correction_budget`` is the scheme's
-    per-level correction capability ``t``; pass ``keep_outcomes=False`` on
-    large sweeps to retain only the aggregate counters.
+    flips per trial, array-native end to end: each shard of ``chunk_size``
+    combination ranks is unranked into a ``(chunk, k)`` site-index matrix
+    (combinatorial number system, exactly ``itertools.combinations`` order),
+    lowered to one :class:`~repro.core.faultplan.FaultPlanArrays` batch, run
+    as one tape interpretation, and reduced to counters with boolean numpy
+    passes — no per-combination Python objects unless ``keep_outcomes``
+    retains them.
+
+    ``correction_budget`` is the scheme's per-level correction capability
+    ``t``.  ``jobs`` distributes shards over a process pool (the backend is
+    pickled to each worker); shard boundaries depend only on ``chunk_size``
+    and counters are integer sums, so results are identical for any job
+    count — the campaign runner's worker-count-invariance discipline.  A
+    negative ``jobs`` uses all cores but one.
     """
     if k < 1:
         raise ProtectionError(f"k must be >= 1, got {k}")
@@ -398,31 +519,50 @@ def exhaustive_multi_fault_injection(
         raise ProtectionError(
             f"cannot choose {k} simultaneous faults from {len(sites)} sites"
         )
-    analysis = MultiFaultAnalysis(k=k, correction_budget=correction_budget)
-    for chunk in _chunked(combinations(sites, k), chunk_size):
-        outcomes = backend.run_trials(
-            [input_values] * len(chunk),
-            fault_plan=[_combination_fault_plan(combo) for combo in chunk],
-        )
-        for trial, combo in enumerate(chunk):
-            if int(outcomes.faults_injected[trial]) != k:
-                # Every site of a deterministic schedule is reached exactly
-                # once; fail loudly on any discrepancy rather than folding a
-                # partially injected combination into the coverage counters.
-                raise ProtectionError(
-                    f"combination {combo} injected "
-                    f"{int(outcomes.faults_injected[trial])} of {k} faults"
-                )
-            analysis.record(
-                MultiFaultOutcome(
-                    sites=tuple(combo),
-                    final_outputs_correct=bool(outcomes.outputs_correct[trial]),
-                    error_detected=bool(outcomes.detected[trial]),
-                    corrections=int(outcomes.corrections[trial]),
-                    uncorrectable_levels=int(outcomes.uncorrectable_levels[trial]),
-                ),
-                keep_outcome=keep_outcomes,
+    site_ops, site_positions, site_levels = _site_index_arrays(sites)
+    total = combination_count(len(sites), k)
+    shards = [
+        (start, min(chunk_size, total - start))
+        for start in range(0, total, chunk_size)
+    ]
+    if jobs < 0:
+        jobs = _default_jobs()
+    if jobs <= 1 or len(shards) <= 1:
+        results = [
+            _sweep_shard(
+                backend, input_values, len(sites), k, site_ops, site_positions,
+                site_levels, start, count, correction_budget, keep_outcomes,
             )
+            for start, count in shards
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_shard,
+                    backend, input_values, len(sites), k, site_ops,
+                    site_positions, site_levels, start, count,
+                    correction_budget, keep_outcomes,
+                )
+                for start, count in shards
+            ]
+            results = [future.result() for future in futures]
+    analysis = MultiFaultAnalysis(k=k, correction_budget=correction_budget)
+    for start, counters, vectors in sorted(results, key=lambda item: item[0]):
+        for name, value in zip(_SHARD_COUNTERS, counters):
+            setattr(analysis, name, getattr(analysis, name) + value)
+        if vectors is not None:
+            matrix, correct, detected, corrections, uncorrectable = vectors
+            for row in range(matrix.shape[0]):
+                analysis.outcomes.append(
+                    MultiFaultOutcome(
+                        sites=tuple(sites[index] for index in matrix[row]),
+                        final_outputs_correct=bool(correct[row]),
+                        error_detected=bool(detected[row]),
+                        corrections=int(corrections[row]),
+                        uncorrectable_levels=int(uncorrectable[row]),
+                    )
+                )
     return analysis
 
 
@@ -434,12 +574,15 @@ def multi_fault_coverage_table(
     sites: Optional[Sequence[FaultSite]] = None,
     chunk_size: int = 4096,
     keep_outcomes: bool = False,
+    jobs: int = 1,
 ) -> List[MultiFaultAnalysis]:
     """Run the exhaustive k-fault sweep for every k in 1..``max_faults``.
 
     Returns one :class:`MultiFaultAnalysis` per k (its
     :meth:`~MultiFaultAnalysis.coverage_row` rows form the per-k coverage
     table); the k=1 analysis reproduces the single-fault sweep exactly.
+    ``jobs`` shards each k's rank range over a process pool with
+    job-count-invariant results.
     """
     if max_faults < 1:
         raise ProtectionError(f"max_faults must be >= 1, got {max_faults}")
@@ -455,6 +598,7 @@ def multi_fault_coverage_table(
             chunk_size=chunk_size,
             correction_budget=correction_budget,
             keep_outcomes=keep_outcomes,
+            jobs=jobs,
         )
         for k in range(1, max_faults + 1)
     ]

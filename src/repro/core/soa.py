@@ -159,6 +159,13 @@ class SoaPlan:
     preset_site_lane: np.ndarray
     read_site_step: np.ndarray
     read_site_lane: np.ndarray
+    #: Inverse gate maps for array-native deterministic plans
+    #: (:mod:`repro.core.faultplan`): tape step index of each gate slot,
+    #: and gate slot of each global operation index (-1 for indices no
+    #: firing carries — those plan entries inject nothing, like the dict
+    #: path).
+    gate_step_index: np.ndarray   # (n_gates,) intp
+    gate_slot_of_op: np.ndarray   # (max_op + 1,) intp, -1 padded
     #: Total gate-output cells (metadata included) — the site count of the
     #: count-only preset-on-gate-output fault class.
     n_gate_output_sites: int
@@ -283,6 +290,17 @@ def lower_plan(plan: ExecutionPlan) -> SoaPlan:
     preset_site_step, preset_site_lane = site_arrays(preset_sites)
     read_site_step, read_site_lane = site_arrays(read_sites)
 
+    # Inverse gate maps: slots were appended in tape order, so gate slot s
+    # is the s-th KIND_GATE step of the dispatch array.
+    kind_array = np.asarray(kinds, dtype=np.int8)
+    gate_step_index = np.flatnonzero(kind_array == KIND_GATE).astype(np.intp)
+    op_array = np.asarray(gate_op, dtype=np.int64)
+    slot_of_op = np.full(
+        int(op_array.max()) + 1 if op_array.size else 0, -1, dtype=np.intp
+    )
+    if op_array.size:
+        slot_of_op[op_array] = np.arange(op_array.shape[0], dtype=np.intp)
+
     return SoaPlan(
         plan=plan,
         step_kind=_frozen(np.asarray(kinds, dtype=np.int8)),
@@ -322,5 +340,7 @@ def lower_plan(plan: ExecutionPlan) -> SoaPlan:
         preset_site_lane=preset_site_lane,
         read_site_step=read_site_step,
         read_site_lane=read_site_lane,
+        gate_step_index=_frozen(gate_step_index),
+        gate_slot_of_op=_frozen(slot_of_op),
         n_gate_output_sites=n_gate_output_sites,
     )

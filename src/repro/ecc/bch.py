@@ -135,6 +135,28 @@ def smallest_bch_code(width: int, t: int, max_m: int = 10) -> "BchCode":
     )
 
 
+class _BchCodeFactory:
+    """The callable :func:`bch_code_factory` returns.
+
+    A class instance rather than a closure so that backends carrying it
+    (e.g. a BCH-t ECiM scheme) stay picklable — the multiprocess sweep
+    shards of ``sep --max-faults --jobs N`` ship whole backends to worker
+    processes.
+    """
+
+    __slots__ = ("t", "max_m")
+
+    def __init__(self, t: int, max_m: int) -> None:
+        self.t = t
+        self.max_m = max_m
+
+    def __call__(self, width: int) -> "BchCode":
+        return smallest_bch_code(width, self.t, max_m=self.max_m)
+
+    def __repr__(self) -> str:
+        return f"bch_code_factory(t={self.t}, max_m={self.max_m})"
+
+
 def bch_code_factory(t: int, max_m: int = 10):
     """An ECiM ``code_factory`` maintaining BCH-t parity per logic level.
 
@@ -142,15 +164,12 @@ def bch_code_factory(t: int, max_m: int = 10):
     :class:`~repro.ecc.hamming.HammingCode` factory: called with a level's
     gate count, returns the smallest BCH code of that correction strength
     covering it — the executable form of the paper's Fig. 8 extension to
-    higher-coverage codes.
+    higher-coverage codes.  The returned callable is picklable, so backends
+    built with it can cross process boundaries (parallel sweep shards).
     """
     if t < 1:
         raise CodeConstructionError("t must be >= 1")
-
-    def factory(width: int) -> "BchCode":
-        return smallest_bch_code(width, t, max_m=max_m)
-
-    return factory
+    return _BchCodeFactory(t, max_m)
 
 
 class BchCode:

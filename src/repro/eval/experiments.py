@@ -685,6 +685,7 @@ def experiment_multifault(
     backend: str = "batched",
     bch_t: int = 2,
     chunk_size: int = 4096,
+    jobs: int = 1,
 ) -> Dict[str, object]:
     """Exhaustive multi-fault sweep: where the single-error budget breaks.
 
@@ -712,12 +713,16 @@ def experiment_multifault(
     analyses: Dict[str, List] = {}
     rows = []
     for name, scheme_backend, budget in schemes:
+        # Only the coverage table is rendered, so retain counters alone —
+        # a large sweep must not hold O(combinations) outcome objects.
         analyses[name] = multi_fault_coverage_table(
             scheme_backend,
             inputs,
             max_faults=max_faults,
             correction_budget=budget,
             chunk_size=chunk_size,
+            keep_outcomes=False,
+            jobs=jobs,
         )
         for analysis in analyses[name]:
             row = analysis.coverage_row()
