@@ -186,6 +186,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 spec = CampaignSpec.from_dict(
                     {**spec.to_dict(), "fault_model": args.fault_model}
                 )
+            if args.estimator is not None:
+                # And for the estimator: the flag wins over the file.
+                spec = CampaignSpec.from_dict(
+                    {**spec.to_dict(), "estimator": args.estimator}
+                )
         else:
             spec = CampaignSpec(
                 workloads=tuple(args.workloads),
@@ -201,6 +206,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 name=args.name,
                 faults_per_trial=args.faults_per_trial,
                 fault_model=args.fault_model,
+                estimator=args.estimator,
             )
         for workload in spec.workloads:
             get_campaign_workload(workload)
@@ -220,6 +226,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             checkpoint=args.checkpoint,
             progress=progress,
             db=args.db,
+            target_ci_halfwidth=args.target_ci_halfwidth,
+            max_rounds=args.max_rounds,
         )
     except (ReproError, OSError) as error:
         print(f"\ncampaign failed: {error}", file=sys.stderr)
@@ -245,6 +253,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{summary['resumed_shards']} resumed from checkpoint, "
         f"{summary['workers']} worker(s)."
     )
+    if "estimator" in summary:
+        line = f"estimator {summary['estimator']}, {summary['rounds']} round(s)"
+        if "target_ci_halfwidth" in summary:
+            line += f", target CI half-width {summary['target_ci_halfwidth']:g}"
+        print(line + ".")
     return 0
 
 
@@ -438,6 +451,31 @@ def build_parser() -> argparse.ArgumentParser:
             "are byte-identical across backends. Default: the legacy "
             "independent-flip model"
         ),
+    )
+    campaign_parser.add_argument(
+        "--estimator", metavar="SPEC", default=None,
+        help=(
+            "rare-event estimator, kind[:key=value,...]: "
+            "'importance:rate=1e-3[,metric=...]' tilts trials to the proposal "
+            "rate and reweights by exact likelihood ratios; "
+            "'stratified[:k_max=3,allocation=proportional|neyman,pilot=N,"
+            "metric=...]' stratifies over the injected fault count; "
+            "'uniform[:metric=...]' names the plain estimator (for sequential "
+            "stopping). Metrics: correct, detected, detected_corruption, "
+            "silent_corruption (default). Default: plain uniform sampling"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--target-ci-halfwidth", type=float, default=None, metavar="H",
+        help=(
+            "sequential stopping: dispatch rounds of --trials per cell until "
+            "every cell's 95%% CI half-width for the estimator's metric "
+            "drops to H (see --max-rounds)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--max-rounds", type=int, default=None, metavar="N",
+        help="round cap for --target-ci-halfwidth (default: 64)",
     )
     campaign_parser.add_argument(
         "--trials", type=int, default=1000, help="trials per grid cell (default: 1000)"

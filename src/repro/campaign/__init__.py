@@ -12,8 +12,14 @@ checkpoint completed shards to JSONL so interrupted runs resume.
 Entry points: build a :class:`CampaignSpec`, hand it to
 :func:`run_campaign`, or drive the same path from the command line via
 ``python -m repro campaign``.
+
+Rare-event campaigns plug in through ``CampaignSpec.estimator`` (see
+:mod:`repro.campaign.adaptive`): importance sampling, stratification over
+fault count, and sequential stopping against a CI half-width target all run
+through the same :func:`run_campaign` entry point.
 """
 
+from repro.campaign.adaptive.grammar import EstimatorSpec, parse_estimator
 from repro.campaign.aggregate import (
     COUNT_KEYS,
     CellReport,
@@ -21,7 +27,10 @@ from repro.campaign.aggregate import (
     accumulate_report,
     build_cell_reports,
     merge_shard_counts,
+    merge_shard_strata,
+    merge_shard_weights,
     render_campaign_table,
+    render_estimator_table,
     wilson_interval,
     zeroed_counts,
 )
@@ -36,7 +45,7 @@ from repro.campaign.spec import (
     ShardTask,
     trial_seed,
 )
-from repro.campaign.worker import build_executor, build_plan, run_shard
+from repro.campaign.worker import build_executor, build_plan, run_shard, site_count
 from repro.campaign.workloads import (
     CAMPAIGN_WORKLOADS,
     CampaignWorkload,
@@ -57,6 +66,7 @@ __all__ = [
     "CampaignWorkload",
     "CellReport",
     "CheckpointStore",
+    "EstimatorSpec",
     "ShardResult",
     "ShardTask",
     "accumulate_report",
@@ -66,10 +76,15 @@ __all__ = [
     "build_plan",
     "get_campaign_workload",
     "merge_shard_counts",
+    "merge_shard_strata",
+    "merge_shard_weights",
+    "parse_estimator",
     "render_campaign_table",
+    "render_estimator_table",
     "run_campaign",
     "run_shard",
     "sample_inputs",
+    "site_count",
     "trial_seed",
     "wilson_interval",
     "zeroed_counts",

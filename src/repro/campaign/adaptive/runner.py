@@ -1,0 +1,219 @@
+"""The adaptive campaign driver: rounds, allocation and sequential stopping.
+
+Estimator-mode campaigns dispatch shards in **rounds** instead of one fixed
+batch.  Every round adds ``spec.trials`` trials to each still-active cell
+(cut into ``spec.shard_size`` shards exactly like the fixed driver), then a
+barrier: the merged counters decide what the next round looks like —
+
+* **sequential stopping** (``target_ci_halfwidth``): a cell whose CI
+  half-width for the estimator's target metric has reached the target stops
+  receiving rounds; the campaign ends when every cell converged or
+  ``max_rounds`` rounds ran;
+* **Neyman allocation** (stratified): round 0 splits trials equally across
+  strata (the pilot — every stratum gets variance mass measured), later
+  rounds re-allocate by ``pi_k * sigma_k`` from the counters pooled so far.
+
+Determinism is structural: round boundaries, allocations and stopping
+decisions are functions of merged counters, which are themselves
+bit-identical for any worker count (integer sums; float weight sums merged
+in canonical shard order).  So the same spec + target produces the same
+round count, the same shard set and the same counters under 0, 2 or 8
+workers — and a checkpoint interrupted mid-round resumes into the identical
+schedule, because earlier rounds replay from the checkpoint before the next
+round's plan is derived.
+
+Shard indices continue across rounds (round ``r`` of a cell starts at
+``r * shards_per_round``), so the ``(cell key, shard index)`` resume key
+stays unique without new checkpoint record fields.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.campaign.adaptive.grammar import EstimatorSpec, parse_estimator
+from repro.campaign.adaptive.strata import (
+    allocate_trials,
+    neyman_sigmas,
+    stratum_labels,
+    stratum_probabilities,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    ShardRecorder,
+    build_result,
+    drain_tasks,
+)
+from repro.campaign.spec import CampaignCell, CampaignSpec, ShardTask
+from repro.campaign.worker import site_count
+from repro.errors import EvaluationError
+
+__all__ = ["DEFAULT_MAX_ROUNDS", "run_adaptive_campaign"]
+
+#: Sequential-stopping safety valve: give up tightening after this many
+#: rounds even if some cell's interval still exceeds the target.
+DEFAULT_MAX_ROUNDS = 64
+
+
+def _round_allocation(
+    est: EstimatorSpec,
+    cell: CampaignCell,
+    n_sites: int,
+    round_index: int,
+    round_trials: int,
+    pooled_strata: Dict[str, Dict[str, float]],
+) -> Optional[Tuple[int, ...]]:
+    """The per-stratum trial split of one cell's round (``None`` unless
+    stratified)."""
+    if est.kind != "stratified":
+        return None
+    probabilities = stratum_probabilities(n_sites, cell.gate_error_rate, est.k_max)
+    if est.allocation == "neyman":
+        sigmas = neyman_sigmas(pooled_strata, stratum_labels(est.k_max), est.metric)
+        if round_index == 0 or sigmas is None:
+            # Pilot: equal split over the reachable strata, so every stratum
+            # contributes variance mass before Neyman reweights anything.
+            equal = [1.0 if p > 0 else 0.0 for p in probabilities]
+            return allocate_trials(equal, round_trials)
+        return allocate_trials(probabilities, round_trials, sigmas=sigmas)
+    return allocate_trials(probabilities, round_trials)
+
+
+def _round_tasks(
+    spec: CampaignSpec,
+    est: EstimatorSpec,
+    cells: List[CampaignCell],
+    round_index: int,
+    round_trials: int,
+    block_start: int,
+    shard_base: int,
+    site_counts: Dict[str, int],
+    pooled_strata_by_cell: Dict[str, Dict[str, Dict[str, float]]],
+) -> List[ShardTask]:
+    """Shard tasks of one round: ``round_trials`` fresh trials per cell.
+
+    ``block_start`` / ``shard_base`` are the cumulative trial and shard
+    offsets of every previous round — identical for all still-active cells,
+    because a converged cell leaves the active set permanently.
+    """
+    tasks: List[ShardTask] = []
+    shards_this_round = -(-round_trials // spec.shard_size)
+    for cell in cells:
+        allocation = _round_allocation(
+            est,
+            cell,
+            site_counts.get(cell.key, 0),
+            round_index,
+            round_trials,
+            pooled_strata_by_cell.get(cell.key, {}),
+        )
+        for chunk in range(shards_this_round):
+            start = chunk * spec.shard_size
+            tasks.append(
+                ShardTask(
+                    cell=cell,
+                    shard_index=shard_base + chunk,
+                    start_trial=block_start + start,
+                    n_trials=min(spec.shard_size, round_trials - start),
+                    campaign_seed=spec.seed,
+                    backend=spec.backend,
+                    estimator=spec.estimator or est.to_string(),
+                    allocation=allocation,
+                    block_start=block_start,
+                )
+            )
+    return tasks
+
+
+def run_adaptive_campaign(
+    spec: CampaignSpec,
+    workers: int = 0,
+    checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    db: Optional[Union[str, "os.PathLike[str]"]] = None,
+    target_ci_halfwidth: Optional[float] = None,
+    max_rounds: Optional[int] = None,
+) -> CampaignResult:
+    """Run an estimator-mode campaign (rounds, allocation, stopping).
+
+    Without ``target_ci_halfwidth`` the campaign runs a single fixed round
+    of ``spec.trials`` per cell — plus a preceding pilot round when the
+    stratified estimator asks for Neyman allocation (the pilot takes
+    ``est.pilot`` trials, default ``spec.trials``, split equally across
+    reachable strata so every stratum's variance gets measured before the
+    main round re-allocates).  With a target, rounds of ``spec.trials``
+    repeat until every cell's target-metric CI half-width reaches it.
+    """
+    est = parse_estimator(spec.estimator) if spec.estimator is not None else EstimatorSpec(
+        kind="uniform"
+    )
+    if target_ci_halfwidth is not None and target_ci_halfwidth <= 0.0:
+        raise EvaluationError(f"target_ci_halfwidth must be positive, got {target_ci_halfwidth}")
+    if max_rounds is None:
+        max_rounds = DEFAULT_MAX_ROUNDS
+    if max_rounds < 1:
+        raise EvaluationError(f"max_rounds must be >= 1, got {max_rounds}")
+    sequential = target_ci_halfwidth is not None
+    # Fixed-trial runs take one round; a Neyman-allocated stratified run adds
+    # a second so the pilot variances can actually steer an allocation.
+    fixed_rounds = 2 if (est.kind == "stratified" and est.allocation == "neyman") else 1
+    total_rounds_cap = max_rounds if sequential else fixed_rounds
+
+    cells = spec.cells()
+    site_counts: Dict[str, int] = {}
+    if est.kind == "stratified":
+        site_counts = {cell.key: site_count(cell, spec.backend) for cell in cells}
+
+    # A Neyman run's round 0 is the pilot; every other round of every mode
+    # adds spec.trials.  Cumulative trial/shard offsets keep the (cell key,
+    # shard index) resume keys unique and the seed streams disjoint.
+    has_pilot = fixed_rounds == 2
+
+    def round_trials_of(round_index: int) -> int:
+        if has_pilot and round_index == 0:
+            return est.pilot if est.pilot is not None else spec.trials
+        return spec.trials
+
+    recorder = ShardRecorder(spec, checkpoint=checkpoint, progress=progress, db=db)
+    try:
+        active = list(cells)
+        rounds = 0
+        block_start = 0
+        shard_base = 0
+        while active and rounds < total_rounds_cap:
+            partial = build_result(spec, recorder, workers, rounds=rounds)
+            pooled = partial.strata_by_cell
+            round_trials = round_trials_of(rounds)
+            tasks = _round_tasks(
+                spec,
+                est,
+                active,
+                rounds,
+                round_trials,
+                block_start,
+                shard_base,
+                site_counts,
+                pooled,
+            )
+            drain_tasks(workers, recorder.admit(tasks), recorder.record)
+            block_start += round_trials
+            shard_base += -(-round_trials // spec.shard_size)
+            rounds += 1
+            if sequential:
+                merged = build_result(spec, recorder, workers, rounds=rounds)
+                by_key = {report.cell.key: report for report in merged.reports}
+                active = [
+                    cell
+                    for cell in active
+                    if by_key[cell.key].estimate_halfwidth(est.metric) > target_ci_halfwidth
+                ]
+        return build_result(
+            spec,
+            recorder,
+            workers,
+            rounds=rounds,
+            target_ci_halfwidth=target_ci_halfwidth,
+        )
+    finally:
+        recorder.close()

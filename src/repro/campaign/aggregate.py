@@ -22,22 +22,34 @@ collapses to zero width and the Wilson interval stays honest.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.campaign.adaptive.grammar import ESTIMATOR_METRICS
+from repro.campaign.adaptive.importance import WEIGHT_KEYS
 from repro.campaign.spec import CampaignCell
 from repro.errors import EvaluationError
-from repro.stats import wilson_interval
+from repro.stats import (
+    effective_sample_size,
+    interval_halfwidth,
+    stratified_mean_interval,
+    weighted_mean_interval,
+    wilson_interval,
+)
 
 __all__ = [
     "COUNT_KEYS",
+    "WEIGHT_KEYS",
     "wilson_interval",
     "zeroed_counts",
     "accumulate_report",
     "ShardResult",
     "merge_shard_counts",
+    "merge_shard_weights",
+    "merge_shard_strata",
     "CellReport",
     "build_cell_reports",
     "render_campaign_table",
+    "render_estimator_table",
 ]
 
 #: Integer counters a shard reports (all sums — merge by addition).
@@ -84,18 +96,32 @@ def accumulate_report(counts: Dict[str, int], report, faults_injected: int = 0) 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """Counts from one completed shard (picklable and JSON-round-trippable)."""
+    """Counts from one completed shard (picklable and JSON-round-trippable).
+
+    ``weights`` (importance/stratified shards) carries the float sums of
+    :data:`WEIGHT_KEYS`; ``strata`` (stratified shards) carries per-stratum
+    integer counters plus each stratum's population probability ``pi``.
+    Both serialise only when present, so every pre-existing checkpoint byte
+    stream round-trips unchanged.
+    """
 
     cell_key: str
     shard_index: int
     counts: Dict[str, int] = field(default_factory=zeroed_counts)
+    weights: Optional[Dict[str, float]] = None
+    strata: Optional[Dict[str, Dict[str, float]]] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "cell": self.cell_key,
             "shard": self.shard_index,
             "counts": dict(self.counts),
         }
+        if self.weights is not None:
+            data["weights"] = dict(self.weights)
+        if self.strata is not None:
+            data["strata"] = {label: dict(entry) for label, entry in self.strata.items()}
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ShardResult":
@@ -104,7 +130,26 @@ class ShardResult:
             if key not in counts:
                 raise EvaluationError(f"unknown shard counter {key!r}")
             counts[key] = int(value)
-        return cls(cell_key=str(data["cell"]), shard_index=int(data["shard"]), counts=counts)
+        weights = None
+        if data.get("weights") is not None:
+            weights = {}
+            for key, value in dict(data["weights"]).items():
+                if key not in WEIGHT_KEYS:
+                    raise EvaluationError(f"unknown shard weight {key!r}")
+                weights[key] = float(value)
+        strata = None
+        if data.get("strata") is not None:
+            strata = {
+                str(label): {str(k): float(v) if k == "pi" else int(v) for k, v in entry.items()}
+                for label, entry in dict(data["strata"]).items()
+            }
+        return cls(
+            cell_key=str(data["cell"]),
+            shard_index=int(data["shard"]),
+            counts=counts,
+            weights=weights,
+            strata=strata,
+        )
 
 
 def merge_shard_counts(results: Iterable[ShardResult]) -> Dict[str, Dict[str, int]]:
@@ -117,16 +162,101 @@ def merge_shard_counts(results: Iterable[ShardResult]) -> Dict[str, Dict[str, in
     return merged
 
 
+def merge_shard_weights(results: Iterable[ShardResult]) -> Dict[str, Dict[str, float]]:
+    """Sum shard weight sums per cell key, in ``(cell, shard index)`` order.
+
+    Float addition is not associative, so — unlike the integer counters —
+    the weighted sums are accumulated in a canonical order to keep cell
+    totals bit-identical for any worker count and resume history.  Cells
+    whose shards carry no weights are absent from the result.
+    """
+    weighted = sorted(
+        (r for r in results if r.weights is not None),
+        key=lambda r: (r.cell_key, r.shard_index),
+    )
+    merged: Dict[str, Dict[str, float]] = {}
+    for result in weighted:
+        cell = merged.setdefault(result.cell_key, {key: 0.0 for key in WEIGHT_KEYS})
+        for key, value in result.weights.items():
+            cell[key] = cell.get(key, 0.0) + value
+    return merged
+
+
+def merge_shard_strata(results: Iterable[ShardResult]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Pool per-stratum counters per cell key (integer sums, order-free).
+
+    Each stratum's ``pi`` is a population constant — identical in every
+    shard that reports the stratum — and is carried through unchanged.
+    """
+    merged: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for result in results:
+        if result.strata is None:
+            continue
+        cell = merged.setdefault(result.cell_key, {})
+        for label, entry in result.strata.items():
+            into = cell.setdefault(label, {"pi": entry["pi"]})
+            for key, value in entry.items():
+                if key == "pi":
+                    continue
+                into[key] = into.get(key, 0) + int(value)
+    return merged
+
+
 @dataclass(frozen=True)
 class CellReport:
-    """Aggregated outcome rates for one grid cell, with 95% Wilson intervals."""
+    """Aggregated outcome rates for one grid cell, with 95% Wilson intervals.
+
+    When the cell ran under a rare-event estimator, ``weights`` / ``strata``
+    hold its merged weight sums and pooled per-stratum counters, and
+    :meth:`estimate` dispatches to the matching estimator: pooled stratified
+    mean + stratified variance when strata are present, Horvitz-Thompson
+    weighted mean + normal interval when only weights are, and the classic
+    proportion + Wilson interval otherwise.  The raw-count properties
+    (``coverage`` etc.) always describe the *sampled* trials — under a tilted
+    proposal they estimate the proposal-rate probabilities, not the target's.
+    """
 
     cell: CampaignCell
     counts: Dict[str, int]
+    weights: Optional[Dict[str, float]] = None
+    strata: Optional[Dict[str, Dict[str, float]]] = None
+    estimator: Optional[str] = None
 
     @property
     def trials(self) -> int:
         return self.counts["trials"]
+
+    def estimate(self, metric: str = "silent_corruption") -> Tuple[float, Tuple[float, float]]:
+        """``(mean, (low, high))`` for one metric under the cell's estimator."""
+        if metric not in ESTIMATOR_METRICS:
+            raise EvaluationError(
+                f"unknown estimator metric {metric!r}; expected one of {ESTIMATOR_METRICS}"
+            )
+        if self.strata:
+            mean, low, high = stratified_mean_interval(
+                [
+                    (entry["pi"], int(entry["trials"]), int(entry[metric]))
+                    for entry in self.strata.values()
+                ]
+            )
+            return mean, (low, high)
+        if self.weights:
+            mean, low, high = weighted_mean_interval(
+                self.weights[f"w_{metric}"], self.weights[f"w_{metric}_sq"], self.trials
+            )
+            return mean, (low, high)
+        return self._rate(metric), self._interval(metric)
+
+    def estimate_halfwidth(self, metric: str = "silent_corruption") -> float:
+        """CI half-width of :meth:`estimate` — the sequential-stopping signal."""
+        return interval_halfwidth(self.estimate(metric)[1])
+
+    @property
+    def effective_sample_size(self) -> Optional[float]:
+        """Kish ESS of the cell's weight set (``None`` for unweighted cells)."""
+        if not self.weights:
+            return None
+        return effective_sample_size(self.weights["weight_sum"], self.weights["weight_sq_sum"])
 
     def _rate(self, key: str) -> float:
         return self.counts[key] / self.trials if self.trials else 0.0
@@ -187,13 +317,25 @@ class CellReport:
 
 
 def build_cell_reports(
-    cells: Iterable[CampaignCell], counts_by_cell: Dict[str, Dict[str, int]]
+    cells: Iterable[CampaignCell],
+    counts_by_cell: Dict[str, Dict[str, int]],
+    weights_by_cell: Optional[Dict[str, Dict[str, float]]] = None,
+    strata_by_cell: Optional[Dict[str, Dict[str, Dict[str, float]]]] = None,
+    estimator: Optional[str] = None,
 ) -> List[CellReport]:
     """Pair each grid cell with its merged counts, in grid order."""
     reports = []
     for cell in cells:
         counts = counts_by_cell.get(cell.key, zeroed_counts())
-        reports.append(CellReport(cell=cell, counts=counts))
+        reports.append(
+            CellReport(
+                cell=cell,
+                counts=counts,
+                weights=(weights_by_cell or {}).get(cell.key),
+                strata=(strata_by_cell or {}).get(cell.key),
+                estimator=estimator,
+            )
+        )
     return reports
 
 
@@ -215,5 +357,43 @@ def render_campaign_table(title: str, reports: Iterable[CellReport]) -> str:
             "faults/trial",
         ],
         [report.as_row() for report in reports],
+        title=title,
+    )
+
+
+def render_estimator_table(title: str, reports: Iterable[CellReport], metric: str) -> str:
+    """Per-cell estimator summary: target-rate estimate, CI and ESS."""
+    from repro.eval.report import format_table
+
+    rows = []
+    for report in reports:
+        mean, (low, high) = report.estimate(metric)
+        ess = report.effective_sample_size
+        rows.append(
+            [
+                report.cell.workload,
+                report.cell.scheme,
+                report.cell.technology,
+                f"{report.cell.gate_error_rate:.1e}",
+                report.trials,
+                f"{mean:.3e}",
+                f"[{low:.3e}, {high:.3e}]",
+                f"{interval_halfwidth((low, high)):.3e}",
+                "-" if ess is None else f"{ess:.1f}",
+            ]
+        )
+    return format_table(
+        [
+            "workload",
+            "scheme",
+            "tech",
+            "gate err rate",
+            "trials",
+            metric,
+            "95% CI",
+            "halfwidth",
+            "ESS",
+        ],
+        rows,
         title=title,
     )

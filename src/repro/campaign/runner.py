@@ -18,13 +18,19 @@ Both execution modes call the very same
 :func:`repro.campaign.worker.run_shard`, and every trial's randomness is
 derived from the spec alone, so aggregate results are bit-identical for any
 worker count and any serial/parallel/resumed execution history.
+
+Specs with an ``estimator`` (or a ``target_ci_halfwidth``) dispatch to the
+round-structured adaptive driver in :mod:`repro.campaign.adaptive.runner`,
+which reuses the :class:`ShardRecorder` / :func:`drain_tasks` machinery
+here — resume, live recording and worker-count invariance carry over to the
+rare-event modes unchanged.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.campaign.aggregate import (
@@ -32,13 +38,16 @@ from repro.campaign.aggregate import (
     ShardResult,
     build_cell_reports,
     merge_shard_counts,
+    merge_shard_strata,
+    merge_shard_weights,
     render_campaign_table,
+    render_estimator_table,
 )
 from repro.campaign.checkpoint import CheckpointStore
 from repro.campaign.spec import CampaignSpec, ShardTask
 from repro.campaign.worker import run_shard
 
-__all__ = ["CampaignResult", "run_campaign"]
+__all__ = ["CampaignResult", "ShardRecorder", "drain_tasks", "run_campaign"]
 
 
 @dataclass
@@ -51,6 +60,12 @@ class CampaignResult:
     executed_shards: int
     resumed_shards: int
     workers: int
+    #: Dispatch rounds the driver ran (always 1 on the fixed-trial path).
+    rounds: int = 1
+    #: Sequential-stopping target this run converged against, when set.
+    target_ci_halfwidth: Optional[float] = None
+    weights_by_cell: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    strata_by_cell: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
 
     @property
     def total_trials(self) -> int:
@@ -58,14 +73,25 @@ class CampaignResult:
 
     @property
     def rendered(self) -> str:
-        return render_campaign_table(
+        table = render_campaign_table(
             f"Campaign '{self.spec.name}': empirical error coverage "
             f"({self.total_trials} trials, seed {self.spec.seed})",
             self.reports,
         )
+        if self.spec.estimator is not None:
+            from repro.campaign.adaptive.grammar import parse_estimator
+
+            metric = parse_estimator(self.spec.estimator).metric
+            table += "\n\n" + render_estimator_table(
+                f"Estimator '{self.spec.estimator}': target-rate estimates "
+                f"({self.rounds} round(s))",
+                self.reports,
+                metric,
+            )
+        return table
 
     def summary(self) -> Dict[str, object]:
-        return {
+        summary: Dict[str, object] = {
             "name": self.spec.name,
             "spec_hash": self.spec.spec_hash(),
             "cells": len(self.reports),
@@ -74,91 +100,94 @@ class CampaignResult:
             "resumed_shards": self.resumed_shards,
             "workers": self.workers,
         }
+        if self.spec.estimator is not None or self.target_ci_halfwidth is not None:
+            summary["estimator"] = self.spec.estimator or "uniform"
+            summary["rounds"] = self.rounds
+            if self.target_ci_halfwidth is not None:
+                summary["target_ci_halfwidth"] = self.target_ci_halfwidth
+        return summary
 
 
-def _default_workers() -> int:
-    return max(1, (os.cpu_count() or 2) - 1)
+class ShardRecorder:
+    """Checkpoint + results-store recording shared by both campaign drivers.
 
-
-def run_campaign(
-    spec: CampaignSpec,
-    workers: int = 0,
-    checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
-    progress: Optional[Callable[[int, int], None]] = None,
-    db: Optional[Union[str, "os.PathLike[str]"]] = None,
-) -> CampaignResult:
-    """Run (or resume) a campaign and aggregate its per-cell statistics.
-
-    ``workers``: 0 or 1 runs shards serially in-process; N > 1 fans them out
-    over a process pool of N workers; negative picks ``cpu_count - 1``.
-    ``progress`` (optional) is called as ``progress(done, total)`` after each
-    shard completes, counting resumed shards as already done.
-    ``db`` (optional) names a :class:`~repro.store.database.ResultsStore`
-    SQLite file: the campaign row is registered up front and every completed
-    shard (resumed ones included) is recorded live as it lands, so even an
-    interrupted run leaves its finished shards in the corpus.  Recording is
-    idempotent — re-running, resuming, or separately ingesting the same
-    checkpoint can never duplicate a shard.
+    Owns the resume set (completed shards of this spec hash), the growing
+    result list, and the side effects every finished shard triggers:
+    checkpoint append, live database recording, progress callback.  The
+    adaptive driver admits tasks round by round; the fixed driver admits the
+    whole shard list at once — either way resumed shards short-circuit
+    without re-execution.
     """
-    if workers < 0:
-        workers = _default_workers()
-    shards = spec.shards()
-    spec_hash = spec.spec_hash()
-    cells_by_key = {task.cell.key: task.cell for task in shards}
 
-    store = CheckpointStore(checkpoint) if checkpoint is not None else None
-    results_db = None
-    if db is not None:
-        from repro.store.database import ResultsStore
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+        db: Optional[Union[str, "os.PathLike[str]"]] = None,
+    ) -> None:
+        self.spec = spec
+        self.spec_hash = spec.spec_hash()
+        self.progress = progress
+        self.store = CheckpointStore(checkpoint) if checkpoint is not None else None
+        self.results_db = None
+        if db is not None:
+            from repro.store.database import ResultsStore
 
-        results_db = ResultsStore(db)
-        results_db.record_campaign(spec)
-    try:
-        completed: Dict[tuple, ShardResult] = store.load(spec_hash) if store else {}
-        results: List[ShardResult] = []
+            self.results_db = ResultsStore(db)
+            self.results_db.record_campaign(spec)
+        self.completed: Dict[tuple, ShardResult] = (
+            self.store.load(self.spec_hash) if self.store else {}
+        )
+        self.results: List[ShardResult] = []
+        self.resumed = 0
+        self.total = 0
+        self._cells_by_key = {cell.key: cell for cell in spec.cells()}
+
+    def admit(self, tasks: List[ShardTask]) -> List[ShardTask]:
+        """Schedule ``tasks``; resumed ones complete instantly, rest pend."""
         pending: List[ShardTask] = []
-        for task in shards:
-            done = completed.get((task.cell.key, task.shard_index))
+        resumed_now = 0
+        self.total += len(tasks)
+        for task in tasks:
+            done = self.completed.get((task.cell.key, task.shard_index))
             if done is not None:
-                results.append(done)
-                if results_db is not None:
-                    results_db.record_shard(spec_hash, task.cell, done)
+                self.results.append(done)
+                resumed_now += 1
+                if self.results_db is not None:
+                    self.results_db.record_shard(self.spec_hash, task.cell, done)
             else:
                 pending.append(task)
+        self.resumed += resumed_now
+        if self.progress and resumed_now:
+            self.progress(len(self.results), self.total)
+        return pending
 
-        resumed = len(results)
-        total = len(shards)
-        done_count = resumed
-        if progress and resumed:
-            progress(done_count, total)
+    def record(self, result: ShardResult) -> None:
+        self.results.append(result)
+        if self.store:
+            self.store.append(self.spec_hash, result)
+        if self.results_db is not None:
+            self.results_db.record_shard(
+                self.spec_hash, self._cells_by_key[result.cell_key], result
+            )
+        if self.progress:
+            self.progress(len(self.results), self.total)
 
-        def record(result: ShardResult) -> None:
-            nonlocal done_count
-            results.append(result)
-            if store:
-                store.append(spec_hash, result)
-            if results_db is not None:
-                results_db.record_shard(
-                    spec_hash, cells_by_key[result.cell_key], result
-                )
-            done_count += 1
-            if progress:
-                progress(done_count, total)
+    @property
+    def executed(self) -> int:
+        return len(self.results) - self.resumed
 
-        return _execute(spec, workers, pending, results, resumed, record)
-    finally:
-        if results_db is not None:
-            results_db.close()
+    def close(self) -> None:
+        if self.results_db is not None:
+            self.results_db.close()
+            self.results_db = None
 
 
-def _execute(
-    spec: CampaignSpec,
-    workers: int,
-    pending: List[ShardTask],
-    results: List[ShardResult],
-    resumed: int,
-    record: Callable[[ShardResult], None],
-) -> CampaignResult:
+def drain_tasks(
+    workers: int, pending: List[ShardTask], record: Callable[[ShardResult], None]
+) -> None:
+    """Execute ``pending`` shards serially or over a bounded process pool."""
     if pending and workers > 1:
         # Bound in-flight futures so enormous campaigns don't materialise
         # their whole shard list in the pool's queue at once.
@@ -184,13 +213,89 @@ def _execute(
         for task in pending:
             record(run_shard(task))
 
-    counts_by_cell = merge_shard_counts(results)
-    reports = build_cell_reports(spec.cells(), counts_by_cell)
+
+def build_result(
+    spec: CampaignSpec,
+    recorder: ShardRecorder,
+    workers: int,
+    rounds: int = 1,
+    target_ci_halfwidth: Optional[float] = None,
+) -> CampaignResult:
+    """Merge a recorder's accumulated shards into the final result."""
+    counts_by_cell = merge_shard_counts(recorder.results)
+    weights_by_cell = merge_shard_weights(recorder.results)
+    strata_by_cell = merge_shard_strata(recorder.results)
+    reports = build_cell_reports(
+        spec.cells(),
+        counts_by_cell,
+        weights_by_cell=weights_by_cell,
+        strata_by_cell=strata_by_cell,
+        estimator=spec.estimator,
+    )
     return CampaignResult(
         spec=spec,
         reports=reports,
         counts_by_cell=counts_by_cell,
-        executed_shards=len(results) - resumed,
-        resumed_shards=resumed,
+        executed_shards=recorder.executed,
+        resumed_shards=recorder.resumed,
         workers=max(1, workers),
+        rounds=rounds,
+        target_ci_halfwidth=target_ci_halfwidth,
+        weights_by_cell=weights_by_cell,
+        strata_by_cell=strata_by_cell,
     )
+
+
+def _default_workers() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 0,
+    checkpoint: Optional[Union[str, "os.PathLike[str]"]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    db: Optional[Union[str, "os.PathLike[str]"]] = None,
+    target_ci_halfwidth: Optional[float] = None,
+    max_rounds: Optional[int] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign and aggregate its per-cell statistics.
+
+    ``workers``: 0 or 1 runs shards serially in-process; N > 1 fans them out
+    over a process pool of N workers; negative picks ``cpu_count - 1``.
+    ``progress`` (optional) is called as ``progress(done, total)`` after each
+    shard completes, counting resumed shards as already done.
+    ``db`` (optional) names a :class:`~repro.store.database.ResultsStore`
+    SQLite file: the campaign row is registered up front and every completed
+    shard (resumed ones included) is recorded live as it lands, so even an
+    interrupted run leaves its finished shards in the corpus.  Recording is
+    idempotent — re-running, resuming, or separately ingesting the same
+    checkpoint can never duplicate a shard.
+
+    ``target_ci_halfwidth`` switches to sequential stopping: shards dispatch
+    in rounds of ``spec.trials`` per cell until every cell's CI half-width
+    for the estimator's target metric drops to the target (or ``max_rounds``
+    rounds ran).  Specs with an ``estimator`` always take the adaptive path.
+    """
+    if workers < 0:
+        workers = _default_workers()
+    if spec.estimator is not None or target_ci_halfwidth is not None:
+        from repro.campaign.adaptive.runner import run_adaptive_campaign
+
+        return run_adaptive_campaign(
+            spec,
+            workers=workers,
+            checkpoint=checkpoint,
+            progress=progress,
+            db=db,
+            target_ci_halfwidth=target_ci_halfwidth,
+            max_rounds=max_rounds,
+        )
+
+    recorder = ShardRecorder(spec, checkpoint=checkpoint, progress=progress, db=db)
+    try:
+        pending = recorder.admit(spec.shards())
+        drain_tasks(workers, pending, recorder.record)
+        return build_result(spec, recorder, workers)
+    finally:
+        recorder.close()

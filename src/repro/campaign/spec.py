@@ -98,6 +98,24 @@ def trial_seed(campaign_seed: int, cell_key: str, trial_index: int, stream: str)
     return derive_seed(campaign_seed, cell_key, trial_index, stream)
 
 
+def _canonical_estimator(value: Optional[str], owner: str) -> Optional[str]:
+    """Validate and canonicalise an ``estimator`` grammar string.
+
+    Canonical form (``EstimatorSpec.to_string()``) is what gets stored and
+    hashed, so ``importance:rate=1e-2`` and ``importance:rate=0.01`` share a
+    checkpoint namespace.  Imported lazily — the adaptive subpackage sits
+    above this module in the import graph.
+    """
+    if value is None:
+        return None
+    from repro.campaign.adaptive.grammar import parse_estimator
+
+    try:
+        return parse_estimator(value).to_string()
+    except EvaluationError as error:
+        raise EvaluationError(f"invalid {owner}.estimator: {error}") from None
+
+
 def _canonical_fault_model(value: Optional[str], owner: str) -> Optional[str]:
     """Validate and canonicalise a ``fault_model`` grammar string.
 
@@ -179,6 +197,15 @@ class ShardTask:
     campaign_seed: int
     backend: Optional[str] = None  # resolves to "scalar" when unset
     engine: Optional[str] = None  # deprecated alias for ``backend``
+    #: Estimator grammar string (canonical form) governing how this shard's
+    #: trials are drawn and weighted; unset means the legacy uniform path.
+    estimator: Optional[str] = None
+    #: Stratified runs only: trials-per-stratum split of the enclosing block.
+    allocation: Optional[Tuple[int, ...]] = None
+    #: Stratified runs only: absolute trial index where the block holding
+    #: this shard starts — ``start_trial - block_start`` maps each trial onto
+    #: its stratum via the cumulative allocation, independent of shard size.
+    block_start: int = 0
 
     def __post_init__(self) -> None:
         if self.n_trials <= 0:
@@ -188,6 +215,16 @@ class ShardTask:
         backend = _resolve_backend(self.backend, self.engine, "ShardTask")
         object.__setattr__(self, "backend", backend)
         object.__setattr__(self, "engine", backend)
+        object.__setattr__(
+            self, "estimator", _canonical_estimator(self.estimator, "ShardTask")
+        )
+        if self.allocation is not None:
+            allocation = tuple(int(v) for v in self.allocation)
+            if any(v < 0 for v in allocation):
+                raise EvaluationError("stratum allocations must be non-negative")
+            object.__setattr__(self, "allocation", allocation)
+        if self.block_start < 0:
+            raise EvaluationError("block_start must be non-negative")
 
     @property
     def trial_indices(self) -> range:
@@ -232,6 +269,13 @@ class CampaignSpec:
     #: canonical dict when unset, so old checkpoints and spec files resume
     #: unchanged.  Fault-model trials are byte-identical across backends.
     fault_model: Optional[str] = None
+    #: Rare-event estimator (``kind[:key=value,...]`` grammar, see
+    #: :func:`repro.campaign.adaptive.parse_estimator`): ``uniform`` /
+    #: ``importance:rate=1e-3`` / ``stratified:k_max=3,allocation=neyman``.
+    #: Unset means the legacy uniform Monte-Carlo estimator — and the field
+    #: is omitted from the canonical dict when unset, so every pre-existing
+    #: spec hash (and hence checkpoint namespace) is byte-identical.
+    estimator: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", _lowered(self.workloads))
@@ -268,6 +312,23 @@ class CampaignSpec:
                 "a campaign takes one fault source: fault_model and "
                 "faults_per_trial are exclusive"
             )
+        object.__setattr__(
+            self, "estimator", _canonical_estimator(self.estimator, "CampaignSpec")
+        )
+        if self.estimator is not None and not self.estimator.startswith("uniform"):
+            # Tilting and stratification reweight the *legacy stochastic*
+            # gate-rate model: exactly one Bernoulli draw per enumerated site
+            # per trial.  Alternative fault sources and memory-cell draws
+            # would break the likelihood-ratio / strata arithmetic.
+            if self.fault_model is not None or self.faults_per_trial is not None:
+                raise EvaluationError(
+                    "importance/stratified estimators require the stochastic "
+                    "gate-rate fault source (no fault_model / faults_per_trial)"
+                )
+            if self.memory_error_rate != 0.0:
+                raise EvaluationError(
+                    "importance/stratified estimators require memory_error_rate == 0"
+                )
         if not self.workloads:
             raise EvaluationError("a campaign needs at least one workload")
         if not self.schemes or not self.technologies or not self.gate_error_rates:
@@ -330,6 +391,7 @@ class CampaignSpec:
                         n_trials=min(self.shard_size, self.trials - start),
                         campaign_seed=self.seed,
                         backend=self.backend,
+                        estimator=self.estimator,
                     )
                 )
         return tasks
@@ -355,6 +417,8 @@ class CampaignSpec:
             data.pop("faults_per_trial", None)
         if data.get("fault_model") is None:
             data.pop("fault_model", None)
+        if data.get("estimator") is None:
+            data.pop("estimator", None)
         return data
 
     @classmethod

@@ -35,6 +35,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.campaign.adaptive.grammar import EstimatorSpec, parse_estimator
+from repro.campaign.adaptive.importance import likelihood_ratios, weighted_outcome_sums
+from repro.campaign.adaptive.strata import (
+    per_stratum_counts,
+    stratified_plan,
+    stratum_probabilities,
+)
 from repro.campaign.aggregate import ShardResult
 from repro.campaign.spec import CampaignCell, ShardTask, trial_seed
 from repro.campaign.workloads import get_campaign_workload
@@ -45,7 +52,14 @@ from repro.errors import EvaluationError
 from repro.pim.faults import FaultModel, FaultModelSpec, parse_fault_model
 from repro.pim.technology import get_technology
 
-__all__ = ["CACHE_LIMIT", "build_executor", "build_plan", "run_shard", "clear_executor_cache"]
+__all__ = [
+    "CACHE_LIMIT",
+    "build_executor",
+    "build_plan",
+    "run_shard",
+    "site_count",
+    "clear_executor_cache",
+]
 
 #: Upper bound on cached backends per engine per worker process.
 CACHE_LIMIT = 8
@@ -125,6 +139,82 @@ def clear_executor_cache() -> None:
     _PLAN_CACHE.clear()
 
 
+def site_count(cell: CampaignCell, backend_name: str) -> int:
+    """Number of enumerable fault sites of ``cell`` on ``backend_name``.
+
+    All backends enumerate identical site lists (a PR-3 invariant), and the
+    count is exactly the number of Bernoulli draws one stochastic trial
+    performs when ``memory_error_rate == 0`` — the ``n`` of the
+    importance-sampling likelihood ratio and of the stratified binomial.
+    Cached on the backend instance: site enumeration dry-runs the circuit.
+    """
+    backend = _backend_for(cell, backend_name)
+    return _site_arrays(backend)[2]
+
+
+def _site_arrays(backend: ExecutionBackend):
+    """``(operation_index, output_position, count)`` of the backend's sites,
+    computed once per cached backend instance."""
+    cached = getattr(backend, "_campaign_site_arrays", None)
+    if cached is None:
+        sites = backend.enumerate_sites()
+        count = len(sites)
+        cached = (
+            np.fromiter((site.operation_index for site in sites), np.int64, count),
+            np.fromiter((site.output_position for site in sites), np.int64, count),
+            count,
+        )
+        backend._campaign_site_arrays = cached
+    return cached
+
+
+def _estimator_outcomes(task: ShardTask, est: EstimatorSpec, backend, inputs, fault_seeds):
+    """Run one estimator-mode shard; returns ``(outcomes, weights, strata)``."""
+    cell = task.cell
+    site_ops, site_positions, n_sites = _site_arrays(backend)
+    if est.kind == "importance":
+        outcomes = backend.run_trials(
+            inputs,
+            model=FaultModel(gate_error_rate=est.rate, memory_error_rate=0.0),
+            fault_seeds=fault_seeds,
+        )
+        weights = likelihood_ratios(
+            outcomes.faults_injected, n_sites, cell.gate_error_rate, est.rate
+        )
+        return outcomes, weighted_outcome_sums(weights, outcomes), None
+    if est.kind == "stratified":
+        if task.allocation is None:
+            raise EvaluationError(
+                "stratified shards need a per-stratum allocation; run them "
+                "through run_campaign, which plans allocations per round"
+            )
+        probabilities = stratum_probabilities(n_sites, cell.gate_error_rate, est.k_max)
+        offsets = np.asarray(task.trial_indices, dtype=np.int64) - task.block_start
+        plans, stratum_of, _ = stratified_plan(
+            n_sites,
+            cell.gate_error_rate,
+            est.k_max,
+            task.allocation,
+            offsets,
+            fault_seeds,
+            site_ops,
+            site_positions,
+        )
+        outcomes = backend.run_trials(inputs, fault_plan=plans)
+        # Per-trial weight pi_k * B / n_k: the Horvitz-Thompson view of the
+        # stratified draw (B = block trials), so stratified shards feed the
+        # same weighted columns and ESS diagnostics as importance shards.
+        allocation = np.asarray(task.allocation, dtype=np.float64)
+        block_trials = float(allocation.sum())
+        per_stratum_weight = np.where(
+            allocation > 0, probabilities * block_trials / np.maximum(allocation, 1.0), 0.0
+        )
+        weights = per_stratum_weight[stratum_of]
+        strata = per_stratum_counts(stratum_of, outcomes, probabilities, est.k_max)
+        return outcomes, weighted_outcome_sums(weights, outcomes), strata
+    raise EvaluationError(f"unknown estimator kind {est.kind!r}")
+
+
 def _fault_model(cell: CampaignCell) -> FaultModel:
     return FaultModel(
         gate_error_rate=cell.gate_error_rate,
@@ -186,6 +276,16 @@ def run_shard(task: ShardTask) -> ShardResult:
         for trial in task.trial_indices
     ]
     inputs = sample_input_matrix(backend.netlist, input_seeds)
+    est = parse_estimator(task.estimator) if task.estimator is not None else None
+    if est is not None and est.kind != "uniform":
+        outcomes, weights, strata = _estimator_outcomes(task, est, backend, inputs, fault_seeds)
+        return ShardResult(
+            cell_key=cell.key,
+            shard_index=task.shard_index,
+            counts=outcomes.counts(),
+            weights=weights,
+            strata=strata,
+        )
     if cell.faults_per_trial is not None:
         outcomes = backend.run_trials(
             inputs,

@@ -8,6 +8,12 @@ is not cosmetic: the acceptance contract between ``python -m repro query``
 and the in-process aggregator is *byte-for-byte* float equality, which only
 holds if both sides run the identical sequence of floating-point operations.
 
+The weighted-estimator helpers (:func:`weighted_mean_interval`,
+:func:`effective_sample_size`, :func:`stratified_mean_interval`) carry the
+same contract for the rare-event campaign modes: the campaign aggregator and
+the store's query layer both compute importance-weighted and stratified
+estimates from identical shard sums through these functions.
+
 Reference values (checked in ``tests/test_stats.py`` without scipy)::
 
     wilson_interval(0, 10)      == (0.0,                 0.2775401687666165)
@@ -21,11 +27,17 @@ Reference values (checked in ``tests/test_stats.py`` without scipy)::
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import EvaluationError
 
-__all__ = ["wilson_interval"]
+__all__ = [
+    "wilson_interval",
+    "weighted_mean_interval",
+    "effective_sample_size",
+    "stratified_mean_interval",
+    "interval_halfwidth",
+]
 
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
@@ -37,9 +49,7 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float
     corruption observed in N trials" into a defensible coverage claim.
     """
     if trials < 0 or successes < 0 or successes > trials:
-        raise EvaluationError(
-            f"need 0 <= successes <= trials, got {successes}/{trials}"
-        )
+        raise EvaluationError(f"need 0 <= successes <= trials, got {successes}/{trials}")
     if z <= 0:
         raise EvaluationError("z must be positive")
     if trials == 0:
@@ -58,3 +68,85 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float
     if successes == trials:
         high = 1.0
     return (max(0.0, low), min(1.0, high))
+
+
+def weighted_mean_interval(
+    weighted_sum: float, weighted_sq_sum: float, trials: int, z: float = 1.96
+) -> Tuple[float, float, float]:
+    """Horvitz-Thompson mean and normal-approximation interval from shard sums.
+
+    For per-trial values ``x_i = w_i * indicator_i`` (a likelihood-ratio
+    weight times a 0/1 outcome), ``weighted_sum = sum(x_i)`` and
+    ``weighted_sq_sum = sum(x_i**2)`` — note ``indicator**2 == indicator``,
+    so shards track exactly these two floats per metric.  Returns
+    ``(mean, low, high)`` where ``mean = weighted_sum / trials`` is the
+    unbiased estimate of the target-rate probability and the interval is the
+    ``z``-sigma normal CI from the sample variance of the ``x_i``, clipped to
+    ``[0, 1]``.  With one (or zero) trials the interval degenerates to
+    ``[0, 1]`` — no variance estimate exists.
+    """
+    if trials < 0:
+        raise EvaluationError(f"trials must be >= 0, got {trials}")
+    if z <= 0:
+        raise EvaluationError("z must be positive")
+    if trials == 0:
+        return (0.0, 0.0, 1.0)
+    mean = weighted_sum / trials
+    if trials == 1:
+        return (mean, 0.0, 1.0)
+    # Sample variance of the x_i; guard tiny negative values from float
+    # cancellation when every weight is identical.
+    variance = (weighted_sq_sum - trials * mean * mean) / (trials - 1)
+    variance = max(0.0, variance)
+    margin = z * math.sqrt(variance / trials)
+    return (mean, max(0.0, mean - margin), min(1.0, mean + margin))
+
+
+def effective_sample_size(weight_sum: float, weight_sq_sum: float) -> float:
+    """Kish effective sample size ``(sum w)^2 / sum(w^2)`` of a weight set.
+
+    Equals the trial count when every weight is 1 (uniform sampling) and
+    collapses toward 1 as the weights degenerate — the standard diagnostic
+    for an over-tilted importance-sampling proposal.
+    """
+    if weight_sq_sum <= 0.0:
+        return 0.0
+    return (weight_sum * weight_sum) / weight_sq_sum
+
+
+def stratified_mean_interval(
+    strata: Sequence[Tuple[float, int, int]], z: float = 1.96
+) -> Tuple[float, float, float]:
+    """Stratified estimate from ``(probability, trials, successes)`` strata.
+
+    ``probability`` is each stratum's known population weight (they need not
+    sum to exactly 1.0 if a negligible tail was truncated), ``trials`` the
+    number of samples drawn *within* the stratum and ``successes`` the metric
+    count among them.  Returns ``(mean, low, high)``: the unbiased combined
+    mean ``sum(pi_k * p_k)`` and its ``z``-sigma normal interval from the
+    exact stratified variance ``sum(pi_k^2 * p_k (1 - p_k) / n_k)``, clipped
+    to ``[0, 1]``.  Strata with no samples contribute their weight times zero
+    — callers guarantee every stratum with meaningful probability is sampled.
+    """
+    if z <= 0:
+        raise EvaluationError("z must be positive")
+    mean = 0.0
+    variance = 0.0
+    for probability, trials, successes in strata:
+        if trials < 0 or successes < 0 or successes > trials:
+            raise EvaluationError(
+                f"need 0 <= successes <= trials per stratum, got {successes}/{trials}"
+            )
+        if trials == 0:
+            continue
+        p = successes / trials
+        mean += probability * p
+        variance += probability * probability * p * (1.0 - p) / trials
+    margin = z * math.sqrt(variance)
+    return (mean, max(0.0, mean - margin), min(1.0, mean + margin))
+
+
+def interval_halfwidth(interval: Tuple[float, float]) -> float:
+    """Half the width of a ``(low, high)`` confidence interval."""
+    low, high = interval
+    return (high - low) / 2.0

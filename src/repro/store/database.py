@@ -33,7 +33,13 @@ from repro.campaign.aggregate import ShardResult, zeroed_counts
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.errors import EvaluationError
 from repro.store.locking import FileLock
-from repro.store.schema import COUNTER_COLUMNS, SCHEMA_VERSION, apply_migrations, schema_version
+from repro.store.schema import (
+    COUNTER_COLUMNS,
+    SCHEMA_VERSION,
+    WEIGHT_COLUMNS,
+    apply_migrations,
+    schema_version,
+)
 
 __all__ = ["ResultsStore", "CellFields"]
 
@@ -175,17 +181,24 @@ class ResultsStore:
         fields: CellFields,
         shard_index: int,
         counts: Dict[str, int],
+        weights: Optional[Dict[str, float]] = None,
     ) -> bool:
         """Record one completed shard; returns True if the row was new.
 
         The campaign row must exist (``register_campaign`` first).  A shard
         already present under ``(spec_hash, cell_key, shard_index)`` is kept
         as-is — shard outcomes are deterministic, so the incoming record is
-        identical and re-ingesting is a byte-level no-op.
+        identical and re-ingesting is a byte-level no-op.  ``weights`` (the
+        estimator weight sums of importance/stratified shards) land in the
+        nullable REAL columns migration 2 added; uniform shards leave NULLs.
         """
         unknown = set(counts) - set(COUNTER_COLUMNS)
         if unknown:
             raise EvaluationError(f"unknown shard counters: {sorted(unknown)}")
+        if weights is not None:
+            unknown = set(weights) - set(WEIGHT_COLUMNS)
+            if unknown:
+                raise EvaluationError(f"unknown shard weights: {sorted(unknown)}")
         with self.lock, self._conn:
             self._conn.execute(
                 """
@@ -202,8 +215,12 @@ class ResultsStore:
                 "SELECT id FROM cells WHERE spec_hash = ? AND cell_key = ?",
                 (spec_hash, cell_key),
             ).fetchone()[0]
-            columns = ", ".join(COUNTER_COLUMNS)
-            placeholders = ", ".join("?" for _ in COUNTER_COLUMNS)
+            columns = ", ".join(COUNTER_COLUMNS + WEIGHT_COLUMNS)
+            placeholders = ", ".join("?" for _ in COUNTER_COLUMNS + WEIGHT_COLUMNS)
+            weight_values = tuple(
+                None if weights is None else float(weights.get(name, 0.0))
+                for name in WEIGHT_COLUMNS
+            )
             cursor = self._conn.execute(
                 f"""
                 INSERT INTO shards
@@ -213,6 +230,7 @@ class ResultsStore:
                 """,
                 (cell_id, shard_index)
                 + tuple(int(counts.get(name, 0)) for name in COUNTER_COLUMNS)
+                + weight_values
                 + (repro.__version__, _utcnow()),
             )
             return cursor.rowcount > 0
@@ -224,7 +242,12 @@ class ResultsStore:
                 f"cell/result mismatch: {cell.key!r} vs {result.cell_key!r}"
             )
         return self.upsert_shard(
-            spec_hash, cell.key, cell_fields(cell), result.shard_index, result.counts
+            spec_hash,
+            cell.key,
+            cell_fields(cell),
+            result.shard_index,
+            result.counts,
+            weights=result.weights,
         )
 
     # ------------------------------------------------------------------ #

@@ -158,7 +158,12 @@ def ingest_checkpoint(
                     continue
                 fields_by_key[result.cell_key] = fields
             if store.upsert_shard(
-                spec_hash, result.cell_key, fields, result.shard_index, result.counts
+                spec_hash,
+                result.cell_key,
+                fields,
+                result.shard_index,
+                result.counts,
+                weights=result.weights,
             ):
                 report.ingested += 1
             else:

@@ -22,9 +22,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import EvaluationError, PimError
 from repro.pim.faults import parse_fault_model
-from repro.stats import wilson_interval
+from repro.stats import effective_sample_size, weighted_mean_interval, wilson_interval
 from repro.store.database import ResultsStore
-from repro.store.schema import COUNTER_COLUMNS
+from repro.store.schema import COUNTER_COLUMNS, WEIGHT_COLUMNS
 
 __all__ = [
     "GROUPABLE_COLUMNS",
@@ -67,6 +67,16 @@ DERIVED_COLUMNS = (
     "recovered_rate",
     "detected_corruption_rate",
     "faults_per_trial_avg",
+    # Estimator-weighted statistics (schema v2): None on rows whose shards
+    # were all recorded by uniform campaigns (NULL weight columns).
+    "weight_sum",
+    "effective_sample_size",
+    "weighted_silent_rate",
+    "weighted_silent_ci_low",
+    "weighted_silent_ci_high",
+    "weighted_detected_corruption_rate",
+    "weighted_detected_corruption_ci_low",
+    "weighted_detected_corruption_ci_high",
 )
 
 
@@ -142,6 +152,40 @@ def _derive(row_counts: Dict[str, int]) -> Dict[str, object]:
     }
 
 
+def _derive_weighted(row_weights: Dict[str, Optional[float]], trials: int) -> Dict[str, object]:
+    """Weighted estimates from weight sums — CellReport.estimate's arithmetic.
+
+    ``weight_sum`` is NULL (None) exactly when no shard of the group carried
+    estimator weights, in which case every weighted column is None.  SUM over
+    a mixed weighted/unweighted group silently covers only the weighted
+    shards — such groups are statistically ill-posed and the caller's
+    responsibility (don't merge uniform and importance campaigns into one
+    group and expect a meaningful weighted rate).
+    """
+    if row_weights["weight_sum"] is None:
+        return {name: None for name in DERIVED_COLUMNS[11:]}
+    silent, silent_low, silent_high = weighted_mean_interval(
+        row_weights["w_silent_corruption"], row_weights["w_silent_corruption_sq"], trials
+    )
+    detcor, detcor_low, detcor_high = weighted_mean_interval(
+        row_weights["w_detected_corruption"],
+        row_weights["w_detected_corruption_sq"],
+        trials,
+    )
+    return {
+        "weight_sum": row_weights["weight_sum"],
+        "effective_sample_size": effective_sample_size(
+            row_weights["weight_sum"], row_weights["weight_sq_sum"]
+        ),
+        "weighted_silent_rate": silent,
+        "weighted_silent_ci_low": silent_low,
+        "weighted_silent_ci_high": silent_high,
+        "weighted_detected_corruption_rate": detcor,
+        "weighted_detected_corruption_ci_low": detcor_low,
+        "weighted_detected_corruption_ci_high": detcor_high,
+    }
+
+
 def run_query(
     store: ResultsStore,
     filters: Optional[QueryFilters] = None,
@@ -178,7 +222,7 @@ def run_query(
         params.append(float(filters.max_error_rate))
 
     group_sql = ", ".join(group_by)
-    sums = ", ".join(f"SUM({name}) AS {name}" for name in COUNTER_COLUMNS)
+    sums = ", ".join(f"SUM({name}) AS {name}" for name in COUNTER_COLUMNS + WEIGHT_COLUMNS)
     sql = f"SELECT {group_sql}, {sums} FROM cell_totals"
     if where:
         sql += " WHERE " + " AND ".join(where)
@@ -189,6 +233,10 @@ def run_query(
     for raw in store.rows(sql, params):
         row: Dict[str, object] = {column: raw[column] for column in group_by}
         counts = {name: int(raw[name]) for name in COUNTER_COLUMNS}
+        weights = {
+            name: None if raw[name] is None else float(raw[name]) for name in WEIGHT_COLUMNS
+        }
         row.update(_derive(counts))
+        row.update(_derive_weighted(weights, counts["trials"]))
         rows.append(row)
     return columns, rows

@@ -46,6 +46,7 @@ from repro.errors import EvaluationError
 
 __all__ = [
     "COUNTER_COLUMNS",
+    "WEIGHT_COLUMNS",
     "SCHEMA_VERSION",
     "MIGRATIONS",
     "apply_migrations",
@@ -139,8 +140,63 @@ JOIN shards s ON s.cell_id = c.id
 GROUP BY c.id;
 """
 
+#: Estimator weight columns added at schema version 2.  A *literal* copy of
+#: :data:`repro.campaign.adaptive.importance.WEIGHT_KEYS` as of that
+#: migration (a test asserts equality); NULL on every shard a uniform
+#: campaign wrote, so the pre-estimator corpus keeps its exact byte shape.
+WEIGHT_COLUMNS: Tuple[str, ...] = (
+    "weight_sum",
+    "weight_sq_sum",
+    "w_correct",
+    "w_correct_sq",
+    "w_detected",
+    "w_detected_sq",
+    "w_detected_corruption",
+    "w_detected_corruption_sq",
+    "w_silent_corruption",
+    "w_silent_corruption_sq",
+)
+
+_WEIGHT_ALTERS = ";\n".join(
+    f"ALTER TABLE shards ADD COLUMN {name} REAL" for name in WEIGHT_COLUMNS
+)
+_WEIGHT_SUMS = ",\n    ".join(f"SUM(s.{name}) AS {name}" for name in WEIGHT_COLUMNS)
+
+# Version 1 -> 2: per-shard estimator weight sums (importance likelihood
+# ratios / stratified Horvitz-Thompson weights) ride along as nullable REAL
+# columns, and the totals view re-grows to sum them.  SQLite's SUM returns
+# NULL over all-NULL groups, so uniform cells surface NULL — "no weighted
+# estimate" — rather than a misleading 0.0.
+_MIGRATION_2 = f"""
+{_WEIGHT_ALTERS};
+
+DROP VIEW cell_totals;
+
+CREATE VIEW cell_totals AS
+SELECT
+    c.spec_hash,
+    c.cell_key,
+    c.workload,
+    c.scheme,
+    c.technology,
+    c.gate_error_rate,
+    c.memory_error_rate,
+    c.multi_output,
+    c.faults_per_trial,
+    c.fault_model,
+    p.name AS campaign_name,
+    p.backend,
+    COUNT(s.shard_index) AS n_shards,
+    {_COUNTER_SUMS},
+    {_WEIGHT_SUMS}
+FROM cells c
+JOIN campaigns p ON p.spec_hash = c.spec_hash
+JOIN shards s ON s.cell_id = c.id
+GROUP BY c.id;
+"""
+
 #: ``MIGRATIONS[i]``: SQL script upgrading schema version i -> i + 1.
-MIGRATIONS: Tuple[str, ...] = (_MIGRATION_1,)
+MIGRATIONS: Tuple[str, ...] = (_MIGRATION_1, _MIGRATION_2)
 
 #: The schema version this build of the library reads and writes.
 SCHEMA_VERSION = len(MIGRATIONS)

@@ -1,0 +1,147 @@
+"""Tests for sequential stopping (rounds until the CI half-width target).
+
+The driver's determinism is structural — round boundaries and stopping
+decisions are functions of merged counters, which are worker-count-invariant
+integer sums — so the same spec + target must reproduce the same round
+count, shard set and counters under any worker count, and a checkpoint
+truncated mid-round must resume into the identical schedule.
+"""
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.campaign.adaptive.runner import DEFAULT_MAX_ROUNDS
+from repro.errors import EvaluationError
+
+
+def seq_spec(**overrides):
+    defaults = dict(
+        workloads=("and2",),
+        schemes=("unprotected",),
+        technologies=("rram",),
+        gate_error_rates=(0.05,),
+        trials=40,
+        shard_size=16,
+        seed=11,
+        name="sequential-unit",
+        estimator="uniform:metric=silent_corruption",
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+TARGET = 0.04
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [0, 2, 4])
+    def test_same_rounds_and_counters_for_any_worker_count(self, workers):
+        serial = run_campaign(seq_spec(), workers=0, target_ci_halfwidth=TARGET)
+        result = run_campaign(seq_spec(), workers=workers, target_ci_halfwidth=TARGET)
+        assert result.rounds == serial.rounds
+        assert result.counts_by_cell == serial.counts_by_cell
+        assert result.rounds > 1  # the target actually forced extra rounds
+        report = result.reports[0]
+        assert report.estimate_halfwidth("silent_corruption") <= TARGET
+
+    def test_converged_cells_stop_receiving_rounds(self):
+        # Two cells with very different variances: the easy cell (rate 0,
+        # degenerate counters) converges in round one while the hard cell
+        # keeps going — total trials must differ between the two cells.
+        spec = seq_spec(gate_error_rates=(0.0, 0.05))
+        result = run_campaign(spec, workers=0, target_ci_halfwidth=TARGET)
+        trials = sorted(report.trials for report in result.reports)
+        assert result.rounds > 1
+        assert trials[0] < trials[1]  # the easy cell dropped out earlier
+        assert trials[1] == spec.trials * result.rounds
+
+
+class TestStoppingBounds:
+    def test_loose_target_stops_after_one_round(self):
+        result = run_campaign(seq_spec(), workers=0, target_ci_halfwidth=0.9)
+        assert result.rounds == 1
+        assert result.total_trials == seq_spec().trials
+
+    def test_max_rounds_caps_an_unreachable_target(self):
+        result = run_campaign(
+            seq_spec(), workers=0, target_ci_halfwidth=1e-9, max_rounds=3
+        )
+        assert result.rounds == 3
+        assert result.total_trials == 3 * seq_spec().trials
+
+    def test_default_round_cap(self):
+        assert DEFAULT_MAX_ROUNDS == 64
+
+    def test_invalid_target_and_max_rounds_raise(self):
+        with pytest.raises(EvaluationError):
+            run_campaign(seq_spec(), workers=0, target_ci_halfwidth=0.0)
+        with pytest.raises(EvaluationError):
+            run_campaign(seq_spec(), workers=0, target_ci_halfwidth=0.1, max_rounds=0)
+
+    def test_target_without_estimator_uses_uniform(self):
+        # A plain spec plus a target dispatches adaptively with the default
+        # uniform estimator over silent_corruption.
+        plain = seq_spec(estimator=None)
+        result = run_campaign(plain, workers=0, target_ci_halfwidth=TARGET)
+        assert result.rounds > 1
+        assert result.target_ci_halfwidth == TARGET
+
+
+class TestResume:
+    def test_checkpoint_resume_mid_round(self, tmp_path):
+        path = tmp_path / "seq.jsonl"
+        full = run_campaign(
+            seq_spec(), workers=0, checkpoint=path, target_ci_halfwidth=TARGET
+        )
+        assert full.rounds > 1
+        lines = path.read_text().splitlines()
+        assert len(lines) == full.executed_shards
+
+        # Truncate mid-round-two: keep round one plus a fragment of round
+        # two, then resume.  The driver must replay the kept shards and
+        # execute exactly the missing ones, landing on identical counters
+        # and the identical round count.
+        shards_per_round = -(-seq_spec().trials // seq_spec().shard_size)
+        kept = shards_per_round + 1
+        assert kept < len(lines)
+        path.write_text("\n".join(lines[:kept]) + "\n")
+
+        resumed = run_campaign(
+            seq_spec(), workers=0, checkpoint=path, target_ci_halfwidth=TARGET
+        )
+        assert resumed.rounds == full.rounds
+        assert resumed.counts_by_cell == full.counts_by_cell
+        assert resumed.resumed_shards == kept
+        assert resumed.executed_shards == full.executed_shards - kept
+
+    def test_completed_run_resumes_without_execution(self, tmp_path):
+        path = tmp_path / "seq.jsonl"
+        full = run_campaign(
+            seq_spec(), workers=0, checkpoint=path, target_ci_halfwidth=TARGET
+        )
+        again = run_campaign(
+            seq_spec(), workers=0, checkpoint=path, target_ci_halfwidth=TARGET
+        )
+        assert again.executed_shards == 0
+        assert again.resumed_shards == full.executed_shards
+        assert again.counts_by_cell == full.counts_by_cell
+        assert again.rounds == full.rounds
+
+    def test_stratified_sequential_resume(self, tmp_path):
+        # The stratified driver re-derives per-round allocations from pooled
+        # counters during resume; truncating after the pilot must still
+        # reproduce the full run byte for byte.
+        spec = seq_spec(
+            gate_error_rates=(0.02,),
+            estimator="stratified:k_max=2,metric=silent_corruption",
+        )
+        path = tmp_path / "strat.jsonl"
+        full = run_campaign(spec, workers=0, checkpoint=path, target_ci_halfwidth=0.03)
+        if full.executed_shards < 2:
+            pytest.skip("campaign converged too quickly to truncate")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:1]) + "\n")
+        resumed = run_campaign(spec, workers=0, checkpoint=path, target_ci_halfwidth=0.03)
+        assert resumed.counts_by_cell == full.counts_by_cell
+        assert resumed.strata_by_cell == full.strata_by_cell
+        assert resumed.rounds == full.rounds

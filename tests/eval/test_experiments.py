@@ -194,6 +194,23 @@ class TestCampaignExperiment:
         )
 
 
+class TestRareEventExperiment:
+    def test_importance_gain_at_1e5(self):
+        result = run_experiment("rare_event", trials=2000, shard_size=1000)
+        rows = result["estimators"]
+        assert set(rows) == {"uniform", "importance", "stratified"}
+        importance = rows["importance"]
+        assert 0.0 < importance["estimate"] < 1e-4
+        assert importance["halfwidth"] > 0.0
+        # The tentpole demo claim: >= 10x cheaper than uniform Monte Carlo.
+        assert result["efficiency_gain"] >= 10.0
+        assert result["uniform_equivalent_trials"] >= 10 * result["trials"]
+        assert "Rare-event estimators" in result["rendered"]
+
+    def test_registered(self):
+        assert "rare_event" in EXPERIMENTS
+
+
 class TestMultifaultExperiment:
     def test_per_k_coverage_table(self):
         from repro.eval.experiments import experiment_multifault

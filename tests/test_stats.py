@@ -11,7 +11,13 @@ also guard the byte-for-byte contract between ``python -m repro query`` and
 import pytest
 
 from repro.errors import EvaluationError
-from repro.stats import wilson_interval
+from repro.stats import (
+    effective_sample_size,
+    interval_halfwidth,
+    stratified_mean_interval,
+    weighted_mean_interval,
+    wilson_interval,
+)
 
 #: (successes, trials, z) -> exact (low, high) under IEEE-754 doubles.
 REFERENCE_VALUES = [
@@ -69,3 +75,67 @@ class TestWilsonInterval:
 
         assert campaign_wilson is wilson_interval
         assert aggregate_wilson is wilson_interval
+
+
+class TestWeightedMeanInterval:
+    def test_unit_weights_recover_the_sample_proportion(self):
+        # 3 successes of weight 1 in 10 trials: HT mean is exactly 0.3.
+        mean, low, high = weighted_mean_interval(3.0, 3.0, 10)
+        assert mean == pytest.approx(0.3)
+        assert low <= mean <= high
+
+    def test_zero_weight_sum_gives_zero_mean(self):
+        mean, low, high = weighted_mean_interval(0.0, 0.0, 10)
+        assert (mean, low) == (0.0, 0.0)
+
+    def test_degenerate_trial_counts(self):
+        assert weighted_mean_interval(0.0, 0.0, 0) == (0.0, 0.0, 1.0)
+        assert weighted_mean_interval(0.5, 0.25, 1) == (0.5, 0.0, 1.0)
+
+    def test_more_trials_tighten_the_interval(self):
+        _, small_low, small_high = weighted_mean_interval(30.0, 30.0, 100)
+        _, big_low, big_high = weighted_mean_interval(300.0, 300.0, 1000)
+        assert (big_high - big_low) < (small_high - small_low)
+
+    def test_wider_z_widens_the_interval(self):
+        _, low1, high1 = weighted_mean_interval(30.0, 30.0, 100, z=1.0)
+        _, low3, high3 = weighted_mean_interval(30.0, 30.0, 100, z=3.0)
+        assert (high3 - low3) > (high1 - low1)
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_weights_give_n(self):
+        assert effective_sample_size(100.0, 100.0) == pytest.approx(100.0)
+
+    def test_skewed_weights_shrink_the_ess(self):
+        # One weight of 10 and nine of 0.1: ESS collapses toward 1.
+        weight_sum = 10.0 + 9 * 0.1
+        weight_sq = 100.0 + 9 * 0.01
+        assert effective_sample_size(weight_sum, weight_sq) < 2.0
+
+    def test_zero_square_sum_is_zero(self):
+        assert effective_sample_size(0.0, 0.0) == 0.0
+
+
+class TestStratifiedMeanInterval:
+    def test_single_stratum_matches_the_plain_proportion(self):
+        mean, low, high = stratified_mean_interval([(1.0, 100, 30)])
+        assert mean == pytest.approx(0.3)
+        assert low <= mean <= high
+
+    def test_pooled_mean_is_probability_weighted(self):
+        strata = [(0.9, 100, 0), (0.1, 100, 50)]
+        mean, low, high = stratified_mean_interval(strata)
+        assert mean == pytest.approx(0.9 * 0.0 + 0.1 * 0.5)
+        assert 0.0 <= low <= mean <= high <= 1.0
+
+    def test_unsampled_strata_are_skipped(self):
+        with_empty = stratified_mean_interval([(0.5, 100, 30), (0.5, 0, 0)])
+        without = stratified_mean_interval([(0.5, 100, 30)])
+        assert with_empty == without
+
+
+class TestIntervalHalfwidth:
+    def test_halfwidth_is_half_the_width(self):
+        assert interval_halfwidth((0.2, 0.6)) == pytest.approx(0.2)
+        assert interval_halfwidth((0.0, 0.0)) == 0.0
