@@ -16,6 +16,18 @@ at a size the bit-exact simulator can execute quickly:
 Run with::
 
     python examples/mnist_inference.py [--pim-samples 4]
+
+The same 16-4-4 netlist is registered as the ``mlp16`` campaign workload:
+for statistical accuracy-degradation curves over many fault models and
+error rates, run it through the campaign engine instead::
+
+    PYTHONPATH=src python -m repro campaign \\
+        --workloads mlp16 --schemes unprotected ecim \\
+        --rates 1e-3 1e-2 --trials 200 --application --backend batched
+
+(``--application`` scores every trial against the integer oracle and
+reports argmax flips and output bit-error magnitude; see README
+*Application campaigns*.)
 """
 
 import argparse
@@ -118,7 +130,10 @@ def main():
     print(
         "\nEvery inference executed in the array reproduces the golden model's\n"
         "scores bit for bit; under injected gate errors the ECiM checker\n"
-        "detects and repairs the corrupted logic-level outputs in place."
+        "detects and repairs the corrupted logic-level outputs in place.\n"
+        "\nFor statistical accuracy-degradation sweeps, the same netlist is the\n"
+        "'mlp16' campaign workload:  python -m repro campaign --workloads mlp16\n"
+        "    --schemes unprotected ecim --rates 1e-3 --trials 200 --application"
     )
 
 

@@ -191,6 +191,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 spec = CampaignSpec.from_dict(
                     {**spec.to_dict(), "estimator": args.estimator}
                 )
+            if args.application:
+                # And for application scoring: the flag turns it on on top
+                # of a spec file that predates the field.
+                spec = CampaignSpec.from_dict(
+                    {**spec.to_dict(), "application": True}
+                )
         else:
             spec = CampaignSpec(
                 workloads=tuple(args.workloads),
@@ -207,6 +213,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 faults_per_trial=args.faults_per_trial,
                 fault_model=args.fault_model,
                 estimator=args.estimator,
+                application=args.application or None,
             )
         for workload in spec.workloads:
             get_campaign_workload(workload)
@@ -450,6 +457,17 @@ def build_parser() -> argparse.ArgumentParser:
             "rates inherit each grid cell's swept gate/memory rates; trials "
             "are byte-identical across backends. Default: the legacy "
             "independent-flip model"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--application", action="store_true",
+        help=(
+            "score every trial against the workload's integer oracle and "
+            "report application-level metrics (argmax flips = accuracy "
+            "degradation, per-output bit errors and wrap-around error "
+            "magnitude) alongside the coverage counters; requires an "
+            "application workload (mlp16, fft4) and is exclusive with "
+            "--estimator"
         ),
     )
     campaign_parser.add_argument(

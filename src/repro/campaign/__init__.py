@@ -21,18 +21,30 @@ through the same :func:`run_campaign` entry point.
 
 from repro.campaign.adaptive.grammar import EstimatorSpec, parse_estimator
 from repro.campaign.aggregate import (
+    APPLICATION_KEYS,
     COUNT_KEYS,
     CellReport,
     ShardResult,
     accumulate_report,
     build_cell_reports,
+    merge_shard_application,
     merge_shard_counts,
     merge_shard_strata,
     merge_shard_weights,
+    render_application_table,
     render_campaign_table,
     render_estimator_table,
     wilson_interval,
+    zeroed_application,
     zeroed_counts,
+)
+from repro.campaign.application import (
+    APPLICATION_WORKLOADS,
+    ApplicationWorkload,
+    application_counts,
+    available_application_workloads,
+    get_application_workload,
+    has_application_metrics,
 )
 from repro.campaign.checkpoint import CheckpointStore
 from repro.campaign.runner import CampaignResult, run_campaign
@@ -55,6 +67,9 @@ from repro.campaign.workloads import (
 )
 
 __all__ = [
+    "APPLICATION_KEYS",
+    "APPLICATION_WORKLOADS",
+    "ApplicationWorkload",
     "CAMPAIGN_BACKENDS",
     "CAMPAIGN_ENGINES",
     "CAMPAIGN_SCHEMES",
@@ -70,15 +85,21 @@ __all__ = [
     "ShardResult",
     "ShardTask",
     "accumulate_report",
+    "application_counts",
+    "available_application_workloads",
     "available_campaign_workloads",
     "build_cell_reports",
     "build_executor",
     "build_plan",
+    "get_application_workload",
     "get_campaign_workload",
+    "has_application_metrics",
+    "merge_shard_application",
     "merge_shard_counts",
     "merge_shard_strata",
     "merge_shard_weights",
     "parse_estimator",
+    "render_application_table",
     "render_campaign_table",
     "render_estimator_table",
     "run_campaign",
@@ -87,5 +108,6 @@ __all__ = [
     "site_count",
     "trial_seed",
     "wilson_interval",
+    "zeroed_application",
     "zeroed_counts",
 ]

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.campaign.adaptive.grammar import ESTIMATOR_METRICS
 from repro.campaign.adaptive.importance import WEIGHT_KEYS
+from repro.campaign.application import APPLICATION_KEYS, zeroed_application
 from repro.campaign.spec import CampaignCell
 from repro.errors import EvaluationError
 from repro.stats import (
@@ -39,17 +40,21 @@ from repro.stats import (
 __all__ = [
     "COUNT_KEYS",
     "WEIGHT_KEYS",
+    "APPLICATION_KEYS",
     "wilson_interval",
     "zeroed_counts",
+    "zeroed_application",
     "accumulate_report",
     "ShardResult",
     "merge_shard_counts",
     "merge_shard_weights",
     "merge_shard_strata",
+    "merge_shard_application",
     "CellReport",
     "build_cell_reports",
     "render_campaign_table",
     "render_estimator_table",
+    "render_application_table",
 ]
 
 #: Integer counters a shard reports (all sums — merge by addition).
@@ -100,9 +105,10 @@ class ShardResult:
 
     ``weights`` (importance/stratified shards) carries the float sums of
     :data:`WEIGHT_KEYS`; ``strata`` (stratified shards) carries per-stratum
-    integer counters plus each stratum's population probability ``pi``.
-    Both serialise only when present, so every pre-existing checkpoint byte
-    stream round-trips unchanged.
+    integer counters plus each stratum's population probability ``pi``;
+    ``application`` (application-scored shards) carries the integer sums of
+    :data:`APPLICATION_KEYS`.  All three serialise only when present, so
+    every pre-existing checkpoint byte stream round-trips unchanged.
     """
 
     cell_key: str
@@ -110,6 +116,7 @@ class ShardResult:
     counts: Dict[str, int] = field(default_factory=zeroed_counts)
     weights: Optional[Dict[str, float]] = None
     strata: Optional[Dict[str, Dict[str, float]]] = None
+    application: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
@@ -121,6 +128,8 @@ class ShardResult:
             data["weights"] = dict(self.weights)
         if self.strata is not None:
             data["strata"] = {label: dict(entry) for label, entry in self.strata.items()}
+        if self.application is not None:
+            data["application"] = dict(self.application)
         return data
 
     @classmethod
@@ -143,12 +152,20 @@ class ShardResult:
                 str(label): {str(k): float(v) if k == "pi" else int(v) for k, v in entry.items()}
                 for label, entry in dict(data["strata"]).items()
             }
+        application = None
+        if data.get("application") is not None:
+            application = zeroed_application()
+            for key, value in dict(data["application"]).items():
+                if key not in application:
+                    raise EvaluationError(f"unknown shard application counter {key!r}")
+                application[key] = int(value)
         return cls(
             cell_key=str(data["cell"]),
             shard_index=int(data["shard"]),
             counts=counts,
             weights=weights,
             strata=strata,
+            application=application,
         )
 
 
@@ -202,6 +219,20 @@ def merge_shard_strata(results: Iterable[ShardResult]) -> Dict[str, Dict[str, Di
     return merged
 
 
+def merge_shard_application(results: Iterable[ShardResult]) -> Dict[str, Dict[str, int]]:
+    """Sum shard application counters per cell key (integer sums — order-free
+    like the base counters).  Cells whose shards carry no application metrics
+    are absent from the result."""
+    merged: Dict[str, Dict[str, int]] = {}
+    for result in results:
+        if result.application is None:
+            continue
+        cell = merged.setdefault(result.cell_key, zeroed_application())
+        for key, value in result.application.items():
+            cell[key] = cell.get(key, 0) + value
+    return merged
+
+
 @dataclass(frozen=True)
 class CellReport:
     """Aggregated outcome rates for one grid cell, with 95% Wilson intervals.
@@ -221,6 +252,9 @@ class CellReport:
     weights: Optional[Dict[str, float]] = None
     strata: Optional[Dict[str, Dict[str, float]]] = None
     estimator: Optional[str] = None
+    #: Merged :data:`APPLICATION_KEYS` sums of application-scored cells
+    #: (None on plain cells) — see :mod:`repro.campaign.application`.
+    application: Optional[Dict[str, int]] = None
 
     @property
     def trials(self) -> int:
@@ -297,6 +331,43 @@ class CellReport:
     def average_faults_per_trial(self) -> float:
         return self.counts["faults_injected"] / self.trials if self.trials else 0.0
 
+    # -------------------------------------------------------------- #
+    # Application metrics (None/0.0 rules mirror the weighted columns:
+    # absent application data yields None-valued query columns, zero
+    # trials yield 0.0 rates)
+    # -------------------------------------------------------------- #
+    @property
+    def application_trials(self) -> int:
+        return self.application["app_trials"] if self.application else 0
+
+    @property
+    def argmax_flip_rate(self) -> float:
+        """Accuracy degradation: fraction of trials whose dominant output
+        word moved vs the integer oracle."""
+        trials = self.application_trials
+        return self.application["argmax_flips"] / trials if trials else 0.0
+
+    @property
+    def argmax_flip_interval(self) -> Tuple[float, float]:
+        return wilson_interval(
+            self.application["argmax_flips"] if self.application else 0,
+            self.application_trials,
+        )
+
+    @property
+    def output_bit_errors_avg(self) -> float:
+        """Mean Hamming distance between faulty and oracle output words."""
+        trials = self.application_trials
+        return self.application["output_bit_errors"] / trials if trials else 0.0
+
+    @property
+    def output_error_magnitude_avg(self) -> float:
+        """Mean summed wrap-around word distance — the SNR proxy."""
+        trials = self.application_trials
+        return (
+            self.application["output_error_magnitude"] / trials if trials else 0.0
+        )
+
     def as_row(self) -> List[object]:
         """One rendered table row (shared by the CLI and the experiment)."""
         cov_low, cov_high = self.coverage_interval
@@ -322,6 +393,7 @@ def build_cell_reports(
     weights_by_cell: Optional[Dict[str, Dict[str, float]]] = None,
     strata_by_cell: Optional[Dict[str, Dict[str, Dict[str, float]]]] = None,
     estimator: Optional[str] = None,
+    application_by_cell: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> List[CellReport]:
     """Pair each grid cell with its merged counts, in grid order."""
     reports = []
@@ -334,6 +406,7 @@ def build_cell_reports(
                 weights=(weights_by_cell or {}).get(cell.key),
                 strata=(strata_by_cell or {}).get(cell.key),
                 estimator=estimator,
+                application=(application_by_cell or {}).get(cell.key),
             )
         )
     return reports
@@ -357,6 +430,46 @@ def render_campaign_table(title: str, reports: Iterable[CellReport]) -> str:
             "faults/trial",
         ],
         [report.as_row() for report in reports],
+        title=title,
+    )
+
+
+def render_application_table(title: str, reports: Iterable[CellReport]) -> str:
+    """Per-cell application summary: argmax-flip rate + CI, bit errors, SNR
+    proxy — rendered only for cells that carry application counters."""
+    from repro.eval.report import format_table
+
+    rows = []
+    for report in reports:
+        if not report.application:
+            continue
+        low, high = report.argmax_flip_interval
+        rows.append(
+            [
+                report.cell.workload,
+                report.cell.scheme,
+                report.cell.technology,
+                f"{report.cell.gate_error_rate:.1e}",
+                report.application_trials,
+                f"{report.argmax_flip_rate:.4f}",
+                f"[{low:.4f}, {high:.4f}]",
+                f"{report.output_bit_errors_avg:.3f}",
+                f"{report.output_error_magnitude_avg:.3f}",
+            ]
+        )
+    return format_table(
+        [
+            "workload",
+            "scheme",
+            "tech",
+            "gate err rate",
+            "trials",
+            "argmax flips",
+            "95% CI",
+            "bit errs/trial",
+            "|err|/trial",
+        ],
+        rows,
         title=title,
     )
 

@@ -37,9 +37,11 @@ from repro.campaign.aggregate import (
     CellReport,
     ShardResult,
     build_cell_reports,
+    merge_shard_application,
     merge_shard_counts,
     merge_shard_strata,
     merge_shard_weights,
+    render_application_table,
     render_campaign_table,
     render_estimator_table,
 )
@@ -66,6 +68,7 @@ class CampaignResult:
     target_ci_halfwidth: Optional[float] = None
     weights_by_cell: Dict[str, Dict[str, float]] = field(default_factory=dict)
     strata_by_cell: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    application_by_cell: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def total_trials(self) -> int:
@@ -88,6 +91,12 @@ class CampaignResult:
                 self.reports,
                 metric,
             )
+        if self.application_by_cell:
+            table += "\n\n" + render_application_table(
+                f"Campaign '{self.spec.name}': application-level degradation "
+                "vs the integer oracle",
+                self.reports,
+            )
         return table
 
     def summary(self) -> Dict[str, object]:
@@ -100,6 +109,13 @@ class CampaignResult:
             "resumed_shards": self.resumed_shards,
             "workers": self.workers,
         }
+        if self.application_by_cell:
+            summary["application_trials"] = sum(
+                cell["app_trials"] for cell in self.application_by_cell.values()
+            )
+            summary["argmax_flips"] = sum(
+                cell["argmax_flips"] for cell in self.application_by_cell.values()
+            )
         if self.spec.estimator is not None or self.target_ci_halfwidth is not None:
             summary["estimator"] = self.spec.estimator or "uniform"
             summary["rounds"] = self.rounds
@@ -207,8 +223,11 @@ def drain_tasks(
                     for future in finished:
                         record(future.result())
             finally:
-                for future in in_flight:
-                    future.cancel()
+                # A poisoned record callback (or KeyboardInterrupt) must not
+                # hang the context-manager exit behind queued shards: cancel
+                # everything not yet running, then let __exit__ join the pool.
+                # Python 3.9+: cancel_futures sweeps the pool's own queue too.
+                pool.shutdown(wait=False, cancel_futures=True)
     else:
         for task in pending:
             record(run_shard(task))
@@ -225,12 +244,14 @@ def build_result(
     counts_by_cell = merge_shard_counts(recorder.results)
     weights_by_cell = merge_shard_weights(recorder.results)
     strata_by_cell = merge_shard_strata(recorder.results)
+    application_by_cell = merge_shard_application(recorder.results)
     reports = build_cell_reports(
         spec.cells(),
         counts_by_cell,
         weights_by_cell=weights_by_cell,
         strata_by_cell=strata_by_cell,
         estimator=spec.estimator,
+        application_by_cell=application_by_cell,
     )
     return CampaignResult(
         spec=spec,
@@ -243,6 +264,7 @@ def build_result(
         target_ci_halfwidth=target_ci_halfwidth,
         weights_by_cell=weights_by_cell,
         strata_by_cell=strata_by_cell,
+        application_by_cell=application_by_cell,
     )
 
 

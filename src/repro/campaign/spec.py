@@ -143,6 +143,12 @@ class CampaignCell:
     multi_output: bool = True
     faults_per_trial: Optional[int] = None
     fault_model: Optional[str] = None
+    #: Score this cell's trials against the workload's integer oracle
+    #: (:mod:`repro.campaign.application`).  Deliberately *excluded* from
+    #: :attr:`key` — the metrics are derived from the very same seeded
+    #: trials, so an application cell's base counters stay byte-identical
+    #: to its plain twin's.
+    application: bool = False
 
     def __post_init__(self) -> None:
         if self.scheme not in CAMPAIGN_SCHEMES:
@@ -165,6 +171,14 @@ class CampaignCell:
                 "a cell takes one fault source: fault_model and "
                 "faults_per_trial are exclusive"
             )
+        object.__setattr__(self, "application", bool(self.application))
+        if self.application:
+            # Fail at expansion, not mid-campaign in a worker: the workload
+            # must carry an oracle adapter.  Imported lazily — the
+            # application module sits above this one in the import graph.
+            from repro.campaign.application import get_application_workload
+
+            get_application_workload(self.workload)
 
     @property
     def key(self) -> str:
@@ -276,6 +290,13 @@ class CampaignSpec:
     #: is omitted from the canonical dict when unset, so every pre-existing
     #: spec hash (and hence checkpoint namespace) is byte-identical.
     estimator: Optional[str] = None
+    #: Application-level scoring (:mod:`repro.campaign.application`): when
+    #: truthy, every workload must carry an integer-oracle adapter (mlp16 /
+    #: fft4) and each shard additionally reports argmax-flip and output
+    #: bit-error counters.  Normalised to ``True``/``None`` and — like
+    #: ``fault_model`` / ``estimator`` — omitted from the canonical dict
+    #: when unset, so every pre-existing spec hash stays byte-identical.
+    application: Optional[bool] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", _lowered(self.workloads))
@@ -315,6 +336,16 @@ class CampaignSpec:
         object.__setattr__(
             self, "estimator", _canonical_estimator(self.estimator, "CampaignSpec")
         )
+        object.__setattr__(self, "application", True if self.application else None)
+        if self.application and self.estimator is not None:
+            # Estimator shards reweight/stratify the base counters; the
+            # application counters carry no likelihood ratios, so a weighted
+            # campaign would silently mix estimands.
+            raise EvaluationError(
+                "application metrics and rare-event estimators are exclusive: "
+                "application counters are plain per-trial sums and carry no "
+                "importance weights"
+            )
         if self.estimator is not None and not self.estimator.startswith("uniform"):
             # Tilting and stratification reweight the *legacy stochastic*
             # gate-rate model: exactly one Bernoulli draw per enumerated site
@@ -331,6 +362,11 @@ class CampaignSpec:
                 )
         if not self.workloads:
             raise EvaluationError("a campaign needs at least one workload")
+        if self.application:
+            from repro.campaign.application import get_application_workload
+
+            for workload in self.workloads:
+                get_application_workload(workload)
         if not self.schemes or not self.technologies or not self.gate_error_rates:
             raise EvaluationError("schemes, technologies and gate_error_rates must be non-empty")
         for scheme in self.schemes:
@@ -363,6 +399,7 @@ class CampaignSpec:
                 multi_output=self.multi_output,
                 faults_per_trial=self.faults_per_trial,
                 fault_model=self.fault_model,
+                application=bool(self.application),
             )
             for workload in self.workloads
             for scheme in self.schemes
@@ -419,6 +456,8 @@ class CampaignSpec:
             data.pop("fault_model", None)
         if data.get("estimator") is None:
             data.pop("estimator", None)
+        if data.get("application") is None:
+            data.pop("application", None)
         return data
 
     @classmethod

@@ -43,6 +43,7 @@ from repro.campaign.adaptive.strata import (
     stratum_probabilities,
 )
 from repro.campaign.aggregate import ShardResult
+from repro.campaign.application import application_counts, get_application_workload
 from repro.campaign.spec import CampaignCell, ShardTask, trial_seed
 from repro.campaign.workloads import get_campaign_workload
 from repro.core.backend import BoundedCache, ExecutionBackend, FaultSite, make_backend
@@ -276,8 +277,15 @@ def run_shard(task: ShardTask) -> ShardResult:
         for trial in task.trial_indices
     ]
     inputs = sample_input_matrix(backend.netlist, input_seeds)
+    app = get_application_workload(cell.workload) if cell.application else None
     est = parse_estimator(task.estimator) if task.estimator is not None else None
     if est is not None and est.kind != "uniform":
+        if app is not None:
+            raise EvaluationError(
+                "application metrics and rare-event estimators are exclusive: "
+                "application counters are plain per-trial sums and carry no "
+                "importance weights"
+            )
         outcomes, weights, strata = _estimator_outcomes(task, est, backend, inputs, fault_seeds)
         return ShardResult(
             cell_key=cell.key,
@@ -292,6 +300,7 @@ def run_shard(task: ShardTask) -> ShardResult:
             fault_plan=_multi_fault_plan(
                 backend.enumerate_sites(), fault_seeds, cell.faults_per_trial
             ),
+            capture_outputs=app is not None,
         )
     elif cell.fault_model is not None:
         spec = _fault_model_spec(cell)
@@ -299,13 +308,21 @@ def run_shard(task: ShardTask) -> ShardResult:
             inputs,
             fault_model=spec,
             fault_seeds=fault_seeds if spec.needs_seeds else None,
+            capture_outputs=app is not None,
         )
     else:
         outcomes = backend.run_trials(
             inputs,
             model=_fault_model(cell),
             fault_seeds=fault_seeds,
+            capture_outputs=app is not None,
         )
+    application = (
+        application_counts(app, inputs, outcomes.outputs) if app is not None else None
+    )
     return ShardResult(
-        cell_key=cell.key, shard_index=task.shard_index, counts=outcomes.counts()
+        cell_key=cell.key,
+        shard_index=task.shard_index,
+        counts=outcomes.counts(),
+        application=application,
     )

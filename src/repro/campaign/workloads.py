@@ -5,7 +5,10 @@ counterparts of the paper benchmarks (the Fig. 6 AND example, the mm-family
 dot-product / MAC unit blocks, a full tiny matmul) — paired with an input
 sampler.  Paper-scale instances (mm64, fft64, ...) are analytic-only in this
 codebase, so campaigns measure empirical coverage on the same unit blocks
-whose measured statistics parameterise those analytic models.
+whose measured statistics parameterise those analytic models — plus the
+down-scaled *application* netlists (``mlp16``, ``fft4``), whose trials can
+additionally be scored against their integer oracles
+(:mod:`repro.campaign.application`).
 
 Netlist construction goes through the process-level compile cache
 (:mod:`repro.compiler.cache`): each worker process synthesises a given
@@ -18,6 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.campaign.application import fft4_netlist, mlp16_netlist
 from repro.compiler.cache import (
     available_netlists,
     compiled_netlist,
@@ -88,6 +92,16 @@ CAMPAIGN_WORKLOADS: Dict[str, CampaignWorkload] = {
         _register("dot4", _dot4, "mm-family unit block: 4-term dot product, 2-bit operands"),
         _register("mac4", _mac4, "carry-save MAC step, 4-bit operands"),
         _register("mm2", _mm2, "full 2x2 fixed-point matrix multiply, 2-bit operands"),
+        _register(
+            "mlp16",
+            mlp16_netlist,
+            "functional 16-4-4 MLP, 2-bit weights/activations (application workload)",
+        ),
+        _register(
+            "fft4",
+            fft4_netlist,
+            "functional 4-point FFT, 4-bit samples (application workload)",
+        ),
     )
 }
 

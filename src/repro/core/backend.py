@@ -186,6 +186,11 @@ class TrialOutcomes:
     corrections: np.ndarray          # (B,) int64 — checker write-back count
     uncorrectable_levels: np.ndarray  # (B,) int64
     faults_injected: np.ndarray      # (B,) int64
+    #: (B, n_outputs) uint8 final (possibly faulty) output bits in
+    #: ``netlist.outputs`` order — populated only when the batch ran with
+    #: ``capture_outputs=True`` (the application-metric layer's hook), None
+    #: otherwise so counter-only consumers pay nothing.
+    outputs: Optional[np.ndarray] = None
 
     @property
     def n_trials(self) -> int:
@@ -261,12 +266,16 @@ class ExecutionBackend(abc.ABC):
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
         fault_model: Optional[FaultModelSpec] = None,
+        capture_outputs: bool = False,
     ) -> TrialOutcomes:
         """Execute one trial per input row and return per-trial outcomes.
 
         ``n_trials`` is required exactly when ``inputs`` is a single shared
         mapping (the broadcast fast path) and otherwise must match the
-        supplied row count.
+        supplied row count.  ``capture_outputs`` additionally returns each
+        trial's final output bit matrix (identical across backends for
+        identical fault sources — the same equivalence contract the outcome
+        vectors obey).
         """
 
     @abc.abstractmethod
@@ -482,6 +491,7 @@ class ScalarBackend(ExecutionBackend):
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
         fault_model: Optional[FaultModelSpec] = None,
+        capture_outputs: bool = False,
     ) -> TrialOutcomes:
         executor = self.executor  # before input handling: resolves the
         # netlist when this backend wraps a legacy factory
@@ -505,6 +515,11 @@ class ScalarBackend(ExecutionBackend):
         corrections = np.zeros(len(rows), dtype=np.int64)
         uncorrectable = np.zeros(len(rows), dtype=np.int64)
         faults = np.zeros(len(rows), dtype=np.int64)
+        output_bits = (
+            np.zeros((len(rows), len(self.netlist.outputs)), dtype=np.uint8)
+            if capture_outputs
+            else None
+        )
         for trial, input_values in enumerate(rows):
             if fault_plan is not None:
                 injector = DeterministicFaultInjector(
@@ -525,12 +540,16 @@ class ScalarBackend(ExecutionBackend):
             corrections[trial] = report.corrections
             uncorrectable[trial] = report.uncorrectable_levels
             faults[trial] = injector.log.count()
+            if output_bits is not None:
+                for position, signal in enumerate(self.netlist.outputs):
+                    output_bits[trial, position] = report.outputs[signal]
         return TrialOutcomes(
             outputs_correct=outputs_correct,
             detected=detected,
             corrections=corrections,
             uncorrectable_levels=uncorrectable,
             faults_injected=faults,
+            outputs=output_bits,
         )
 
     def enumerate_sites(
@@ -615,6 +634,7 @@ class BatchedBackend(ExecutionBackend):
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
         fault_model: Optional[FaultModelSpec] = None,
+        capture_outputs: bool = False,
     ) -> TrialOutcomes:
         matrix = self._input_matrix(inputs, n_trials)
         self._validate_fault_args(matrix.shape[0], fault_plan, model, fault_seeds, fault_model)
@@ -634,6 +654,7 @@ class BatchedBackend(ExecutionBackend):
             corrections=result.corrections,
             uncorrectable_levels=result.uncorrectable_levels,
             faults_injected=result.faults_injected,
+            outputs=result.outputs if capture_outputs else None,
         )
 
     def enumerate_sites(
@@ -703,6 +724,7 @@ class BitpackedBackend(BatchedBackend):
         model: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[int]] = None,
         fault_model: Optional[FaultModelSpec] = None,
+        capture_outputs: bool = False,
     ) -> TrialOutcomes:
         matrix = self._input_matrix(inputs, n_trials)
         self._validate_fault_args(matrix.shape[0], fault_plan, model, fault_seeds, fault_model)
@@ -722,6 +744,7 @@ class BitpackedBackend(BatchedBackend):
             corrections=result.corrections,
             uncorrectable_levels=result.uncorrectable_levels,
             faults_injected=result.faults_injected,
+            outputs=result.outputs if capture_outputs else None,
         )
 
 

@@ -66,6 +66,7 @@ __all__ = [
     "experiment_ablation_codes",
     "experiment_coverage",
     "experiment_campaign",
+    "experiment_application",
     "experiment_rare_event",
     "experiment_multifault",
     "experiment_burst",
@@ -680,6 +681,68 @@ def experiment_campaign(
     }
 
 
+def experiment_application(
+    workloads: Sequence[str] = ("mlp16",),
+    schemes: Sequence[str] = ("unprotected", "ecim"),
+    technologies: Sequence[str] = ("stt",),
+    gate_error_rates: Sequence[float] = (1e-3, 1e-2),
+    trials: int = 100,
+    seed: int = 0,
+    shard_size: int = 50,
+    workers: int = 0,
+    checkpoint: Optional[str] = None,
+    backend: str = "batched",
+    fault_model: Optional[str] = "stochastic",
+) -> Dict[str, object]:
+    """Application-level campaign: accuracy degradation under faults.
+
+    Runs the functional application netlists (``mlp16``, ``fft4``) through
+    the standard campaign engine with application scoring enabled: every
+    trial's faulty output words are decoded and compared against the
+    workload's integer oracle, yielding argmax-flip (accuracy degradation)
+    rates and per-output bit-error/magnitude averages — the paper's
+    application view (its mnist benchmarks are scored on classification
+    accuracy, not gate-level corruption alone) — alongside the usual
+    coverage counters.  Defaults use the declarative ``stochastic`` fault
+    model so results are byte-identical across all three backends.
+    """
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        workloads=tuple(workloads),
+        schemes=tuple(schemes),
+        technologies=tuple(technologies),
+        gate_error_rates=tuple(gate_error_rates),
+        trials=trials,
+        seed=seed,
+        shard_size=shard_size,
+        backend=backend,
+        name="experiment-application",
+        fault_model=fault_model,
+        application=True,
+    )
+    result = run_campaign(spec, workers=workers, checkpoint=checkpoint)
+    return {
+        "spec": spec.to_dict(),
+        "spec_hash": spec.spec_hash(),
+        "summary": result.summary(),
+        "cells": {
+            report.cell.key: {
+                "counts": dict(report.counts),
+                "application": dict(report.application or {}),
+                "coverage": report.coverage,
+                "silent_corruption_rate": report.silent_corruption_rate,
+                "argmax_flip_rate": report.argmax_flip_rate,
+                "argmax_flip_interval": report.argmax_flip_interval,
+                "output_bit_errors_avg": report.output_bit_errors_avg,
+                "output_error_magnitude_avg": report.output_error_magnitude_avg,
+            }
+            for report in result.reports
+        },
+        "rendered": result.rendered,
+    }
+
+
 def experiment_rare_event(
     workload: str = "dot2",
     scheme: str = "ecim",
@@ -912,6 +975,7 @@ EXPERIMENTS: Dict[str, Callable[..., Dict[str, object]]] = {
     "ablation_codes": experiment_ablation_codes,
     "coverage": experiment_coverage,
     "campaign": experiment_campaign,
+    "application": experiment_application,
     "rare_event": experiment_rare_event,
     "multifault": experiment_multifault,
     "burst": experiment_burst,

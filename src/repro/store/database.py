@@ -34,6 +34,7 @@ from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.errors import EvaluationError
 from repro.store.locking import FileLock
 from repro.store.schema import (
+    APPLICATION_COLUMNS,
     COUNTER_COLUMNS,
     SCHEMA_VERSION,
     WEIGHT_COLUMNS,
@@ -182,6 +183,7 @@ class ResultsStore:
         shard_index: int,
         counts: Dict[str, int],
         weights: Optional[Dict[str, float]] = None,
+        application: Optional[Dict[str, int]] = None,
     ) -> bool:
         """Record one completed shard; returns True if the row was new.
 
@@ -191,6 +193,8 @@ class ResultsStore:
         identical and re-ingesting is a byte-level no-op.  ``weights`` (the
         estimator weight sums of importance/stratified shards) land in the
         nullable REAL columns migration 2 added; uniform shards leave NULLs.
+        ``application`` (the oracle-comparison counters of application
+        campaigns) likewise lands in migration 3's nullable INTEGER columns.
         """
         unknown = set(counts) - set(COUNTER_COLUMNS)
         if unknown:
@@ -199,6 +203,12 @@ class ResultsStore:
             unknown = set(weights) - set(WEIGHT_COLUMNS)
             if unknown:
                 raise EvaluationError(f"unknown shard weights: {sorted(unknown)}")
+        if application is not None:
+            unknown = set(application) - set(APPLICATION_COLUMNS)
+            if unknown:
+                raise EvaluationError(
+                    f"unknown shard application counters: {sorted(unknown)}"
+                )
         with self.lock, self._conn:
             self._conn.execute(
                 """
@@ -215,11 +225,16 @@ class ResultsStore:
                 "SELECT id FROM cells WHERE spec_hash = ? AND cell_key = ?",
                 (spec_hash, cell_key),
             ).fetchone()[0]
-            columns = ", ".join(COUNTER_COLUMNS + WEIGHT_COLUMNS)
-            placeholders = ", ".join("?" for _ in COUNTER_COLUMNS + WEIGHT_COLUMNS)
+            all_columns = COUNTER_COLUMNS + WEIGHT_COLUMNS + APPLICATION_COLUMNS
+            columns = ", ".join(all_columns)
+            placeholders = ", ".join("?" for _ in all_columns)
             weight_values = tuple(
                 None if weights is None else float(weights.get(name, 0.0))
                 for name in WEIGHT_COLUMNS
+            )
+            application_values = tuple(
+                None if application is None else int(application.get(name, 0))
+                for name in APPLICATION_COLUMNS
             )
             cursor = self._conn.execute(
                 f"""
@@ -231,6 +246,7 @@ class ResultsStore:
                 (cell_id, shard_index)
                 + tuple(int(counts.get(name, 0)) for name in COUNTER_COLUMNS)
                 + weight_values
+                + application_values
                 + (repro.__version__, _utcnow()),
             )
             return cursor.rowcount > 0
@@ -248,6 +264,7 @@ class ResultsStore:
             result.shard_index,
             result.counts,
             weights=result.weights,
+            application=result.application,
         )
 
     # ------------------------------------------------------------------ #
@@ -301,6 +318,29 @@ class ResultsStore:
             for name in COUNTER_COLUMNS:
                 counts[name] = int(row[name])
             merged[row["cell_key"]] = counts
+        return merged
+
+    def application_by_cell(self, spec_hash: str) -> Dict[str, Dict[str, int]]:
+        """Summed application counters per cell key for one campaign — the
+        shape :func:`repro.campaign.aggregate.merge_shard_application`
+        produces.  Cells whose shards never carried application metrics
+        (all-NULL columns) are absent, matching the in-process merge."""
+        sums = ", ".join(f"SUM(s.{name}) AS {name}" for name in APPLICATION_COLUMNS)
+        merged: Dict[str, Dict[str, int]] = {}
+        for row in self.rows(
+            f"""
+            SELECT c.cell_key, {sums}
+            FROM cells c JOIN shards s ON s.cell_id = c.id
+            WHERE c.spec_hash = ?
+            GROUP BY c.id
+            """,
+            (spec_hash,),
+        ):
+            if row[APPLICATION_COLUMNS[0]] is None:
+                continue
+            merged[row["cell_key"]] = {
+                name: int(row[name]) for name in APPLICATION_COLUMNS
+            }
         return merged
 
     def shard_keys(self, spec_hash: Optional[str] = None) -> List[Tuple[str, str, int]]:

@@ -164,6 +164,7 @@ def ingest_checkpoint(
                 result.shard_index,
                 result.counts,
                 weights=result.weights,
+                application=result.application,
             ):
                 report.ingested += 1
             else:

@@ -24,7 +24,7 @@ from repro.errors import EvaluationError, PimError
 from repro.pim.faults import parse_fault_model
 from repro.stats import effective_sample_size, weighted_mean_interval, wilson_interval
 from repro.store.database import ResultsStore
-from repro.store.schema import COUNTER_COLUMNS, WEIGHT_COLUMNS
+from repro.store.schema import APPLICATION_COLUMNS, COUNTER_COLUMNS, WEIGHT_COLUMNS
 
 __all__ = [
     "GROUPABLE_COLUMNS",
@@ -52,10 +52,8 @@ GROUPABLE_COLUMNS = (
 #: The campaign-table view: one row per swept cell identity.
 DEFAULT_GROUP_BY = ("workload", "scheme", "technology", "gate_error_rate")
 
-#: Derived statistics appended after the group columns, in order.  This
-#: list is the query output's schema contract — pinned by the golden tests;
-#: extend only at the end, alongside a golden refresh.
-DERIVED_COLUMNS = (
+#: The always-present count-derived statistics.
+_BASE_DERIVED = (
     "trials",
     "coverage",
     "coverage_ci_low",
@@ -67,8 +65,11 @@ DERIVED_COLUMNS = (
     "recovered_rate",
     "detected_corruption_rate",
     "faults_per_trial_avg",
-    # Estimator-weighted statistics (schema v2): None on rows whose shards
-    # were all recorded by uniform campaigns (NULL weight columns).
+)
+
+#: Estimator-weighted statistics (schema v2): None on rows whose shards
+#: were all recorded by uniform campaigns (NULL weight columns).
+_WEIGHTED_DERIVED = (
     "weight_sum",
     "effective_sample_size",
     "weighted_silent_rate",
@@ -78,6 +79,22 @@ DERIVED_COLUMNS = (
     "weighted_detected_corruption_ci_low",
     "weighted_detected_corruption_ci_high",
 )
+
+#: Application-metric statistics (schema v3): None on rows whose shards were
+#: all recorded by non-application campaigns (NULL application columns).
+_APPLICATION_DERIVED = (
+    "app_trials",
+    "argmax_flip_rate",
+    "argmax_flip_ci_low",
+    "argmax_flip_ci_high",
+    "output_bit_errors_avg",
+    "output_error_magnitude_avg",
+)
+
+#: Derived statistics appended after the group columns, in order.  This
+#: list is the query output's schema contract — pinned by the golden tests;
+#: extend only at the end, alongside a golden refresh.
+DERIVED_COLUMNS = _BASE_DERIVED + _WEIGHTED_DERIVED + _APPLICATION_DERIVED
 
 
 @dataclass(frozen=True)
@@ -163,7 +180,7 @@ def _derive_weighted(row_weights: Dict[str, Optional[float]], trials: int) -> Di
     group and expect a meaningful weighted rate).
     """
     if row_weights["weight_sum"] is None:
-        return {name: None for name in DERIVED_COLUMNS[11:]}
+        return {name: None for name in _WEIGHTED_DERIVED}
     silent, silent_low, silent_high = weighted_mean_interval(
         row_weights["w_silent_corruption"], row_weights["w_silent_corruption_sq"], trials
     )
@@ -183,6 +200,33 @@ def _derive_weighted(row_weights: Dict[str, Optional[float]], trials: int) -> Di
         "weighted_detected_corruption_rate": detcor,
         "weighted_detected_corruption_ci_low": detcor_low,
         "weighted_detected_corruption_ci_high": detcor_high,
+    }
+
+
+def _derive_application(row_application: Dict[str, Optional[int]]) -> Dict[str, object]:
+    """Application rates from integer sums — CellReport's application
+    arithmetic (same divisions, same :func:`wilson_interval`).
+
+    ``app_trials`` is NULL (None) exactly when no shard of the group carried
+    application metrics, in which case every application column is None.  As
+    with the weighted columns, a group mixing application and plain shards
+    covers only the application-scored trials.
+    """
+    if row_application["app_trials"] is None:
+        return {name: None for name in _APPLICATION_DERIVED}
+    trials = row_application["app_trials"]
+    flip_low, flip_high = wilson_interval(row_application["argmax_flips"], trials)
+    return {
+        "app_trials": trials,
+        "argmax_flip_rate": row_application["argmax_flips"] / trials if trials else 0.0,
+        "argmax_flip_ci_low": flip_low,
+        "argmax_flip_ci_high": flip_high,
+        "output_bit_errors_avg": (
+            row_application["output_bit_errors"] / trials if trials else 0.0
+        ),
+        "output_error_magnitude_avg": (
+            row_application["output_error_magnitude"] / trials if trials else 0.0
+        ),
     }
 
 
@@ -222,7 +266,10 @@ def run_query(
         params.append(float(filters.max_error_rate))
 
     group_sql = ", ".join(group_by)
-    sums = ", ".join(f"SUM({name}) AS {name}" for name in COUNTER_COLUMNS + WEIGHT_COLUMNS)
+    sums = ", ".join(
+        f"SUM({name}) AS {name}"
+        for name in COUNTER_COLUMNS + WEIGHT_COLUMNS + APPLICATION_COLUMNS
+    )
     sql = f"SELECT {group_sql}, {sums} FROM cell_totals"
     if where:
         sql += " WHERE " + " AND ".join(where)
@@ -236,7 +283,12 @@ def run_query(
         weights = {
             name: None if raw[name] is None else float(raw[name]) for name in WEIGHT_COLUMNS
         }
+        application = {
+            name: None if raw[name] is None else int(raw[name])
+            for name in APPLICATION_COLUMNS
+        }
         row.update(_derive(counts))
         row.update(_derive_weighted(weights, counts["trials"]))
+        row.update(_derive_application(application))
         rows.append(row)
     return columns, rows

@@ -47,6 +47,7 @@ from repro.errors import EvaluationError
 __all__ = [
     "COUNTER_COLUMNS",
     "WEIGHT_COLUMNS",
+    "APPLICATION_COLUMNS",
     "SCHEMA_VERSION",
     "MIGRATIONS",
     "apply_migrations",
@@ -195,8 +196,60 @@ JOIN shards s ON s.cell_id = c.id
 GROUP BY c.id;
 """
 
+#: Application-metric columns added at schema version 3.  A *literal* copy
+#: of :data:`repro.campaign.application.APPLICATION_KEYS` as of that
+#: migration (a test asserts equality); NULL on every shard a non-application
+#: campaign wrote, so the existing corpus keeps its exact byte shape.
+APPLICATION_COLUMNS: Tuple[str, ...] = (
+    "app_trials",
+    "argmax_flips",
+    "output_bit_errors",
+    "output_error_magnitude",
+)
+
+_APPLICATION_ALTERS = ";\n".join(
+    f"ALTER TABLE shards ADD COLUMN {name} INTEGER" for name in APPLICATION_COLUMNS
+)
+_APPLICATION_SUMS = ",\n    ".join(
+    f"SUM(s.{name}) AS {name}" for name in APPLICATION_COLUMNS
+)
+
+# Version 2 -> 3: per-shard application counters (argmax flips vs the integer
+# oracle, output Hamming/magnitude sums) ride along as nullable INTEGER
+# columns, and the totals view re-grows to sum them.  As with the weight
+# columns, SUM over an all-NULL group yields NULL — "no application metrics"
+# — so v2-era shards and plain campaigns read back unchanged.
+_MIGRATION_3 = f"""
+{_APPLICATION_ALTERS};
+
+DROP VIEW cell_totals;
+
+CREATE VIEW cell_totals AS
+SELECT
+    c.spec_hash,
+    c.cell_key,
+    c.workload,
+    c.scheme,
+    c.technology,
+    c.gate_error_rate,
+    c.memory_error_rate,
+    c.multi_output,
+    c.faults_per_trial,
+    c.fault_model,
+    p.name AS campaign_name,
+    p.backend,
+    COUNT(s.shard_index) AS n_shards,
+    {_COUNTER_SUMS},
+    {_WEIGHT_SUMS},
+    {_APPLICATION_SUMS}
+FROM cells c
+JOIN campaigns p ON p.spec_hash = c.spec_hash
+JOIN shards s ON s.cell_id = c.id
+GROUP BY c.id;
+"""
+
 #: ``MIGRATIONS[i]``: SQL script upgrading schema version i -> i + 1.
-MIGRATIONS: Tuple[str, ...] = (_MIGRATION_1, _MIGRATION_2)
+MIGRATIONS: Tuple[str, ...] = (_MIGRATION_1, _MIGRATION_2, _MIGRATION_3)
 
 #: The schema version this build of the library reads and writes.
 SCHEMA_VERSION = len(MIGRATIONS)

@@ -171,8 +171,11 @@ def generate_prototype_weights(
     for cls in range(config.n_classes):
         for unit in range(config.hidden_size):
             w2[cls, unit] = levels if unit % config.n_classes == cls else 0
-    # Break exact ties deterministically so argmax is unambiguous.
-    w2 += rng.integers(0, 1, size=w2.shape)
+    # Break exact ties deterministically so argmax is unambiguous: perturb
+    # only the zero (off-routing) entries by 0/1, which keeps every weight
+    # inside [0, 2^weight_bits) while decorrelating the class scores.
+    tie_break = rng.integers(0, 2, size=w2.shape)
+    w2 = np.where(w2 == 0, tie_break, w2)
     return w1, w2
 
 
@@ -249,6 +252,11 @@ def mlp_input_assignment(netlist: Netlist, activations: Sequence[int], activatio
 
 def mlp_outputs_to_scores(netlist: Netlist, outputs: Dict[int, int], n_classes: int) -> np.ndarray:
     """Reassemble per-class scores from an execution's output bits."""
+    if n_classes < 1 or len(netlist.outputs) % n_classes != 0:
+        raise UnknownWorkloadError(
+            f"netlist has {len(netlist.outputs)} output bits, which do not "
+            f"split into {n_classes} equal-width score words"
+        )
     per_class = len(netlist.outputs) // n_classes
     values = [outputs[s] for s in netlist.outputs]
     scores = np.zeros(n_classes, dtype=np.int64)

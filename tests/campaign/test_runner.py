@@ -62,6 +62,44 @@ class TestDeterminism:
         assert a.counts_by_cell != b.counts_by_cell
 
 
+class TestDrainTasks:
+    def test_poisoned_record_callback_propagates_and_terminates(self):
+        # Regression: a record callback that raises (e.g. a full-disk
+        # checkpoint append) used to leave queued shards running behind the
+        # pool's context-manager exit; drain_tasks must cancel the backlog
+        # and surface the original exception promptly.
+        from repro.campaign.runner import drain_tasks
+
+        spec = small_spec(schemes=("ecim",), trials=80, shard_size=5)
+        pending = spec.shards()
+        assert len(pending) == 16
+        recorded = []
+
+        def poisoned(result):
+            recorded.append(result)
+            if len(recorded) == 2:
+                raise RuntimeError("record sink failed")
+
+        with pytest.raises(RuntimeError, match="record sink failed"):
+            drain_tasks(2, pending, poisoned)
+        # The failure cancelled the backlog instead of draining all 16.
+        assert 2 <= len(recorded) < len(pending)
+
+    def test_serial_path_stops_at_the_poisoned_record(self):
+        from repro.campaign.runner import drain_tasks
+
+        spec = small_spec(schemes=("ecim",), trials=20, shard_size=5)
+        recorded = []
+
+        def poisoned(result):
+            recorded.append(result)
+            raise RuntimeError("record sink failed")
+
+        with pytest.raises(RuntimeError, match="record sink failed"):
+            drain_tasks(0, spec.shards(), poisoned)
+        assert len(recorded) == 1
+
+
 class TestResume:
     def test_second_run_resumes_everything(self, tmp_path):
         spec = small_spec()

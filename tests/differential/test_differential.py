@@ -28,7 +28,6 @@ from repro.core.sep import exhaustive_single_fault_injection
 from differential_harness import (
     BACKEND_FACTORIES,
     MODEL_KINDS,
-    TRIALS,
     assert_outcomes_identical,
 )
 
@@ -39,15 +38,16 @@ CANDIDATES = tuple(sorted(BACKEND_FACTORIES))
 @pytest.mark.parametrize("kind", MODEL_KINDS)
 class TestByteIdenticalOutcomes:
     """Acceptance: byte-identical TrialOutcomes for all four fault models on
-    >= 2 workloads x both schemes (x both gate styles), shared trial seeds."""
+    the arithmetic workloads x both schemes (x both gate styles) plus the
+    application netlists (fft4 full-width, mlp16 runtime-bounded), shared
+    trial seeds."""
 
     def test_outcomes_byte_identical(self, cell, kind, candidate):
-        kwargs = cell.run_kwargs(kind)
-        reference = cell.reference.run_trials(cell.inputs, **kwargs)
-        outcome = cell.candidates[candidate].run_trials(cell.inputs, **kwargs)
+        reference = cell.reference_outcomes(kind)
+        outcome = cell.candidates[candidate].run_trials(cell.inputs, **cell.run_kwargs(kind))
         context = f"{cell.workload}/{cell.scheme}/mo={cell.multi_output}/{kind}/{candidate}"
         assert_outcomes_identical(reference, outcome, context)
-        assert reference.n_trials == TRIALS
+        assert reference.n_trials == cell.trials
 
     def test_models_actually_inject(self, cell, kind, candidate):
         """A differential pass over an all-clean batch proves nothing: every

@@ -1,9 +1,9 @@
 """Golden pins for the ``python -m repro query`` output schema.
 
 ``store_query.csv`` / ``store_query.json`` hold the byte-exact CLI output of
-a default-grouped query over a small deterministic corpus (two seeded
-campaigns — legacy fault model and a burst model — recorded live through
-``run_campaign(db=...)``).  A failure means either the query output *schema*
+a default-grouped query over a small deterministic corpus (three seeded
+campaigns — legacy fault model, a burst model, and an fft4 application
+campaign — recorded live through ``run_campaign(db=...)``).  A failure means either the query output *schema*
 changed (column set, order, formatting) or the underlying numbers drifted —
 both must be deliberate.  Regenerate after an intentional change with::
 
@@ -46,6 +46,18 @@ def corpus_specs():
     return [
         CampaignSpec(name="golden-legacy", **common),
         CampaignSpec(name="golden-burst", fault_model="burst:length=2,window=4", **common),
+        CampaignSpec(
+            name="golden-application",
+            workloads=("fft4",),
+            schemes=("unprotected", "ecim"),
+            gate_error_rates=(1e-3,),
+            trials=8,
+            shard_size=4,
+            seed=3,
+            backend="batched",
+            fault_model="stochastic",
+            application=True,
+        ),
     ]
 
 

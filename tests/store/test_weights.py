@@ -66,7 +66,7 @@ class TestSchemaV2:
         path = tmp_path / "legacy.sqlite"
         build_v1_database(path)
         with ResultsStore(path) as store:
-            assert store.schema_version == 2
+            assert store.schema_version == ResultsStore.SCHEMA_VERSION
             assert store.shard_keys() == [("deadbeefdeadbeef", "k", 0)]
             # Pre-estimator shards surface NULL weights, not zeros.
             row = store.rows("SELECT weight_sum, w_silent_corruption FROM shards")[0]

@@ -75,6 +75,40 @@ class TestPrototypeWeights:
         with pytest.raises(UnknownWorkloadError):
             generate_prototype_weights(SMALL_CONFIG, side=5)
 
+    def test_tie_break_perturbs_off_routing_entries(self):
+        # Regression: the tie-break used to draw from rng.integers(0, 1, ...)
+        # — always zero — so the output layer's off-routing entries stayed
+        # identically 0 and distinct classes could share exact scores.
+        config = MlpConfig(
+            input_size=16, hidden_size=4, n_classes=4, weight_bits=2, activation_bits=2
+        )
+        levels = (1 << config.weight_bits) - 1
+        _, w2 = generate_prototype_weights(config, side=4)
+        on_routing = np.eye(config.n_classes, dtype=bool)
+        assert np.all(w2[on_routing] == levels)  # routing untouched
+        assert w2[~on_routing].max() > 0  # the perturbation actually fires
+        assert w2.min() >= 0 and w2.max() <= levels  # documented range holds
+
+    def test_every_synthetic_image_has_strict_argmax_winner(self):
+        # The application-campaign oracle must yield an unambiguous predicted
+        # class for the dataset the mlp16 example classifies.
+        from repro.workloads.datasets import make_synthetic_mnist, quantize_unsigned
+
+        config = MlpConfig(
+            input_size=16, hidden_size=4, n_classes=4, weight_bits=2, activation_bits=2
+        )
+        w1, w2 = generate_prototype_weights(config, side=4)
+        hidden_acc = accumulator_bits(config.input_size, config.weight_bits)
+        out_acc = accumulator_bits(config.hidden_size, max(config.weight_bits, hidden_acc))
+        dataset = make_synthetic_mnist(n_samples=240, side=4, n_classes=4, seed=9)
+        activations = quantize_unsigned(
+            dataset.images, config.activation_bits, max_value=255.0
+        )
+        for row in activations:
+            scores = mlp_inference_reference(row, w1, w2, (hidden_acc, out_acc))
+            ranked = np.sort(scores)
+            assert ranked[-1] > ranked[-2], scores
+
 
 class TestFunctionalMlp:
     @pytest.fixture(scope="class")
@@ -117,3 +151,15 @@ class TestFunctionalMlp:
         netlist, _, _ = compiled
         with pytest.raises(UnknownWorkloadError):
             mlp_input_assignment(netlist, [9] * 9, 2)
+
+    def test_outputs_to_scores_rejects_uneven_split(self, compiled):
+        # Regression: n_classes that doesn't divide the output width used to
+        # silently truncate the trailing bits into a short (garbage) word.
+        netlist, _, _ = compiled
+        inputs = mlp_input_assignment(netlist, [0] * 9, SMALL_CONFIG.activation_bits)
+        outputs = netlist.evaluate_outputs(inputs)
+        assert len(netlist.outputs) % 3 != 0
+        with pytest.raises(UnknownWorkloadError, match="equal-width score words"):
+            mlp_outputs_to_scores(netlist, outputs, 3)
+        with pytest.raises(UnknownWorkloadError, match="equal-width score words"):
+            mlp_outputs_to_scores(netlist, outputs, 0)
